@@ -1,0 +1,92 @@
+"""Ablation: precision policy of the GCR-DD solver.
+
+Sec. 8.1: "we have found best performance using a single-half-half
+solver".  Measures real solves under DDD / SSS / SHH policies (accuracy,
+iterations) and models the per-iteration speed effect of the inner/
+preconditioner precision at paper scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.paper_data import print_table
+from repro.comm import ProcessGrid
+from repro.core import GCRDDConfig, GCRDDSolver
+from repro.dirac import WilsonCloverOperator
+from repro.lattice import SpinorField
+from repro.perfmodel.device import M2050
+from repro.perfmodel.kernels import KernelModel, OperatorKind
+from repro.precision import DOUBLE, HALF, SINGLE, PrecisionPolicy
+
+POLICIES = {
+    "double-double-double": PrecisionPolicy(DOUBLE, DOUBLE, DOUBLE),
+    "single-single-single": PrecisionPolicy(SINGLE, SINGLE, SINGLE),
+    "single-half-half": PrecisionPolicy(SINGLE, HALF, HALF),
+}
+
+
+def test_policy_accuracy_and_iterations(small_gauge):
+    op = WilsonCloverOperator(small_gauge, mass=0.2, csw=1.0)
+    b = SpinorField.random(small_gauge.geometry, rng=21).data
+    rows = []
+    results = {}
+    for name, policy in POLICIES.items():
+        cfg = GCRDDConfig(tol=1e-12, mr_steps=6, policy=policy, maxiter=300)
+        t0 = time.perf_counter()
+        res = GCRDDSolver(op, ProcessGrid((1, 1, 1, 2)), cfg).solve(b)
+        seconds = time.perf_counter() - t0
+        results[name] = res
+        rows.append([name, res.iterations, res.restarts, res.residual, seconds])
+    print_table(
+        "ablation_precision",
+        "Ablation — GCR-DD precision policies (real 4x4x4x8 solve)",
+        ["policy", "outer iters", "restarts", "final residual", "wall s"],
+        rows,
+    )
+    # Accuracy floors ordered by outer precision.
+    assert results["double-double-double"].residual < 1e-11
+    assert results["single-single-single"].residual < 1e-5
+    assert results["single-half-half"].residual < 1e-4
+    # All converge to their own floor.
+    assert all(r.converged for r in results.values())
+
+
+def test_policy_kernel_speed_model():
+    """Modeled matvec rates: half > single > double on the M2050 — the
+    bandwidth argument for the single-half-half choice."""
+    rows = []
+    rates = {}
+    for prec in (DOUBLE, SINGLE, HALF):
+        k = KernelModel(OperatorKind.WILSON_CLOVER, prec, 12)
+        gf = k.reported_gflops(M2050, 1 << 19)
+        rates[prec.name] = gf
+        rows.append([prec.name, k.bytes_per_site(M2050.spinor_reuse), gf])
+    print_table(
+        "ablation_precision_model",
+        "Ablation — kernel rate by precision (model, 0.5M sites)",
+        ["precision", "bytes/site", "Gflops"],
+        rows,
+    )
+    assert rates["half"] > rates["single"] > rates["double"]
+
+
+@pytest.mark.benchmark(group="ablation-precision")
+@pytest.mark.parametrize("name", list(POLICIES))
+def test_bench_policy_solve(benchmark, small_gauge, name):
+    op = WilsonCloverOperator(small_gauge, mass=0.25, csw=1.0)
+    b = SpinorField.random(small_gauge.geometry, rng=22).data
+    cfg = GCRDDConfig(tol=1e-4, mr_steps=4, policy=POLICIES[name], maxiter=200)
+    solver = GCRDDSolver(op, ProcessGrid((1, 1, 1, 2)), cfg)
+    result = benchmark(solver.solve, b)
+    assert result.converged
+
+
+if __name__ == "__main__":
+    from repro.lattice import GaugeField, Geometry
+
+    g = GaugeField.weak(Geometry((4, 4, 4, 8)), epsilon=0.25, rng=4048)
+    test_policy_accuracy_and_iterations(g)
+    test_policy_kernel_speed_model()

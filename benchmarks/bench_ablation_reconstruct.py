@@ -1,0 +1,73 @@
+"""Ablation: gauge compression (18 vs 12 vs 8 reals per link).
+
+QUDA's strategy (a) of Sec. 5: compress the SU(3) links to cut memory
+traffic at the cost of reconstruction arithmetic.  Measures the real
+round-trip accuracy and compression/reconstruction throughput, and models
+the kernel-rate effect on the M2050.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.paper_data import print_table
+from repro.linalg import su3
+from repro.perfmodel.device import M2050
+from repro.perfmodel.kernels import KernelModel, OperatorKind
+from repro.precision import SINGLE
+
+
+def test_reconstruction_rate_table():
+    rows = []
+    rates = {}
+    for reals in (18, 12, 8):
+        k = KernelModel(OperatorKind.WILSON_CLOVER, SINGLE, reals)
+        gf = k.reported_gflops(M2050, 1 << 20)
+        rates[reals] = gf
+        rows.append(
+            [reals, k.gauge_bytes_per_site(), k.flops_per_site, gf]
+        )
+    print_table(
+        "ablation_reconstruct",
+        "Ablation — gauge reconstruction vs modeled single-GPU kernel rate "
+        "(Wilson-clover SP, 1M sites)",
+        ["reals/link", "gauge B/site", "flops/site", "Gflops"],
+        rows,
+    )
+    # Bandwidth-bound regime: fewer gauge bytes -> faster kernel.
+    assert rates[12] > rates[18]
+    assert rates[8] > rates[12] * 0.95  # 8 gains less (extra arithmetic)
+
+
+def test_roundtrip_accuracy_hierarchy():
+    links = su3.random_su3((512,), rng=77)
+    e12 = su3.compression_roundtrip_error(links, 12)
+    e8 = su3.compression_roundtrip_error(links, 8)
+    rows = [[12, e12], [8, e8]]
+    print_table(
+        "ablation_reconstruct_error",
+        "Ablation — compression round-trip max error (512 random links)",
+        ["reals/link", "max error"],
+        rows,
+    )
+    assert e12 < 1e-12
+    assert e8 < 1e-8
+
+
+@pytest.mark.benchmark(group="ablation-reconstruct")
+def test_bench_reconstruct12(benchmark):
+    links = su3.random_su3((4096,), rng=1)
+    rows = su3.compress12(links)
+    benchmark(su3.reconstruct12, rows)
+
+
+@pytest.mark.benchmark(group="ablation-reconstruct")
+def test_bench_reconstruct8(benchmark):
+    links = su3.random_su3((4096,), rng=2)
+    params = su3.compress8(links)
+    benchmark(su3.reconstruct8, params)
+
+
+if __name__ == "__main__":
+    test_reconstruction_rate_table()
+    test_roundtrip_accuracy_hierarchy()

@@ -1,0 +1,90 @@
+"""Calibration measurement: GCR-DD outer iterations vs block count.
+
+The performance model's ``default_gcr_outer_iterations`` assumes outer
+iterations grow mildly (logarithmically) as the Schwarz blocks shrink.
+This bench *measures* that growth on real solves — same global lattice,
+increasing block counts — and checks the model's growth law brackets the
+measurement.  EXPERIMENTS.md records the outcome.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.paper_data import print_table
+from repro.comm import ProcessGrid
+from repro.core import GCRDDConfig, GCRDDSolver
+from repro.core.scaling import default_gcr_outer_iterations
+from repro.dirac import WilsonCloverOperator
+from repro.lattice import GaugeField, Geometry, SpinorField
+
+GRIDS = [
+    ProcessGrid((1, 1, 1, 2)),  # 2 blocks
+    ProcessGrid((1, 1, 2, 2)),  # 4 blocks
+    ProcessGrid((1, 2, 2, 2)),  # 8 blocks
+    ProcessGrid((2, 2, 2, 2)),  # 16 blocks
+]
+
+
+@pytest.fixture(scope="module")
+def system():
+    geom = Geometry((4, 4, 4, 8))
+    gauge = GaugeField.weak(geom, epsilon=0.25, rng=7171)
+    op = WilsonCloverOperator(gauge, mass=0.15, csw=1.0)
+    b = SpinorField.random(geom, rng=41).data
+    return op, b
+
+
+def test_iteration_growth_measurement(system):
+    op, b = system
+    rows = []
+    iters = {}
+    for grid in GRIDS:
+        cfg = GCRDDConfig(tol=1e-5, mr_steps=8)
+        res = GCRDDSolver(op, grid, cfg).solve(b)
+        assert res.converged, grid.label
+        iters[grid.size] = res.iterations
+        rows.append([grid.size, grid.label, res.iterations, res.restarts])
+    # Fit the growth exponent: iters ~ base * (1 + g*log2(blocks/ref)).
+    base = iters[GRIDS[0].size]
+    growth = (iters[16] / base - 1.0) / math.log2(16 / GRIDS[0].size) if base else 0
+    rows.append(["fit", "-", f"growth/log2 = {growth:.3f}", "-"])
+    print_table(
+        "calibration_iteration_growth",
+        "Calibration — GCR-DD outer iterations vs Schwarz block count "
+        "(real 4x4x4x8 solves)",
+        ["blocks", "partition", "outer iters", "restarts"],
+        rows,
+    )
+    # Shrinking blocks never helps, and the growth is mild (log-like),
+    # not explosive — the premise of the model's growth law.
+    assert iters[16] >= iters[2]
+    assert iters[16] <= 3.0 * iters[2]
+
+
+def test_model_growth_law_is_mild():
+    its = [default_gcr_outer_iterations(n) for n in (32, 64, 128, 256)]
+    # Monotone, and 8x more blocks costs < 50% more iterations.
+    assert its == sorted(its)
+    assert its[-1] / its[0] < 1.5
+
+
+@pytest.mark.benchmark(group="calibration")
+def test_bench_gcrdd_16_blocks(benchmark, small_gauge):
+    op = WilsonCloverOperator(small_gauge, mass=0.25, csw=1.0)
+    b = SpinorField.random(small_gauge.geometry, rng=42).data
+    solver = GCRDDSolver(
+        op, ProcessGrid((2, 2, 2, 2)), GCRDDConfig(tol=1e-4, mr_steps=4)
+    )
+    result = benchmark(solver.solve, b)
+    assert result.converged
+
+
+if __name__ == "__main__":
+    geom = Geometry((4, 4, 4, 8))
+    gauge = GaugeField.weak(geom, epsilon=0.25, rng=7171)
+    op = WilsonCloverOperator(gauge, mass=0.15, csw=1.0)
+    b = SpinorField.random(geom, rng=41).data
+    test_iteration_growth_measurement((op, b))

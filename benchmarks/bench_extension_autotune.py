@@ -1,0 +1,87 @@
+"""Extension bench: the configuration autotuner.
+
+QUDA autotunes its kernels at runtime; at this library's altitude the
+tuner chooses partitioned dimensions, solver, MR steps, and precision by
+sweeping the performance model — and must *rediscover* the paper's
+choices: ZT-like partitionings at small GPU counts vs XYZT at 256
+(Fig. 6), BiCGstab below the crossover vs GCR-DD with ~10 MR steps above
+it (Figs. 7-8), and half precision throughout (Sec. 8.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.paper_data import print_table
+from repro.core.tune import (
+    tune_dslash_partitioning,
+    tune_precision_policy,
+    tune_wilson_solver,
+)
+from repro.perfmodel.kernels import OperatorKind
+from repro.precision import SINGLE
+
+GPU_COUNTS = [8, 16, 32, 64, 128, 256]
+
+
+def test_autotuned_partitioning_table():
+    rows = []
+    dims_per_count = {}
+    for n in GPU_COUNTS:
+        t = tune_dslash_partitioning(
+            n, (64, 64, 64, 192), OperatorKind.ASQTAD, SINGLE
+        )
+        dims_per_count[n] = len(t.grid.partitioned_dims)
+        rows.append([n, t.partitioning, f"{t.gflops_per_gpu:.1f}"])
+    print_table(
+        "extension_autotune_partitioning",
+        "Extension — autotuned asqtad partitioning by GPU count "
+        "(V=64^3x192)",
+        ["GPUs", "partitioning", "Gflops/GPU"],
+        rows,
+    )
+    # More dimensions get partitioned as the GPU count grows.
+    assert dims_per_count[256] >= dims_per_count[8]
+
+
+def test_autotuned_solver_table():
+    rows = []
+    methods = {}
+    for n in GPU_COUNTS:
+        t = tune_wilson_solver(n)
+        methods[n] = t.method
+        rows.append([n, t.method, t.partitioning, t.mr_steps,
+                     f"{t.seconds:.2f}"])
+    print_table(
+        "extension_autotune_solver",
+        "Extension — autotuned Wilson-clover solver choice (V=32^3x256)",
+        ["GPUs", "method", "partitioning", "MR steps", "time s"],
+        rows,
+    )
+    # The paper's recipe, rediscovered.
+    assert methods[8] == "bicgstab"
+    assert methods[128] == "gcr-dd"
+    assert methods[256] == "gcr-dd"
+
+
+def test_autotuned_precision_is_half():
+    from repro.precision import HALF
+
+    for n in GPU_COUNTS:
+        assert tune_precision_policy(n) is HALF
+
+
+@pytest.mark.benchmark(group="extension-autotune")
+def test_bench_full_tune(benchmark):
+    def tune_all():
+        return [
+            tune_wilson_solver(n).method for n in (32, 128)
+        ]
+
+    out = benchmark(tune_all)
+    assert out == ["bicgstab", "gcr-dd"] or out == ["gcr-dd", "gcr-dd"]
+
+
+if __name__ == "__main__":
+    test_autotuned_partitioning_table()
+    test_autotuned_solver_table()

@@ -1,0 +1,110 @@
+"""Extension bench: dynamical-fermion gauge generation.
+
+The paper's raison d'etre, measured: in dynamical HMC, the Dirac solves
+inside the force evaluations dominate the runtime — the concrete content
+of "the linear solver accounts for 80-99% of the execution time" for the
+*gauge generation* phase (Sec. 3.1), and the reason the strong-scaling
+solvers of Secs. 6-8 gate the whole program.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.paper_data import print_table
+from repro.gauge.action import gauge_force, wilson_gauge_action
+from repro.gauge.dynamical import DynamicalHMC, PseudofermionAction
+from repro.lattice import GaugeField, Geometry
+from repro.util.counters import tally
+
+
+@pytest.fixture(scope="module")
+def start():
+    geom = Geometry((4, 4, 4, 4))
+    return GaugeField.weak(geom, epsilon=0.3, rng=2048)
+
+
+def test_solver_dominates_dynamical_hmc(start):
+    """Time one trajectory with and without the fermion sector."""
+    # Pure gauge baseline.
+    from repro.gauge.hmc import PureGaugeHMC
+
+    quenched = PureGaugeHMC(beta=5.5, step_size=0.04, n_steps=6, rng_seed=1)
+    t0 = time.perf_counter()
+    quenched.trajectory(start)
+    t_quenched = time.perf_counter() - t0
+
+    dyn = DynamicalHMC(
+        beta=5.5, mass=0.3, step_size=0.04, n_steps=6, rng_seed=2,
+        solver_tol=1e-9,
+    )
+    with tally() as t:
+        t0 = time.perf_counter()
+        result = dyn.trajectory(start)
+        t_dynamical = time.perf_counter() - t0
+
+    solver_share = 1.0 - t_quenched / t_dynamical
+    rows = [
+        ["quenched trajectory", f"{t_quenched:.2f}", "-", "-"],
+        [
+            "dynamical trajectory",
+            f"{t_dynamical:.2f}",
+            result.solver_iterations,
+            f"{100 * solver_share:.0f}%",
+        ],
+    ]
+    print_table(
+        "extension_dynamical",
+        "Extension — dynamical HMC cost profile (4^4, mass 0.3)",
+        ["trajectory", "wall s", "force solves", "fermion-sector share"],
+        rows,
+    )
+    # The fermion sector (solves) is the bulk of the cost.
+    assert solver_share > 0.5
+    assert t.operator_applications.get("staggered_normal", 0) > 100
+
+
+def test_lighter_quarks_cost_more_solver_iterations(start):
+    """The mass/conditioning coupling of Sec. 3.1: lighter quarks mean
+    worse-conditioned solves inside every force evaluation."""
+    costs = {}
+    for mass in (1.0, 0.2):
+        pf = PseudofermionAction(mass=mass, tol=1e-9)
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        phi = pf.refresh(start, rng)
+        with tally() as t:
+            pf.force(start, phi)
+        costs[mass] = t.operator_applications.get("staggered_normal", 0)
+    rows = [[m, c] for m, c in costs.items()]
+    print_table(
+        "extension_dynamical_mass",
+        "Extension — force-solve cost vs quark mass",
+        ["mass", "operator applications per force"],
+        rows,
+    )
+    assert costs[0.2] > 1.5 * costs[1.0]
+
+
+@pytest.mark.benchmark(group="extension-dynamical")
+def test_bench_fermion_force(benchmark, start):
+    import numpy as np
+
+    pf = PseudofermionAction(mass=0.5, tol=1e-8)
+    phi = pf.refresh(start, np.random.default_rng(4))
+    benchmark(pf.force, start, phi)
+
+
+@pytest.mark.benchmark(group="extension-dynamical")
+def test_bench_gauge_force(benchmark, start):
+    benchmark(gauge_force, start, 5.5)
+
+
+if __name__ == "__main__":
+    geom = Geometry((4, 4, 4, 4))
+    g = GaugeField.weak(geom, epsilon=0.3, rng=2048)
+    test_solver_dominates_dynamical_hmc(g)
+    test_lighter_quarks_cost_more_solver_iterations(g)

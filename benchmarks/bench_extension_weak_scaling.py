@@ -1,0 +1,77 @@
+"""Extension bench: weak scaling (the contrast to Figs. 5-8).
+
+The paper's predecessor [4] showed "excellent (artificial) weak scaling";
+weak scaling holds the local volume (and thus the surface-to-volume
+ratio) fixed, so the per-GPU rate barely moves, unlike the strong-scaling
+collapse the paper fights.  This bench makes the contrast explicit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.paper_data import print_table
+from repro.core.scaling import DslashScalingStudy, WeakScalingStudy
+from repro.perfmodel.kernels import OperatorKind
+from repro.precision import SINGLE
+
+GPU_COUNTS = [1, 4, 16, 64, 256]
+
+
+def test_weak_scaling_nearly_flat():
+    study = WeakScalingStudy(local_volume=(24, 24, 24, 32))
+    rows = []
+    rates = []
+    for n in GPU_COUNTS:
+        p = study.point(n)
+        rates.append(p.gflops_per_gpu)
+        rows.append([n, "x".join(map(str, p.grid.dims)), p.gflops_per_gpu])
+    print_table(
+        "extension_weak_scaling",
+        "Extension — weak scaling of the Wilson-clover dslash "
+        "(fixed 24^3x32 per GPU)",
+        ["GPUs", "grid", "Gflops/GPU"],
+        rows,
+    )
+    # The per-GPU rate steps down each time a new dimension's halos turn
+    # on (1 -> 4 -> 16 GPUs), but once all four communicate it is *exactly
+    # flat* — the weak-scaling signature: no further loss from 16 to 256.
+    assert rates[-1] > 0.25 * rates[0]
+    assert rates[-1] > 0.99 * rates[2]
+    assert rates[-1] == pytest.approx(rates[-2], rel=1e-6)
+
+
+def test_weak_vs_strong_contrast():
+    weak = WeakScalingStudy(local_volume=(16, 16, 16, 16))
+    strong = DslashScalingStudy(
+        (32, 32, 32, 256), OperatorKind.WILSON_CLOVER, SINGLE, 12
+    )
+    weak_ratio = weak.point(256).gflops_per_gpu / weak.point(4).gflops_per_gpu
+    strong_ratio = (
+        strong.point(256).gflops_per_gpu / strong.point(8).gflops_per_gpu
+    )
+    rows = [["weak (fixed local)", weak_ratio], ["strong (fixed global)", strong_ratio]]
+    print_table(
+        "extension_weak_vs_strong",
+        "Extension — per-GPU rate retained from small to 256 GPUs",
+        ["mode", "retention"],
+        rows,
+    )
+    assert weak_ratio > 3 * strong_ratio
+
+
+def test_weak_scaling_requires_power_of_two():
+    with pytest.raises(ValueError):
+        WeakScalingStudy().point(6)
+
+
+@pytest.mark.benchmark(group="extension-weak")
+def test_bench_weak_scaling_sweep(benchmark):
+    study = WeakScalingStudy()
+    out = benchmark(study.run, GPU_COUNTS)
+    assert len(out) == len(GPU_COUNTS)
+
+
+if __name__ == "__main__":
+    test_weak_scaling_nearly_flat()
+    test_weak_vs_strong_contrast()

@@ -1,0 +1,93 @@
+"""Figure 6: strong scaling of the asqtad dslash.
+
+V = 64^3 x 192, no gauge reconstruction, double (DP) and single (SP)
+precision, partitionings ZT / YZT / XYZT, 32..256 GPUs — Gflops per GPU.
+
+The paper's observation to reproduce: "At a relatively low number of GPUs
+... having faster kernel performance is more important than the optimal
+surface-to-volume ratio.  As the number of GPUs is increased ... the XYZT
+partitioning scheme, which has the worst single-GPU performance, obtains
+the best performance on 256 GPUs."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.paper_data import FIG6_GPUS, FIG6_PAPER, print_table
+from repro.core.scaling import DslashScalingStudy
+from repro.dirac import AsqtadOperator
+from repro.perfmodel.kernels import OperatorKind
+from repro.precision import DOUBLE, SINGLE
+
+VOLUME = (64, 64, 64, 192)
+PARTITIONINGS = {"ZT": (3, 2), "YZT": (3, 2, 1), "XYZT": (3, 2, 1, 0)}
+
+
+def fig6_series(label: str, precision) -> list[float]:
+    study = DslashScalingStudy(
+        VOLUME, OperatorKind.ASQTAD, precision, 18,
+        partition_dims=PARTITIONINGS[label],
+    )
+    return [p.gflops_per_gpu for p in study.run(FIG6_GPUS)]
+
+
+def test_fig6_table_and_shape():
+    rows = []
+    model = {}
+    for label in PARTITIONINGS:
+        for prec, pname in [(DOUBLE, "DP"), (SINGLE, "SP")]:
+            series = fig6_series(label, prec)
+            model[(label, pname)] = series
+            for i, gpus in enumerate(FIG6_GPUS):
+                rows.append(
+                    [label, pname, gpus, series[i], FIG6_PAPER[(label, pname)][i]]
+                )
+    print_table(
+        "fig06",
+        "Fig. 6 — asqtad dslash strong scaling (Gflops/GPU), V=64^3x192",
+        ["partition", "prec", "GPUs", "model", "paper"],
+        rows,
+    )
+    for key, series in model.items():
+        # Monotone decline with GPU count and agreement within ~2x.
+        assert series == sorted(series, reverse=True), key
+        for m, p in zip(series, FIG6_PAPER[key]):
+            assert 0.4 < m / p < 2.5, key
+
+
+def test_fig6_partitioning_crossover():
+    """ZT is (near-)best at 32 GPUs; more-partitioned schemes win at 256."""
+    zt = fig6_series("ZT", SINGLE)
+    yzt = fig6_series("YZT", SINGLE)
+    xyzt = fig6_series("XYZT", SINGLE)
+    at32 = dict(zip(["ZT", "YZT", "XYZT"], [zt[0], yzt[0], xyzt[0]]))
+    at256 = dict(zip(["ZT", "YZT", "XYZT"], [zt[-1], yzt[-1], xyzt[-1]]))
+    assert at32["ZT"] >= 0.95 * max(at32.values())
+    assert max(at256["YZT"], at256["XYZT"]) > at256["ZT"]
+
+
+def test_fig6_sp_to_dp_ratio_near_two():
+    """asqtad is bandwidth bound: SP ~ 2x DP throughout."""
+    for label in PARTITIONINGS:
+        for sp, dp in zip(fig6_series(label, SINGLE), fig6_series(label, DOUBLE)):
+            assert 1.5 < sp / dp < 2.3
+
+
+@pytest.mark.benchmark(group="fig6-kernel")
+def test_bench_asqtad_matvec(benchmark, bench_gauge, bench_staggered_vec):
+    """Real kernel: asqtad matvec (1-hop fat + 3-hop long stencil)."""
+    op = AsqtadOperator.from_gauge(bench_gauge, mass=0.1)
+    benchmark(op.apply, bench_staggered_vec)
+
+
+@pytest.mark.benchmark(group="fig6-kernel")
+def test_bench_asqtad_link_fattening(benchmark, small_gauge):
+    """Real kernel: the fat/long link construction (once per solve)."""
+    from repro.gauge.asqtad import build_asqtad_links
+
+    benchmark(build_asqtad_links, small_gauge)
+
+
+if __name__ == "__main__":
+    test_fig6_table_and_shape()

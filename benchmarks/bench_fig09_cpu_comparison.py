@@ -1,0 +1,79 @@
+"""Figure 9: the capability-machine context curves.
+
+Strong-scaling solver Tflops on Jaguar XT4 / Jaguar PF XT5 / Intrepid BG/P
+at 4K..32K cores for the same 32^3x256 Wilson-clover problem.  The claim
+to reproduce: "the performance range of 10-17 Tflops is attained on
+partitions of size greater than 16,384 cores on all these systems" — i.e.
+the 256-GPU GCR-DD result is on par with capability-class machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.paper_data import FIG9_CORES, FIG9_RANGE, print_table
+from repro.core.scaling import WilsonSolverScalingStudy
+from repro.perfmodel.machines import CPU_MACHINES
+
+
+def test_fig9_table():
+    rows = []
+    for cores in FIG9_CORES:
+        row = [cores]
+        for m in CPU_MACHINES:
+            row.append(m.sustained_tflops(cores))
+        rows.append(row)
+    print_table(
+        "fig09",
+        "Fig. 9 — CPU capability machines, sustained solver Tflops "
+        "(V=32^3x256)",
+        ["cores"] + [m.name for m in CPU_MACHINES],
+        rows,
+    )
+
+
+def test_ten_to_seventeen_band_above_16k():
+    lo, hi = FIG9_RANGE
+    rates = [m.sustained_tflops(c) for m in CPU_MACHINES for c in (16384, 32768)]
+    assert max(rates) <= hi * 1.15
+    assert max(rates) >= lo
+    # Every machine reaches roughly the band's floor at 32K cores.
+    for m in CPU_MACHINES:
+        assert m.sustained_tflops(32768) > 0.8 * lo
+
+
+def test_curves_monotone_but_saturating():
+    for m in CPU_MACHINES:
+        series = [m.sustained_tflops(c) for c in FIG9_CORES]
+        assert series == sorted(series)
+        # Doubling 16K -> 32K gains well under 2x.
+        assert series[-1] / series[3] < 1.7
+
+
+def test_gpu_cluster_on_par_with_capability_systems():
+    """The paper's bottom line: 256 GPUs running GCR-DD lands inside the
+    capability-machine band (>= 10 Tflops)."""
+    gcr = WilsonSolverScalingStudy().gcr_point(256)
+    assert gcr.tflops >= FIG9_RANGE[0]
+    # And the equivalent XT5 partition is >= 16K cores.
+    from repro.perfmodel.machines import JAGUAR_XT5
+
+    cores = JAGUAR_XT5.cores_equivalent(gcr.tflops)
+    assert cores >= 16384
+
+
+@pytest.mark.benchmark(group="fig9-model")
+def test_bench_machine_model_evaluation(benchmark):
+    """The model itself is cheap — bench the full Fig. 9 sweep."""
+
+    def sweep():
+        return [
+            m.sustained_tflops(c) for m in CPU_MACHINES for c in FIG9_CORES
+        ]
+
+    out = benchmark(sweep)
+    assert len(out) == len(CPU_MACHINES) * len(FIG9_CORES)
+
+
+if __name__ == "__main__":
+    test_fig9_table()

@@ -1,0 +1,81 @@
+"""Ablation: GPU saturation at small local volumes (Sec. 9.1's aside).
+
+"If we perform a single-GPU run with the same per-GPU volume as considered
+here for 256 GPUs, performance is almost a factor of two slower than that
+for a run corresponding to 16 GPUs ... due to the GPU not being completely
+saturated at this small problem size."
+
+The model bench sweeps the saturation curve; the real bench shows the
+NumPy analog (per-site cost grows at small arrays through fixed overheads).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.paper_data import print_table
+from repro.dirac import WilsonCloverOperator
+from repro.lattice import GaugeField, Geometry, SpinorField
+from repro.perfmodel.device import M2050
+from repro.perfmodel.kernels import KernelModel, OperatorKind
+from repro.precision import SINGLE
+
+
+def test_saturation_curve_table():
+    k = KernelModel(OperatorKind.WILSON_CLOVER, SINGLE, 12)
+    rows = []
+    # Local volumes of 32^3x256 spread over 16..256 GPUs.
+    total = 32**3 * 256
+    for gpus in (16, 32, 64, 128, 256):
+        sites = total // gpus
+        rows.append(
+            [gpus, sites, M2050.kernel_efficiency(sites),
+             k.reported_gflops(M2050, sites)]
+        )
+    print_table(
+        "saturation",
+        "Ablation — kernel-only rate vs local volume (no communication)",
+        ["equiv GPUs", "local sites", "efficiency", "Gflops"],
+        rows,
+    )
+
+
+def test_paper_factor_two():
+    k = KernelModel(OperatorKind.WILSON_CLOVER, SINGLE, 12)
+    at_16 = k.reported_gflops(M2050, 32**3 * 256 // 16)
+    at_256 = k.reported_gflops(M2050, 32**3 * 256 // 256)
+    assert at_16 / at_256 == pytest.approx(2.0, rel=0.1)
+
+
+def test_real_numpy_kernel_saturates_too():
+    """The functional layer shows the same qualitative effect: per-site
+    time falls as the lattice grows (fixed per-call overheads amortize)."""
+    per_site = {}
+    for dims in [(4, 4, 4, 4), (8, 8, 8, 8)]:
+        geom = Geometry(dims)
+        gauge = GaugeField.weak(geom, epsilon=0.2, rng=5)
+        op = WilsonCloverOperator(gauge, mass=0.2, csw=0.0)
+        x = SpinorField.random(geom, rng=6).data
+        op.apply(x)  # warm up
+        t0 = time.perf_counter()
+        n = 5
+        for _ in range(n):
+            op.apply(x)
+        per_site[dims] = (time.perf_counter() - t0) / n / geom.volume
+    assert per_site[(8, 8, 8, 8)] < per_site[(4, 4, 4, 4)]
+
+
+@pytest.mark.benchmark(group="saturation")
+@pytest.mark.parametrize("extent", [4, 8])
+def test_bench_dslash_volume_sweep(benchmark, extent):
+    geom = Geometry((extent,) * 4)
+    gauge = GaugeField.weak(geom, epsilon=0.2, rng=7)
+    op = WilsonCloverOperator(gauge, mass=0.2, csw=0.0)
+    x = SpinorField.random(geom, rng=8).data
+    benchmark(op.apply, x)
+
+
+if __name__ == "__main__":
+    test_saturation_curve_table()

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures: small but realistic lattice systems.
+
+The ``benchmark`` fixture (pytest-benchmark) times real NumPy kernels;
+the model tables are printed alongside (run with ``-s`` to see them, or
+read the files under ``results/``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.lattice import GaugeField, Geometry, SpinorField
+
+
+@pytest.fixture(scope="session")
+def bench_geometry():
+    return Geometry((8, 8, 8, 16))
+
+
+@pytest.fixture(scope="session")
+def bench_gauge(bench_geometry):
+    return GaugeField.weak(bench_geometry, epsilon=0.25, rng=2024)
+
+
+@pytest.fixture(scope="session")
+def bench_wilson_vec(bench_geometry):
+    return SpinorField.random(bench_geometry, rng=1).data
+
+
+@pytest.fixture(scope="session")
+def bench_staggered_vec(bench_geometry):
+    return SpinorField.random(bench_geometry, nspin=1, rng=2).data
+
+
+@pytest.fixture(scope="session")
+def small_geometry():
+    return Geometry((4, 4, 4, 8))
+
+
+@pytest.fixture(scope="session")
+def small_gauge(small_geometry):
+    return GaugeField.weak(small_geometry, epsilon=0.25, rng=4048)

@@ -1,0 +1,98 @@
+"""Reference values read off the paper's figures, and table utilities.
+
+Figure values are approximate (read from log-scale plots); in-text numbers
+are exact quotes.  Every bench prints model-vs-paper tables through
+:func:`print_table` and appends them to ``results/`` so EXPERIMENTS.md can
+cite a reproducible artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+# ----------------------------------------------------------------------
+# Paper reference data
+# ----------------------------------------------------------------------
+
+#: Fig. 5 (Wilson-clover dslash, V=32^3x256, 12-reconstruction),
+#: Gflops/GPU read off the plot at 8..256 GPUs.
+FIG5_GPUS = [8, 16, 32, 64, 128, 256]
+FIG5_PAPER = {
+    "SP": [135, 115, 75, 45, 30, 20],
+    "HP": [230, 190, 110, 65, 40, 24],
+}
+
+#: Fig. 6 (asqtad dslash, V=64^3x192, no reconstruction), Gflops/GPU.
+FIG6_GPUS = [32, 64, 128, 256]
+FIG6_PAPER = {
+    ("ZT", "DP"): [42, 30, 20, 12],
+    ("ZT", "SP"): [73, 50, 32, 19],
+    ("YZT", "DP"): [40, 30, 22, 15],
+    ("YZT", "SP"): [70, 52, 37, 25],
+    ("XYZT", "DP"): [37, 29, 23, 17],
+    ("XYZT", "SP"): [64, 50, 38, 28],
+}
+
+#: Fig. 7/8 (Wilson-clover solvers, V=32^3x256, 10 MR steps).
+FIG7_GPUS = [4, 8, 16, 32, 64, 128, 256]
+#: GCR-DD over BiCGstab time-to-solution improvements quoted in Sec. 9.1.
+FIG8_SPEEDUPS = {64: 1.52, 128: 1.63, 256: 1.64}
+#: "greater than 10 Tflops on partitions of 128 GPUs and above".
+FIG7_GCR_TFLOPS_FLOOR_128 = 10.0
+#: "effective BiCGstab performance" quoted in Sec. 9.1.
+EFFECTIVE_BICGSTAB = {128: 9.95, 256: 11.5}
+
+#: Fig. 9 (CPU capability machines, same volume): 10-17 Tflops at >16K cores.
+FIG9_CORES = [4096, 8192, 12288, 16384, 20480, 24576, 28672, 32768]
+FIG9_RANGE = (10.0, 17.0)
+
+#: Fig. 10 (asqtad multi-shift, V=64^3x192): total Tflops.
+FIG10_GPUS = [64, 128, 256]
+FIG10_PAPER = {
+    "ZT": [2.0, 2.9, 4.0],
+    "YZT": [2.1, 3.3, 4.9],
+    "XYZT": [2.14, 3.6, 5.49],
+}
+FIG10_SPEEDUP_64_TO_256 = 2.56
+#: Sec. 9.2: Kraken CPU comparison.
+KRAKEN_GFLOPS_AT_4096 = 942.0
+GPU_EQUIVALENT_CORES = 74
+
+
+# ----------------------------------------------------------------------
+# Table output
+# ----------------------------------------------------------------------
+
+def format_table(title: str, headers: list[str], rows: Iterable[list]) -> str:
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def print_table(
+    name: str, title: str, headers: list[str], rows: Iterable[list]
+) -> str:
+    """Print a table and persist it under results/<name>.txt."""
+    text = format_table(title, headers, list(rows))
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    return text

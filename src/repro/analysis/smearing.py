@@ -1,0 +1,78 @@
+"""Source smearing (Wuppertal/Gaussian).
+
+Analysis campaigns rarely use raw point sources: smearing spreads the
+source over a gauge-covariant cloud, improving overlap with the ground
+state so the effective-mass plateau sets in earlier.  One Wuppertal step:
+
+``psi' = (1 - 6 kappa)/(norm) [ psi + kappa sum_{j=x,y,z}
+         (U_j(x) psi(x+j) + U_j(x-j)^+ psi(x-j)) ]``
+
+(spatial hops only — smearing acts on a time slice's wavefunction).
+Gauge covariance is inherited from the link transport, which the tests
+verify directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac.base import link_apply
+from repro.lattice.fields import GaugeField
+from repro.linalg import su3
+
+
+def wuppertal_smear(
+    gauge: GaugeField,
+    source: np.ndarray,
+    kappa: float = 0.25,
+    iterations: int = 5,
+) -> np.ndarray:
+    """Apply ``iterations`` Wuppertal smearing steps to a spinor array.
+
+    Works for Wilson (``(..., 4, 3)``) and staggered (``(..., 3)``)
+    fields; normalization keeps the field norm O(1) rather than enforcing
+    exact unit norm (conventions differ; relative shape is what matters).
+    """
+    if kappa <= 0:
+        raise ValueError("kappa must be positive")
+    geom = gauge.geometry
+    psi = np.asarray(source, dtype=np.complex128)
+    weight = 1.0 / (1.0 + 6.0 * kappa)
+    for _ in range(int(iterations)):
+        hopped = np.zeros_like(psi)
+        for mu in range(3):  # spatial directions only
+            u = gauge.data[mu]
+            hopped += link_apply(u, geom.shift(psi, mu, +1))
+            hopped += geom.shift(link_apply(su3.dagger(u), psi), mu, -1)
+        psi = weight * (psi + kappa * hopped)
+    return psi
+
+
+def smearing_radius(source: np.ndarray, site: tuple[int, int, int, int]) -> float:
+    """RMS spatial radius of a (smeared) source around ``site`` (x,y,z,t).
+
+    Distances use the nearest periodic image; the radius grows with
+    smearing iterations — the quantitative smearing diagnostic.
+    """
+    weights = np.abs(source) ** 2
+    # Collapse internal (spin/color) axes.
+    while weights.ndim > 4:
+        weights = weights.sum(axis=-1)
+    total = weights.sum()
+    if total == 0:
+        raise ValueError("source is identically zero")
+    t0, z0, y0, x0 = None, None, None, None
+    x0, y0, z0, t0 = site
+    nt, nz, ny, nx = weights.shape
+    tt, zz, yy, xx = np.indices(weights.shape)
+
+    def delta(coord, origin, extent):
+        d = np.abs(coord - origin)
+        return np.minimum(d, extent - d)
+
+    r2 = (
+        delta(xx, x0, nx) ** 2
+        + delta(yy, y0, ny) ** 2
+        + delta(zz, z0, nz) ** 2
+    )
+    return float(np.sqrt((weights * r2).sum() / total))

@@ -1,0 +1,259 @@
+"""Command-line driver: ``python -m repro <command>``.
+
+A small application shell over the library, in the spirit of the QUDA
+test/benchmark executables:
+
+* ``figN`` commands print the model-regenerated table for the paper's
+  figure N;
+* ``solve`` runs a real Wilson-clover solve on a synthetic configuration;
+* ``generate`` runs heatbath gauge generation and reports plaquettes;
+* ``info`` prints the hardware/calibration summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_fig(args) -> int:
+    from repro.core.scaling import (
+        DslashScalingStudy,
+        MultishiftScalingStudy,
+        WilsonSolverScalingStudy,
+    )
+    from repro.perfmodel.kernels import OperatorKind
+    from repro.perfmodel.machines import CPU_MACHINES
+    from repro.precision import DOUBLE, HALF, SINGLE
+
+    fig = args.figure
+    if fig == 5:
+        gpus = [8, 16, 32, 64, 128, 256]
+        print("Fig. 5 — Wilson-clover dslash (Gflops/GPU), V=32^3x256")
+        for prec, label in [(SINGLE, "SP"), (HALF, "HP")]:
+            study = DslashScalingStudy(
+                (32, 32, 32, 256), OperatorKind.WILSON_CLOVER, prec, 12
+            )
+            rates = "  ".join(
+                f"{p.gflops_per_gpu:7.1f}" for p in study.run(gpus)
+            )
+            print(f"  {label}: {rates}")
+    elif fig == 6:
+        gpus = [32, 64, 128, 256]
+        print("Fig. 6 — asqtad dslash (Gflops/GPU), V=64^3x192")
+        for label, dims in [("ZT", (3, 2)), ("YZT", (3, 2, 1)),
+                            ("XYZT", (3, 2, 1, 0))]:
+            for prec, pl in [(DOUBLE, "DP"), (SINGLE, "SP")]:
+                study = DslashScalingStudy(
+                    (64, 64, 64, 192), OperatorKind.ASQTAD, prec, 18,
+                    partition_dims=dims,
+                )
+                rates = "  ".join(
+                    f"{p.gflops_per_gpu:6.1f}" for p in study.run(gpus)
+                )
+                print(f"  {label:>4} {pl}: {rates}")
+    elif fig in (7, 8):
+        study = WilsonSolverScalingStudy()
+        print("Figs. 7-8 — BiCGstab vs GCR-DD, V=32^3x256")
+        print("  GPUs  bicg-Tf  gcr-Tf  bicg-s  gcr-s  speedup")
+        for n in [4, 8, 16, 32, 64, 128, 256]:
+            b, g = study.bicgstab_point(n), study.gcr_point(n)
+            print(
+                f"  {n:4d}  {b.tflops:7.2f} {g.tflops:7.2f}"
+                f"  {b.seconds:6.2f} {g.seconds:6.2f}"
+                f"  {b.seconds / g.seconds:6.2f}x"
+            )
+    elif fig == 9:
+        print("Fig. 9 — CPU capability machines (Tflops), V=32^3x256")
+        cores = [4096, 8192, 16384, 32768]
+        print("  cores: " + "  ".join(f"{c:>7d}" for c in cores))
+        for m in CPU_MACHINES:
+            rates = "  ".join(f"{m.sustained_tflops(c):7.2f}" for c in cores)
+            print(f"  {m.name}: {rates}")
+    elif fig == 10:
+        ms = MultishiftScalingStudy()
+        print("Fig. 10 — asqtad multi-shift (total Tflops), V=64^3x192")
+        for label, dims in [("ZT", (3, 2)), ("YZT", (3, 2, 1)),
+                            ("XYZT", (3, 2, 1, 0))]:
+            rates = "  ".join(
+                f"{ms.point(n, dims).tflops:5.2f}" for n in (64, 128, 256)
+            )
+            print(f"  {label:>4}: {rates}")
+    else:
+        print(f"no such figure: {fig}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    import numpy as np
+
+    from repro.comm.grid import ProcessGrid, choose_grid
+    from repro.core import GCRDDConfig, GCRDDSolver
+    from repro.core.api import solve_wilson_clover
+    from repro.dirac import WilsonCloverOperator
+    from repro.lattice import GaugeField, Geometry, SpinorField
+
+    geometry = Geometry(tuple(args.dims))
+    gauge = GaugeField.weak(geometry, epsilon=args.epsilon, rng=args.seed)
+    b = SpinorField.random(geometry, rng=args.seed + 1).data
+    if args.method == "gcr-dd":
+        grid = choose_grid(args.blocks, (3, 2, 1, 0), geometry.dims)
+        op = WilsonCloverOperator(gauge, mass=args.mass, csw=args.csw)
+        res = GCRDDSolver(
+            op, grid, GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps)
+        ).solve(b)
+        extra = f" grid={grid.label} blocks={grid.size}"
+    else:
+        res = solve_wilson_clover(
+            gauge, b, mass=args.mass, csw=args.csw, tol=args.tol,
+            method="bicgstab",
+        )
+        extra = ""
+    status = "converged" if res.converged else "FAILED"
+    print(
+        f"{args.method} on {geometry!r}: {status} in {res.iterations} "
+        f"iterations, residual {res.residual:.2e}{extra}"
+    )
+    return 0 if res.converged else 1
+
+
+def _cmd_generate(args) -> int:
+    from repro.gauge.heatbath import HeatbathUpdater
+    from repro.lattice import GaugeField, Geometry
+    from repro import io as repro_io
+
+    geometry = Geometry(tuple(args.dims))
+    start = (
+        GaugeField.hot(geometry, rng=args.seed)
+        if args.start == "hot"
+        else GaugeField.unit(geometry)
+    )
+    updater = HeatbathUpdater(
+        beta=args.beta, or_steps=args.or_steps, rng_seed=args.seed
+    )
+    gauge, history = updater.thermalize(
+        start, sweeps=args.sweeps, measure_every=max(args.sweeps // 8, 1)
+    )
+    print(f"beta={args.beta} {args.start}-start on {geometry!r}")
+    for i, plaq in enumerate(history):
+        print(f"  measurement {i}: plaquette = {plaq:.5f}")
+    if args.output:
+        repro_io.save_gauge(
+            args.output, gauge,
+            extra={"beta": args.beta, "sweeps": args.sweeps},
+        )
+        print(f"saved configuration to {args.output}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """ASCII log-log charts of the headline figures."""
+    from repro.core.scaling import DslashScalingStudy, WilsonSolverScalingStudy
+    from repro.perfmodel.kernels import OperatorKind
+    from repro.precision import HALF, SINGLE
+    from repro.report import loglog_chart
+
+    gpus = [8, 16, 32, 64, 128, 256]
+    sp = DslashScalingStudy((32, 32, 32, 256), OperatorKind.WILSON_CLOVER,
+                            SINGLE, 12)
+    hp = DslashScalingStudy((32, 32, 32, 256), OperatorKind.WILSON_CLOVER,
+                            HALF, 12)
+    print(loglog_chart(
+        "Fig. 5 — Wilson-clover dslash strong scaling (model)",
+        "GPUs", "Gf/GPU",
+        {
+            "SP": (gpus, [p.gflops_per_gpu for p in sp.run(gpus)]),
+            "HP": (gpus, [p.gflops_per_gpu for p in hp.run(gpus)]),
+        },
+    ))
+    print()
+    study = WilsonSolverScalingStudy()
+    solver_gpus = [4, 8, 16, 32, 64, 128, 256]
+    print(loglog_chart(
+        "Fig. 7 — solver sustained Tflops (model)",
+        "GPUs", "Tflops",
+        {
+            "BiCGstab": (
+                solver_gpus,
+                [study.bicgstab_point(n).tflops for n in solver_gpus],
+            ),
+            "GCR-DD": (
+                solver_gpus,
+                [study.gcr_point(n).tflops for n in solver_gpus],
+            ),
+        },
+    ))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro import __version__
+    from repro.perfmodel.machines import CPU_MACHINES, EDGE
+
+    print(f"repro {__version__} — 'Scaling Lattice QCD beyond 100 GPUs' "
+          "(SC'11) reproduction")
+    print(f"modeled GPU cluster: {EDGE.name}, up to {EDGE.max_gpus} x "
+          f"{EDGE.gpu.name}")
+    net = EDGE.interconnect
+    print(f"  PCI-E {net.pcie_GBs} GB/s, host copies {net.host_copy_GBs} "
+          f"GB/s, IB {net.ib_GBs} GB/s per GPU")
+    print("comparison machines: " + ", ".join(m.name for m in CPU_MACHINES))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for n in (5, 6, 7, 8, 9, 10):
+        p = sub.add_parser(f"fig{n}", help=f"print the Fig. {n} model table")
+        p.set_defaults(func=_cmd_fig, figure=n)
+
+    p = sub.add_parser("solve", help="run a real Wilson-clover solve")
+    p.add_argument("--dims", type=int, nargs=4, default=[8, 8, 8, 16],
+                   metavar=("NX", "NY", "NZ", "NT"))
+    p.add_argument("--mass", type=float, default=0.1)
+    p.add_argument("--csw", type=float, default=1.0)
+    p.add_argument("--tol", type=float, default=1e-6)
+    p.add_argument("--epsilon", type=float, default=0.25,
+                   help="gauge disorder of the synthetic configuration")
+    p.add_argument("--method", choices=["bicgstab", "gcr-dd"],
+                   default="bicgstab")
+    p.add_argument("--blocks", type=int, default=4,
+                   help="Schwarz blocks (gcr-dd)")
+    p.add_argument("--mr-steps", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("generate", help="heatbath gauge generation")
+    p.add_argument("--dims", type=int, nargs=4, default=[4, 4, 4, 8],
+                   metavar=("NX", "NY", "NZ", "NT"))
+    p.add_argument("--beta", type=float, default=5.7)
+    p.add_argument("--sweeps", type=int, default=24)
+    p.add_argument("--or-steps", type=int, default=1)
+    p.add_argument("--start", choices=["hot", "cold"], default="cold")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", type=str, default="",
+                   help="save the final configuration (.npz)")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("report", help="ASCII charts of Figs. 5 and 7")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("info", help="print version and model summary")
+    p.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""The virtual-cluster communication substrate.
+
+Stands in for the MPI/QMP + InfiniBand stack of the Edge cluster: a
+:class:`ProcessGrid` describes the Cartesian rank layout, a
+:class:`Mailbox` moves real data between virtual ranks in-process while
+logging every message, and :class:`CommLog` keeps the per-message records
+the performance model replays against its interconnect timings.
+"""
+
+from repro.comm.grid import ProcessGrid, choose_grid
+from repro.comm.mailbox import Mailbox
+from repro.comm.qmp import QMPChannel
+from repro.comm.traffic import CommEvent, CommLog
+
+__all__ = [
+    "ProcessGrid",
+    "choose_grid",
+    "Mailbox",
+    "QMPChannel",
+    "CommEvent",
+    "CommLog",
+]

@@ -1,0 +1,123 @@
+"""Cartesian process grids for multi-dimensional lattice partitioning.
+
+The paper's central infrastructure contribution is moving from T-only
+partitioning to arbitrary subsets of {X, Y, Z, T}; a :class:`ProcessGrid`
+captures one such decomposition: how many ranks along each direction, rank
+<-> coordinate maps, and neighbor lookup with wraparound detection (needed
+to apply the global fermion boundary condition to ghost faces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.lattice.geometry import DIR_NAMES
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A 4-dimensional grid of virtual ranks.
+
+    ``dims`` is physics-ordered ``(px, py, pz, pt)``.  Ranks are numbered
+    with the X grid coordinate fastest (mirroring the lattice site order).
+    """
+
+    dims: tuple[int, int, int, int]
+
+    def __post_init__(self):
+        if len(self.dims) != 4 or any(d < 1 for d in self.dims):
+            raise ValueError(f"invalid grid dims {self.dims}")
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.dims))
+
+    @cached_property
+    def partitioned_dims(self) -> tuple[int, ...]:
+        """Directions actually split across ranks (grid extent > 1)."""
+        return tuple(mu for mu in range(4) if self.dims[mu] > 1)
+
+    @property
+    def label(self) -> str:
+        """Human label like "ZT" or "XYZT" (the legend style of Figs. 6/10)."""
+        if not self.partitioned_dims:
+            return "serial"
+        return "".join(DIR_NAMES[mu] for mu in self.partitioned_dims)
+
+    # ------------------------------------------------------------------
+    def coords(self, rank: int) -> tuple[int, int, int, int]:
+        """Grid coordinates ``(cx, cy, cz, ct)`` of a rank."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for grid size {self.size}")
+        out = []
+        for mu in range(4):
+            out.append(rank % self.dims[mu])
+            rank //= self.dims[mu]
+        return tuple(out)
+
+    def rank_of(self, coords: tuple[int, int, int, int]) -> int:
+        rank = 0
+        for mu in reversed(range(4)):
+            c = coords[mu] % self.dims[mu]
+            rank = rank * self.dims[mu] + c
+        return rank
+
+    def neighbor(self, rank: int, mu: int, sign: int) -> tuple[int, bool]:
+        """The neighboring rank one step along ``mu`` and whether the hop
+        wraps around the global lattice (where boundary factors apply)."""
+        if sign not in (+1, -1):
+            raise ValueError("sign must be +1 or -1")
+        coords = list(self.coords(rank))
+        raw = coords[mu] + sign
+        wrapped = not 0 <= raw < self.dims[mu]
+        coords[mu] = raw % self.dims[mu]
+        return self.rank_of(tuple(coords)), wrapped
+
+    def all_ranks(self) -> range:
+        return range(self.size)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "x".join(str(d) for d in self.dims) + f" grid ({self.label})"
+
+
+def choose_grid(
+    n_ranks: int,
+    partition_dims: tuple[int, ...],
+    lattice_dims: tuple[int, int, int, int],
+) -> ProcessGrid:
+    """Factor ``n_ranks`` over the given directions, preferring cuts that
+    keep local sub-lattices as cubic as possible.
+
+    This mirrors how the paper's runs lay out GPUs: e.g. 256 GPUs with
+    ``partition_dims=(2, 3)`` ("ZT") on 64^3x192 would split Z and T.
+    Raises if ``n_ranks`` cannot be factored into the available extents
+    (every local extent must stay an even integer >= 2).
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    dims = [1, 1, 1, 1]
+    local = list(lattice_dims)
+    remaining = n_ranks
+    while remaining > 1:
+        if remaining % 2:
+            raise ValueError(f"cannot factor odd rank count {n_ranks} over 2s")
+        # Halve the direction (among those allowed) with the largest local
+        # extent that can still be halved to an even extent >= 2.
+        candidates = [
+            mu
+            for mu in partition_dims
+            if local[mu] % 2 == 0 and local[mu] // 2 >= 2 and local[mu] // 2 % 2 == 0
+        ]
+        if not candidates:
+            raise ValueError(
+                f"cannot place {n_ranks} ranks over dims {partition_dims} "
+                f"of lattice {lattice_dims}"
+            )
+        mu = max(candidates, key=lambda m: local[m])
+        dims[mu] *= 2
+        local[mu] //= 2
+        remaining //= 2
+    return ProcessGrid(tuple(dims))

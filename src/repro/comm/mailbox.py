@@ -1,0 +1,85 @@
+"""In-process message passing between virtual ranks (the "MPI" layer).
+
+The paper's implementation can sit on either MPI or QMP; here both map to
+a :class:`Mailbox`, which moves numpy payloads between rank queues with
+copy semantics (like a real interconnect: the receiver never aliases the
+sender's buffer) and records flop-free cost to the active tally plus a
+:class:`CommLog` when provided.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.comm.traffic import CommEvent, CommLog
+from repro.util.counters import record
+
+
+class Mailbox:
+    """Point-to-point queues plus reductions for ``size`` virtual ranks."""
+
+    def __init__(self, size: int, log: CommLog | None = None):
+        if size < 1:
+            raise ValueError("mailbox needs at least one rank")
+        self.size = size
+        self.log = log
+        self._queues: dict[tuple[int, int, object], deque] = {}
+
+    def _queue(self, src: int, dst: int, tag) -> deque:
+        key = (src, dst, tag)
+        if key not in self._queues:
+            self._queues[key] = deque()
+        return self._queues[key]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range (size {self.size})")
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: np.ndarray,
+        tag=0,
+        event: CommEvent | None = None,
+    ) -> None:
+        """Copy ``payload`` into the (src, dst, tag) queue."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        data = np.array(payload, copy=True)
+        self._queue(src, dst, tag).append(data)
+        record(comm_bytes=data.nbytes, messages=1)
+        if self.log is not None:
+            self.log.add(
+                event
+                or CommEvent(src=src, dst=dst, mu=-1, sign=0, nbytes=data.nbytes)
+            )
+
+    def recv(self, dst: int, src: int, tag=0) -> np.ndarray:
+        """Pop the oldest matching message; raises if none is pending."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        queue = self._queue(src, dst, tag)
+        if not queue:
+            raise RuntimeError(
+                f"recv deadlock: no message from {src} to {dst} with tag {tag!r}"
+            )
+        return queue.popleft()
+
+    def pending(self) -> int:
+        """Total undelivered messages (tests assert 0 after an exchange)."""
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    def allreduce_sum(self, contributions: list):
+        """Global sum over per-rank scalar (or small-array) contributions."""
+        if len(contributions) != self.size:
+            raise ValueError(
+                f"allreduce needs one contribution per rank "
+                f"({len(contributions)} != {self.size})"
+            )
+        record(reductions=1)
+        return sum(contributions[1:], start=contributions[0])

@@ -1,0 +1,79 @@
+"""Per-message traffic records.
+
+Every halo-exchange message of the virtual cluster is logged as a
+:class:`CommEvent`; the performance model replays these against its
+PCI-E/InfiniBand stage timings, and tests assert structural properties the
+paper relies on (e.g. "allocation of ghost zones and data exchange in a
+given dimension only takes place when that dimension is partitioned").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One point-to-point ghost-zone message.
+
+    Attributes
+    ----------
+    src, dst:
+        Virtual rank ids.
+    mu:
+        Lattice direction of the exchanged face (0..3).
+    sign:
+        +1 for the forward face, -1 for backward.
+    nbytes:
+        Payload size.
+    kind:
+        ``"spinor"`` (every operator application) or ``"gauge"`` (once per
+        solve).
+    wrapped:
+        Whether the message crossed the global lattice boundary.
+    """
+
+    src: int
+    dst: int
+    mu: int
+    sign: int
+    nbytes: int
+    kind: str = "spinor"
+    wrapped: bool = False
+
+
+@dataclass
+class CommLog:
+    """Accumulates :class:`CommEvent` records."""
+
+    events: list[CommEvent] = field(default_factory=list)
+
+    def add(self, event: CommEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self.events)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.events)
+
+    def bytes_by_dimension(self) -> dict[int, int]:
+        out: Counter[int] = Counter()
+        for e in self.events:
+            out[e.mu] += e.nbytes
+        return dict(out)
+
+    def dimensions_exchanged(self) -> set[int]:
+        return {e.mu for e in self.events}
+
+    def bytes_per_rank(self, size: int) -> list[int]:
+        out = [0] * size
+        for e in self.events:
+            out[e.src] += e.nbytes
+        return out

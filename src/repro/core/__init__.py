@@ -1,0 +1,28 @@
+"""The paper's headline contribution, packaged: the domain-decomposed
+mixed-precision GCR solver (GCR-DD), the baseline mixed-precision
+BiCGstab, the two-stage asqtad multi-shift solver, and high-level solve
+entry points."""
+
+from repro.core.gcrdd import DistributedGCRDDSolver, GCRDDConfig, GCRDDSolver
+from repro.core.api import (
+    solve_wilson_clover,
+    solve_asqtad,
+    solve_asqtad_multishift,
+)
+from repro.core.tune import (
+    tune_dslash_partitioning,
+    tune_precision_policy,
+    tune_wilson_solver,
+)
+
+__all__ = [
+    "GCRDDConfig",
+    "GCRDDSolver",
+    "DistributedGCRDDSolver",
+    "solve_wilson_clover",
+    "solve_asqtad",
+    "solve_asqtad_multishift",
+    "tune_dslash_partitioning",
+    "tune_wilson_solver",
+    "tune_precision_policy",
+]

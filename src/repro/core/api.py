@@ -1,0 +1,162 @@
+"""High-level solve entry points — the "QUDA interface" of this library.
+
+These are the calls an application (Chroma/MILC in the paper; the example
+scripts here) makes: hand over a gauge configuration, a right-hand side,
+and physics parameters; get back a :class:`~repro.solvers.base.SolverResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm.grid import ProcessGrid
+from repro.core.gcrdd import GCRDDConfig, GCRDDSolver
+from repro.dirac.base import BoundarySpec, PERIODIC
+from repro.dirac.evenodd import EvenOddPreconditionedWilson
+from repro.dirac.staggered import AsqtadOperator, StaggeredNormalOperator
+from repro.dirac.wilson import WilsonCloverOperator
+from repro.gauge.asqtad import AsqtadLinks, build_asqtad_links
+from repro.lattice.fields import GaugeField
+from repro.precision import HALF, SINGLE, PrecisionPolicy
+from repro.solvers.bicgstab import bicgstab
+from repro.solvers.base import SolverResult
+from repro.solvers.mixed import mixed_precision_bicgstab
+from repro.solvers.refine import MultishiftRefineResult, multishift_with_refinement
+from repro.solvers.space import STAGGERED_SPACE, WILSON_SPACE
+
+
+def solve_wilson_clover(
+    gauge: GaugeField,
+    b: np.ndarray,
+    mass: float,
+    csw: float = 1.0,
+    method: str = "bicgstab",
+    tol: float = 1e-8,
+    maxiter: int = 2000,
+    boundary: BoundarySpec = PERIODIC,
+    grid: ProcessGrid | None = None,
+    config: GCRDDConfig | None = None,
+    even_odd: bool = False,
+    inner_precision=None,
+) -> SolverResult:
+    """Solve ``M_WC x = b`` (Eq. 2).
+
+    Parameters
+    ----------
+    method:
+        ``"bicgstab"`` — the baseline Krylov solver (optionally mixed
+        precision via ``inner_precision``);
+        ``"gcr-dd"`` — the paper's domain-decomposed GCR (requires
+        ``grid``).
+    even_odd:
+        Solve the red-black Schur system instead of the full one
+        (BiCGstab only), reconstructing the full solution afterwards.
+    grid:
+        Virtual GPU grid defining the Schwarz blocks for ``"gcr-dd"``.
+    """
+    op = WilsonCloverOperator(gauge, mass=mass, csw=csw, boundary=boundary)
+    if method == "gcr-dd":
+        if grid is None:
+            raise ValueError("gcr-dd needs a process grid (the Schwarz blocks)")
+        cfg = config or GCRDDConfig(tol=tol, maxiter=maxiter)
+        cfg.tol, cfg.maxiter = tol, maxiter
+        return GCRDDSolver(op, grid, cfg).solve(b)
+    if method != "bicgstab":
+        raise ValueError(f"unknown method {method!r}; expected bicgstab/gcr-dd")
+
+    if even_odd:
+        eo = EvenOddPreconditionedWilson(op)
+        rhs = eo.prepare_rhs(b)
+        if inner_precision is not None:
+            res = mixed_precision_bicgstab(
+                eo.apply, rhs, inner_precision, tol=tol,
+                inner_maxiter=maxiter, space=WILSON_SPACE,
+            )
+        else:
+            res = bicgstab(eo.apply, rhs, tol=tol, maxiter=maxiter, space=WILSON_SPACE)
+        res.x = eo.reconstruct(res.x, b)
+        # Re-express the residual in terms of the original system.
+        r = b - op.apply(res.x)
+        bn = np.linalg.norm(b)
+        res.residual = float(np.linalg.norm(r) / bn) if bn else 0.0
+        return res
+    if inner_precision is not None:
+        return mixed_precision_bicgstab(
+            op.apply, b, inner_precision, tol=tol,
+            inner_maxiter=maxiter, space=WILSON_SPACE,
+        )
+    return bicgstab(op.apply, b, tol=tol, maxiter=maxiter, space=WILSON_SPACE)
+
+
+def _asqtad_operator(
+    source: "GaugeField | AsqtadLinks",
+    mass: float,
+    boundary: BoundarySpec,
+    u0: float,
+) -> AsqtadOperator:
+    links = (
+        build_asqtad_links(source, u0=u0)
+        if isinstance(source, GaugeField)
+        else source
+    )
+    return AsqtadOperator(links, mass=mass, boundary=boundary)
+
+
+def solve_asqtad(
+    source: "GaugeField | AsqtadLinks",
+    b: np.ndarray,
+    mass: float,
+    tol: float = 1e-8,
+    maxiter: int = 2000,
+    boundary: BoundarySpec = PERIODIC,
+    u0: float = 1.0,
+    inner_precision=SINGLE,
+) -> SolverResult:
+    """Solve ``M_IS x = b`` (Eq. 3) through the normal equations.
+
+    Uses mixed-precision CG on ``M^+M`` restricted to the parity of b (the
+    staggered system decouples; pass an even- or odd-supported b).
+    """
+    op = _asqtad_operator(source, mass, boundary, u0)
+    normal = StaggeredNormalOperator(op)
+    rhs = op.apply_dagger(b)
+    from repro.solvers.mixed import mixed_precision_cg
+
+    if inner_precision is None:
+        from repro.solvers.cg import cg
+
+        res = cg(normal.apply, rhs, tol=tol, maxiter=maxiter, space=STAGGERED_SPACE)
+    else:
+        res = mixed_precision_cg(
+            normal.apply, rhs, inner_precision, tol=tol,
+            inner_maxiter=maxiter, space=STAGGERED_SPACE,
+        )
+    r = b - op.apply(res.x)
+    bn = np.linalg.norm(b)
+    res.residual = float(np.linalg.norm(r) / bn) if bn else 0.0
+    return res
+
+
+def solve_asqtad_multishift(
+    source: "GaugeField | AsqtadLinks",
+    b: np.ndarray,
+    mass: float,
+    shifts: Sequence[float],
+    tol: float = 1e-10,
+    maxiter: int = 2000,
+    boundary: BoundarySpec = PERIODIC,
+    u0: float = 1.0,
+) -> MultishiftRefineResult:
+    """Solve ``(M^+M + sigma_i) x_i = b`` for all shifts (Eq. 4) with the
+    paper's two-stage strategy: single-precision multi-shift CG, then
+    mixed-precision sequential refinement (Sec. 8.2)."""
+    op = _asqtad_operator(source, mass, boundary, u0)
+
+    def factory(sigma: float):
+        return StaggeredNormalOperator(op, sigma).apply
+
+    return multishift_with_refinement(
+        factory, b, list(shifts), tol=tol, maxiter=maxiter, space=STAGGERED_SPACE
+    )

@@ -1,0 +1,219 @@
+"""GCR-DD: the mixed-precision, domain-decomposed solver of Sec. 8.1.
+
+Assembles the pieces the paper combines:
+
+* a :class:`~repro.multigpu.partition.BlockPartition` matching the GPU
+  grid,
+* the non-overlapping additive Schwarz preconditioner solving each block
+  with a few MR steps in half precision,
+* the flexible GCR outer solver (Algorithm 1) with implicit solution
+  updates, kmax-bounded Krylov spaces, early-restart parameter delta, and
+  the single-half-half precision policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.grid import ProcessGrid
+from repro.dd.schwarz import AdditiveSchwarzPreconditioner
+from repro.dirac.base import LatticeOperator
+from repro.multigpu.partition import BlockPartition
+from repro.precision import PrecisionPolicy, SINGLE_HALF_HALF
+from repro.solvers.base import PrecisionWrappedOperator, SolverResult
+from repro.solvers.gcr import gcr
+from repro.solvers.space import ArraySpace
+
+
+@dataclass
+class GCRDDConfig:
+    """Tunable parameters of the GCR-DD solver.
+
+    Defaults follow the paper's production setup: 10 MR steps for the
+    preconditioner, single-half-half precisions.  ``kmax`` bounds the
+    Krylov space ("limited by the computational and memory costs of
+    orthogonalization"); ``delta`` is the early-restart tolerance keeping
+    the half-precision iterated residual honest.
+    """
+
+    mr_steps: int = 10
+    omega: float = 1.0
+    kmax: int = 16
+    delta: float = 0.1
+    policy: PrecisionPolicy = field(default_factory=lambda: SINGLE_HALF_HALF)
+    tol: float = 1e-8
+    maxiter: int = 2000
+
+
+class GCRDDSolver:
+    """Domain-decomposed GCR for a (Wilson-clover or staggered) operator.
+
+    Parameters
+    ----------
+    op:
+        The global operator M (full precision).
+    grid:
+        The virtual GPU grid; one Schwarz block per rank.
+    config:
+        Algorithm parameters.
+    """
+
+    def __init__(
+        self,
+        op: LatticeOperator,
+        grid: ProcessGrid,
+        config: GCRDDConfig | None = None,
+    ):
+        self.op = op
+        self.grid = grid
+        self.config = config or GCRDDConfig()
+        self.partition = BlockPartition(op.geometry, grid)
+        cfg = self.config
+        self.space = ArraySpace(site_axes=2 if op.nspin == 4 else 1)
+        self.preconditioner = AdditiveSchwarzPreconditioner(
+            op,
+            self.partition,
+            mr_steps=cfg.mr_steps,
+            omega=cfg.omega,
+            precision=cfg.policy.preconditioner,
+        )
+        self.inner_op = PrecisionWrappedOperator(
+            op.apply, cfg.policy.inner, space=self.space
+        )
+
+    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> SolverResult:
+        cfg = self.config
+        return gcr(
+            self.op.apply,
+            b,
+            x0=x0,
+            preconditioner=self.preconditioner,
+            tol=cfg.tol,
+            kmax=cfg.kmax,
+            delta=cfg.delta,
+            maxiter=cfg.maxiter,
+            outer_precision=cfg.policy.outer,
+            inner_precision=cfg.policy.inner,
+            inner_op=self.inner_op,
+            space=self.space,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GCRDDSolver({self.op.name}, grid={self.grid.label}, "
+            f"blocks={self.partition.n_ranks}, policy={self.config.policy.label()})"
+        )
+
+
+class DistributedGCRDDSolver:
+    """GCR-DD executing end-to-end on the virtual cluster.
+
+    Where :class:`GCRDDSolver` emulates the algorithm on global arrays
+    (mathematically identical, convenient for studies), this variant runs
+    the paper's deployment shape literally: fields live as per-rank
+    blocks, the outer matvec is the halo-exchanging
+    :class:`~repro.multigpu.ddop.DistributedOperator`, inner products are
+    genuine global reductions, and the Schwarz preconditioner acts on
+    each rank's own block with *zero* inter-rank data movement — the
+    communication ledger (CommLog) then shows ghost traffic only from the
+    outer Krylov matvecs.
+
+    Currently implemented for Wilson-clover (the paper's GCR-DD target).
+    """
+
+    def __init__(
+        self,
+        gauge,
+        mass: float,
+        csw: float,
+        grid: ProcessGrid,
+        boundary=None,
+        config: GCRDDConfig | None = None,
+        log=None,
+    ):
+        from repro.dirac.base import PERIODIC
+        from repro.dirac.wilson import WilsonCloverOperator
+        from repro.multigpu.ddop import DistributedOperator
+        from repro.multigpu.space import DistributedSpace
+
+        boundary = boundary or PERIODIC
+        self.config = config or GCRDDConfig()
+        cfg = self.config
+        self.grid = grid
+        self.dist_op = DistributedOperator.wilson_clover(
+            gauge, mass, csw, grid, boundary=boundary, log=log
+        )
+        self.partition = self.dist_op.partition
+        self.space = DistributedSpace(self.partition, site_axes=2)
+        # Per-rank Schwarz blocks: the Dirichlet-cut serial operator
+        # restricted to each rank's (unpadded) sub-domain.
+        serial = WilsonCloverOperator(
+            gauge, mass=mass, csw=csw, boundary=boundary
+        )
+        self._blocks = [
+            serial.restrict_to_block(self.partition, rank)
+            for rank in range(self.partition.n_ranks)
+        ]
+        self._block_space = ArraySpace(site_axes=2)
+
+    # ------------------------------------------------------------------
+    def _precondition(self, xs: list) -> list:
+        from repro.solvers.mr import mr
+        from repro.util.counters import domain_local, record_operator
+
+        record_operator("schwarz_precond")
+        cfg = self.config
+        prec = cfg.policy.preconditioner
+        out = []
+        for block_op, r_loc in zip(self._blocks, xs):
+            if prec is not None:
+                r_loc = self._block_space.convert(r_loc, prec)
+
+            def apply(v, _op=block_op):
+                if prec is None:
+                    return _op.apply(v)
+                return self._block_space.convert(
+                    _op.apply(self._block_space.convert(v, prec)), prec
+                )
+
+            with domain_local():
+                result = mr(
+                    apply, r_loc, steps=cfg.mr_steps, omega=cfg.omega,
+                    space=self._block_space,
+                )
+            out.append(result.x)
+        return out
+
+    def solve(self, b, x0=None) -> SolverResult:
+        """Solve M x = b; accepts/returns *global* arrays for convenience
+        (scattered/gathered internally)."""
+        import numpy as np
+
+        cfg = self.config
+        bs = self.space.scatter(np.asarray(b))
+        x0s = None if x0 is None else self.space.scatter(np.asarray(x0))
+
+        def inner_op(xs):
+            out = self.dist_op.apply(
+                self.space.convert(xs, cfg.policy.inner)
+            )
+            return self.space.convert(out, cfg.policy.inner)
+
+        result = gcr(
+            self.dist_op.apply,
+            bs,
+            x0=x0s,
+            preconditioner=self._precondition,
+            tol=cfg.tol,
+            kmax=cfg.kmax,
+            delta=cfg.delta,
+            maxiter=cfg.maxiter,
+            outer_precision=cfg.policy.outer,
+            inner_precision=cfg.policy.inner,
+            inner_op=inner_op,
+            space=self.space,
+        )
+        result.x = self.space.asarray(result.x)
+        return result

@@ -1,0 +1,17 @@
+"""Domain decomposition: the non-overlapping additive Schwarz (block
+Jacobi) preconditioner of Secs. 3.2 and 8.1, plus the extensions the
+paper's conclusions anticipate — overlapping (restricted additive)
+Schwarz, the multiplicative Schwarz Alternating Procedure, and two-level
+blocking."""
+
+from repro.dd.schwarz import AdditiveSchwarzPreconditioner
+from repro.dd.overlapping import OverlappingSchwarzPreconditioner
+from repro.dd.sap import SAPPreconditioner
+from repro.dd.twolevel import TwoLevelSchwarzPreconditioner
+
+__all__ = [
+    "AdditiveSchwarzPreconditioner",
+    "OverlappingSchwarzPreconditioner",
+    "SAPPreconditioner",
+    "TwoLevelSchwarzPreconditioner",
+]

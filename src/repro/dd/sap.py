@@ -1,0 +1,100 @@
+"""Multiplicative Schwarz: the Schwarz Alternating Procedure (SAP).
+
+The paper's related-work section credits Luscher's SAP [20] as the first
+domain-decomposition method in lattice QCD; the additive variant was
+chosen in the paper because multiplicative sweeps serialize communication
+between block colors.  This implementation provides SAP for comparison:
+blocks are checkerboarded by the parity of their grid coordinates; each
+cycle solves all blocks of one color, updates the *global* residual (this
+is the step that needs fresh ghost zones on a real cluster), then solves
+the other color.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac.base import LatticeOperator
+from repro.multigpu.partition import BlockPartition
+from repro.precision import HALF, Precision
+from repro.solvers.mr import mr
+from repro.solvers.space import ArraySpace
+from repro.util.counters import domain_local, record_operator
+
+
+class SAPPreconditioner:
+    """Multiplicative (alternating) Schwarz over red/black block colors.
+
+    Parameters as in
+    :class:`~repro.dd.schwarz.AdditiveSchwarzPreconditioner`, plus
+    ``cycles``: the number of red+black sweeps per application.
+    """
+
+    def __init__(
+        self,
+        op: LatticeOperator,
+        partition: BlockPartition,
+        mr_steps: int = 6,
+        cycles: int = 1,
+        omega: float = 1.0,
+        precision: Precision | None = HALF,
+    ):
+        if partition.geometry != op.geometry:
+            raise ValueError("partition geometry does not match operator")
+        self.op = op
+        self.partition = partition
+        self.mr_steps = int(mr_steps)
+        self.cycles = int(cycles)
+        self.omega = float(omega)
+        self.precision = precision
+        self._space = ArraySpace(site_axes=2 if op.nspin == 4 else 1)
+        self.block_ops = [
+            op.restrict_to_block(partition, rank)
+            for rank in range(partition.n_ranks)
+        ]
+        self.colors = [self._block_color(rank) for rank in range(partition.n_ranks)]
+
+    def _block_color(self, rank: int) -> int:
+        coords = self.partition.grid.coords(rank)
+        return sum(coords) % 2
+
+    def _solve_block(self, block_op: LatticeOperator, r_loc: np.ndarray):
+        if self.precision is not None:
+            r_loc = self._space.convert(r_loc, self.precision)
+        prec, space = self.precision, self._space
+
+        def apply(v):
+            if prec is None:
+                return block_op.apply(v)
+            return space.convert(block_op.apply(space.convert(v, prec)), prec)
+
+        with domain_local():
+            return mr(
+                apply, r_loc, steps=self.mr_steps, omega=self.omega,
+                space=self._space,
+            ).x
+
+    def __call__(self, b: np.ndarray) -> np.ndarray:
+        """Approximate ``M^{-1} b`` with ``cycles`` alternating sweeps."""
+        record_operator("sap_precond")
+        z = np.zeros_like(b)
+        r = b.copy()
+        for _ in range(self.cycles):
+            for color in (0, 1):
+                for rank, block_op in enumerate(self.block_ops):
+                    if self.colors[rank] != color:
+                        continue
+                    sl = self.partition.slices(rank)
+                    dz = self._solve_block(
+                        block_op, np.ascontiguousarray(r[sl])
+                    )
+                    z[sl] += dz
+                # Multiplicative step: refresh the residual with the new
+                # corrections before the other color solves (one global
+                # operator application = one halo exchange per color).
+                r = b - self.op.apply(z)
+        return z
+
+    @property
+    def n_blocks(self) -> int:
+        return self.partition.n_ranks

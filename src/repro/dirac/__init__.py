@@ -1,0 +1,40 @@
+"""Discretized Dirac operators: Wilson, Wilson-clover, naive staggered and
+improved staggered (asqtad), with even-odd preconditioned and shifted/normal
+forms (Secs. 2-3 of the paper)."""
+
+from repro.dirac.base import (
+    BoundarySpec,
+    LatticeOperator,
+    NormalOperator,
+    PERIODIC,
+    PHYSICAL,
+    ShiftedOperator,
+    link_apply,
+)
+from repro.dirac.wilson import WilsonCloverOperator
+from repro.dirac.clover import build_clover_field, apply_clover
+from repro.dirac.staggered import (
+    AsqtadOperator,
+    NaiveStaggeredOperator,
+    StaggeredNormalOperator,
+    staggered_phases,
+)
+from repro.dirac.evenodd import EvenOddPreconditionedWilson
+
+__all__ = [
+    "BoundarySpec",
+    "LatticeOperator",
+    "NormalOperator",
+    "ShiftedOperator",
+    "PERIODIC",
+    "PHYSICAL",
+    "link_apply",
+    "WilsonCloverOperator",
+    "build_clover_field",
+    "apply_clover",
+    "AsqtadOperator",
+    "NaiveStaggeredOperator",
+    "StaggeredNormalOperator",
+    "staggered_phases",
+    "EvenOddPreconditionedWilson",
+]

@@ -1,0 +1,216 @@
+"""Operator interfaces shared by every Dirac discretization.
+
+A :class:`LatticeOperator` is a linear map on spinor-field arrays with
+geometry metadata, per-application flop accounting (feeding the performance
+model through :mod:`repro.util.counters`), a Hermitian conjugate, and a
+``with_boundary`` hook used to impose the Dirichlet cuts of the additive
+Schwarz preconditioner.
+
+Standard flop-per-site constants (the counts QUDA/MILC report performance
+against) live here as well.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lattice.geometry import Geometry
+from repro.util.counters import record, record_operator
+
+# ----------------------------------------------------------------------
+# Standard flop counts per site (community conventions)
+# ----------------------------------------------------------------------
+#: Wilson dslash (the 8-direction stencil with spin projection).
+WILSON_DSLASH_FLOPS = 1320
+#: Wilson matrix = dslash + mass axpy.
+WILSON_MATVEC_FLOPS = 1368
+#: Clover-term application (two 6x6 Hermitian blocks per site).
+CLOVER_FLOPS = 504
+#: Wilson-clover matrix.
+WILSON_CLOVER_MATVEC_FLOPS = WILSON_MATVEC_FLOPS + CLOVER_FLOPS
+#: Asqtad dslash (1-hop fat + 3-hop long stencil), MILC counting.
+ASQTAD_DSLASH_FLOPS = 1146
+#: Asqtad matrix = dslash + mass axpy (6 reals/site).
+ASQTAD_MATVEC_FLOPS = ASQTAD_DSLASH_FLOPS + 12
+#: Naive (unimproved) staggered dslash.
+STAGGERED_DSLASH_FLOPS = 570
+
+
+@dataclass(frozen=True)
+class BoundarySpec:
+    """Per-direction fermion boundary conditions ``(x, y, z, t)``.
+
+    Each entry is ``"periodic"``, ``"antiperiodic"`` or ``"zero"``
+    (Dirichlet).  The Schwarz preconditioner is obtained by switching the
+    partitioned directions to ``"zero"`` — "essentially, we just have to
+    switch off the communications" (Sec. 8.1).
+    """
+
+    conditions: tuple[str, str, str, str] = ("periodic",) * 4
+
+    def __post_init__(self):
+        valid = {"periodic", "antiperiodic", "zero"}
+        if len(self.conditions) != 4 or any(
+            c not in valid for c in self.conditions
+        ):
+            raise ValueError(f"invalid boundary spec {self.conditions}")
+
+    def __getitem__(self, mu: int) -> str:
+        return self.conditions[mu]
+
+    def with_dirichlet(self, dims: tuple[int, ...]) -> "BoundarySpec":
+        """Return a copy with the given directions cut (set to zero)."""
+        conds = list(self.conditions)
+        for mu in dims:
+            conds[mu] = "zero"
+        return BoundarySpec(tuple(conds))
+
+
+#: Fully periodic boundaries (default for algorithm studies).
+PERIODIC = BoundarySpec()
+#: Physical fermion boundaries: periodic in space, antiperiodic in time.
+PHYSICAL = BoundarySpec(("periodic", "periodic", "periodic", "antiperiodic"))
+
+
+def link_apply(links: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Apply per-site 3x3 color matrices to a spinor array.
+
+    ``links`` has shape ``sites + (3, 3)``; ``x`` has shape
+    ``sites + (nspin, 3)`` (Wilson) or ``sites + (3,)`` (staggered).
+    Computes ``y_a = sum_b U_ab x_b`` at every site (and spin).
+    """
+    lt = np.swapaxes(links, -1, -2)
+    if x.ndim == links.ndim:  # (..., nspin, 3): batched matmul
+        return x @ lt
+    if x.ndim == links.ndim - 1:  # (..., 3): promote to a row vector
+        return np.squeeze(x[..., None, :] @ lt, axis=-2)
+    raise ValueError(f"incompatible shapes {links.shape} and {x.shape}")
+
+
+class LatticeOperator(abc.ABC):
+    """A linear operator acting on spinor-field arrays.
+
+    Subclasses implement ``_apply`` (and usually ``_apply_dagger``); the
+    public ``apply`` wrapper records the operator application and its
+    standard flop count to the active tally.
+    """
+
+    #: Operator name used in tallies and reports.
+    name: str = "operator"
+    #: Spins per site of the fields this operator acts on (4 or 1).
+    nspin: int = 4
+    #: Standard flops per lattice site per application.
+    flops_per_site: int = 0
+
+    def __init__(self, geometry: Geometry):
+        self.geometry = geometry
+
+    # -- required numerics ------------------------------------------------
+    @abc.abstractmethod
+    def _apply(self, x: np.ndarray) -> np.ndarray: ...
+
+    def _apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(f"{type(self).__name__} has no dagger")
+
+    # -- public interface --------------------------------------------------
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        self._record(x)
+        return self._apply(x)
+
+    def apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        self._record(x)
+        return self._apply_dagger(x)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.apply(x)
+
+    def _record(self, x: np.ndarray) -> None:
+        record_operator(self.name)
+        record(
+            flops=self.flops_per_site * self.geometry.volume,
+            bytes_moved=self.bytes_per_application(x.dtype),
+        )
+
+    def bytes_per_application(self, dtype) -> int:
+        """Rough device-memory traffic per application (spinor in/out plus
+        gauge reads); refined numbers live in :mod:`repro.perfmodel.kernels`."""
+        site_complex = 3 * self.nspin
+        itemsize = np.dtype(dtype).itemsize
+        # 8 neighbor spinor reads + 1 write + 8 link reads (9 complex each)
+        per_site = (9 * site_complex + 8 * 9) * itemsize
+        return per_site * self.geometry.volume
+
+    def apply_hopping(self, x: np.ndarray) -> np.ndarray:
+        """The off-diagonal (nearest/third-neighbor) part of the operator.
+
+        ``apply(x) == apply_site_diagonal(x) + apply_hopping(x)``; the
+        split is what the interior/exterior multi-GPU kernels decompose
+        (Sec. 6.2): only the hopping term reads ghost zones.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no hopping/diagonal split"
+        )
+
+    def apply_site_diagonal(self, x: np.ndarray) -> np.ndarray:
+        """The site-diagonal part (mass and clover terms)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no hopping/diagonal split"
+        )
+
+    # -- composition helpers -----------------------------------------------
+    def with_boundary(self, boundary: BoundarySpec) -> "LatticeOperator":
+        """Return a copy of this operator with different boundary conditions
+        (used to build the Dirichlet-cut Schwarz blocks)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support boundary changes"
+        )
+
+    def normal(self) -> "NormalOperator":
+        return NormalOperator(self)
+
+    def shifted(self, sigma: float) -> "ShiftedOperator":
+        return ShiftedOperator(self, sigma)
+
+
+class ShiftedOperator(LatticeOperator):
+    """``A + sigma * I`` — the shifted systems of Eq. (4)."""
+
+    def __init__(self, base: LatticeOperator, sigma: float):
+        super().__init__(base.geometry)
+        self.base = base
+        self.sigma = float(sigma)
+        self.name = f"{base.name}+{sigma:g}"
+        self.nspin = base.nspin
+        self.flops_per_site = base.flops_per_site + 4 * 3 * base.nspin
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return self.base._apply(x) + self.sigma * x
+
+    def _apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        return self.base._apply_dagger(x) + np.conj(self.sigma) * x
+
+    def _record(self, x: np.ndarray) -> None:
+        self.base._record(x)
+
+
+class NormalOperator(LatticeOperator):
+    """``A^dagger A`` — the normal equations (CGNE/CGNR, Sec. 3.1)."""
+
+    def __init__(self, base: LatticeOperator):
+        super().__init__(base.geometry)
+        self.base = base
+        self.name = f"{base.name}^+{base.name}"
+        self.nspin = base.nspin
+        self.flops_per_site = 2 * base.flops_per_site
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return self.base._apply_dagger(self.base._apply(x))
+
+    _apply_dagger = _apply
+
+    def _record(self, x: np.ndarray) -> None:
+        self.base._record(x)
+        self.base._record(x)

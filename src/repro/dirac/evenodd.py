@@ -1,0 +1,128 @@
+"""Even-odd (red-black) preconditioning of the Wilson-clover system.
+
+"Even-odd ... preconditioning is almost always used to accelerate the
+solution finding process for this system, where the nearest neighbor
+property of the D matrix is exploited to solve the Schur complement
+system" (Sec. 3.1).
+
+Writing Eq. (2) in checkerboard blocks, with C = (4 + m + A) site-diagonal
+and the hopping term connecting opposite parities only::
+
+    M = [ C_ee      -1/2 D_eo ]
+        [ -1/2 D_oe  C_oo     ]
+
+the Schur complement on the even sublattice is::
+
+    Mhat = C_ee - 1/4 D_eo C_oo^{-1} D_oe
+
+Solving ``Mhat x_e = b_e + 1/2 D C^{-1} b_o |_e`` and back-substituting
+``x_o = C^{-1}(b_o + 1/2 D x_e |_o)`` reproduces the full solution at
+roughly half the iteration cost.
+
+Fields here remain full-lattice arrays with support on one parity (the
+other checkerboard is kept at zero); this trades memory for clarity and
+lets every operator and BLAS routine be reused unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac import base as dirac_base
+from repro.dirac.base import LatticeOperator
+from repro.dirac.clover import clover_site_matrices, invert_site_matrices
+from repro.dirac.wilson import WilsonCloverOperator
+from repro.lattice.geometry import Geometry
+from repro.linalg.gamma import GAMMA5, apply_spin_matrix
+
+
+def parity_project(geometry: Geometry, x: np.ndarray, parity: int) -> np.ndarray:
+    """Zero out the sites of the opposite parity (0 = even, 1 = odd)."""
+    mask = geometry.parity_mask(parity)
+    extra = (None,) * (x.ndim - 4)
+    return x * mask[(...,) + extra]
+
+
+class EvenOddPreconditionedWilson(LatticeOperator):
+    """The even-even Schur complement ``Mhat`` of the Wilson-clover matrix.
+
+    ``apply`` expects (and returns) full-lattice arrays supported on the
+    even checkerboard.  Use :meth:`prepare_rhs` / :meth:`reconstruct` to
+    convert between the full system and the preconditioned one.
+    """
+
+    nspin = 4
+
+    def __init__(self, wilson: WilsonCloverOperator):
+        super().__init__(wilson.geometry)
+        self.wilson = wilson
+        self.name = f"eo_{wilson.name}"
+        # Schur applies two half-lattice dslashes (= one full) plus the
+        # site-diagonal terms; use the full-matrix count as the standard.
+        self.flops_per_site = wilson.flops_per_site
+        self._c = clover_site_matrices(
+            wilson.clover, wilson.diagonal_coefficient, wilson.geometry.shape
+        )
+        self._cinv = invert_site_matrices(self._c)
+
+    # -- site-diagonal helpers ------------------------------------------
+    def _mul_site(self, mats: np.ndarray, x: np.ndarray) -> np.ndarray:
+        flat = x.reshape(x.shape[:-2] + (12,))
+        out = np.squeeze(mats @ flat[..., None], axis=-1)
+        return out.reshape(x.shape)
+
+    def apply_c(self, x: np.ndarray) -> np.ndarray:
+        """(4 + m + A) x."""
+        return self._mul_site(self._c, x)
+
+    def apply_cinv(self, x: np.ndarray) -> np.ndarray:
+        """(4 + m + A)^{-1} x."""
+        return self._mul_site(self._cinv, x)
+
+    # -- the Schur complement ---------------------------------------------
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        geom = self.geometry
+        x = parity_project(geom, x, 0)
+        d1 = self.wilson._dslash(x)  # supported on odd sites
+        t = self.apply_cinv(d1)
+        d2 = self.wilson._dslash(t)  # back on even sites
+        out = self.apply_c(x) - 0.25 * d2
+        return parity_project(geom, out, 0)
+
+    def _apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        # Mhat inherits gamma5-Hermiticity from M.
+        g5x = apply_spin_matrix(GAMMA5, x)
+        return apply_spin_matrix(GAMMA5, self._apply(g5x))
+
+    # -- full-system conversion ---------------------------------------------
+    def prepare_rhs(self, b: np.ndarray) -> np.ndarray:
+        """Even-site right-hand side ``b_e + 1/2 D C^{-1} b_o |_e``."""
+        geom = self.geometry
+        b_e = parity_project(geom, b, 0)
+        b_o = parity_project(geom, b, 1)
+        lifted = 0.5 * self.wilson._dslash(self.apply_cinv(b_o))
+        return b_e + parity_project(geom, lifted, 0)
+
+    def reconstruct(self, x_e: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Back-substitute the odd sites: full solution of ``M x = b``."""
+        geom = self.geometry
+        x_e = parity_project(geom, x_e, 0)
+        b_o = parity_project(geom, b, 1)
+        rhs_o = b_o + parity_project(geom, 0.5 * self.wilson._dslash(x_e), 1)
+        x_o = parity_project(geom, self.apply_cinv(rhs_o), 1)
+        return x_e + x_o
+
+    def with_boundary(self, boundary) -> "EvenOddPreconditionedWilson":
+        return EvenOddPreconditionedWilson(self.wilson.with_boundary(boundary))
+
+    def restrict_to_block(self, partition, rank: int) -> "EvenOddPreconditionedWilson":
+        """Dirichlet-cut Schur complement on one sub-domain.
+
+        QUDA's production GCR-DD runs on the even-odd preconditioned
+        system; the Schwarz block operator is then the Schur complement
+        of the *cut* Wilson matrix (cut first, then eliminate the odd
+        sites — the order matters and this is the communication-free one).
+        """
+        return EvenOddPreconditionedWilson(
+            self.wilson.restrict_to_block(partition, rank)
+        )

@@ -1,0 +1,247 @@
+"""Staggered Dirac operators: naive (1-hop) and improved (asqtad), Eq. (3).
+
+``M = -1/2 D_IS + m`` acting on 1-spin x 3-color fields, with
+
+``D_IS x(x) = sum_mu eta_mu(x) [ F_mu(x) x(x+mu) - F_mu(x-mu)^+ x(x-mu)
+                               + L_mu(x) x(x+3mu) - L_mu(x-3mu)^+ x(x-3mu) ]``
+
+where F are the fat links and L the long (Naik) links with their asqtad
+coefficients folded in (:mod:`repro.gauge.asqtad`), and eta are the
+Kogut-Susskind phases that carry the spin structure.  D_IS is
+anti-Hermitian and connects only opposite parities, so ``M^+ M =
+m^2 - D^2/4`` decouples even from odd sites — the property the multi-shift
+CG solver relies on (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac import base
+from repro.dirac.base import BoundarySpec, LatticeOperator, PERIODIC, link_apply
+from repro.gauge.asqtad import AsqtadLinks, build_asqtad_links
+from repro.lattice.fields import GaugeField
+from repro.lattice.geometry import Geometry
+from repro.linalg import su3
+from repro.util.counters import record, record_operator
+
+
+def staggered_phases(
+    geometry: Geometry, origin: tuple[int, int, int, int] = (0, 0, 0, 0)
+) -> np.ndarray:
+    """Kogut-Susskind phases ``eta_mu(x)``, shape ``(4,) + geometry.shape``.
+
+    eta_x = 1, eta_y = (-1)^x, eta_z = (-1)^(x+y), eta_t = (-1)^(x+y+z).
+
+    ``origin`` is the *global* coordinate of this geometry's site (0,0,0,0);
+    a padded or offset sub-domain (the multi-GPU ghost-zone layout) must
+    pass its origin so the local phases agree with the global ones.
+    """
+    x = geometry.coordinate(0) + origin[0]
+    y = geometry.coordinate(1) + origin[1]
+    z = geometry.coordinate(2) + origin[2]
+    eta = np.empty((4,) + geometry.shape, dtype=np.float64)
+    eta[0] = 1.0
+    eta[1] = (-1.0) ** x
+    eta[2] = (-1.0) ** (x + y)
+    eta[3] = (-1.0) ** (x + y + z)
+    return eta
+
+
+class _StaggeredBase(LatticeOperator):
+    """Shared machinery for 1-hop (+optional 3-hop) staggered stencils."""
+
+    nspin = 1
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        fat: np.ndarray,
+        long_links: np.ndarray | None,
+        mass: float,
+        boundary: BoundarySpec,
+        origin: tuple[int, int, int, int] = (0, 0, 0, 0),
+    ):
+        super().__init__(geometry)
+        self.fat = fat
+        self.long = long_links
+        self.mass = float(mass)
+        self.boundary = boundary
+        self.origin = tuple(origin)
+        self.eta = staggered_phases(geometry, origin=self.origin)
+
+    @property
+    def ghost_depth(self) -> int:
+        """Stencil reach: 3 for asqtad (the paper's locality problem), else 1."""
+        return 3 if self.long is not None else 1
+
+    def dslash(self, x: np.ndarray) -> np.ndarray:
+        """The derivative term D_IS (records its own tally entry)."""
+        record_operator(f"{self.name}_dslash")
+        record(
+            flops=self.dslash_flops_per_site * self.geometry.volume,
+            bytes_moved=self.bytes_per_application(x.dtype),
+        )
+        return self._dslash(x)
+
+    def _dslash(self, x: np.ndarray) -> np.ndarray:
+        geom = self.geometry
+        out = np.zeros_like(x)
+        for mu in range(4):
+            bc = self.boundary[mu]
+            eta = self.eta[mu][..., None]
+            f = self.fat[mu]
+            hop = link_apply(f, geom.shift(x, mu, +1, boundary=bc))
+            hop -= geom.shift(link_apply(su3.dagger(f), x), mu, -1, boundary=bc)
+            if self.long is not None:
+                ll = self.long[mu]
+                hop += link_apply(ll, geom.shift(x, mu, +3, boundary=bc))
+                hop -= geom.shift(
+                    link_apply(su3.dagger(ll), x), mu, -3, boundary=bc
+                )
+            out += eta * hop
+        return out
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        return self.mass * x - 0.5 * self._dslash(x)
+
+    def _apply_dagger(self, x: np.ndarray) -> np.ndarray:
+        # D_IS is anti-Hermitian, so M^+ = m + D/2.
+        return self.mass * x + 0.5 * self._dslash(x)
+
+    def apply_site_diagonal(self, x: np.ndarray) -> np.ndarray:
+        """The mass term m x."""
+        return self.mass * x
+
+    def apply_hopping(self, x: np.ndarray) -> np.ndarray:
+        """The hopping part, ``-1/2 D_IS x``."""
+        return -0.5 * self._dslash(x)
+
+    @property
+    def dslash_flops_per_site(self) -> int:
+        return (
+            base.ASQTAD_DSLASH_FLOPS
+            if self.long is not None
+            else base.STAGGERED_DSLASH_FLOPS
+        )
+
+    def restrict_to_block(self, partition, rank: int):
+        """Dirichlet-cut block operator for the Schwarz preconditioner.
+
+        The fat/long links are sliced from the global fields; the block's
+        global origin keeps the Kogut-Susskind phases consistent.
+        """
+        sl = partition.slices(rank, lead=1)
+        fat = np.ascontiguousarray(self.fat[sl])
+        long_links = (
+            np.ascontiguousarray(self.long[sl]) if self.long is not None else None
+        )
+        local_bc = self.boundary.with_dirichlet(partition.grid.partitioned_dims)
+        out = _StaggeredBase.__new__(type(self))
+        _StaggeredBase.__init__(
+            out,
+            partition.local_geometry,
+            fat,
+            long_links,
+            self.mass,
+            local_bc,
+            origin=partition.origin(rank),
+        )
+        return out
+
+
+class NaiveStaggeredOperator(_StaggeredBase):
+    """Unimproved staggered operator (thin links, 1-hop stencil) — the
+    baseline against which asqtad's 3-hop locality cost is measured."""
+
+    name = "staggered"
+    flops_per_site = base.STAGGERED_DSLASH_FLOPS + 12
+
+    def __init__(
+        self,
+        gauge: GaugeField,
+        mass: float,
+        boundary: BoundarySpec = PERIODIC,
+        origin: tuple[int, int, int, int] = (0, 0, 0, 0),
+    ):
+        self.gauge = gauge
+        super().__init__(
+            gauge.geometry, gauge.data, None, mass, boundary, origin=origin
+        )
+
+    def with_boundary(self, boundary: BoundarySpec) -> "NaiveStaggeredOperator":
+        return NaiveStaggeredOperator(self.gauge, self.mass, boundary, self.origin)
+
+
+class AsqtadOperator(_StaggeredBase):
+    """Improved staggered (asqtad) operator of Eq. (3)."""
+
+    name = "asqtad"
+    flops_per_site = base.ASQTAD_MATVEC_FLOPS
+
+    def __init__(
+        self,
+        links: AsqtadLinks,
+        mass: float,
+        boundary: BoundarySpec = PERIODIC,
+        origin: tuple[int, int, int, int] = (0, 0, 0, 0),
+    ):
+        self.links = links
+        super().__init__(
+            links.geometry, links.fat, links.long, mass, boundary, origin=origin
+        )
+
+    @classmethod
+    def from_gauge(
+        cls,
+        gauge: GaugeField,
+        mass: float,
+        u0: float = 1.0,
+        boundary: BoundarySpec = PERIODIC,
+    ) -> "AsqtadOperator":
+        """Build fat/long links from a thin-link configuration, then the
+        operator (the "precalculated before the application" step)."""
+        return cls(build_asqtad_links(gauge, u0=u0), mass, boundary)
+
+    def with_boundary(self, boundary: BoundarySpec) -> "AsqtadOperator":
+        return AsqtadOperator(self.links, self.mass, boundary, self.origin)
+
+
+class StaggeredNormalOperator(LatticeOperator):
+    """``M^+ M + sigma = (m^2 + sigma) - D^2/4`` for staggered M.
+
+    This is the Hermitian positive-definite operator the (multi-shift) CG
+    solver inverts, Eq. (4).  It preserves site parity: a right-hand side
+    supported on even sites yields an even-supported solution, which is how
+    "the even and odd lattices ... can be solved independently".
+    """
+
+    nspin = 1
+
+    def __init__(self, base_op: _StaggeredBase, sigma: float = 0.0):
+        super().__init__(base_op.geometry)
+        self.base = base_op
+        self.sigma = float(sigma)
+        self.name = f"{base_op.name}_normal"
+        if self.sigma:
+            self.name += f"+{self.sigma:g}"
+        self.flops_per_site = 2 * base_op.dslash_flops_per_site + 24
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        d2 = self.base._dslash(self.base._dslash(x))
+        return (self.base.mass**2 + self.sigma) * x - 0.25 * d2
+
+    _apply_dagger = _apply  # Hermitian
+
+    def shifted(self, sigma: float) -> "StaggeredNormalOperator":
+        return StaggeredNormalOperator(self.base, self.sigma + sigma)
+
+    def with_boundary(self, boundary: BoundarySpec) -> "StaggeredNormalOperator":
+        return StaggeredNormalOperator(
+            self.base.with_boundary(boundary), self.sigma
+        )
+
+    def restrict_to_block(self, partition, rank: int) -> "StaggeredNormalOperator":
+        return StaggeredNormalOperator(
+            self.base.restrict_to_block(partition, rank), self.sigma
+        )

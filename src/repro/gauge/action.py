@@ -1,0 +1,121 @@
+"""The Wilson gauge action and its force.
+
+Gauge *generation* — the capability-class phase the paper's scaling work
+exists to serve (Sec. 1-2) — updates the gauge field under the Wilson
+plaquette action
+
+``S[U] = beta * sum_plaq (1 - Re tr P / 3)``.
+
+This module provides the action value, the per-link staple sums, and the
+molecular-dynamics force (the "force term computations required for gauge
+field generation" listed among QUDA's kernels in Sec. 5), consumed by the
+heatbath (:mod:`repro.gauge.heatbath`) and HMC (:mod:`repro.gauge.hmc`)
+updaters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gauge.paths import path_product
+from repro.lattice.fields import GaugeField
+from repro.linalg import su3
+
+
+def staple_sum_for_link(gauge: GaugeField, mu: int) -> np.ndarray:
+    """Sum of the six staples K such that every plaquette containing
+    ``U_mu(x)`` appears as ``tr(U_mu(x) K(x))``.
+
+    The returned staples are the *daggered* closures: the up staple of the
+    (mu, nu) plane is ``U_nu(x+mu) U_mu(x+nu)^+ U_nu(x)^+`` and the down
+    staple ``U_nu(x+mu-nu)^+ U_mu(x-nu)^+ U_nu(x-nu)``.
+    """
+    geom, data = gauge.geometry, gauge.data
+    total: np.ndarray | None = None
+    for nu in range(4):
+        if nu == mu:
+            continue
+        # Paths starting at x+mu and ending at x: build them as paths from
+        # x (shifted products).  Up: +nu at x+mu, -mu at x+mu+nu, -nu at
+        # x+nu; expressed as a path product starting at x+mu.
+        up = path_product(geom, data, [(nu, +1), (mu, -1), (nu, -1)])
+        up = np.roll(up, -1, axis=3 - mu)  # evaluate at x+mu
+        down = path_product(geom, data, [(nu, -1), (mu, -1), (nu, +1)])
+        down = np.roll(down, -1, axis=3 - mu)
+        contrib = up + down
+        total = contrib if total is None else total + contrib
+    assert total is not None
+    return total
+
+
+def wilson_gauge_action(gauge: GaugeField, beta: float) -> float:
+    """``S[U] = beta * sum_plaq (1 - Re tr P / 3)`` (6 V plaquettes)."""
+    from repro.gauge.observables import average_plaquette
+
+    n_plaq = 6 * gauge.geometry.volume
+    return beta * n_plaq * (1.0 - average_plaquette(gauge))
+
+
+def gauge_force(gauge: GaugeField, beta: float) -> np.ndarray:
+    """The MD force: traceless anti-Hermitian matrices F[mu, x] with
+    ``dS/dt = -sum Re tr(P F)`` ... concretely the derivative of the
+    Wilson action along left-invariant flows, normalized so that the
+    leapfrog momentum update is ``P -= eps * F``.
+
+    ``F = (beta/6) * TA(U K)`` where K is the staple sum and ``TA(W) =
+    (W - W^+) - tr(W - W^+)/3`` is the traceless anti-Hermitian projection.
+    """
+    out = np.empty_like(gauge.data)
+    for mu in range(4):
+        k = staple_sum_for_link(gauge, mu)
+        w = gauge.data[mu] @ k
+        out[mu] = (beta / 6.0) * traceless_antihermitian(w)
+    return out
+
+
+def traceless_antihermitian(w: np.ndarray) -> np.ndarray:
+    """Project onto the Lie algebra su(3): ``(W - W^+) - tr/3``."""
+    a = w - su3.dagger(w)
+    tr = np.trace(a, axis1=-2, axis2=-1)
+    return a - (tr / 3.0)[..., None, None] * np.eye(3, dtype=w.dtype)
+
+
+def algebra_norm2(p: np.ndarray) -> float:
+    """The kinetic term ``sum -tr(P^2)/2``? — here ``sum |P|_F^2 / 2``.
+
+    For anti-Hermitian P, ``-tr(P^2) = |P|_F^2 >= 0``; HMC's Hamiltonian
+    uses ``H_kin = sum_links |P|_F^2 / 2``.
+    """
+    return float(np.sum(np.abs(p) ** 2)) / 2.0
+
+
+#: Gell-Mann matrices (Hermitian, traceless, tr(l_a l_b) = 2 delta_ab).
+_GELL_MANN = np.array(
+    [
+        [[0, 1, 0], [1, 0, 0], [0, 0, 0]],
+        [[0, -1j, 0], [1j, 0, 0], [0, 0, 0]],
+        [[1, 0, 0], [0, -1, 0], [0, 0, 0]],
+        [[0, 0, 1], [0, 0, 0], [1, 0, 0]],
+        [[0, 0, -1j], [0, 0, 0], [1j, 0, 0]],
+        [[0, 0, 0], [0, 0, 1], [0, 1, 0]],
+        [[0, 0, 0], [0, 0, -1j], [0, 1j, 0]],
+        [
+            [1 / np.sqrt(3), 0, 0],
+            [0, 1 / np.sqrt(3), 0],
+            [0, 0, -2 / np.sqrt(3)],
+        ],
+    ],
+    dtype=np.complex128,
+)
+
+#: Orthonormal su(3) basis under the Frobenius inner product:
+#: T_a = i l_a / sqrt(2), |T_a|_F^2 = 1.
+ALGEBRA_BASIS = 1j * _GELL_MANN / np.sqrt(2.0)
+
+
+def random_algebra_field(shape: tuple[int, ...], rng) -> np.ndarray:
+    """Gaussian momenta ``P = sum_a c_a T_a`` with c_a ~ N(0,1) in the
+    orthonormal su(3) basis, so the kinetic term ``|P|_F^2 / 2`` is a sum
+    of 8 unit Gaussians per link — the exact HMC heat bath."""
+    coeffs = rng.standard_normal(shape + (8,))
+    return np.einsum("...a,aij->...ij", coeffs, ALGEBRA_BASIS)

@@ -1,0 +1,169 @@
+"""The asqtad fermion force: fat/long-link chain rule.
+
+Sec. 5 lists "force term computations required for gauge field generation"
+among QUDA's kernels; for improved staggered quarks this is the hardest
+one, because the action depends on the thin links only *through* the
+fattened fields — every one of the 85 fattening paths (and the 3-hop Naik
+product) must be differentiated with respect to every link it traverses.
+
+The machinery here is generic: :func:`accumulate_path_derivative` takes
+one weighted path and a per-site "derivative seed" G (with
+``dS/dt = Re sum_y tr(d path(y)/dt * G(y))``) and scatters the per-link
+contributions ``A P L B`` -> bracket terms into a force accumulator.  The
+asqtad force is then: build the one-hop and three-hop seeds from the
+solver vectors X and Y (identical structure to the naive staggered
+force, without the link factor), and run the chain rule over the path
+table of :mod:`repro.gauge.asqtad`.
+
+Everything is validated against the numerical directional derivative of
+the pseudofermion action — the only spec that cannot lie.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gauge.action import traceless_antihermitian
+from repro.gauge.asqtad import NAIK_COEFF, fattening_paths
+from repro.gauge.paths import Step, shift_field
+from repro.lattice.fields import GaugeField
+from repro.lattice.geometry import Geometry
+from repro.linalg import su3
+
+
+def accumulate_path_derivative(
+    geometry: Geometry,
+    gauge_data: np.ndarray,
+    path: list[Step],
+    weight: float,
+    seed: np.ndarray,
+    bracket: np.ndarray,
+) -> None:
+    """Add d(weight * path_product)/d(links) contributions to ``bracket``.
+
+    ``seed`` is G(y) (shape ``geometry.shape + (3, 3)``); ``bracket`` is
+    the per-link accumulator ``(4,) + geometry.shape + (3, 3)`` receiving,
+    for each link the path traverses, the matrix M such that the flow
+    derivative is ``Re tr(P M)``:
+
+    * forward step i at site z = y + offset_i:
+      ``M(z) += w * U(z) [B_i G A_i](z - offset_i)``
+    * backward step i (link at z = y + offset_{i+1}):
+      ``M(z) -= w * [B_i G A_i](z - offset_{i+1}) U(z)^+``
+
+    with A_i/B_i the prefix/suffix products of the path around step i.
+    """
+    n = len(path)
+    # Prefix products A_i (product of steps 0..i-1, starting at y) and the
+    # offsets reached before each step.
+    prefixes: list[np.ndarray | None] = [None] * (n + 1)
+    offsets: list[list[int]] = [[0, 0, 0, 0]]
+    prod: np.ndarray | None = None
+    off = [0, 0, 0, 0]
+    for mu, sign in path:
+        if sign == +1:
+            link = shift_field(geometry, gauge_data[mu], off)
+            off = off.copy()
+            off[mu] += 1
+        else:
+            off = off.copy()
+            off[mu] -= 1
+            link = su3.dagger(shift_field(geometry, gauge_data[mu], off))
+        prod = link if prod is None else prod @ link
+        prefixes[len(offsets)] = prod
+        offsets.append(off)
+    # Suffix products B_i (steps i+1..n-1 as a field over the start site y).
+    # Build them by dividing the full product: B_i = A_i_step^{-1} ... —
+    # cheaper and stabler to rebuild from the right.
+    suffixes: list[np.ndarray | None] = [None] * (n + 1)
+    prod = None
+    off = offsets[n]
+    for i in range(n - 1, -1, -1):
+        mu, sign = path[i]
+        if sign == +1:
+            link_off = offsets[i]
+            link = shift_field(geometry, gauge_data[mu], link_off)
+        else:
+            link = su3.dagger(
+                shift_field(geometry, gauge_data[mu], offsets[i + 1])
+            )
+        prod = link if prod is None else link @ prod
+        suffixes[i + 1] = prod  # product of steps i.. ; shift below
+    # suffixes[i+1] currently holds steps i..n-1; we want steps i+1..n-1
+    # as B_i, i.e. suffixes index shifted by one step.
+
+    eye = su3.identity(geometry.shape, dtype=gauge_data.dtype)
+    for i, (mu, sign) in enumerate(path):
+        a = prefixes[i] if i > 0 else eye
+        b = suffixes[i + 2] if i + 1 < n else eye
+        core = b @ seed @ a  # [B_i G A_i](y)
+        if sign == +1:
+            z_offset = offsets[i]
+            shifted = shift_field(
+                geometry, core, [-o for o in z_offset]
+            )
+            link = gauge_data[mu]
+            bracket[mu] += weight * (link @ shifted)
+        else:
+            z_offset = offsets[i + 1]
+            shifted = shift_field(
+                geometry, core, [-o for o in z_offset]
+            )
+            link = gauge_data[mu]
+            bracket[mu] -= weight * (shifted @ su3.dagger(link))
+
+
+def _hop_seed(
+    geometry: Geometry,
+    eta_mu: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    mu: int,
+    hops: int,
+) -> np.ndarray:
+    """The derivative seed of one hopping term:
+    ``G(y) = eta_mu(y) (X(y + hops*mu) Y(y)^+ - Y(y + hops*mu) X(y)^+)``."""
+    x_f = geometry.shift(x, mu, hops)
+    y_f = geometry.shift(y, mu, hops)
+    fwd = np.einsum("...a,...b->...ab", x_f, np.conj(y))
+    bwd = np.einsum("...a,...b->...ab", y_f, np.conj(x))
+    return (fwd - bwd) * eta_mu[..., None, None]
+
+
+def asqtad_fermion_force(
+    gauge: GaugeField,
+    x: np.ndarray,
+    y: np.ndarray,
+    eta: np.ndarray,
+    u0: float = 1.0,
+) -> np.ndarray:
+    """The full asqtad pseudofermion force on the *thin* links.
+
+    Parameters
+    ----------
+    gauge:
+        Thin-link configuration (the fattening inputs).
+    x, y:
+        Solver vectors: ``X = (M^+M)^{-1} phi`` and ``Y = M X``.
+    eta:
+        Staggered phases, shape ``(4,) + geometry.shape``.
+
+    Returns traceless anti-Hermitian force matrices per link, with the
+    convention ``dS_pf/dt = -sum Re tr(P F)``.
+    """
+    geometry = gauge.geometry
+    bracket = np.zeros_like(gauge.data)
+    for mu in range(4):
+        seed_fat = _hop_seed(geometry, eta[mu], x, y, mu, 1)
+        for coeff, path in fattening_paths(mu):
+            tadpole = u0 ** (1 - len(path))
+            accumulate_path_derivative(
+                geometry, gauge.data, path, coeff * tadpole, seed_fat, bracket
+            )
+        seed_long = _hop_seed(geometry, eta[mu], x, y, mu, 3)
+        naik_path = [(mu, +1)] * 3
+        accumulate_path_derivative(
+            geometry, gauge.data, naik_path, NAIK_COEFF / u0**2, seed_long,
+            bracket,
+        )
+    return -0.5 * traceless_antihermitian(bracket)

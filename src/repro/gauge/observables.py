@@ -1,0 +1,66 @@
+"""Basic gauge observables: plaquettes and the clover-leaf field strength.
+
+The clover-leaf ``F_{mu nu}`` built here is the input to the Wilson-clover
+term ``A_x`` of Eq. (2) (see :mod:`repro.dirac.clover`).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.gauge.paths import path_product
+from repro.lattice.fields import GaugeField
+from repro.linalg import su3
+
+
+def plaquette_field(gauge: GaugeField, mu: int, nu: int) -> np.ndarray:
+    """The mu-nu plaquette ``U_mu(x) U_nu(x+mu) U_mu(x+nu)^+ U_nu(x)^+``
+    at every site, shape ``geometry.shape + (3, 3)``."""
+    return path_product(
+        gauge.geometry, gauge.data, [(mu, +1), (nu, +1), (mu, -1), (nu, -1)]
+    )
+
+
+def average_plaquette(gauge: GaugeField) -> float:
+    """Average of ``Re tr P / 3`` over sites and the 6 plaquette planes.
+
+    1.0 for the free field; ~0 for a hot start.  This is the standard sanity
+    observable for generated configurations.
+    """
+    total = 0.0
+    count = 0
+    for mu, nu in itertools.combinations(range(4), 2):
+        p = plaquette_field(gauge, mu, nu)
+        total += float(su3.trace(p).real.mean()) / 3.0
+        count += 1
+    return total / count
+
+
+def clover_leaf_sum(gauge: GaugeField, mu: int, nu: int) -> np.ndarray:
+    """Sum ``Q_{mu nu}`` of the four plaquette "leaves" around each site.
+
+    The four leaves are the plaquettes in the (mu, nu) plane touching x in
+    each quadrant, all path-ordered to start and end at x.
+    """
+    g, d = gauge.geometry, gauge.data
+    leaves = [
+        [(mu, +1), (nu, +1), (mu, -1), (nu, -1)],
+        [(nu, +1), (mu, -1), (nu, -1), (mu, +1)],
+        [(mu, -1), (nu, -1), (mu, +1), (nu, +1)],
+        [(nu, -1), (mu, +1), (nu, +1), (mu, -1)],
+    ]
+    q = path_product(g, d, leaves[0])
+    for leaf in leaves[1:]:
+        q = q + path_product(g, d, leaf)
+    return q
+
+
+def field_strength(gauge: GaugeField, mu: int, nu: int) -> np.ndarray:
+    """Clover-leaf field strength ``F_{mu nu} = (Q - Q^+)/8`` (anti-Hermitian).
+
+    Antisymmetric under mu <-> nu; vanishes on the free field.
+    """
+    q = clover_leaf_sum(gauge, mu, nu)
+    return (q - su3.dagger(q)) / 8.0

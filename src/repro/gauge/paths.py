@@ -1,0 +1,81 @@
+"""Wilson-line path products on the lattice.
+
+A *path* is a sequence of signed direction steps, e.g.
+``[(Y, +1), (X, +1), (Y, -1)]`` is the upper 3-staple contributing to the
+fat X link.  :func:`path_product` evaluates, for every starting site x at
+once, the ordered product of link matrices along the path:
+
+* a ``(mu, +1)`` step multiplies ``U_mu(p)`` and advances p to p + mu-hat;
+* a ``(mu, -1)`` step retreats p to p - mu-hat and multiplies
+  ``U_mu(p)^dagger``.
+
+These products are the building blocks of the plaquette, the clover-leaf
+field strength, APE smearing, and the asqtad fattening paths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.lattice.geometry import Geometry, axis_of_mu
+from repro.linalg import su3
+
+Step = tuple[int, int]  # (direction mu, sign +1/-1)
+
+
+def shift_field(
+    geometry: Geometry, array: np.ndarray, offset: Sequence[int]
+) -> np.ndarray:
+    """Shift a site field by an integer 4-vector: ``out[x] = array[x + offset]``.
+
+    ``offset`` is in physics order ``(dx, dy, dz, dt)``; periodic wrap.
+    """
+    out = array
+    for mu, steps in enumerate(offset):
+        if steps:
+            out = np.roll(out, -steps, axis=axis_of_mu(mu))
+    return out
+
+
+def path_product(
+    geometry: Geometry, gauge_data: np.ndarray, steps: Sequence[Step]
+) -> np.ndarray:
+    """Ordered product of links along ``steps``, for every starting site.
+
+    Parameters
+    ----------
+    gauge_data:
+        Link field ``U[mu, t, z, y, x, a, b]`` (``GaugeField.data``).
+    steps:
+        Sequence of ``(mu, sign)`` moves.
+
+    Returns
+    -------
+    Array of shape ``geometry.shape + (3, 3)``: the path-ordered product
+    starting at each site.
+    """
+    offset = [0, 0, 0, 0]
+    product: np.ndarray | None = None
+    for mu, sign in steps:
+        if sign == +1:
+            link = shift_field(geometry, gauge_data[mu], offset)
+            offset[mu] += 1
+        elif sign == -1:
+            offset[mu] -= 1
+            link = su3.dagger(shift_field(geometry, gauge_data[mu], offset))
+        else:
+            raise ValueError(f"invalid step sign {sign}")
+        product = link if product is None else product @ link
+    if product is None:
+        return su3.identity(geometry.shape, dtype=gauge_data.dtype)
+    return product
+
+
+def path_displacement(steps: Sequence[Step]) -> tuple[int, int, int, int]:
+    """Net lattice displacement of a path (useful for validating path sets)."""
+    disp = [0, 0, 0, 0]
+    for mu, sign in steps:
+        disp[mu] += sign
+    return tuple(disp)

@@ -1,0 +1,90 @@
+"""Gauge-configuration and spinor-field I/O.
+
+Production lattice workflows are built around configuration files: the
+generation phase writes an ensemble, the analysis phase reads it back
+(Sec. 2).  This module provides a compact NumPy (.npz) container with the
+geometry and provenance metadata needed to reload fields safely; it plays
+the role the binary ILDG/SciDAC formats play for Chroma and MILC.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.lattice.fields import GaugeField, SpinorField
+from repro.lattice.geometry import Geometry
+
+FORMAT_VERSION = 1
+
+
+def _metadata(kind: str, geometry: Geometry, extra: dict | None) -> str:
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "dims": list(geometry.dims),
+    }
+    if extra:
+        meta["extra"] = extra
+    return json.dumps(meta)
+
+
+def _read_metadata(archive, expected_kind: str) -> dict:
+    if "metadata" not in archive:
+        raise ValueError("not a repro field file (no metadata record)")
+    meta = json.loads(str(archive["metadata"]))
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {meta.get('format_version')}"
+        )
+    if meta.get("kind") != expected_kind:
+        raise ValueError(
+            f"file contains a {meta.get('kind')!r}, expected {expected_kind!r}"
+        )
+    return meta
+
+
+def save_gauge(path: "str | os.PathLike", gauge: GaugeField,
+               extra: dict | None = None) -> None:
+    """Write a gauge configuration (with geometry + optional provenance,
+    e.g. ``{"beta": 5.7, "sweeps": 200}``)."""
+    np.savez_compressed(
+        path,
+        metadata=_metadata("gauge", gauge.geometry, extra),
+        links=gauge.data,
+    )
+
+
+def load_gauge(path: "str | os.PathLike") -> tuple[GaugeField, dict]:
+    """Read a gauge configuration; returns (field, extra-metadata)."""
+    with np.load(path, allow_pickle=False) as archive:
+        meta = _read_metadata(archive, "gauge")
+        geometry = Geometry(tuple(meta["dims"]))
+        gauge = GaugeField(geometry, np.ascontiguousarray(archive["links"]))
+    return gauge, meta.get("extra", {})
+
+
+def save_spinor(path: "str | os.PathLike", spinor: SpinorField,
+                extra: dict | None = None) -> None:
+    """Write a spinor field (propagator source/solution)."""
+    np.savez_compressed(
+        path,
+        metadata=_metadata("spinor", spinor.geometry, dict(
+            nspin=spinor.nspin, **(extra or {})
+        )),
+        data=spinor.data,
+    )
+
+
+def load_spinor(path: "str | os.PathLike") -> tuple[SpinorField, dict]:
+    with np.load(path, allow_pickle=False) as archive:
+        meta = _read_metadata(archive, "spinor")
+        geometry = Geometry(tuple(meta["dims"]))
+        extra = dict(meta.get("extra", {}))
+        nspin = int(extra.pop("nspin", 4))
+        spinor = SpinorField(
+            geometry, np.ascontiguousarray(archive["data"]), nspin=nspin
+        )
+    return spinor, extra

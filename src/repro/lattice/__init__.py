@@ -1,0 +1,32 @@
+"""Lattice geometry and field containers.
+
+The conventions mirror QUDA's: sites are stored with X fastest-varying and T
+slowest (array shape ``(T, Z, Y, X)``), directions are numbered
+``mu = 0,1,2,3 -> x,y,z,t``, and even-odd (red-black) checkerboarding uses
+parity ``(x+y+z+t) mod 2``.
+"""
+
+from repro.lattice.geometry import Geometry, X, Y, Z, T, DIRECTIONS
+from repro.lattice.fields import (
+    GaugeField,
+    SpinorField,
+    WILSON_SPINS,
+    STAGGERED_SPINS,
+)
+from repro.lattice.layout import FieldLayout, gauge_layout, spinor_layout
+
+__all__ = [
+    "Geometry",
+    "GaugeField",
+    "SpinorField",
+    "WILSON_SPINS",
+    "STAGGERED_SPINS",
+    "FieldLayout",
+    "spinor_layout",
+    "gauge_layout",
+    "X",
+    "Y",
+    "Z",
+    "T",
+    "DIRECTIONS",
+]

@@ -1,0 +1,234 @@
+"""Field containers: color-spinor fields and gauge (link) fields.
+
+A :class:`SpinorField` holds one complex color-spinor per site — 4 spins x 3
+colors (24 reals/site) for Wilson-clover, or 3 colors (6 reals/site) for
+staggered, exactly the layouts of Fig. 2 of the paper.  A
+:class:`GaugeField` holds one SU(3) matrix per site per direction (Fig. 3).
+
+The containers are thin, explicit wrappers around numpy arrays: the heavy
+kernels in :mod:`repro.dirac` operate on the raw ``.data`` arrays, while
+these classes carry geometry metadata, constructors and the BLAS-level
+convenience methods the public API exposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lattice.geometry import Geometry
+from repro.linalg import blas, su3
+from repro.util.rng import make_rng
+
+#: Spin degrees of freedom per site for each discretization.
+WILSON_SPINS = 4
+STAGGERED_SPINS = 1
+
+
+class SpinorField:
+    """A lattice color-spinor field ("spinor field" in the paper's language).
+
+    Parameters
+    ----------
+    geometry:
+        The lattice the field lives on.
+    data:
+        Complex array of shape ``geometry.shape + (4, 3)`` (Wilson) or
+        ``geometry.shape + (3,)`` (staggered).  If omitted a zero field of
+        the requested ``nspin``/``dtype`` is created.
+    nspin:
+        4 for Wilson-type fields, 1 for staggered.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        data: np.ndarray | None = None,
+        nspin: int = WILSON_SPINS,
+        dtype=np.complex128,
+    ):
+        if nspin not in (WILSON_SPINS, STAGGERED_SPINS):
+            raise ValueError(f"nspin must be 1 or 4, got {nspin}")
+        self.geometry = geometry
+        self.nspin = nspin
+        expected = geometry.shape + self.site_shape(nspin)
+        if data is None:
+            data = np.zeros(expected, dtype=dtype)
+        else:
+            data = np.asarray(data)
+            if data.shape != expected:
+                raise ValueError(
+                    f"data shape {data.shape} does not match expected {expected}"
+                )
+        self.data = data
+
+    @staticmethod
+    def site_shape(nspin: int) -> tuple[int, ...]:
+        return (nspin, 3) if nspin == WILSON_SPINS else (3,)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(
+        cls, geometry: Geometry, nspin: int = WILSON_SPINS, dtype=np.complex128
+    ) -> "SpinorField":
+        return cls(geometry, nspin=nspin, dtype=dtype)
+
+    @classmethod
+    def random(
+        cls,
+        geometry: Geometry,
+        nspin: int = WILSON_SPINS,
+        rng=None,
+        dtype=np.complex128,
+    ) -> "SpinorField":
+        """Gaussian random source (the standard stochastic-source filling)."""
+        rng = make_rng(rng)
+        shape = geometry.shape + cls.site_shape(nspin)
+        data = (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(
+            dtype
+        )
+        return cls(geometry, data, nspin=nspin)
+
+    @classmethod
+    def point_source(
+        cls,
+        geometry: Geometry,
+        site: tuple[int, int, int, int],
+        spin: int = 0,
+        color: int = 0,
+        nspin: int = WILSON_SPINS,
+        dtype=np.complex128,
+    ) -> "SpinorField":
+        """Unit source at lattice site ``(x, y, z, t)`` (propagator source)."""
+        out = cls.zeros(geometry, nspin=nspin, dtype=dtype)
+        x, y, z, t = site
+        if nspin == WILSON_SPINS:
+            out.data[t, z, y, x, spin, color] = 1.0
+        else:
+            out.data[t, z, y, x, color] = 1.0
+        return out
+
+    # ------------------------------------------------------------------
+    # arithmetic / BLAS facade
+    # ------------------------------------------------------------------
+    def like(self, data: np.ndarray) -> "SpinorField":
+        """Wrap a raw array with this field's metadata."""
+        return SpinorField(self.geometry, data, nspin=self.nspin)
+
+    def copy(self) -> "SpinorField":
+        return self.like(blas.copy(self.data))
+
+    def norm2(self) -> float:
+        return blas.norm2(self.data)
+
+    def dot(self, other: "SpinorField") -> complex:
+        return blas.cdot(self.data, other.data)
+
+    def __add__(self, other: "SpinorField") -> "SpinorField":
+        return self.like(self.data + other.data)
+
+    def __sub__(self, other: "SpinorField") -> "SpinorField":
+        return self.like(self.data - other.data)
+
+    def __mul__(self, scalar) -> "SpinorField":
+        return self.like(self.data * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "SpinorField":
+        return self.like(-self.data)
+
+    # ------------------------------------------------------------------
+    # layout metadata (Fig. 2): reals per site and ghost-face sizes
+    # ------------------------------------------------------------------
+    @property
+    def reals_per_site(self) -> int:
+        return 2 * 3 * self.nspin
+
+    def ghost_face_reals(self, mu: int, depth: int = 1) -> int:
+        """Reals in one ghost face of thickness ``depth`` in direction mu."""
+        return self.reals_per_site * self.geometry.face_volume(mu, depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "wilson" if self.nspin == WILSON_SPINS else "staggered"
+        return f"SpinorField({kind}, {self.geometry!r}, dtype={self.data.dtype})"
+
+
+class GaugeField:
+    """An SU(3) gauge (link) field: ``U[mu, t, z, y, x]`` is a 3x3 matrix.
+
+    Link ``U[mu]`` at site x connects x to x + mu-hat, as in Fig. 1.
+    """
+
+    def __init__(self, geometry: Geometry, data: np.ndarray | None = None,
+                 dtype=np.complex128):
+        self.geometry = geometry
+        expected = (4,) + geometry.shape + (3, 3)
+        if data is None:
+            data = su3.identity((4,) + geometry.shape, dtype=dtype)
+        else:
+            data = np.asarray(data)
+            if data.shape != expected:
+                raise ValueError(
+                    f"data shape {data.shape} does not match expected {expected}"
+                )
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def unit(cls, geometry: Geometry, dtype=np.complex128) -> "GaugeField":
+        """Free-field (identity links) configuration."""
+        return cls(geometry, dtype=dtype)
+
+    @classmethod
+    def hot(cls, geometry: Geometry, rng=None, dtype=np.complex128) -> "GaugeField":
+        """Maximally disordered start: independent Haar-random links."""
+        data = su3.random_su3((4,) + geometry.shape, rng=rng, dtype=dtype)
+        return cls(geometry, data)
+
+    @classmethod
+    def weak(
+        cls, geometry: Geometry, epsilon: float = 0.2, rng=None, dtype=np.complex128
+    ) -> "GaugeField":
+        """Weak-coupling-like configuration: links near the identity.
+
+        ``U = proj_SU3(1 + epsilon * A)`` with A anti-Hermitian Gaussian.
+        Stands in for the paper's production (importance-sampled) gauge
+        configurations: solvers on weak fields show the realistic
+        condition-number behaviour without a full HMC evolution.
+        """
+        rng = make_rng(rng)
+        shape = (4,) + geometry.shape + (3, 3)
+        z = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        a = 0.5 * (z - su3.dagger(z))
+        data = su3.project_su3(
+            su3.identity((4,) + geometry.shape) + epsilon * a
+        ).astype(dtype)
+        return cls(geometry, data)
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "GaugeField":
+        return GaugeField(self.geometry, self.data.copy())
+
+    def link(self, mu: int) -> np.ndarray:
+        """Links in direction mu, shape ``geometry.shape + (3, 3)``."""
+        return self.data[mu]
+
+    def unitarity_error(self) -> float:
+        return su3.unitarity_error(self.data)
+
+    def plaquette(self) -> float:
+        """Average plaquette Re tr P / 3 (delegates to the gauge sector)."""
+        from repro.gauge.observables import average_plaquette
+
+        return average_plaquette(self)
+
+    @property
+    def reals_per_site_per_link(self) -> int:
+        return 18
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GaugeField({self.geometry!r}, dtype={self.data.dtype})"

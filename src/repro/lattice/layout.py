@@ -1,0 +1,167 @@
+"""Field memory layout: the pad + ghost-zone maps of Figs. 2-3.
+
+QUDA stores each field as a structure-of-arrays over the *half* (single
+parity) lattice: ``Vh`` sites of body, a tunable pad (to break partition
+camping on pre-Fermi GPUs), then the ghost zones of every partitioned
+dimension packed consecutively.  Gauge fields reuse their pad region for
+the link ghosts.
+
+This module computes those offsets exactly, so that layout decisions are
+explicit, testable objects rather than arithmetic scattered through the
+halo code.  The performance model charges gather/scatter traffic against
+these sizes, and the tests cross-check them against the halo engine's
+actual message sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lattice.geometry import Geometry
+from repro.precision import Precision, precision
+
+
+@dataclass(frozen=True)
+class GhostSegment:
+    """One dimension's ghost allocation within a field buffer."""
+
+    mu: int
+    sign: int  # +1 forward face, -1 backward
+    offset_reals: int
+    length_reals: int
+
+    @property
+    def end(self) -> int:
+        return self.offset_reals + self.length_reals
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """Memory map of one parity of a lattice field (Fig. 2 / Fig. 3).
+
+    Parameters
+    ----------
+    geometry:
+        The *local* (per-GPU) lattice.
+    reals_per_site:
+        24 for Wilson spinors, 6 for staggered, 72 for a clover term,
+        18/12/8 per link for gauge fields.
+    partitioned:
+        Directions with ghost zones.
+    ghost_depth:
+        Stencil reach (1, or 3 for asqtad).
+    precision:
+        Storage precision (sets byte sizes).
+    pad_sites:
+        Pad between body and ghosts, in sites ("of adjustable length and
+        serves to reduce partition camping"; 0 is fine on Fermi).
+    """
+
+    geometry: Geometry
+    reals_per_site: int
+    partitioned: tuple[int, ...] = ()
+    ghost_depth: int = 1
+    precision: Precision = None  # type: ignore[assignment]
+    pad_sites: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "precision", precision(self.precision or "single")
+        )
+
+    # -- body ---------------------------------------------------------------
+    @property
+    def body_sites(self) -> int:
+        """Vh: sites per parity."""
+        return self.geometry.half_volume
+
+    @property
+    def body_reals(self) -> int:
+        return self.body_sites * self.reals_per_site
+
+    @property
+    def pad_reals(self) -> int:
+        return self.pad_sites * self.reals_per_site
+
+    # -- ghosts ---------------------------------------------------------------
+    def ghost_face_sites(self, mu: int) -> int:
+        """Sites of one parity in one face slab of thickness ghost_depth."""
+        return self.geometry.face_volume(mu, self.ghost_depth) // 2
+
+    def ghost_segments(self) -> list[GhostSegment]:
+        """Ghost allocations, packed after body+pad, ordered (mu, sign) —
+        "ghost zones for the spinor field are placed in memory after the
+        local spinor field"."""
+        segments: list[GhostSegment] = []
+        offset = self.body_reals + self.pad_reals
+        for mu in self.partitioned:
+            for sign in (-1, +1):
+                length = self.ghost_face_sites(mu) * self.reals_per_site
+                segments.append(GhostSegment(mu, sign, offset, length))
+                offset += length
+        return segments
+
+    @property
+    def ghost_reals(self) -> int:
+        return sum(s.length_reals for s in self.ghost_segments())
+
+    # -- totals ---------------------------------------------------------------
+    @property
+    def total_reals(self) -> int:
+        return self.body_reals + self.pad_reals + self.ghost_reals
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_reals * self.precision.bytes_per_real
+
+    @property
+    def ghost_fraction(self) -> float:
+        """Ghost storage over body storage — the memory side of the
+        surface-to-volume ratio."""
+        return self.ghost_reals / self.body_reals if self.body_reals else 0.0
+
+    def segment_for(self, mu: int, sign: int) -> GhostSegment:
+        for s in self.ghost_segments():
+            if s.mu == mu and s.sign == sign:
+                return s
+        raise KeyError(f"no ghost segment for dimension {mu}, sign {sign}")
+
+
+def spinor_layout(
+    geometry: Geometry,
+    nspin: int = 4,
+    partitioned: tuple[int, ...] = (),
+    ghost_depth: int = 1,
+    precision_name="single",
+    pad_sites: int = 0,
+) -> FieldLayout:
+    """The Fig. 2 spinor layout (24 or 6 reals per site)."""
+    return FieldLayout(
+        geometry=geometry,
+        reals_per_site=6 * nspin,
+        partitioned=partitioned,
+        ghost_depth=ghost_depth,
+        precision=precision(precision_name),
+        pad_sites=pad_sites,
+    )
+
+
+def gauge_layout(
+    geometry: Geometry,
+    reconstruct: int = 18,
+    partitioned: tuple[int, ...] = (),
+    ghost_depth: int = 1,
+    precision_name="single",
+    pad_sites: int = 0,
+) -> FieldLayout:
+    """The Fig. 3 gauge layout: 4 directions x reals-per-link per site
+    (the ghost links live in the pad region; here they are modeled as the
+    ghost segments of the combined field)."""
+    return FieldLayout(
+        geometry=geometry,
+        reals_per_site=4 * reconstruct,
+        partitioned=partitioned,
+        ghost_depth=ghost_depth,
+        precision=precision(precision_name),
+        pad_sites=pad_sites,
+    )

@@ -1,0 +1,6 @@
+"""Dense per-site linear algebra: SU(3) color algebra, spin (gamma) algebra,
+and the BLAS-like vector layer with cost accounting."""
+
+from repro.linalg import blas, gamma, su3
+
+__all__ = ["blas", "gamma", "su3"]

@@ -1,0 +1,107 @@
+"""BLAS-like vector operations on lattice fields, with cost accounting.
+
+These are the "other important computational kernels" of a Krylov solver:
+axpy-family updates, inner products, and norms.  Each routine reports its
+flops and memory traffic to the active :func:`repro.util.counters.tally`,
+and inner products / norms additionally count one *global reduction* — the
+communication events whose latency limits strong scaling of traditional
+Krylov methods (Sec. 3.2 of the paper).
+
+Flop counting convention (per complex element, the standard lattice-QCD
+accounting): complex add = 2, complex*real = 2, complex*complex = 6,
+so caxpy = 8, axpy(real) = 4, cdot = 8, norm2 = 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.counters import record
+
+
+def _nbytes(*arrays: np.ndarray) -> int:
+    return sum(a.nbytes for a in arrays)
+
+
+def norm2(x: np.ndarray) -> float:
+    """Squared 2-norm ||x||^2 (a global reduction)."""
+    val = float(np.vdot(x, x).real)
+    record(flops=4 * x.size, bytes_moved=_nbytes(x), reductions=1)
+    return val
+
+
+def cdot(x: np.ndarray, y: np.ndarray) -> complex:
+    """Complex inner product <x, y> = sum conj(x) * y (a global reduction)."""
+    val = complex(np.vdot(x, y))
+    record(flops=8 * x.size, bytes_moved=_nbytes(x, y), reductions=1)
+    return val
+
+
+def rdot(x: np.ndarray, y: np.ndarray) -> float:
+    """Real part of <x, y> (a global reduction)."""
+    val = float(np.vdot(x, y).real)
+    record(flops=8 * x.size, bytes_moved=_nbytes(x, y), reductions=1)
+    return val
+
+
+def axpy(a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """y + a*x with real scalar a."""
+    out = y + a * x
+    record(flops=4 * x.size, bytes_moved=_nbytes(x, y, out))
+    return out
+
+
+def caxpy(a: complex, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """y + a*x with complex scalar a."""
+    out = y + a * x
+    record(flops=8 * x.size, bytes_moved=_nbytes(x, y, out))
+    return out
+
+
+def xpay(x: np.ndarray, a: float, y: np.ndarray) -> np.ndarray:
+    """x + a*y with real scalar a."""
+    out = x + a * y
+    record(flops=4 * x.size, bytes_moved=_nbytes(x, y, out))
+    return out
+
+
+def cxpay(x: np.ndarray, a: complex, y: np.ndarray) -> np.ndarray:
+    """x + a*y with complex scalar a."""
+    out = x + a * y
+    record(flops=8 * x.size, bytes_moved=_nbytes(x, y, out))
+    return out
+
+
+def axpby(a: float, x: np.ndarray, b: float, y: np.ndarray) -> np.ndarray:
+    """a*x + b*y with real scalars."""
+    out = a * x + b * y
+    record(flops=6 * x.size, bytes_moved=_nbytes(x, y, out))
+    return out
+
+
+def caxpby(a: complex, x: np.ndarray, b: complex, y: np.ndarray) -> np.ndarray:
+    """a*x + b*y with complex scalars."""
+    out = a * x + b * y
+    record(flops=14 * x.size, bytes_moved=_nbytes(x, y, out))
+    return out
+
+
+def scale(a: "float | complex", x: np.ndarray) -> np.ndarray:
+    """a*x."""
+    out = a * x
+    flops = (6 if isinstance(a, complex) else 2) * x.size
+    record(flops=flops, bytes_moved=_nbytes(x, out))
+    return out
+
+
+def copy(x: np.ndarray) -> np.ndarray:
+    """Field copy (pure bandwidth, no flops)."""
+    out = x.copy()
+    record(bytes_moved=_nbytes(x, out))
+    return out
+
+
+def zero_like(x: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(x)
+    record(bytes_moved=out.nbytes)
+    return out

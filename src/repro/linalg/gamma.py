@@ -1,0 +1,101 @@
+"""Euclidean Dirac gamma-matrix algebra (DeGrand-Rossi chiral basis).
+
+Provides the 4x4 spin matrices appearing in the Wilson-clover operator of
+Eq. (2): the gammas themselves, the spin projectors ``P(mu, sign) =
+(1 + sign*gamma_mu)/2``, and ``sigma_{mu nu} = (i/2)[gamma_mu, gamma_nu]``
+used by the clover term.  The basis satisfies the Euclidean Clifford algebra
+``{gamma_mu, gamma_nu} = 2 delta_{mu nu}`` with Hermitian gammas, and
+``gamma5 = gamma_x gamma_y gamma_z gamma_t`` diagonal (chiral
+representation), which is what makes the clover matrix block-diagonal in
+chirality (two 6x6 blocks per site).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_i = 1j
+
+GAMMA_X = np.array(
+    [
+        [0, 0, 0, _i],
+        [0, 0, _i, 0],
+        [0, -_i, 0, 0],
+        [-_i, 0, 0, 0],
+    ],
+    dtype=np.complex128,
+)
+
+GAMMA_Y = np.array(
+    [
+        [0, 0, 0, -1],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [-1, 0, 0, 0],
+    ],
+    dtype=np.complex128,
+)
+
+GAMMA_Z = np.array(
+    [
+        [0, 0, _i, 0],
+        [0, 0, 0, -_i],
+        [-_i, 0, 0, 0],
+        [0, _i, 0, 0],
+    ],
+    dtype=np.complex128,
+)
+
+GAMMA_T = np.array(
+    [
+        [0, 0, 1, 0],
+        [0, 0, 0, 1],
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+    ],
+    dtype=np.complex128,
+)
+
+#: gamma matrices indexed by direction mu = 0..3 (x, y, z, t).
+GAMMAS = (GAMMA_X, GAMMA_Y, GAMMA_Z, GAMMA_T)
+
+#: gamma5 = gx gy gz gt; diagonal (+1, +1, -1, -1) in this basis.
+GAMMA5 = (GAMMA_X @ GAMMA_Y @ GAMMA_Z @ GAMMA_T).round(12)
+
+IDENTITY = np.eye(4, dtype=np.complex128)
+
+
+def gamma(mu: int) -> np.ndarray:
+    """Return gamma_mu for mu in 0..3 (x, y, z, t), or gamma5 for mu=5."""
+    if mu == 5:
+        return GAMMA5
+    if mu not in (0, 1, 2, 3):
+        raise ValueError(f"invalid gamma index {mu}")
+    return GAMMAS[mu]
+
+
+def projector(mu: int, sign: int) -> np.ndarray:
+    """Spin projector P^{sign}_mu = (1 + sign*gamma_mu)/2 from Eq. (2).
+
+    Each projector has rank 2, which is the source of the spin-projection
+    flop/bandwidth savings in Wilson dslash kernels.
+    """
+    if sign not in (+1, -1):
+        raise ValueError("sign must be +1 or -1")
+    return 0.5 * (IDENTITY + sign * gamma(mu))
+
+
+def sigma(mu: int, nu: int) -> np.ndarray:
+    """sigma_{mu nu} = (i/2) [gamma_mu, gamma_nu] (clover-term spin structure)."""
+    gm, gn = gamma(mu), gamma(nu)
+    return 0.5j * (gm @ gn - gn @ gm)
+
+
+def anticommutator(mu: int, nu: int) -> np.ndarray:
+    gm, gn = gamma(mu), gamma(nu)
+    return gm @ gn + gn @ gm
+
+
+def apply_spin_matrix(mat: np.ndarray, spinor: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 spin matrix to a field of (..., 4, 3) color-spinors."""
+    return np.einsum("st,...tc->...sc", mat, spinor)

@@ -1,0 +1,15 @@
+"""Multi-dimensional lattice partitioning across the virtual GPU cluster
+(Sec. 6 of the paper): block decomposition, ghost-zone halo exchange,
+interior/exterior kernel split, and distributed operators/fields."""
+
+from repro.multigpu.partition import BlockPartition
+from repro.multigpu.halo import HaloExchanger
+from repro.multigpu.space import DistributedSpace
+from repro.multigpu.ddop import DistributedOperator
+
+__all__ = [
+    "BlockPartition",
+    "HaloExchanger",
+    "DistributedSpace",
+    "DistributedOperator",
+]

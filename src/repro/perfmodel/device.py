@@ -1,0 +1,65 @@
+"""Device specifications and the kernel saturation curve.
+
+The M2050 numbers correspond to the Edge cluster's GPUs with ECC enabled
+(Sec. 7.1): ECC costs memory bandwidth, so the *achievable* bandwidth used
+here is well below the 148 GB/s peak.
+
+The saturation curve models the paper's observation that "if we perform a
+single-GPU run with the same per-GPU volume as ... 256 GPUs, performance
+is almost a factor of two slower than ... 16 GPUs ... due to the GPU not
+being completely saturated at this small problem size": kernel efficiency
+``eff(V) = V / (V + V_half)`` with ``V_half`` calibrated so the local
+volume of 32^3x256 over 256 GPUs (32768 sites) runs at half the efficiency
+of the 16-GPU local volume (524288 sites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU's compute/memory capabilities.
+
+    Attributes
+    ----------
+    peak_gflops:
+        Peak arithmetic rate by precision name.  Half precision shares the
+        single-precision ALUs (its win is bandwidth, not flops).
+    achievable_bandwidth_GBs:
+        Sustained device-memory bandwidth for streaming kernels (ECC on).
+    saturation_sites:
+        ``V_half`` of the efficiency curve.
+    spinor_reuse:
+        Effective fraction of neighbor-spinor traffic that actually hits
+        device memory (the texture cache serves the rest); calibrated so
+        single-GPU dslash rates match QUDA-on-M2050 measurements.
+    """
+
+    name: str
+    peak_gflops: dict = field(default_factory=dict)
+    achievable_bandwidth_GBs: float = 100.0
+    saturation_sites: float = 37000.0
+    spinor_reuse: float = 0.45
+
+    def kernel_efficiency(self, local_sites: int) -> float:
+        """Fraction of peak bandwidth achieved at this local volume."""
+        v = float(local_sites)
+        return v / (v + self.saturation_sites)
+
+    def effective_bandwidth(self, local_sites: int) -> float:
+        """GB/s actually delivered to a kernel at this local volume."""
+        return self.achievable_bandwidth_GBs * self.kernel_efficiency(local_sites)
+
+
+#: NVIDIA Tesla M2050 (Fermi), ECC enabled, as installed in Edge.
+M2050 = GPUSpec(
+    name="Tesla M2050 (ECC)",
+    peak_gflops={"double": 515.0, "single": 1030.0, "half": 1030.0},
+    achievable_bandwidth_GBs=105.0,
+    # a = 32768 (32^3x256 over 256 GPUs), b = 524288 (over 16 GPUs):
+    # V_half = a*b/(b - 2a) so eff(a) = eff(b)/2.
+    saturation_sites=37449.0,
+    spinor_reuse=0.5,
+)

@@ -1,0 +1,89 @@
+"""The communication pipeline of Sec. 6.3.
+
+Each exchanged face traverses, per Fig. 4:
+
+1. gather kernel on the GPU (device-bandwidth bound; the T face is
+   contiguous and skips this),
+2. device-to-host copy over PCI-E,
+3. host memcpy from pinned to pageable memory ("required ... because GPU
+   pinned memory is not compatible with memory pinned by MPI"; GPU-Direct
+   was not available on Edge),
+4. MPI send over QDR InfiniBand (skipped when the neighbor shares the
+   node),
+5. host memcpy pageable -> pinned on the receiver,
+6. host-to-device copy over PCI-E.
+
+On Edge two GPUs share one x16 PCI-E switch, and eight lanes feed the IB
+HCA, so per-GPU PCI-E and IB bandwidths already include that sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Per-GPU effective bandwidths (GB/s) and latencies (s) of each stage."""
+
+    #: PCI-E bandwidth available to one GPU (x16 switch shared by 2 GPUs,
+    #: contending with the HCA on the same IOH).
+    pcie_GBs: float = 2.2
+    pcie_latency: float = 10e-6
+    #: Host pinned<->pageable memcpy bandwidth (the extra copies of
+    #: Sec. 6.3; pageable-memory bandwidth on Westmere).
+    host_copy_GBs: float = 2.0
+    #: QDR InfiniBand effective bandwidth per GPU (HCA shared by 2 GPUs).
+    ib_GBs: float = 1.4
+    ib_latency: float = 5e-6
+    #: Fixed per-face pipeline overhead: stream synchronization, kernel
+    #: launches, MPI progress (per exchanged face, both directions each
+    #: count one).
+    per_face_overhead: float = 120e-6
+    #: Fraction of neighbor pairs that share a node (skip the IB stage).
+    #: With 2 GPUs per node and consecutive ranks packed per node, half of
+    #: the hops along the fastest-varying partitioned grid dimension are
+    #: intra-node; averaged over configurations we use a small constant.
+    intra_node_fraction: float = 0.25
+    #: Model the GPU-Direct / peer-to-peer path the paper anticipates
+    #: ("We expect to be able to remove these extra memory copies in the
+    #: future when better support from GPU and MPI vendors is
+    #: forthcoming", Sec. 6.3): the pinned<->pageable host memcpys vanish
+    #: and the per-face software overhead drops.
+    gpu_direct: bool = False
+
+    def with_gpu_direct(self) -> "InterconnectSpec":
+        """The same fabric with GPU-Direct enabled."""
+        from dataclasses import replace
+
+        return replace(
+            self, gpu_direct=True, per_face_overhead=self.per_face_overhead / 2
+        )
+
+    def face_transfer_time(self, nbytes: int, off_node: bool = True) -> float:
+        """One direction's ghost-face journey, host-to-host (stages 2-6)."""
+        pcie = 2 * (nbytes / (self.pcie_GBs * 1e9) + self.pcie_latency)  # D2H + H2D
+        host = (
+            0.0
+            if self.gpu_direct
+            else 2 * nbytes / (self.host_copy_GBs * 1e9)  # both memcpys
+        )
+        ib = (nbytes / (self.ib_GBs * 1e9) + self.ib_latency) if off_node else 0.0
+        return pcie + host + ib
+
+    def average_face_time(self, nbytes: int) -> float:
+        """Face time averaged over intra/inter-node neighbor placement."""
+        on = self.face_transfer_time(nbytes, off_node=False)
+        off = self.face_transfer_time(nbytes, off_node=True)
+        f = self.intra_node_fraction
+        return f * on + (1.0 - f) * off
+
+    def allreduce_time(self, n_ranks: int, nbytes: int = 16) -> float:
+        """A small global reduction: latency-dominated tree allreduce, plus
+        the PCI-E round trip for the device partial result."""
+        import math
+
+        if n_ranks <= 1:
+            return 2 * self.pcie_latency
+        hops = math.ceil(math.log2(n_ranks))
+        return 2 * self.pcie_latency + 2 * hops * self.ib_latency

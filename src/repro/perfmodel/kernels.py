@@ -1,0 +1,144 @@
+"""Per-site cost model of the Dirac-operator kernels.
+
+The dslash kernels are memory-bandwidth bound on Fermi-class GPUs, so the
+central quantities are bytes/site (a function of discretization, storage
+precision, and gauge-compression scheme — QUDA's strategies (a)-(c) of
+Sec. 5) and the standard flops/site used for reporting.
+
+Byte accounting per site, per QUDA's layout:
+
+* Wilson(-clover): 8 gauge-link reads (``reals_per_link`` each after
+  compression), 8 neighbor spinor reads (24 reals; discounted by the
+  texture-cache reuse factor), 1 spinor write, plus 72 clover reals.
+* asqtad: 8 fat-link + 8 long-link reads (18 reals each — "no gauge
+  reconstruction" is possible for fat links, which are not unitary; the
+  paper's Fig. 6 runs use none for either), 16 neighbor spinor reads
+  (6 reals each, discounted), 1 write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.dirac import base as dirac_flops
+from repro.perfmodel.device import GPUSpec
+from repro.precision import Precision, precision
+
+
+class OperatorKind(str, Enum):
+    WILSON = "wilson"
+    WILSON_CLOVER = "wilson_clover"
+    STAGGERED = "staggered"
+    ASQTAD = "asqtad"
+
+    @property
+    def nspin(self) -> int:
+        return 4 if self in (OperatorKind.WILSON, OperatorKind.WILSON_CLOVER) else 1
+
+    @property
+    def spinor_reals(self) -> int:
+        return 24 if self.nspin == 4 else 6
+
+    @property
+    def ghost_depth(self) -> int:
+        """Stencil reach = ghost-zone thickness (3-hop Naik for asqtad)."""
+        return 3 if self is OperatorKind.ASQTAD else 1
+
+    @property
+    def neighbor_reads(self) -> int:
+        return 16 if self is OperatorKind.ASQTAD else 8
+
+    @property
+    def flops_per_site(self) -> int:
+        return {
+            OperatorKind.WILSON: dirac_flops.WILSON_DSLASH_FLOPS,
+            OperatorKind.WILSON_CLOVER: dirac_flops.WILSON_DSLASH_FLOPS
+            + dirac_flops.CLOVER_FLOPS,
+            OperatorKind.STAGGERED: dirac_flops.STAGGERED_DSLASH_FLOPS,
+            OperatorKind.ASQTAD: dirac_flops.ASQTAD_DSLASH_FLOPS,
+        }[self]
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Dslash kernel cost for one (operator, precision, reconstruction)."""
+
+    kind: OperatorKind
+    precision: Precision
+    reconstruct: int = 18  # reals per link: 18, 12 or 8
+
+    def __post_init__(self):
+        object.__setattr__(self, "precision", precision(self.precision))
+        if self.reconstruct not in (18, 12, 8):
+            raise ValueError(f"reconstruct must be 18/12/8, got {self.reconstruct}")
+        if self.kind in (OperatorKind.STAGGERED, OperatorKind.ASQTAD) and (
+            self.reconstruct != 18
+        ):
+            raise ValueError("fat links are not unitary: no reconstruction")
+
+    # -- traffic -----------------------------------------------------------
+    def gauge_bytes_per_site(self) -> int:
+        w = self.precision.bytes_per_real
+        links = 16 if self.kind is OperatorKind.ASQTAD else 8
+        return links * self.reconstruct * w
+
+    def spinor_bytes_per_site(self, reuse: float) -> float:
+        w = self.precision.bytes_per_real
+        # Half precision also streams one float32 scale per site access.
+        scale = 4 if self.precision.name == "half" else 0
+        reads = (
+            self.kind.neighbor_reads
+            * (self.kind.spinor_reals * w + scale)
+            * reuse
+        )
+        write = self.kind.spinor_reals * w + scale
+        return reads + write
+
+    def clover_bytes_per_site(self) -> int:
+        if self.kind is OperatorKind.WILSON_CLOVER:
+            return 72 * self.precision.bytes_per_real
+        return 0
+
+    def bytes_per_site(self, reuse: float) -> float:
+        return (
+            self.gauge_bytes_per_site()
+            + self.spinor_bytes_per_site(reuse)
+            + self.clover_bytes_per_site()
+        )
+
+    @property
+    def flops_per_site(self) -> int:
+        extra = 0
+        if self.kind in (OperatorKind.WILSON, OperatorKind.WILSON_CLOVER):
+            # Reconstruction arithmetic: ~42 extra flops/link for 12
+            # (a cross product), ~2x that for 8.
+            extra = {18: 0, 12: 8 * 42, 8: 8 * 84}[self.reconstruct]
+        return self.kind.flops_per_site + extra
+
+    # -- time ----------------------------------------------------------------
+    def time_on(self, gpu: GPUSpec, local_sites: int) -> float:
+        """Seconds for one dslash over ``local_sites`` sites on one GPU.
+
+        The kernel is the max of its bandwidth time and its arithmetic
+        time (bandwidth dominates on Fermi for every configuration here,
+        but 8-reconstruction shifts the balance — strategy (a) of Sec. 5).
+        """
+        nbytes = self.bytes_per_site(gpu.spinor_reuse) * local_sites
+        flops = self.flops_per_site * local_sites
+        bw_time = nbytes / (gpu.effective_bandwidth(local_sites) * 1e9)
+        # Arithmetic rate also degrades when the GPU is under-occupied.
+        peak = gpu.peak_gflops[self.precision.name] * 1e9
+        fl_time = flops / (peak * gpu.kernel_efficiency(local_sites))
+        t = max(bw_time, fl_time)
+        if self.precision.name == "half":
+            # Fixed-point pack/unpack arithmetic keeps half kernels from
+            # realizing the full 2x bandwidth win (QUDA sees ~1.5-1.7x).
+            t *= 1.2
+        return t
+
+    def reported_gflops(self, gpu: GPUSpec, local_sites: int) -> float:
+        """Standard-count Gflops a single GPU sustains at this volume
+        (what Figs. 5-6 plot, before communication costs)."""
+        t = self.time_on(gpu, local_sites)
+        return self.kind.flops_per_site * local_sites / t / 1e9

@@ -1,0 +1,121 @@
+"""Replay measured runs through the performance model.
+
+The functional layer records what a solve *did* — operator applications,
+BLAS flops, reductions (``Tally``), and every halo message (``CommLog``).
+This module converts those records into modeled Edge-cluster wall-clock
+time, which is how the benchmark harness grounds the figure tables in real
+algorithmic measurements rather than assumed workloads.
+
+Two levels are provided:
+
+* :func:`replay_comm` — charge every logged ghost-zone message against the
+  interconnect pipeline (with per-rank concurrency: ranks communicate in
+  parallel, so the busiest rank sets the time);
+* :func:`replay_solve` — combine a Tally's operator/BLAS/reduction counts
+  with per-kernel model times into a full modeled solve time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.traffic import CommLog
+from repro.perfmodel.device import GPUSpec
+from repro.perfmodel.interconnect import InterconnectSpec
+from repro.perfmodel.kernels import KernelModel
+from repro.util.counters import Tally
+
+
+def replay_comm(
+    log: CommLog,
+    net: InterconnectSpec,
+    n_ranks: int,
+    kind: str | None = "spinor",
+) -> float:
+    """Modeled time for the logged communication.
+
+    Ranks progress concurrently; each message is charged to its *sender*,
+    and the busiest sender's pipeline time is returned.  ``kind`` filters
+    events (spinor halos by default; pass None for everything).
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    busy = [0.0] * n_ranks
+    for event in log.events:
+        if kind is not None and event.kind != kind:
+            continue
+        busy[event.src] += (
+            net.average_face_time(event.nbytes) + net.per_face_overhead
+        )
+    return max(busy) if busy else 0.0
+
+
+@dataclass
+class ReplayedSolve:
+    """Modeled wall-clock breakdown of a measured solve."""
+
+    operator_time: float
+    blas_time: float
+    reduction_time: float
+    comm_time: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.operator_time
+            + self.blas_time
+            + self.reduction_time
+            + self.comm_time
+        )
+
+
+def replay_solve(
+    tally: Tally,
+    kernel: KernelModel,
+    gpu: GPUSpec,
+    net: InterconnectSpec,
+    local_sites: int,
+    n_ranks: int,
+    log: CommLog | None = None,
+    operator_names: tuple[str, ...] | None = None,
+) -> ReplayedSolve:
+    """Convert a measured Tally (+ optional CommLog) into modeled time.
+
+    Parameters
+    ----------
+    tally:
+        Counters recorded around the real solve.
+    kernel:
+        The kernel model used for operator applications.
+    local_sites:
+        Per-GPU sub-volume of the modeled deployment (the *measured* run
+        may have been on a smaller lattice; the model scales per
+        application, so iteration counts — the algorithmic content —
+        carry over).
+    operator_names:
+        Which ``tally.operator_applications`` entries count as full
+        operator applications (default: all of them).
+    """
+    names = operator_names or tuple(tally.operator_applications)
+    n_apps = sum(tally.operator_applications.get(n, 0) for n in names)
+    op_time = n_apps * kernel.time_on(gpu, local_sites)
+
+    # BLAS flops (minus the operators' own flops) are bandwidth-bound:
+    # charge them at 8 flops per 16 bytes of traffic in the kernel's
+    # precision, through the device bandwidth.
+    blas_flops = max(
+        tally.flops - n_apps * kernel.flops_per_site * local_sites * n_ranks, 0
+    )
+    bytes_per_flop = 2.0 * kernel.precision.bytes_per_real / 4.0
+    blas_time = (
+        blas_flops * bytes_per_flop / (gpu.effective_bandwidth(local_sites) * 1e9)
+    ) / max(n_ranks, 1)
+
+    reduction_time = tally.reductions * net.allreduce_time(n_ranks)
+    comm_time = replay_comm(log, net, n_ranks) if log is not None else 0.0
+    return ReplayedSolve(
+        operator_time=op_time,
+        blas_time=blas_time,
+        reduction_time=reduction_time,
+        comm_time=comm_time,
+    )

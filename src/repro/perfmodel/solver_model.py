@@ -1,0 +1,331 @@
+"""Whole-solver time models: mixed-precision BiCGstab, GCR-DD, and the
+asqtad multi-shift solver (Figs. 7, 8, 10).
+
+The models combine
+
+* the dslash timeline of :mod:`repro.perfmodel.streams` (communication,
+  overlap, exterior kernels) for every *full* operator application,
+* pure-kernel times for the communication-free Schwarz block solves,
+* bandwidth costs for the BLAS-1 vector work, and
+* latency costs for global reductions,
+
+with *algorithmic* inputs (iteration counts, Krylov sizes, MR steps) that
+are measured on real small-lattice solves by the benchmark harness and
+scaled per the calibration notes in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.perfmodel.kernels import KernelModel, OperatorKind
+from repro.perfmodel.machines import GPUCluster
+from repro.perfmodel.streams import DslashTimeline, model_dslash_time
+from repro.precision import DOUBLE, HALF, SINGLE, Precision
+
+
+def _local_dims(
+    volume: tuple[int, int, int, int], grid_dims: tuple[int, int, int, int]
+) -> tuple[int, int, int, int]:
+    return tuple(v // g for v, g in zip(volume, grid_dims))
+
+
+def _blas_time(
+    local_sites: int,
+    spinor_reals: int,
+    precision: Precision,
+    cluster: GPUCluster,
+    vector_ops: float,
+    streams_per_op: float = 3.0,
+) -> float:
+    """Time for axpy-family vector work: pure device bandwidth."""
+    nbytes = vector_ops * streams_per_op * local_sites * spinor_reals * (
+        precision.bytes_per_real
+    )
+    bw = cluster.gpu.effective_bandwidth(local_sites) * 1e9
+    return nbytes / bw
+
+
+@dataclass
+class SolverWorkload:
+    """Per-solve algorithmic quantities (measured, not modeled)."""
+
+    iterations: int
+    matvecs_per_iteration: float = 2.0
+    vector_ops_per_iteration: float = 6.0
+    reductions_per_iteration: float = 4.0
+
+
+@dataclass
+class SolverTimeBreakdown:
+    """Modeled solve time and its components (seconds)."""
+
+    matvec: float = 0.0
+    preconditioner: float = 0.0
+    blas: float = 0.0
+    reductions: float = 0.0
+    restarts: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.matvec
+            + self.preconditioner
+            + self.blas
+            + self.reductions
+            + self.restarts
+        )
+
+
+class BiCGstabModel:
+    """Mixed-precision BiCGstab on the GPU cluster (the Fig. 7 baseline).
+
+    Every matvec is a fully-communicating dslash; every iteration performs
+    several global reductions.  ``flops_per_matvec_site`` uses the standard
+    operator count so "sustained Tflops" matches the paper's reporting.
+    """
+
+    def __init__(
+        self,
+        cluster: GPUCluster,
+        volume: tuple[int, int, int, int],
+        kind: OperatorKind = OperatorKind.WILSON_CLOVER,
+        inner_precision: Precision = HALF,
+        reconstruct: int = 12,
+        workload: SolverWorkload | None = None,
+    ):
+        self.cluster = cluster
+        self.volume = volume
+        self.kind = kind
+        self.kernel = KernelModel(kind, inner_precision, reconstruct)
+        self.workload = workload or SolverWorkload(iterations=600)
+
+    def dslash_timeline(self, grid_dims) -> DslashTimeline:
+        local = _local_dims(self.volume, grid_dims)
+        partitioned = tuple(mu for mu in range(4) if grid_dims[mu] > 1)
+        return model_dslash_time(
+            self.kernel,
+            self.cluster.gpu,
+            self.cluster.interconnect,
+            local,
+            partitioned,
+        )
+
+    def solve_time(self, grid_dims: tuple[int, int, int, int]) -> SolverTimeBreakdown:
+        w = self.workload
+        n_gpus = math.prod(grid_dims)
+        local_sites = math.prod(_local_dims(self.volume, grid_dims))
+        tl = self.dslash_timeline(grid_dims)
+        out = SolverTimeBreakdown()
+        out.matvec = w.iterations * w.matvecs_per_iteration * tl.total_time
+        out.blas = w.iterations * _blas_time(
+            local_sites, self.kind.spinor_reals, self.kernel.precision,
+            self.cluster, w.vector_ops_per_iteration,
+        )
+        out.reductions = (
+            w.iterations
+            * w.reductions_per_iteration
+            * self.cluster.interconnect.allreduce_time(n_gpus)
+        )
+        # Reliable updates: one high-precision true residual every ~50 its.
+        high = KernelModel(self.kind, SINGLE, self.kernel.reconstruct)
+        n_updates = max(1, w.iterations // 50)
+        out.restarts = n_updates * model_dslash_time(
+            high, self.cluster.gpu, self.cluster.interconnect,
+            _local_dims(self.volume, grid_dims),
+            tuple(mu for mu in range(4) if grid_dims[mu] > 1),
+        ).total_time
+        return out
+
+    def sustained_tflops(self, grid_dims) -> float:
+        w = self.workload
+        flops = (
+            w.iterations
+            * w.matvecs_per_iteration
+            * self.kind.flops_per_site
+            * math.prod(self.volume)
+        )
+        return flops / self.solve_time(grid_dims).total / 1e12
+
+
+@dataclass
+class GCRDDWorkload:
+    """Algorithmic quantities of a GCR-DD solve.
+
+    ``outer_iterations`` depends on the block size (smaller Dirichlet
+    blocks = weaker preconditioner = more outer work); the benchmark
+    harness measures the growth exponent on real small-lattice solves.
+    """
+
+    outer_iterations: int
+    mr_steps: int = 10
+    kmax: int = 16
+    #: average Krylov index during orthogonalization ~ kmax/2
+    avg_krylov: float = 8.0
+
+
+class GCRDDModel:
+    """The domain-decomposed GCR solver on the GPU cluster (Fig. 7/8).
+
+    Per outer iteration: one Schwarz preconditioner application (mr_steps
+    communication-free half-precision dslashes per block, running "at
+    similar efficiency to the equivalent single-GPU performance at this
+    local volume"), one fully-communicating half-precision dslash, and the
+    orthogonalization's global reductions.  Restarts recompute the true
+    residual in single precision.
+    """
+
+    def __init__(
+        self,
+        cluster: GPUCluster,
+        volume: tuple[int, int, int, int],
+        workload: GCRDDWorkload,
+        kind: OperatorKind = OperatorKind.WILSON_CLOVER,
+        reconstruct: int = 12,
+    ):
+        self.cluster = cluster
+        self.volume = volume
+        self.kind = kind
+        self.workload = workload
+        self.inner_kernel = KernelModel(kind, HALF, reconstruct)
+        self.outer_kernel = KernelModel(kind, SINGLE, reconstruct)
+
+    def solve_time(self, grid_dims: tuple[int, int, int, int]) -> SolverTimeBreakdown:
+        w = self.workload
+        n_gpus = math.prod(grid_dims)
+        local = _local_dims(self.volume, grid_dims)
+        local_sites = math.prod(local)
+        partitioned = tuple(mu for mu in range(4) if grid_dims[mu] > 1)
+        net = self.cluster.interconnect
+
+        tl_inner = model_dslash_time(
+            self.inner_kernel, self.cluster.gpu, net, local, partitioned
+        )
+        out = SolverTimeBreakdown()
+        # Schwarz block solve: mr_steps local (cut) dslashes + local BLAS,
+        # no communication at all.
+        kernel_local = self.inner_kernel.time_on(self.cluster.gpu, local_sites)
+        mr_blas = _blas_time(
+            local_sites, self.kind.spinor_reals, HALF, self.cluster, 3.0
+        )
+        out.preconditioner = w.outer_iterations * w.mr_steps * (
+            kernel_local + mr_blas
+        )
+        # One communicating matvec per Krylov step.
+        out.matvec = w.outer_iterations * tl_inner.total_time
+        # Orthogonalization: ~avg_krylov caxpy+dot pairs.
+        out.blas = w.outer_iterations * _blas_time(
+            local_sites, self.kind.spinor_reals, HALF, self.cluster,
+            2.0 * w.avg_krylov,
+        )
+        out.reductions = (
+            w.outer_iterations
+            * (w.avg_krylov + 2.0)
+            * net.allreduce_time(n_gpus)
+        )
+        # Restarts: single-precision true residual + solution update.
+        n_restarts = max(1, math.ceil(w.outer_iterations / w.kmax))
+        tl_outer = model_dslash_time(
+            self.outer_kernel, self.cluster.gpu, net, local, partitioned
+        )
+        out.restarts = n_restarts * (
+            tl_outer.total_time
+            + _blas_time(
+                local_sites, self.kind.spinor_reals, SINGLE, self.cluster,
+                w.kmax / 2.0,
+            )
+        )
+        return out
+
+    def useful_flops(self) -> float:
+        """Flops the paper's Tflops metric counts: every operator
+        application — including the preconditioner's — plus the solver's
+        BLAS-1 work ("the raw flop count is not a good metric of actual
+        speed", Sec. 9.1 — which is why Fig. 8 compares time to solution)."""
+        w = self.workload
+        per_site = self.kind.flops_per_site
+        vol = math.prod(self.volume)
+        complexes = vol * self.kind.spinor_reals // 2
+        matvec_flops = w.outer_iterations * per_site * vol
+        precond_flops = w.outer_iterations * w.mr_steps * per_site * vol
+        # MR: dot + 2 axpy per step; GCR: ~avg_krylov (dot + caxpy) pairs.
+        mr_blas = w.outer_iterations * w.mr_steps * 3 * 8 * complexes
+        orth_blas = w.outer_iterations * 2 * w.avg_krylov * 8 * complexes
+        return matvec_flops + precond_flops + mr_blas + orth_blas
+
+    def sustained_tflops(self, grid_dims) -> float:
+        return self.useful_flops() / self.solve_time(grid_dims).total / 1e12
+
+
+@dataclass
+class MultishiftWorkload:
+    """Asqtad two-stage solve quantities (Sec. 8.2)."""
+
+    multishift_iterations: int
+    n_shifts: int = 9
+    refine_iterations_total: int = 300  # summed over shifts
+
+
+class MultishiftModel:
+    """Mixed-precision multi-shift CG + sequential refinement (Fig. 10)."""
+
+    def __init__(
+        self,
+        cluster: GPUCluster,
+        volume: tuple[int, int, int, int],
+        workload: MultishiftWorkload,
+        precision: Precision = SINGLE,
+    ):
+        self.cluster = cluster
+        self.volume = volume
+        self.workload = workload
+        self.kernel = KernelModel(OperatorKind.ASQTAD, precision, 18)
+        self.refine_kernel = KernelModel(OperatorKind.ASQTAD, SINGLE, 18)
+
+    def solve_time(self, grid_dims: tuple[int, int, int, int]) -> SolverTimeBreakdown:
+        w = self.workload
+        n_gpus = math.prod(grid_dims)
+        local = _local_dims(self.volume, grid_dims)
+        local_sites = math.prod(local)
+        partitioned = tuple(mu for mu in range(4) if grid_dims[mu] > 1)
+        net = self.cluster.interconnect
+
+        tl = model_dslash_time(
+            self.kernel, self.cluster.gpu, net, local, partitioned
+        )
+        out = SolverTimeBreakdown()
+        # Normal-equations matvec = 2 dslashes.
+        out.matvec = w.multishift_iterations * 2 * tl.total_time
+        # "the extra BLAS1-type linear algebra incurred is extremely
+        # bandwidth intensive": ~3 vector updates per shift per iteration.
+        out.blas = w.multishift_iterations * _blas_time(
+            local_sites, 6, self.kernel.precision, self.cluster,
+            3.0 * w.n_shifts + 3.0,
+        )
+        out.reductions = (
+            w.multishift_iterations * 3.0 * net.allreduce_time(n_gpus)
+        )
+        # Sequential refinement: mixed-precision CG sweeps.
+        tl_ref = model_dslash_time(
+            self.refine_kernel, self.cluster.gpu, net, local, partitioned
+        )
+        out.restarts = w.refine_iterations_total * (
+            2 * tl_ref.total_time
+            + _blas_time(local_sites, 6, SINGLE, self.cluster, 6.0)
+        )
+        return out
+
+    def useful_flops(self) -> float:
+        w = self.workload
+        vol = math.prod(self.volume)
+        per_site = OperatorKind.ASQTAD.flops_per_site
+        matvecs = 2 * (w.multishift_iterations + w.refine_iterations_total)
+        # Count the shift updates as BLAS flops too (6 reals/site/axpy-pair).
+        shift_flops = (
+            w.multishift_iterations * 3.0 * w.n_shifts * 4 * 6 * vol / 4
+        )
+        return matvecs * per_site * vol + shift_flops
+
+    def sustained_tflops(self, grid_dims) -> float:
+        return self.useful_flops() / self.solve_time(grid_dims).total / 1e12

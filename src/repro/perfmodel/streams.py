@@ -1,0 +1,146 @@
+"""The CUDA-stream overlap schedule of Fig. 4.
+
+One dslash application on one GPU proceeds as:
+
+1. **gather kernels** for every partitioned dimension (X/Y/Z faces are
+   strided and need a real gather; the T face is contiguous and is copied
+   directly), serialized on the GPU;
+2. **communication** in all partitioned dimensions concurrently (two
+   streams per dimension), pipelined through PCI-E -> host memcpy -> IB ->
+   host memcpy -> PCI-E; the per-resource busy times bound the aggregate;
+3. the **interior kernel**, overlapping all of (2);
+4. one **exterior kernel per partitioned dimension**, executed
+   sequentially (corner sites create data dependencies between them), each
+   blocking until its dimension's ghosts have arrived.
+
+"For small subvolumes, the total communication time over all dimensions is
+likely to exceed the interior kernel run time, resulting in some interval
+when the GPU is idle" — that idle interval is exactly
+``max(0, comm_time - interior_time)`` below, and it is what bends the
+strong-scaling curves of Figs. 5-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lattice.geometry import T as T_DIR
+from repro.perfmodel.device import GPUSpec
+from repro.perfmodel.interconnect import InterconnectSpec
+from repro.perfmodel.kernels import KernelModel
+
+#: X/Y/Z exterior kernels cannot coalesce both their reads and writes
+#: (Sec. 6.2 chooses the T-slowest mapping and eats uncoalesced ghost
+#: accesses); T exteriors and the interior are fully coalesced.
+UNCOALESCED_PENALTY = 1.5
+
+
+@dataclass
+class DslashTimeline:
+    """Modeled timing breakdown of one distributed dslash application."""
+
+    local_sites: int
+    gather_time: float
+    interior_time: float
+    comm_time: float
+    exterior_times: dict[int, float]
+
+    @property
+    def exterior_total(self) -> float:
+        return sum(self.exterior_times.values())
+
+    @property
+    def idle_time(self) -> float:
+        """GPU idle interval while waiting for ghosts (Fig. 4's hatched gap)."""
+        return max(0.0, self.comm_time - self.interior_time)
+
+    @property
+    def total_time(self) -> float:
+        return (
+            self.gather_time
+            + max(self.interior_time, self.comm_time)
+            + self.exterior_total
+        )
+
+    def gflops_per_gpu(self, flops_per_site: int) -> float:
+        return flops_per_site * self.local_sites / self.total_time / 1e9
+
+
+def _face_sites(local_dims: tuple[int, ...], mu: int, depth: int) -> int:
+    sites = 1
+    for nu, n in enumerate(local_dims):
+        sites *= depth if nu == mu else n
+    return sites
+
+
+def model_dslash_time(
+    kernel: KernelModel,
+    gpu: GPUSpec,
+    net: InterconnectSpec,
+    local_dims: tuple[int, int, int, int],
+    partitioned: tuple[int, ...],
+) -> DslashTimeline:
+    """Timeline for one dslash on a ``local_dims`` sub-lattice with ghosts
+    exchanged in the ``partitioned`` directions."""
+    local_sites = 1
+    for n in local_dims:
+        local_sites *= n
+    depth = kernel.kind.ghost_depth
+    spinor_bytes = kernel.kind.spinor_reals * kernel.precision.bytes_per_real
+    hops_total = kernel.kind.neighbor_reads  # 8 or 16 one-hop equivalents
+
+    # ---- gather kernels (device bandwidth; skip the contiguous T face) ----
+    gather_time = 0.0
+    for mu in partitioned:
+        face_bytes = _face_sites(local_dims, mu, depth) * spinor_bytes
+        passes = 2.0 if mu != T_DIR else 1.0  # strided gather: read + write
+        gather_time += 2 * face_bytes * passes / (
+            gpu.achievable_bandwidth_GBs * 1e9
+        )
+
+    # ---- communication: resource busy times over all faces ----
+    pcie_busy = host_busy = ib_busy = 0.0
+    overhead = 0.0
+    startup = 0.0
+    for mu in partitioned:
+        nbytes = _face_sites(local_dims, mu, depth) * spinor_bytes
+        for _direction in (0, 1):
+            pcie_busy += 2 * (nbytes / (net.pcie_GBs * 1e9) + net.pcie_latency)
+            if not net.gpu_direct:
+                host_busy += 2 * nbytes / (net.host_copy_GBs * 1e9)
+            ib_busy += (1.0 - net.intra_node_fraction) * (
+                nbytes / (net.ib_GBs * 1e9) + net.ib_latency
+            )
+            overhead += net.per_face_overhead
+        startup = max(startup, net.pcie_latency + net.ib_latency)
+    comm_time = max(pcie_busy, host_busy, ib_busy) + startup + overhead
+
+    # ---- interior and exterior kernels ----
+    ghost_hop_sites: dict[int, float] = {}
+    for mu in partitioned:
+        f1 = _face_sites(local_dims, mu, 1)
+        # Hops sourced from ghosts, both sides: 1-hop terms read depth-1
+        # slabs; 3-hop (Naik) terms read up to depth-3 slabs.
+        hops = 2 * f1  # fat/one-hop contribution
+        if depth == 3:
+            hops += 2 * 3 * f1  # long-link contribution
+        ghost_hop_sites[mu] = hops / hops_total  # full-site equivalents
+
+    interior_fraction = 1.0 - sum(ghost_hop_sites.values()) / local_sites
+    interior_time = kernel.time_on(gpu, local_sites) * max(interior_fraction, 0.0)
+
+    exterior_times = {}
+    for mu in partitioned:
+        eq_sites = ghost_hop_sites[mu]
+        penalty = 1.0 if mu == T_DIR else UNCOALESCED_PENALTY
+        # time_on includes the saturation curve; exterior kernels are tiny
+        # and correspondingly inefficient.
+        exterior_times[mu] = kernel.time_on(gpu, max(int(eq_sites), 1)) * penalty
+
+    return DslashTimeline(
+        local_sites=local_sites,
+        gather_time=gather_time,
+        interior_time=interior_time,
+        comm_time=comm_time,
+        exterior_times=exterior_times,
+    )

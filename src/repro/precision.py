@@ -1,0 +1,144 @@
+"""Precision emulation: double, single, and QUDA-style 16-bit "half".
+
+QUDA's half precision (Sec. 5 of the paper) is not IEEE fp16 but a custom
+16-bit *fixed-point* format: each color-spinor (or gauge link) is stored as
+int16 mantissas together with one float scale per site, chosen as the
+max-norm of that site's components.  We emulate the format exactly —
+quantize to int16 with a per-site scale, then dequantize — so mixed-precision
+solvers in this library experience the same rounding behaviour that drives
+the paper's reliable-update and early-restart (delta) machinery.
+
+The emulated values are carried in complex64 arrays after the quantization
+round-trip; what matters for solver behaviour is the *rounding*, which is
+faithful.  Storage sizes for the performance model are taken from
+:attr:`Precision.bytes_per_real`, not from the numpy dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_INT16_MAX = 32767.0
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A storage precision for lattice fields.
+
+    Attributes
+    ----------
+    name:
+        ``"double"``, ``"single"`` or ``"half"``.
+    dtype:
+        numpy complex dtype used to carry values of this precision.
+    bytes_per_real:
+        Storage cost per real number, used by the performance model
+        (half stores int16 mantissas: 2 bytes/real plus a per-site scale
+        that is amortized into the same figure, as in QUDA's accounting).
+    """
+
+    name: str
+    dtype: np.dtype
+    bytes_per_real: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Precision({self.name})"
+
+    @property
+    def eps(self) -> float:
+        """Representative relative rounding error of the format."""
+        if self.name == "double":
+            return float(np.finfo(np.float64).eps)
+        if self.name == "single":
+            return float(np.finfo(np.float32).eps)
+        return 1.0 / _INT16_MAX
+
+    def convert(self, array: np.ndarray, site_axes: int = 2) -> np.ndarray:
+        """Round ``array`` to this precision (returns a new array).
+
+        ``site_axes`` is the number of trailing axes that belong to a single
+        site (2 for ``(spin, color)`` spinors or ``(3, 3)`` links, 1 for
+        staggered ``(color,)`` spinors); the half format computes one scale
+        per site over exactly those axes.
+        """
+        if self.name == "double":
+            return np.ascontiguousarray(array, dtype=np.complex128)
+        if self.name == "single":
+            return np.ascontiguousarray(array, dtype=np.complex64)
+        return quantize_half(array, site_axes=site_axes)
+
+
+def quantize_half(array: np.ndarray, site_axes: int = 2) -> np.ndarray:
+    """Emulate QUDA's 16-bit fixed-point storage round-trip.
+
+    Each site's components are divided by the site max-norm (stored as a
+    float scale), the real and imaginary parts are rounded to int16, and the
+    value is reconstructed.  Zero sites pass through unchanged.
+    """
+    a = np.asarray(array)
+    reduce_axes = tuple(range(a.ndim - site_axes, a.ndim))
+    scale = np.maximum(
+        np.abs(a.real).max(axis=reduce_axes, keepdims=True),
+        np.abs(a.imag).max(axis=reduce_axes, keepdims=True),
+    ).astype(np.float32)
+    safe = np.where(scale > 0, scale, 1.0)
+    re = np.rint(a.real / safe * _INT16_MAX).astype(np.int16)
+    im = np.rint(a.imag / safe * _INT16_MAX).astype(np.int16)
+    out = (re.astype(np.float32) + 1j * im.astype(np.float32)) * (safe / _INT16_MAX)
+    return out.astype(np.complex64)
+
+
+DOUBLE = Precision("double", np.dtype(np.complex128), 8)
+SINGLE = Precision("single", np.dtype(np.complex64), 4)
+HALF = Precision("half", np.dtype(np.complex64), 2)
+
+_BY_NAME = {"double": DOUBLE, "single": SINGLE, "half": HALF}
+
+
+def precision(name: "str | Precision") -> Precision:
+    """Look a precision up by name (idempotent on Precision instances)."""
+    if isinstance(name, Precision):
+        return name
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown precision {name!r}; expected double/single/half"
+        ) from None
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Precisions used by a mixed-precision solver.
+
+    The paper's best Wilson-clover configuration is "single-half-half"
+    (Sec. 8.1): GCR restarts in ``outer``, Krylov construction in ``inner``,
+    and the Schwarz preconditioner in ``preconditioner``.
+    """
+
+    outer: Precision
+    inner: Precision
+    preconditioner: Precision | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "outer", precision(self.outer))
+        object.__setattr__(self, "inner", precision(self.inner))
+        if self.preconditioner is not None:
+            object.__setattr__(
+                self, "preconditioner", precision(self.preconditioner)
+            )
+
+    def label(self) -> str:
+        parts = [self.outer.name, self.inner.name]
+        if self.preconditioner is not None:
+            parts.append(self.preconditioner.name)
+        return "-".join(parts)
+
+
+#: The paper's production Wilson-clover policy (Sec. 8.1).
+SINGLE_HALF_HALF = PrecisionPolicy(SINGLE, HALF, HALF)
+#: The paper's asqtad policy: double-precision accuracy via single multi-shift
+#: plus double-single refinement (Sec. 8.2).
+DOUBLE_SINGLE = PrecisionPolicy(DOUBLE, SINGLE)

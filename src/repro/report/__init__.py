@@ -1,0 +1,5 @@
+"""Plain-text reporting: ASCII log-log charts of the scaling figures."""
+
+from repro.report.ascii_plot import AsciiPlot, loglog_chart
+
+__all__ = ["AsciiPlot", "loglog_chart"]

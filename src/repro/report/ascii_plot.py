@@ -1,0 +1,108 @@
+"""ASCII log-log charts.
+
+The paper's figures are log-log strong-scaling plots; this renders their
+regenerated series as terminal charts (no plotting dependency), used by
+the ``report`` CLI command and handy in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    label: str
+    xs: list[float]
+    ys: list[float]
+    marker: str
+
+
+@dataclass
+class AsciiPlot:
+    """A character-grid log-log plot with one marker per series."""
+
+    title: str
+    xlabel: str = "x"
+    ylabel: str = "y"
+    width: int = 60
+    height: int = 18
+    series: list[Series] = field(default_factory=list)
+
+    _MARKERS = "*o+x#@%&"
+
+    def add_series(self, label: str, xs, ys) -> None:
+        xs = [float(v) for v in xs]
+        ys = [float(v) for v in ys]
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if any(v <= 0 for v in xs + ys):
+            raise ValueError("log-log plot requires positive data")
+        marker = self._MARKERS[len(self.series) % len(self._MARKERS)]
+        self.series.append(Series(label, xs, ys, marker))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("nothing to plot")
+        lx = [math.log10(x) for s in self.series for x in s.xs]
+        ly = [math.log10(y) for s in self.series for y in s.ys]
+        x0, x1 = min(lx), max(lx)
+        y0, y1 = min(ly), max(ly)
+        x1 = x1 if x1 > x0 else x0 + 1.0
+        y1 = y1 if y1 > y0 else y0 + 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for s in self.series:
+            for x, y in zip(s.xs, s.ys):
+                col = round(
+                    (math.log10(x) - x0) / (x1 - x0) * (self.width - 1)
+                )
+                row = round(
+                    (math.log10(y) - y0) / (y1 - y0) * (self.height - 1)
+                )
+                grid[self.height - 1 - row][col] = s.marker
+
+        lines = [self.title]
+        top = f"{10 ** y1:.3g}"
+        bottom = f"{10 ** y0:.3g}"
+        margin = max(len(top), len(bottom), len(self.ylabel)) + 1
+        for i, row in enumerate(grid):
+            if i == 0:
+                label = top
+            elif i == self.height - 1:
+                label = bottom
+            elif i == self.height // 2:
+                label = self.ylabel
+            else:
+                label = ""
+            lines.append(f"{label:>{margin}} |" + "".join(row))
+        lines.append(" " * margin + " +" + "-" * self.width)
+        left = f"{10 ** x0:.3g}"
+        right = f"{10 ** x1:.3g}"
+        pad = self.width - len(left) - len(right)
+        lines.append(
+            " " * (margin + 2) + left + " " * max(pad, 1) + right
+        )
+        lines.append(" " * (margin + 2) + self.xlabel)
+        legend = "   ".join(f"{s.marker} {s.label}" for s in self.series)
+        lines.append(" " * (margin + 2) + legend)
+        return "\n".join(lines)
+
+
+def loglog_chart(
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    series: dict[str, tuple[list, list]],
+    width: int = 60,
+    height: int = 18,
+) -> str:
+    """One-call chart: ``series`` maps label -> (xs, ys)."""
+    plot = AsciiPlot(
+        title=title, xlabel=xlabel, ylabel=ylabel, width=width, height=height
+    )
+    for label, (xs, ys) in series.items():
+        plot.add_series(label, xs, ys)
+    return plot.render()

@@ -1,0 +1,47 @@
+"""Iterative Krylov solvers (Sec. 3) and the mixed-precision machinery of
+Sec. 8: CG / CGNR, BiCGstab, MR, flexible restarted GCR (Algorithm 1),
+multi-shift CG, and defect-correction ("reliable update") wrappers."""
+
+from repro.solvers.base import Operator, PrecisionWrappedOperator, SolverResult
+from repro.solvers.bicgstab import bicgstab
+from repro.solvers.cg import cg, cgnr
+from repro.solvers.eigen import SpectrumEstimate, estimate_condition_number, lanczos_spectrum
+from repro.solvers.gcr import gcr
+from repro.solvers.mixed import (
+    defect_correction,
+    mixed_precision_bicgstab,
+    mixed_precision_cg,
+)
+from repro.solvers.mr import mr
+from repro.solvers.multishift import multishift_cg
+from repro.solvers.refine import MultishiftRefineResult, multishift_with_refinement
+from repro.solvers.space import (
+    ArraySpace,
+    STAGGERED_SPACE,
+    WILSON_SPACE,
+    space_for_nspin,
+)
+
+__all__ = [
+    "Operator",
+    "PrecisionWrappedOperator",
+    "SolverResult",
+    "ArraySpace",
+    "WILSON_SPACE",
+    "STAGGERED_SPACE",
+    "space_for_nspin",
+    "cg",
+    "cgnr",
+    "lanczos_spectrum",
+    "estimate_condition_number",
+    "SpectrumEstimate",
+    "bicgstab",
+    "mr",
+    "gcr",
+    "multishift_cg",
+    "multishift_with_refinement",
+    "MultishiftRefineResult",
+    "defect_correction",
+    "mixed_precision_cg",
+    "mixed_precision_bicgstab",
+]

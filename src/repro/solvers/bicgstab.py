@@ -1,0 +1,107 @@
+"""BiCGstab (van der Vorst) — the paper's baseline Wilson-clover solver.
+
+Each iteration applies the operator twice and performs several global
+reductions; it is these reductions plus the halo exchanges of the matvec
+that stall strong scaling past ~32 GPUs (Fig. 7), motivating GCR-DD.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.solvers.base import Operator, SolverResult, compute_residual
+from repro.solvers.space import ArraySpace
+
+
+def bicgstab(
+    op: Operator,
+    b,
+    x0=None,
+    tol: float = 1e-8,
+    maxiter: int = 1000,
+    space: ArraySpace | None = None,
+) -> SolverResult:
+    """Solve the non-Hermitian ``A x = b``.
+
+    Returns with ``converged=False`` on breakdown (rho or omega ~ 0) or when
+    ``maxiter`` is exhausted; callers wanting restarts should wrap this (see
+    :func:`repro.solvers.mixed.reliable_bicgstab` for the mixed-precision
+    production variant).
+    """
+    space = space or ArraySpace()
+    b_norm2 = space.norm2(b)
+    if b_norm2 == 0.0:
+        return SolverResult(space.zeros_like(b), True, 0, 0.0)
+    target = tol * tol * b_norm2
+
+    if x0 is None:
+        x = space.zeros_like(b)
+        r = space.copy(b)
+        matvecs = 0
+    else:
+        x = space.copy(x0)
+        r = compute_residual(op, x, b, space)
+        matvecs = 1
+    r_hat = space.copy(r)  # the fixed shadow residual
+    rho = alpha = omega = 1.0 + 0.0j
+    v = space.zeros_like(b)
+    p = space.zeros_like(b)
+    r2 = space.norm2(r)
+    history = [math.sqrt(r2 / b_norm2)]
+
+    it = 0
+    converged = r2 <= target
+    broke_down = False
+    while not converged and not broke_down and it < maxiter:
+        rho_new = space.dot(r_hat, r)
+        if abs(rho_new) == 0.0:
+            broke_down = True
+            break
+        beta = (rho_new / rho) * (alpha / omega)
+        rho = rho_new
+        # p = r + beta*(p - omega*v)
+        p = space.axpy(-omega, v, p)
+        p = space.xpay(r, beta, p)
+        v = op(p)
+        matvecs += 1
+        denom = space.dot(r_hat, v)
+        if abs(denom) == 0.0:
+            broke_down = True
+            break
+        alpha = rho / denom
+        s = space.axpy(-alpha, v, r)
+        t = op(s)
+        matvecs += 1
+        t2 = space.norm2(t)
+        if t2 == 0.0:
+            # s is an exact solution update.
+            x = space.axpy(alpha, p, x)
+            r = s
+            r2 = space.norm2(r)
+            it += 1
+            history.append(math.sqrt(r2 / b_norm2))
+            converged = r2 <= target
+            break
+        omega = space.dot(t, s) / t2
+        x = space.axpy(alpha, p, x)
+        x = space.axpy(omega, s, x)
+        r = space.axpy(-omega, t, s)
+        r2 = space.norm2(r)
+        it += 1
+        history.append(math.sqrt(r2 / b_norm2))
+        converged = r2 <= target
+        if abs(omega) == 0.0:
+            broke_down = True
+
+    true_r = compute_residual(op, x, b, space)
+    matvecs += 1
+    residual = math.sqrt(space.norm2(true_r) / b_norm2)
+    return SolverResult(
+        x,
+        converged=converged,
+        iterations=it,
+        residual=residual,
+        residual_history=history,
+        matvecs=matvecs,
+        extras={"breakdown": broke_down},
+    )

@@ -1,0 +1,103 @@
+"""Conjugate gradients (Hestenes-Stiefel) and the CGNE/CGNR variants.
+
+CG requires a Hermitian positive-definite operator: the staggered normal
+operator ``M^+M + sigma`` (Eq. 4) or the Wilson normal equations.  CGNR
+solves the non-Hermitian system ``M x = b`` through ``M^+M x = M^+ b``
+(Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.solvers.base import Operator, SolverResult, compute_residual
+from repro.solvers.space import ArraySpace
+
+
+def cg(
+    op: Operator,
+    b,
+    x0=None,
+    tol: float = 1e-8,
+    maxiter: int = 1000,
+    space: ArraySpace | None = None,
+) -> SolverResult:
+    """Solve ``A x = b`` with A Hermitian positive definite.
+
+    ``tol`` is relative: convergence when ``||r|| <= tol * ||b||`` (iterated
+    residual; the returned ``residual`` is recomputed from the solution).
+    """
+    space = space or ArraySpace()
+    b_norm2 = space.norm2(b)
+    if b_norm2 == 0.0:
+        return SolverResult(space.zeros_like(b), True, 0, 0.0)
+    target = tol * tol * b_norm2
+
+    if x0 is None:
+        x = space.zeros_like(b)
+        r = space.copy(b)
+        matvecs = 0
+    else:
+        x = space.copy(x0)
+        r = compute_residual(op, x, b, space)
+        matvecs = 1
+    p = space.copy(r)
+    r2 = space.norm2(r)
+    history = [math.sqrt(r2 / b_norm2)]
+
+    it = 0
+    converged = r2 <= target
+    while not converged and it < maxiter:
+        ap = op(p)
+        matvecs += 1
+        pap = space.rdot(p, ap)
+        if pap <= 0.0:
+            # Indefinite or numerically broken-down system.
+            break
+        alpha = r2 / pap
+        x = space.axpy(alpha, p, x)
+        r = space.axpy(-alpha, ap, r)
+        r2_new = space.norm2(r)
+        beta = r2_new / r2
+        p = space.xpay(r, beta, p)
+        r2 = r2_new
+        it += 1
+        history.append(math.sqrt(r2 / b_norm2))
+        converged = r2 <= target
+
+    true_r = compute_residual(op, x, b, space)
+    matvecs += 1
+    residual = math.sqrt(space.norm2(true_r) / b_norm2)
+    return SolverResult(
+        x,
+        converged=converged,
+        iterations=it,
+        residual=residual,
+        residual_history=history,
+        matvecs=matvecs,
+    )
+
+
+def cgnr(
+    op,
+    b,
+    x0=None,
+    tol: float = 1e-8,
+    maxiter: int = 1000,
+    space: ArraySpace | None = None,
+) -> SolverResult:
+    """Solve the non-Hermitian ``M x = b`` via CG on ``M^+ M x = M^+ b``.
+
+    ``op`` must be a :class:`repro.dirac.base.LatticeOperator` (needs a
+    dagger).  The reported residual is for the *original* system.
+    """
+    space = space or ArraySpace()
+    bn = op.apply_dagger(b)
+    normal = op.normal()
+    result = cg(normal.apply, bn, x0=x0, tol=tol, maxiter=maxiter, space=space)
+    # Recompute the residual of M x = b rather than the normal equations.
+    r = space.xpay(b, -1.0, op.apply(result.x))
+    b_norm2 = space.norm2(b)
+    result.residual = math.sqrt(space.norm2(r) / b_norm2) if b_norm2 else 0.0
+    result.converged = result.converged and result.residual <= tol * 10
+    return result

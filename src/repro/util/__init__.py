@@ -1,0 +1,6 @@
+"""Shared utilities: flop/byte tallies, deterministic RNG helpers, timers."""
+
+from repro.util.counters import Tally, current_tally, tally
+from repro.util.rng import make_rng
+
+__all__ = ["Tally", "current_tally", "tally", "make_rng"]

@@ -1,0 +1,164 @@
+"""Flop, byte and reduction accounting.
+
+Every numerical kernel in this library (Dirac operator applications, BLAS
+operations, halo exchanges) reports its cost to the *current tally*, a
+thread-local stack of :class:`Tally` objects.  The performance model
+(:mod:`repro.perfmodel`) consumes these tallies to convert measured
+algorithmic work (e.g. "BiCGstab needed 412 operator applications and 3.1
+GFLOP of BLAS") into modeled wall-clock time on the paper's hardware.
+
+Flop counts use the community-standard numbers (the same ones QUDA and MILC
+report performance against), not the count of arithmetic numpy happens to
+perform; see :mod:`repro.perfmodel.kernels` for the per-operator constants.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Tally:
+    """Accumulated cost counters for a region of computation.
+
+    Attributes
+    ----------
+    flops:
+        Floating-point operations, using standard lattice-QCD counting.
+    bytes_moved:
+        Bytes of field data read+written by kernels (device-memory traffic
+        in the GPU analogy).
+    comm_bytes:
+        Bytes exchanged between ranks of the virtual cluster (halo faces).
+    messages:
+        Number of point-to-point messages exchanged.
+    reductions:
+        Number of global reduction operations (inner products / norms that
+        require an allreduce across the process grid).
+    local_reductions:
+        Reductions restricted to a single Schwarz domain — "the reductions
+        required in each of the domain-specific linear solvers are
+        restricted to that domain only" (Sec. 8.1) — which therefore cost
+        no inter-GPU communication.
+    operator_applications:
+        Count of full Dirac-operator applications, keyed by operator name.
+    """
+
+    flops: int = 0
+    bytes_moved: int = 0
+    comm_bytes: int = 0
+    messages: int = 0
+    reductions: int = 0
+    local_reductions: int = 0
+    operator_applications: dict[str, int] = field(default_factory=dict)
+
+    def add(
+        self,
+        flops: int = 0,
+        bytes_moved: int = 0,
+        comm_bytes: int = 0,
+        messages: int = 0,
+        reductions: int = 0,
+        local_reductions: int = 0,
+    ) -> None:
+        self.flops += int(flops)
+        self.bytes_moved += int(bytes_moved)
+        self.comm_bytes += int(comm_bytes)
+        self.messages += int(messages)
+        self.reductions += int(reductions)
+        self.local_reductions += int(local_reductions)
+
+    def add_operator(self, name: str, count: int = 1) -> None:
+        self.operator_applications[name] = (
+            self.operator_applications.get(name, 0) + count
+        )
+
+    def merge(self, other: "Tally") -> None:
+        self.flops += other.flops
+        self.bytes_moved += other.bytes_moved
+        self.comm_bytes += other.comm_bytes
+        self.messages += other.messages
+        self.reductions += other.reductions
+        self.local_reductions += other.local_reductions
+        for name, count in other.operator_applications.items():
+            self.add_operator(name, count)
+
+
+class _TallyStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Tally] = []
+        self.local_scope_depth: int = 0
+
+
+_STACK = _TallyStack()
+
+
+def current_tally() -> Tally | None:
+    """Return the innermost active tally, or ``None`` outside any ``tally()``."""
+    return _STACK.stack[-1] if _STACK.stack else None
+
+
+def record(
+    flops: int = 0,
+    bytes_moved: int = 0,
+    comm_bytes: int = 0,
+    messages: int = 0,
+    reductions: int = 0,
+) -> None:
+    """Add counts to the current tally (no-op when no tally is active).
+
+    Inside a :func:`domain_local` scope, reduction counts are redirected to
+    ``local_reductions`` (they need no inter-GPU communication).
+    """
+    t = current_tally()
+    if t is None:
+        return
+    if reductions and _STACK.local_scope_depth > 0:
+        t.add(flops, bytes_moved, comm_bytes, messages, 0, reductions)
+    else:
+        t.add(flops, bytes_moved, comm_bytes, messages, reductions)
+
+
+@contextmanager
+def domain_local():
+    """Mark a region as domain-local: its reductions involve no communication.
+
+    Used by the additive Schwarz preconditioner, whose block solves perform
+    inner products restricted to one GPU's sub-domain.
+    """
+    _STACK.local_scope_depth += 1
+    try:
+        yield
+    finally:
+        _STACK.local_scope_depth -= 1
+
+
+def record_operator(name: str, count: int = 1) -> None:
+    t = current_tally()
+    if t is not None:
+        t.add_operator(name, count)
+
+
+@contextmanager
+def tally():
+    """Context manager collecting kernel costs.
+
+    Nested tallies each observe the work performed inside them: on exit an
+    inner tally's totals are merged into its parent, so an outer tally sees
+    the sum of everything.
+
+    >>> with tally() as t:
+    ...     some_kernel()
+    >>> t.flops
+    """
+    t = Tally()
+    _STACK.stack.append(t)
+    try:
+        yield t
+    finally:
+        _STACK.stack.pop()
+        parent = current_tally()
+        if parent is not None:
+            parent.merge(t)

@@ -1,0 +1,17 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic objects in the library (hot gauge starts, random sources)
+accept either a seed or a :class:`numpy.random.Generator`; this module
+normalizes both into a Generator so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,73 @@
+"""Pion correlators and effective masses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    effective_mass,
+    pion_correlator_staggered,
+    pion_correlator_wilson,
+    staggered_propagator,
+    wilson_propagator,
+)
+from repro.lattice import GaugeField, Geometry
+
+
+@pytest.fixture(scope="module")
+def wilson_corr():
+    geom = Geometry((4, 4, 4, 8))
+    gauge = GaugeField.weak(geom, epsilon=0.15, rng=801)
+    prop = wilson_propagator(gauge, mass=0.5, csw=1.0, tol=1e-8)
+    return pion_correlator_wilson(prop)
+
+
+class TestWilsonPion:
+    def test_length_is_nt(self, wilson_corr):
+        assert wilson_corr.shape == (8,)
+
+    def test_positive(self, wilson_corr):
+        assert np.all(wilson_corr > 0)
+
+    def test_decays_from_source(self, wilson_corr):
+        """C(t) falls from the t=0 source toward the midpoint (cosh form
+        with the periodic image rising after T/2)."""
+        assert wilson_corr[0] > wilson_corr[1] > wilson_corr[2]
+
+    def test_time_reflection_symmetry(self, wilson_corr):
+        """Periodic lattice: C(t) ~ C(T - t)."""
+        for t in range(1, 4):
+            ratio = wilson_corr[t] / wilson_corr[8 - t]
+            assert 0.5 < ratio < 2.0
+
+    def test_effective_mass_positive_in_decay_region(self, wilson_corr):
+        meff = effective_mass(wilson_corr)
+        assert np.all(meff[:3] > 0)
+
+
+class TestStaggeredPion:
+    def test_correlator_shape_and_positivity(self):
+        geom = Geometry((4, 4, 4, 8))
+        gauge = GaugeField.weak(geom, epsilon=0.15, rng=802)
+        prop = staggered_propagator(gauge, mass=0.5, tol=1e-8)
+        corr = pion_correlator_staggered(prop)
+        assert corr.shape == (8,)
+        assert np.all(corr > 0)
+        assert corr[0] == corr.max()
+
+
+class TestValidation:
+    def test_wilson_wrong_rank(self):
+        with pytest.raises(ValueError):
+            pion_correlator_wilson(np.zeros((4, 4, 4, 4, 3, 3)))
+
+    def test_staggered_wrong_rank(self):
+        with pytest.raises(ValueError):
+            pion_correlator_staggered(np.zeros((4, 4, 4, 4, 4, 3, 4, 3)))
+
+    def test_effective_mass_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            effective_mass(np.array([1.0, -0.5, 0.2]))
+
+    def test_effective_mass_of_pure_exponential(self):
+        c = np.exp(-0.7 * np.arange(6))
+        assert np.allclose(effective_mass(c), 0.7)

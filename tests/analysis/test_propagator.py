@@ -1,0 +1,68 @@
+"""Propagator computation (the analysis-phase workload)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import staggered_propagator, wilson_propagator
+from repro.dirac import PHYSICAL, AsqtadOperator, WilsonCloverOperator
+from repro.lattice import GaugeField, Geometry, SpinorField
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return Geometry((4, 4, 4, 4))
+
+
+@pytest.fixture(scope="module")
+def gauge(geom):
+    return GaugeField.weak(geom, epsilon=0.2, rng=700)
+
+
+class TestWilsonPropagator:
+    @pytest.fixture(scope="class")
+    def prop(self, gauge):
+        return wilson_propagator(gauge, mass=0.3, csw=1.0, tol=1e-8)
+
+    def test_shape(self, prop, geom):
+        assert prop.shape == geom.shape + (4, 3, 4, 3)
+
+    def test_columns_solve_the_dirac_equation(self, prop, gauge, geom):
+        op = WilsonCloverOperator(gauge, mass=0.3, csw=1.0, boundary=PHYSICAL)
+        for s, c in [(0, 0), (2, 1)]:
+            col = prop[..., s, c]
+            b = SpinorField.point_source(geom, (0, 0, 0, 0), s, c).data
+            r = b - op.apply(col)
+            assert np.linalg.norm(r) < 1e-6
+
+    def test_source_point_dominates(self, prop):
+        """The propagator is largest at the source (free-field-like decay)."""
+        mags = np.abs(prop).sum(axis=(-1, -2, -3, -4))
+        assert mags.argmax() == 0  # flattened index of site (0,0,0,0)
+
+    def test_nonconvergence_raises(self, gauge):
+        with pytest.raises(RuntimeError):
+            wilson_propagator(gauge, mass=0.3, csw=1.0, tol=1e-14, maxiter=2)
+
+
+class TestStaggeredPropagator:
+    @pytest.fixture(scope="class")
+    def prop(self, gauge):
+        return staggered_propagator(
+            AsqtadOperator.from_gauge(gauge, mass=0.3, boundary=PHYSICAL),
+            mass=0.3,
+            tol=1e-9,
+        )
+
+    def test_shape(self, prop, geom):
+        assert prop.shape == geom.shape + (3, 3)
+
+    def test_columns_solve_system(self, prop, gauge, geom):
+        op = AsqtadOperator.from_gauge(gauge, mass=0.3, boundary=PHYSICAL)
+        for c in range(3):
+            b = SpinorField.point_source(geom, (0, 0, 0, 0), color=c, nspin=1).data
+            r = b - op.apply(prop[..., c])
+            assert np.linalg.norm(r) < 1e-6
+
+    def test_accepts_gauge_field_directly(self, gauge):
+        prop = staggered_propagator(gauge, mass=0.4, tol=1e-8)
+        assert np.isfinite(prop).all()

@@ -1,0 +1,110 @@
+"""Process grids: rank maps, neighbors, grid selection."""
+
+import pytest
+
+from repro.comm import ProcessGrid, choose_grid
+
+
+class TestProcessGrid:
+    def test_size(self):
+        assert ProcessGrid((2, 1, 2, 4)).size == 16
+
+    def test_partitioned_dims(self):
+        g = ProcessGrid((1, 1, 2, 4))
+        assert g.partitioned_dims == (2, 3)
+
+    def test_label(self):
+        assert ProcessGrid((1, 1, 2, 4)).label == "ZT"
+        assert ProcessGrid((2, 2, 2, 2)).label == "XYZT"
+        assert ProcessGrid((1, 1, 1, 1)).label == "serial"
+
+    def test_coords_roundtrip(self):
+        g = ProcessGrid((2, 3, 2, 4))
+        for rank in g.all_ranks():
+            assert g.rank_of(g.coords(rank)) == rank
+
+    def test_coords_x_fastest(self):
+        g = ProcessGrid((2, 2, 1, 1))
+        assert g.coords(0) == (0, 0, 0, 0)
+        assert g.coords(1) == (1, 0, 0, 0)
+        assert g.coords(2) == (0, 1, 0, 0)
+
+    def test_rank_of_wraps(self):
+        g = ProcessGrid((2, 2, 2, 2))
+        assert g.rank_of((2, 0, 0, 0)) == g.rank_of((0, 0, 0, 0))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            ProcessGrid((2, 2, 2, 2)).coords(16)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            ProcessGrid((0, 1, 1, 1))
+
+
+class TestNeighbor:
+    def test_forward_backward_inverse(self):
+        g = ProcessGrid((2, 2, 2, 4))
+        for rank in g.all_ranks():
+            for mu in range(4):
+                fwd, _ = g.neighbor(rank, mu, +1)
+                back, _ = g.neighbor(fwd, mu, -1)
+                assert back == rank
+
+    def test_wrap_detection(self):
+        g = ProcessGrid((1, 1, 1, 4))
+        top = g.rank_of((0, 0, 0, 3))
+        nbr, wrapped = g.neighbor(top, 3, +1)
+        assert wrapped and nbr == g.rank_of((0, 0, 0, 0))
+        nbr, wrapped = g.neighbor(top, 3, -1)
+        assert not wrapped
+
+    def test_self_neighbor_on_unpartitioned_dim(self):
+        g = ProcessGrid((1, 1, 1, 2))
+        nbr, wrapped = g.neighbor(0, 0, +1)
+        assert nbr == 0 and wrapped
+
+    def test_invalid_sign(self):
+        with pytest.raises(ValueError):
+            ProcessGrid((2, 2, 2, 2)).neighbor(0, 0, 0)
+
+
+class TestChooseGrid:
+    def test_one_rank(self):
+        g = choose_grid(1, (3,), (8, 8, 8, 16))
+        assert g.size == 1 and g.partitioned_dims == ()
+
+    def test_t_only(self):
+        g = choose_grid(4, (3,), (8, 8, 8, 32))
+        assert g.dims == (1, 1, 1, 4)
+
+    def test_prefers_largest_extent(self):
+        g = choose_grid(2, (2, 3), (8, 8, 8, 32))
+        assert g.dims == (1, 1, 1, 2)
+
+    def test_spreads_over_dims(self):
+        g = choose_grid(16, (0, 1, 2, 3), (16, 16, 16, 16))
+        assert g.size == 16
+        assert sorted(g.dims) == [2, 2, 2, 2]
+
+    def test_keeps_local_extents_even(self):
+        vol = (32, 32, 32, 256)
+        for n in (8, 16, 32, 64, 128, 256):
+            g = choose_grid(n, (3, 2, 1, 0), vol)
+            assert g.size == n
+            for mu in range(4):
+                local = vol[mu] // g.dims[mu]
+                assert local % 2 == 0 and local >= 2
+
+    def test_refuses_overpartitioning(self):
+        with pytest.raises(ValueError):
+            choose_grid(64, (3,), (8, 8, 8, 16))
+
+    def test_refuses_odd_rank_count(self):
+        with pytest.raises(ValueError):
+            choose_grid(6, (3,), (8, 8, 8, 32))
+
+    def test_paper_asqtad_zt(self):
+        g = choose_grid(256, (3, 2), (64, 64, 64, 192))
+        assert g.size == 256
+        assert g.partitioned_dims == (2, 3)

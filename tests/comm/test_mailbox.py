@@ -1,0 +1,146 @@
+"""Virtual message passing: the mailbox and QMP layers."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommLog, Mailbox, QMPChannel
+from repro.comm.traffic import CommEvent
+from repro.util.counters import tally
+
+
+class TestMailbox:
+    def test_send_recv_roundtrip(self, rng):
+        box = Mailbox(4)
+        payload = rng.standard_normal(10)
+        box.send(0, 2, payload)
+        out = box.recv(2, 0)
+        assert np.array_equal(out, payload)
+
+    def test_payload_is_copied(self):
+        box = Mailbox(2)
+        payload = np.ones(4)
+        box.send(0, 1, payload)
+        payload[...] = -1
+        assert np.array_equal(box.recv(1, 0), np.ones(4))
+
+    def test_fifo_ordering(self):
+        box = Mailbox(2)
+        box.send(0, 1, np.array([1.0]))
+        box.send(0, 1, np.array([2.0]))
+        assert box.recv(1, 0)[0] == 1.0
+        assert box.recv(1, 0)[0] == 2.0
+
+    def test_tags_are_separate_queues(self):
+        box = Mailbox(2)
+        box.send(0, 1, np.array([1.0]), tag="a")
+        box.send(0, 1, np.array([2.0]), tag="b")
+        assert box.recv(1, 0, tag="b")[0] == 2.0
+        assert box.recv(1, 0, tag="a")[0] == 1.0
+
+    def test_recv_empty_raises(self):
+        with pytest.raises(RuntimeError, match="deadlock"):
+            Mailbox(2).recv(1, 0)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            Mailbox(2).send(0, 5, np.zeros(1))
+
+    def test_pending(self):
+        box = Mailbox(2)
+        assert box.pending() == 0
+        box.send(0, 1, np.zeros(3))
+        assert box.pending() == 1
+        box.recv(1, 0)
+        assert box.pending() == 0
+
+    def test_traffic_accounting(self):
+        box = Mailbox(2)
+        payload = np.zeros(16)
+        with tally() as t:
+            box.send(0, 1, payload)
+        assert t.comm_bytes == payload.nbytes
+        assert t.messages == 1
+
+    def test_commlog(self):
+        log = CommLog()
+        box = Mailbox(2, log=log)
+        box.send(0, 1, np.zeros(4), event=CommEvent(0, 1, mu=2, sign=1, nbytes=32))
+        assert log.message_count == 1
+        assert log.events[0].mu == 2
+
+    def test_allreduce(self):
+        box = Mailbox(4)
+        with tally() as t:
+            total = box.allreduce_sum([1.0, 2.0, 3.0, 4.0])
+        assert total == 10.0
+        assert t.reductions == 1
+
+    def test_allreduce_arity_check(self):
+        with pytest.raises(ValueError):
+            Mailbox(4).allreduce_sum([1.0, 2.0])
+
+
+class TestQMP:
+    def test_declare_start_wait(self, rng):
+        box = Mailbox(2)
+        tx = QMPChannel(box, 0)
+        rx = QMPChannel(box, 1)
+        payload = rng.standard_normal(8)
+        send = tx.declare_send(1, payload)
+        recv = rx.declare_receive(0)
+        send.start()
+        recv.start()
+        send.wait()
+        assert np.array_equal(recv.wait(), payload)
+
+    def test_wait_before_start_raises(self):
+        box = Mailbox(2)
+        ch = QMPChannel(box, 0)
+        with pytest.raises(RuntimeError):
+            ch.declare_send(1, np.zeros(1)).wait()
+        with pytest.raises(RuntimeError):
+            ch.declare_receive(1).wait()
+
+    def test_wait_is_idempotent(self, rng):
+        box = Mailbox(2)
+        tx, rx = QMPChannel(box, 0), QMPChannel(box, 1)
+        payload = rng.standard_normal(4)
+        h = tx.declare_send(1, payload)
+        h.start()
+        r = rx.declare_receive(0)
+        r.start()
+        first = r.wait()
+        second = r.wait()
+        assert np.array_equal(first, second)
+
+
+class TestCommLog:
+    def _event(self, mu, nbytes, src=0, dst=1):
+        return CommEvent(src=src, dst=dst, mu=mu, sign=1, nbytes=nbytes)
+
+    def test_totals(self):
+        log = CommLog()
+        log.add(self._event(0, 100))
+        log.add(self._event(3, 50))
+        assert log.total_bytes == 150
+        assert log.message_count == 2
+
+    def test_bytes_by_dimension(self):
+        log = CommLog()
+        log.add(self._event(3, 100))
+        log.add(self._event(3, 100))
+        log.add(self._event(1, 30))
+        assert log.bytes_by_dimension() == {3: 200, 1: 30}
+        assert log.dimensions_exchanged() == {1, 3}
+
+    def test_bytes_per_rank(self):
+        log = CommLog()
+        log.add(self._event(0, 10, src=0))
+        log.add(self._event(0, 20, src=2))
+        assert log.bytes_per_rank(4) == [10, 0, 20, 0]
+
+    def test_clear(self):
+        log = CommLog()
+        log.add(self._event(0, 10))
+        log.clear()
+        assert log.message_count == 0

@@ -1,0 +1,68 @@
+"""Shared fixtures: small lattices and gauge configurations.
+
+Session-scoped fixtures are treated as immutable by every test; anything
+that needs to mutate a field makes its own copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lattice import Geometry, GaugeField, SpinorField
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def geom44() -> Geometry:
+    """The smallest asqtad-capable lattice: 4^4."""
+    return Geometry((4, 4, 4, 4))
+
+
+@pytest.fixture(scope="session")
+def geom448() -> Geometry:
+    """An asymmetric lattice (nx=ny=4, nz=4, nt=8) for partition tests."""
+    return Geometry((4, 4, 4, 8))
+
+
+@pytest.fixture(scope="session")
+def geom_mixed() -> Geometry:
+    """Distinct extents in every direction to catch axis-order bugs."""
+    return Geometry((4, 6, 8, 10))
+
+
+@pytest.fixture(scope="session")
+def weak_gauge(geom44) -> GaugeField:
+    return GaugeField.weak(geom44, epsilon=0.3, rng=101)
+
+
+@pytest.fixture(scope="session")
+def weak_gauge448(geom448) -> GaugeField:
+    return GaugeField.weak(geom448, epsilon=0.3, rng=202)
+
+
+@pytest.fixture(scope="session")
+def hot_gauge(geom44) -> GaugeField:
+    return GaugeField.hot(geom44, rng=303)
+
+
+@pytest.fixture()
+def wilson_vec(geom44, rng) -> np.ndarray:
+    return SpinorField.random(geom44, rng=rng).data
+
+
+@pytest.fixture()
+def staggered_vec(geom44, rng) -> np.ndarray:
+    return SpinorField.random(geom44, nspin=1, rng=rng).data
+
+
+def random_wilson(geometry: Geometry, seed: int = 7) -> np.ndarray:
+    return SpinorField.random(geometry, rng=seed).data
+
+
+def random_staggered(geometry: Geometry, seed: int = 7) -> np.ndarray:
+    return SpinorField.random(geometry, nspin=1, rng=seed).data

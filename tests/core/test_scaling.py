@@ -1,0 +1,94 @@
+"""Scaling-study drivers (the harness behind the figure benches)."""
+
+import pytest
+
+from repro.core.scaling import (
+    DslashScalingStudy,
+    MultishiftScalingStudy,
+    WeakScalingStudy,
+    WilsonSolverScalingStudy,
+)
+from repro.perfmodel.kernels import OperatorKind
+from repro.precision import DOUBLE, SINGLE
+
+
+class TestDslashStudy:
+    def test_point_metadata(self):
+        study = DslashScalingStudy(
+            (32, 32, 32, 256), OperatorKind.WILSON_CLOVER, SINGLE, 12
+        )
+        p = study.point(32)
+        assert p.gpus == 32
+        assert p.grid.size == 32
+        local_total = 1
+        for v in p.local_dims:
+            local_total *= v
+        assert local_total * 32 == 32**3 * 256
+
+    def test_partition_policy_respected(self):
+        study = DslashScalingStudy(
+            (64, 64, 64, 192), OperatorKind.ASQTAD, SINGLE, 18,
+            partition_dims=(3, 2),
+        )
+        p = study.point(64)
+        assert p.grid.dims[0] == 1 and p.grid.dims[1] == 1
+
+    def test_run_ordering(self):
+        study = DslashScalingStudy(
+            (32, 32, 32, 256), OperatorKind.WILSON_CLOVER, SINGLE, 12
+        )
+        points = study.run([8, 32, 128])
+        assert [p.gpus for p in points] == [8, 32, 128]
+
+
+class TestWeakStudy:
+    def test_local_volume_fixed(self):
+        study = WeakScalingStudy(local_volume=(8, 8, 8, 16))
+        for n in (1, 4, 64):
+            assert study.point(n).local_dims == (8, 8, 8, 16)
+
+    def test_global_volume_grows(self):
+        study = WeakScalingStudy(local_volume=(8, 8, 8, 16))
+        p = study.point(16)
+        assert p.grid.size == 16
+
+    def test_default_precision_single(self):
+        assert WeakScalingStudy().precision.name == "single"
+
+    def test_serial_point_has_no_comm(self):
+        p = WeakScalingStudy().point(1)
+        assert p.timeline.comm_time == 0.0
+
+
+class TestSolverStudy:
+    def test_grids_consistent_between_solvers(self):
+        study = WilsonSolverScalingStudy()
+        for n in (16, 128):
+            assert (
+                study.bicgstab_point(n).grid.dims
+                == study.gcr_point(n).grid.dims
+            )
+
+    def test_double_precision_dslash_slower(self):
+        sp = DslashScalingStudy(
+            (32, 32, 32, 256), OperatorKind.WILSON_CLOVER, SINGLE, 12
+        ).point(32)
+        dp = DslashScalingStudy(
+            (32, 32, 32, 256), OperatorKind.WILSON_CLOVER, DOUBLE, 18
+        ).point(32)
+        assert dp.gflops_per_gpu < sp.gflops_per_gpu
+
+
+class TestMultishiftStudy:
+    def test_minimum_gpus_enforced_by_partitioning(self):
+        ms = MultishiftScalingStudy()
+        # ZT partitioning cannot factor 512 GPUs into 64^3x192's Z and T
+        # while keeping even local extents of reasonable size.
+        p = ms.point(64, (3, 2))
+        assert p.grid.size == 64
+
+    def test_breakdown_exposed(self):
+        ms = MultishiftScalingStudy()
+        p = ms.point(128, (3, 2, 1))
+        assert p.breakdown.matvec > 0
+        assert p.breakdown.blas > 0  # the multi-shift BLAS1 burden

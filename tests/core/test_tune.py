@@ -1,0 +1,99 @@
+"""The configuration autotuner."""
+
+import pytest
+
+from repro.core.tune import (
+    DslashTuning,
+    SolverTuning,
+    tune_dslash_partitioning,
+    tune_precision_policy,
+    tune_wilson_solver,
+)
+from repro.perfmodel.kernels import OperatorKind
+from repro.precision import HALF, SINGLE
+
+
+class TestDslashTuning:
+    def test_small_counts_prefer_few_dims(self):
+        """The Fig. 6 logic, discovered automatically: at low GPU counts
+        the tuner picks few partitioned dimensions."""
+        t = tune_dslash_partitioning(
+            8, (64, 64, 64, 192), OperatorKind.ASQTAD, SINGLE
+        )
+        assert len(t.grid.partitioned_dims) <= 2
+
+    def test_large_counts_prefer_many_dims(self):
+        t = tune_dslash_partitioning(
+            256, (64, 64, 64, 192), OperatorKind.ASQTAD, SINGLE
+        )
+        assert len(t.grid.partitioned_dims) >= 3
+
+    def test_tuned_beats_fixed_zt_at_256(self):
+        from repro.core.scaling import DslashScalingStudy
+
+        tuned = tune_dslash_partitioning(
+            256, (64, 64, 64, 192), OperatorKind.ASQTAD, SINGLE
+        )
+        zt = DslashScalingStudy(
+            (64, 64, 64, 192), OperatorKind.ASQTAD, SINGLE, 18,
+            partition_dims=(3, 2),
+        ).point(256)
+        assert tuned.gflops_per_gpu >= zt.gflops_per_gpu
+
+    def test_grid_size_matches_request(self):
+        t = tune_dslash_partitioning(
+            32, (32, 32, 32, 256), OperatorKind.WILSON_CLOVER, SINGLE
+        )
+        assert t.grid.size == 32
+        assert t.gflops_per_gpu > 0
+
+    def test_impossible_partitioning_raises(self):
+        with pytest.raises(ValueError):
+            tune_dslash_partitioning(
+                4096, (4, 4, 4, 8), OperatorKind.WILSON_CLOVER, SINGLE
+            )
+
+    def test_asqtad_respects_naik_depth(self):
+        """Local extents thinner than the 3-hop reach are never chosen."""
+        t = tune_dslash_partitioning(
+            64, (64, 64, 64, 192), OperatorKind.ASQTAD, SINGLE
+        )
+        local = tuple(
+            v // g for v, g in zip((64, 64, 64, 192), t.grid.dims)
+        )
+        for mu in t.grid.partitioned_dims:
+            assert local[mu] >= 3
+
+
+class TestSolverTuning:
+    def test_small_partition_chooses_bicgstab(self):
+        t = tune_wilson_solver(8)
+        assert t.method == "bicgstab"
+
+    def test_large_partition_chooses_gcr_dd(self):
+        """The paper's bottom line, rediscovered by the tuner."""
+        t = tune_wilson_solver(128)
+        assert t.method == "gcr-dd"
+        assert t.mr_steps in (5, 10, 20)
+
+    def test_crossover_monotone(self):
+        methods = [tune_wilson_solver(n).method for n in (8, 16, 64, 128, 256)]
+        # Once gcr-dd wins it keeps winning.
+        first_gcr = methods.index("gcr-dd") if "gcr-dd" in methods else len(methods)
+        assert all(m == "gcr-dd" for m in methods[first_gcr:])
+
+    def test_returns_timing(self):
+        t = tune_wilson_solver(64)
+        assert t.seconds > 0
+        assert t.grid.size == 64
+
+
+class TestPrecisionTuning:
+    def test_half_wins_on_fermi(self):
+        """Bandwidth-bound kernels: the tuner picks half precision — the
+        Sec. 8.1 production choice."""
+        assert tune_precision_policy(128) is HALF
+
+    def test_half_wins_at_every_scale(self):
+        for n in (8, 64, 256):
+            assert tune_precision_policy(n) is HALF

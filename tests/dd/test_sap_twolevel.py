@@ -1,0 +1,115 @@
+"""Multiplicative Schwarz (SAP) and two-level blocking."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ProcessGrid
+from repro.dd import (
+    AdditiveSchwarzPreconditioner,
+    SAPPreconditioner,
+    TwoLevelSchwarzPreconditioner,
+)
+from repro.dirac import WilsonCloverOperator
+from repro.lattice import GaugeField, Geometry, SpinorField
+from repro.multigpu import BlockPartition
+from repro.solvers import gcr
+from repro.util.counters import tally
+
+
+@pytest.fixture(scope="module")
+def system():
+    geom = Geometry((8, 8, 8, 8))
+    gauge = GaugeField.weak(geom, epsilon=0.25, rng=23)
+    op = WilsonCloverOperator(gauge, mass=0.15, csw=1.0)
+    part = BlockPartition(geom, ProcessGrid((1, 1, 2, 2)))
+    b = SpinorField.random(geom, rng=24).data
+    return geom, op, part, b
+
+
+class TestSAP:
+    def test_block_coloring_balanced(self, system):
+        geom, op, part, b = system
+        k = SAPPreconditioner(op, part, mr_steps=5)
+        assert sorted(k.colors) == [0, 0, 1, 1]
+
+    def test_converges_as_preconditioner(self, system):
+        geom, op, part, b = system
+        k = SAPPreconditioner(op, part, mr_steps=6, precision=None)
+        res = gcr(op.apply, b, preconditioner=k, tol=1e-7, maxiter=300)
+        assert res.converged
+
+    def test_multiplicative_beats_additive_per_application(self, system):
+        """One SAP cycle uses the red corrections when solving black, so it
+        needs no more outer iterations than one additive application with
+        the same block solves."""
+        geom, op, part, b = system
+        additive = AdditiveSchwarzPreconditioner(op, part, mr_steps=6,
+                                                 precision=None)
+        sap = SAPPreconditioner(op, part, mr_steps=6, cycles=1,
+                                precision=None)
+        res_a = gcr(op.apply, b, preconditioner=additive, tol=1e-7, maxiter=300)
+        res_s = gcr(op.apply, b, preconditioner=sap, tol=1e-7, maxiter=300)
+        assert res_s.converged and res_a.converged
+        assert res_s.iterations <= res_a.iterations
+
+    def test_sap_costs_global_operator_applications(self, system, rng):
+        """The flip side: every color sweep re-applies the *global*
+        operator (a halo exchange on a real cluster) — the reason the
+        paper prefers the additive variant for communication avoidance."""
+        geom, op, part, b = system
+        sap = SAPPreconditioner(op, part, mr_steps=4, cycles=2)
+        with tally() as t:
+            sap(SpinorField.random(geom, rng=rng).data)
+        # 2 cycles x 2 colors = 4 global applications.
+        assert t.operator_applications.get("wilson_clover", 0) >= 4
+
+    def test_more_cycles_stronger(self, system, rng):
+        geom, op, part, b = system
+        x = SpinorField.random(geom, rng=rng).data
+        r = op.apply(x)
+        e1 = np.linalg.norm(
+            SAPPreconditioner(op, part, mr_steps=5, cycles=1, precision=None)(r) - x
+        )
+        e2 = np.linalg.norm(
+            SAPPreconditioner(op, part, mr_steps=5, cycles=2, precision=None)(r) - x
+        )
+        assert e2 < e1
+
+
+class TestTwoLevel:
+    def test_converges_as_preconditioner(self, system):
+        geom, op, part, b = system
+        k = TwoLevelSchwarzPreconditioner(
+            op, part, ProcessGrid((1, 1, 2, 2)), inner_mr_steps=4,
+            outer_sweeps=2, precision=None,
+        )
+        res = gcr(op.apply, b, preconditioner=k, tol=1e-7, maxiter=300)
+        assert res.converged
+
+    def test_sub_block_count(self, system):
+        geom, op, part, b = system
+        k = TwoLevelSchwarzPreconditioner(op, part, ProcessGrid((2, 2, 1, 1)))
+        assert k.n_blocks == 4
+        assert k.n_sub_blocks == 16
+
+    def test_no_global_reductions(self, system, rng):
+        geom, op, part, b = system
+        k = TwoLevelSchwarzPreconditioner(
+            op, part, ProcessGrid((1, 1, 2, 2)), precision=None
+        )
+        with tally() as t:
+            k(SpinorField.random(geom, rng=rng).data)
+        assert t.reductions == 0
+
+    def test_more_outer_sweeps_stronger(self, system, rng):
+        geom, op, part, b = system
+        x = SpinorField.random(geom, rng=rng).data
+        r = op.apply(x)
+        errs = []
+        for sweeps in (1, 3):
+            k = TwoLevelSchwarzPreconditioner(
+                op, part, ProcessGrid((1, 1, 2, 2)), inner_mr_steps=4,
+                outer_sweeps=sweeps, precision=None,
+            )
+            errs.append(np.linalg.norm(k(r) - x))
+        assert errs[1] < errs[0]

@@ -1,0 +1,90 @@
+"""Operator composition: boundary specs, shifted and normal wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import (
+    BoundarySpec,
+    PERIODIC,
+    PHYSICAL,
+    WilsonCloverOperator,
+    link_apply,
+)
+from repro.lattice import SpinorField
+from repro.linalg import su3
+
+
+class TestBoundarySpec:
+    def test_default_periodic(self):
+        assert all(PERIODIC[mu] == "periodic" for mu in range(4))
+
+    def test_physical(self):
+        assert PHYSICAL[3] == "antiperiodic"
+        assert PHYSICAL[0] == "periodic"
+
+    def test_with_dirichlet(self):
+        cut = PHYSICAL.with_dirichlet((0, 2))
+        assert cut[0] == "zero" and cut[2] == "zero"
+        assert cut[1] == "periodic" and cut[3] == "antiperiodic"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundarySpec(("periodic", "periodic", "periodic"))
+        with pytest.raises(ValueError):
+            BoundarySpec(("open", "periodic", "periodic", "periodic"))
+
+
+class TestLinkApply:
+    def test_wilson_spinor(self, rng):
+        u = su3.random_su3((10,), rng=rng)
+        x = rng.standard_normal((10, 4, 3)) + 1j * rng.standard_normal((10, 4, 3))
+        out = link_apply(u, x)
+        ref = np.einsum("nab,nsb->nsa", u, x)
+        assert np.allclose(out, ref)
+
+    def test_staggered_spinor(self, rng):
+        u = su3.random_su3((10,), rng=rng)
+        x = rng.standard_normal((10, 3)) + 1j * rng.standard_normal((10, 3))
+        out = link_apply(u, x)
+        ref = np.einsum("nab,nb->na", u, x)
+        assert np.allclose(out, ref)
+
+    def test_shape_mismatch(self, rng):
+        u = su3.random_su3((10,), rng=rng)
+        with pytest.raises(ValueError):
+            link_apply(u, np.zeros((10, 2, 4, 3)))
+
+
+class TestWrappers:
+    def test_shifted_operator(self, weak_gauge, rng):
+        op = WilsonCloverOperator(weak_gauge, mass=0.1)
+        shifted = op.shifted(0.7)
+        x = SpinorField.random(weak_gauge.geometry, rng=rng).data
+        assert np.allclose(shifted.apply(x), op.apply(x) + 0.7 * x)
+        assert "0.7" in shifted.name
+
+    def test_shifted_dagger(self, weak_gauge, rng):
+        op = WilsonCloverOperator(weak_gauge, mass=0.1)
+        shifted = op.shifted(0.5)
+        x = SpinorField.random(weak_gauge.geometry, rng=rng).data
+        y = SpinorField.random(weak_gauge.geometry, rng=1).data
+        lhs = np.vdot(y, shifted.apply(x))
+        rhs = np.vdot(shifted.apply_dagger(y), x)
+        assert abs(lhs - rhs) < 1e-10 * abs(lhs)
+
+    def test_normal_operator_hermitian_positive(self, weak_gauge, rng):
+        op = WilsonCloverOperator(weak_gauge, mass=0.1, csw=1.0)
+        normal = op.normal()
+        x = SpinorField.random(weak_gauge.geometry, rng=rng).data
+        y = SpinorField.random(weak_gauge.geometry, rng=2).data
+        assert np.vdot(x, normal.apply(x)).real > 0
+        lhs = np.vdot(y, normal.apply(x))
+        rhs = np.vdot(normal.apply(y), x)
+        assert abs(lhs - rhs) < 1e-10 * abs(lhs)
+
+    def test_normal_equals_composition(self, weak_gauge, rng):
+        op = WilsonCloverOperator(weak_gauge, mass=0.1)
+        x = SpinorField.random(weak_gauge.geometry, rng=rng).data
+        assert np.allclose(
+            op.normal().apply(x), op.apply_dagger(op.apply(x))
+        )

@@ -1,0 +1,85 @@
+"""The clover term: Hermiticity, chirality structure, inversion."""
+
+import numpy as np
+import pytest
+
+from repro.dirac.clover import (
+    apply_clover,
+    build_clover_field,
+    clover_site_matrices,
+    invert_site_matrices,
+)
+from repro.lattice import GaugeField, SpinorField
+from repro.linalg.gamma import GAMMA5
+
+
+@pytest.fixture(scope="module")
+def clover(weak_gauge_module):
+    return build_clover_field(weak_gauge_module, csw=1.3)
+
+
+@pytest.fixture(scope="module")
+def weak_gauge_module():
+    from repro.lattice import Geometry
+
+    return GaugeField.weak(Geometry((4, 4, 4, 4)), epsilon=0.3, rng=101)
+
+
+class TestCloverField:
+    def test_shape(self, clover, weak_gauge_module):
+        assert clover.shape == weak_gauge_module.geometry.shape + (12, 12)
+
+    def test_vanishes_on_unit_gauge(self, geom44):
+        a = build_clover_field(GaugeField.unit(geom44), csw=1.0)
+        assert np.abs(a).max() < 1e-13
+
+    def test_hermitian(self, clover):
+        assert np.abs(clover - np.conj(np.swapaxes(clover, -1, -2))).max() < 1e-12
+
+    def test_linear_in_csw(self, weak_gauge_module):
+        a1 = build_clover_field(weak_gauge_module, csw=1.0)
+        a2 = build_clover_field(weak_gauge_module, csw=2.0)
+        assert np.allclose(a2, 2 * a1)
+
+    def test_chirality_block_diagonal(self, clover):
+        """[A, gamma5 (x) 1] = 0: the clover matrix never mixes the upper
+        (spins 0,1) and lower (spins 2,3) chirality blocks — footnote 1's
+        two-6x6-block structure."""
+        g5 = np.kron(GAMMA5, np.eye(3))
+        comm = clover @ g5 - g5 @ clover
+        assert np.abs(comm).max() < 1e-12
+
+    def test_off_chirality_blocks_zero(self, clover):
+        assert np.abs(clover[..., :6, 6:]).max() < 1e-12
+        assert np.abs(clover[..., 6:, :6]).max() < 1e-12
+
+
+class TestApplyClover:
+    def test_matches_dense_multiply(self, clover, rng):
+        x = rng.standard_normal((4, 4, 4, 4, 4, 3)) + 1j * rng.standard_normal(
+            (4, 4, 4, 4, 4, 3)
+        )
+        out = apply_clover(clover, x)
+        ref = np.einsum("...ij,...j->...i", clover, x.reshape(4, 4, 4, 4, 12))
+        assert np.allclose(out, ref.reshape(x.shape))
+
+    def test_linearity(self, clover, rng):
+        x = rng.standard_normal((4, 4, 4, 4, 4, 3)) + 0j
+        assert np.allclose(apply_clover(clover, 2 * x), 2 * apply_clover(clover, x))
+
+
+class TestSiteMatrices:
+    def test_without_clover(self):
+        c = clover_site_matrices(None, 4.1, (2, 2, 2, 2))
+        assert c.shape == (2, 2, 2, 2, 12, 12)
+        assert np.allclose(c, 4.1 * np.eye(12))
+
+    def test_with_clover(self, clover):
+        c = clover_site_matrices(clover, 4.1, clover.shape[:-2])
+        assert np.allclose(c - clover, 4.1 * np.eye(12))
+
+    def test_inversion(self, clover):
+        c = clover_site_matrices(clover, 4.1, clover.shape[:-2])
+        cinv = invert_site_matrices(c)
+        prod = c @ cinv
+        assert np.abs(prod - np.eye(12)).max() < 1e-10

@@ -1,0 +1,88 @@
+"""Even-odd (Schur complement) preconditioning of Wilson-clover."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import EvenOddPreconditionedWilson, WilsonCloverOperator
+from repro.dirac.evenodd import parity_project
+from repro.lattice import GaugeField, SpinorField
+from repro.solvers import bicgstab
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.lattice import Geometry
+
+    geom = Geometry((4, 4, 4, 4))
+    gauge = GaugeField.weak(geom, epsilon=0.3, rng=77)
+    op = WilsonCloverOperator(gauge, mass=0.2, csw=1.0)
+    return geom, op, EvenOddPreconditionedWilson(op)
+
+
+class TestParityProject:
+    def test_projection(self, geom44, rng):
+        x = SpinorField.random(geom44, rng=rng).data
+        e = parity_project(geom44, x, 0)
+        o = parity_project(geom44, x, 1)
+        assert np.allclose(e + o, x)
+        assert np.abs(e * geom44.odd_mask[..., None, None]).max() == 0
+
+
+class TestSchurIdentity:
+    def test_schur_consistency(self, setup, rng):
+        """If M x = b then Mhat x_e = prepared_rhs(b): the defining
+        property of the Schur complement."""
+        geom, op, eo = setup
+        x_true = SpinorField.random(geom, rng=rng).data
+        b = op.apply(x_true)
+        lhs = eo.apply(parity_project(geom, x_true, 0))
+        rhs = eo.prepare_rhs(b)
+        assert np.abs(lhs - rhs).max() < 1e-11
+
+    def test_reconstruction(self, setup, rng):
+        geom, op, eo = setup
+        x_true = SpinorField.random(geom, rng=rng).data
+        b = op.apply(x_true)
+        x_full = eo.reconstruct(parity_project(geom, x_true, 0), b)
+        assert np.abs(x_full - x_true).max() < 1e-11
+
+    def test_output_is_even_supported(self, setup, rng):
+        geom, op, eo = setup
+        x = SpinorField.random(geom, rng=rng).data
+        out = eo.apply(x)
+        assert np.abs(out * geom.odd_mask[..., None, None]).max() == 0
+
+    def test_c_inverse(self, setup, rng):
+        geom, op, eo = setup
+        x = SpinorField.random(geom, rng=rng).data
+        assert np.abs(eo.apply_cinv(eo.apply_c(x)) - x).max() < 1e-11
+
+    def test_gamma5_hermiticity_of_schur(self, setup, rng):
+        geom, op, eo = setup
+        x = parity_project(geom, SpinorField.random(geom, rng=rng).data, 0)
+        y = parity_project(geom, SpinorField.random(geom, rng=1).data, 0)
+        lhs = np.vdot(y, eo.apply(x))
+        rhs = np.vdot(eo.apply_dagger(y), x)
+        assert abs(lhs - rhs) < 1e-10 * max(abs(lhs), 1)
+
+
+class TestSchurSolve:
+    def test_full_solution_via_schur(self, setup, rng):
+        """Solving the preconditioned system + reconstruction equals
+        solving the full system (Sec. 3.1's standard acceleration)."""
+        geom, op, eo = setup
+        b = SpinorField.random(geom, rng=rng).data
+        rhs = eo.prepare_rhs(b)
+        res = bicgstab(eo.apply, rhs, tol=1e-10, maxiter=500)
+        assert res.converged
+        x = eo.reconstruct(res.x, b)
+        r = b - op.apply(x)
+        assert np.linalg.norm(r) / np.linalg.norm(b) < 1e-8
+
+    def test_schur_converges_faster_than_full(self, setup, rng):
+        geom, op, eo = setup
+        b = SpinorField.random(geom, rng=rng).data
+        full = bicgstab(op.apply, b, tol=1e-8, maxiter=500)
+        schur = bicgstab(eo.apply, eo.prepare_rhs(b), tol=1e-8, maxiter=500)
+        assert schur.converged and full.converged
+        assert schur.iterations <= full.iterations

@@ -1,0 +1,175 @@
+"""Staggered operators: phases, anti-Hermiticity, parity decoupling."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import (
+    AsqtadOperator,
+    NaiveStaggeredOperator,
+    PHYSICAL,
+    StaggeredNormalOperator,
+)
+from repro.dirac.staggered import staggered_phases
+from repro.lattice import GaugeField, SpinorField
+
+
+@pytest.fixture(scope="module")
+def asqtad(geom44_mod, weak_gauge_mod):
+    return AsqtadOperator.from_gauge(weak_gauge_mod, mass=0.08)
+
+
+@pytest.fixture(scope="module")
+def geom44_mod():
+    from repro.lattice import Geometry
+
+    return Geometry((4, 4, 4, 4))
+
+
+@pytest.fixture(scope="module")
+def weak_gauge_mod(geom44_mod):
+    return GaugeField.weak(geom44_mod, epsilon=0.3, rng=101)
+
+
+class TestPhases:
+    def test_values_are_signs(self, geom44):
+        eta = staggered_phases(geom44)
+        assert set(np.unique(eta)) <= {-1.0, 1.0}
+
+    def test_eta_x_is_one(self, geom44):
+        assert np.all(staggered_phases(geom44)[0] == 1.0)
+
+    def test_eta_y_depends_on_x(self, geom44):
+        eta = staggered_phases(geom44)
+        x = geom44.coordinate(0)
+        assert np.array_equal(eta[1], (-1.0) ** x)
+
+    def test_eta_t_definition(self, geom44):
+        eta = staggered_phases(geom44)
+        x, y, z = (geom44.coordinate(m) for m in range(3))
+        assert np.array_equal(eta[3], (-1.0) ** (x + y + z))
+
+    def test_origin_offset(self, geom44):
+        """Phases on an offset sub-domain match the global phases — the
+        property the padded multi-GPU domains rely on."""
+        base = staggered_phases(geom44)
+        shifted = staggered_phases(geom44, origin=(1, 0, 1, 0))
+        x = geom44.coordinate(0)
+        assert np.array_equal(shifted[1], (-1.0) ** (x + 1))
+        assert not np.array_equal(shifted[1], base[1])
+
+
+class TestNaiveStaggered:
+    def test_dslash_anti_hermitian(self, weak_gauge_mod, rng):
+        op = NaiveStaggeredOperator(weak_gauge_mod, mass=0.1)
+        geom = weak_gauge_mod.geometry
+        x = SpinorField.random(geom, nspin=1, rng=rng).data
+        y = SpinorField.random(geom, nspin=1, rng=rng).data
+        lhs = np.vdot(y, op._dslash(x))
+        rhs = np.vdot(op._dslash(y), x)
+        assert abs(lhs + rhs) < 1e-10 * max(abs(lhs), 1)
+
+    def test_dagger(self, weak_gauge_mod, rng):
+        op = NaiveStaggeredOperator(weak_gauge_mod, mass=0.1)
+        geom = weak_gauge_mod.geometry
+        x = SpinorField.random(geom, nspin=1, rng=rng).data
+        y = SpinorField.random(geom, nspin=1, rng=rng).data
+        assert abs(
+            np.vdot(y, op.apply(x)) - np.vdot(op.apply_dagger(y), x)
+        ) < 1e-10
+
+    def test_dslash_changes_parity(self, weak_gauge_mod):
+        geom = weak_gauge_mod.geometry
+        op = NaiveStaggeredOperator(weak_gauge_mod, mass=0.0)
+        x = np.ones(geom.shape + (3,), dtype=np.complex128)
+        x = x * geom.even_mask[..., None]
+        out = op._dslash(x)
+        assert np.abs(out * geom.even_mask[..., None]).max() < 1e-13
+
+    def test_ghost_depth(self, weak_gauge_mod):
+        assert NaiveStaggeredOperator(weak_gauge_mod, 0.1).ghost_depth == 1
+
+    def test_free_field_mass_term(self, geom44):
+        """On the unit gauge a constant staggered field feels only the mass
+        (the eta-weighted forward/backward hops cancel)."""
+        op = NaiveStaggeredOperator(GaugeField.unit(geom44), mass=0.25)
+        x = np.ones(geom44.shape + (3,), dtype=np.complex128)
+        assert np.allclose(op.apply(x), 0.25 * x, atol=1e-13)
+
+    def test_split_reassembles(self, weak_gauge_mod, rng):
+        op = NaiveStaggeredOperator(weak_gauge_mod, mass=0.3)
+        x = SpinorField.random(weak_gauge_mod.geometry, nspin=1, rng=rng).data
+        assert np.allclose(
+            op.apply(x), op.apply_site_diagonal(x) + op.apply_hopping(x)
+        )
+
+
+class TestAsqtad:
+    def test_dslash_anti_hermitian(self, asqtad, rng):
+        geom = asqtad.geometry
+        x = SpinorField.random(geom, nspin=1, rng=rng).data
+        y = SpinorField.random(geom, nspin=1, rng=rng).data
+        lhs = np.vdot(y, asqtad._dslash(x))
+        rhs = np.vdot(asqtad._dslash(y), x)
+        assert abs(lhs + rhs) < 1e-10 * max(abs(lhs), 1)
+
+    def test_ghost_depth_three(self, asqtad):
+        assert asqtad.ghost_depth == 3
+
+    def test_three_hop_support(self, asqtad):
+        """The asqtad stencil couples a point source to 3-hop neighbors —
+        the decreased locality that throttles 1-D partitioning (Sec. 5)."""
+        geom = asqtad.geometry
+        src = SpinorField.point_source(geom, (0, 0, 0, 0), color=0, nspin=1).data
+        out = asqtad.apply(src)
+        # 3-hop neighbor along x at x=3 (wrapping: 3 = -1 mod 4... use t).
+        assert np.abs(out[3, 0, 0, 0]).max() > 1e-8  # t+3 = 3
+        assert np.abs(out[0, 0, 0, 1]).max() > 1e-8  # x+1
+
+    def test_parity_preserving_normal_op(self, asqtad, rng):
+        geom = asqtad.geometry
+        x = SpinorField.random(geom, nspin=1, rng=rng).data
+        xe = x * geom.even_mask[..., None]
+        out = StaggeredNormalOperator(asqtad).apply(xe)
+        assert np.abs(out * geom.odd_mask[..., None]).max() < 1e-13
+
+    def test_with_boundary(self, asqtad, rng):
+        cut = asqtad.with_boundary(asqtad.boundary.with_dirichlet((3,)))
+        x = SpinorField.random(asqtad.geometry, nspin=1, rng=rng).data
+        assert np.abs(cut.apply(x) - asqtad.apply(x)).max() > 1e-8
+
+    def test_boundary_antiperiodic(self, weak_gauge_mod, rng):
+        a = AsqtadOperator.from_gauge(weak_gauge_mod, mass=0.08)
+        b = AsqtadOperator.from_gauge(
+            weak_gauge_mod, mass=0.08, boundary=PHYSICAL
+        )
+        x = SpinorField.random(weak_gauge_mod.geometry, nspin=1, rng=rng).data
+        assert np.abs(a.apply(x) - b.apply(x)).max() > 1e-8
+
+
+class TestNormalOperator:
+    def test_hermitian(self, asqtad, rng):
+        n = StaggeredNormalOperator(asqtad, sigma=0.05)
+        geom = asqtad.geometry
+        x = SpinorField.random(geom, nspin=1, rng=rng).data
+        y = SpinorField.random(geom, nspin=1, rng=rng).data
+        lhs = np.vdot(y, n.apply(x))
+        rhs = np.vdot(n.apply(y), x)
+        assert abs(lhs - rhs) < 1e-10 * abs(lhs)
+
+    def test_positive_definite(self, asqtad, rng):
+        n = StaggeredNormalOperator(asqtad)
+        x = SpinorField.random(asqtad.geometry, nspin=1, rng=rng).data
+        assert np.vdot(x, n.apply(x)).real > 0
+
+    def test_equals_mdagm(self, asqtad, rng):
+        n = StaggeredNormalOperator(asqtad)
+        x = SpinorField.random(asqtad.geometry, nspin=1, rng=rng).data
+        ref = asqtad.apply_dagger(asqtad.apply(x))
+        assert np.abs(n.apply(x) - ref).max() < 1e-11
+
+    def test_shift_composition(self, asqtad, rng):
+        n = StaggeredNormalOperator(asqtad, 0.1).shifted(0.2)
+        assert n.sigma == pytest.approx(0.3)
+        x = SpinorField.random(asqtad.geometry, nspin=1, rng=rng).data
+        ref = StaggeredNormalOperator(asqtad, 0.3).apply(x)
+        assert np.allclose(n.apply(x), ref)

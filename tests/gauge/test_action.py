@@ -1,0 +1,105 @@
+"""Wilson gauge action, staples, force, and algebra sampling."""
+
+import numpy as np
+import pytest
+
+from repro.gauge.action import (
+    ALGEBRA_BASIS,
+    algebra_norm2,
+    gauge_force,
+    random_algebra_field,
+    staple_sum_for_link,
+    traceless_antihermitian,
+    wilson_gauge_action,
+)
+from repro.gauge.hmc import expm_su3
+from repro.lattice import GaugeField, Geometry
+
+
+class TestAction:
+    def test_free_field_action_zero(self, geom44):
+        assert wilson_gauge_action(GaugeField.unit(geom44), 6.0) == pytest.approx(0.0)
+
+    def test_action_positive_on_rough_field(self, hot_gauge):
+        assert wilson_gauge_action(hot_gauge, 6.0) > 0
+
+    def test_action_linear_in_beta(self, weak_gauge):
+        s1 = wilson_gauge_action(weak_gauge, 1.0)
+        s3 = wilson_gauge_action(weak_gauge, 3.0)
+        assert s3 == pytest.approx(3 * s1)
+
+    def test_action_scale(self, geom44, hot_gauge):
+        # 0 <= S <= 2 * beta * n_plaq (since -1 <= Re tr P / 3 <= 1).
+        n_plaq = 6 * geom44.volume
+        s = wilson_gauge_action(hot_gauge, 1.0)
+        assert 0 <= s <= 2 * n_plaq
+
+
+class TestStaples:
+    def test_unit_gauge_staples(self, geom44):
+        k = staple_sum_for_link(GaugeField.unit(geom44), 0)
+        assert np.allclose(k, 6 * np.eye(3))
+
+    def test_action_from_staples(self, weak_gauge):
+        """sum_mu Re tr(U_mu K_mu) counts every plaquette four times."""
+        total = 0.0
+        for mu in range(4):
+            k = staple_sum_for_link(weak_gauge, mu)
+            total += float(
+                np.trace(weak_gauge.data[mu] @ k, axis1=-2, axis2=-1).real.sum()
+            )
+        from repro.gauge.observables import average_plaquette
+
+        n_plaq = 6 * weak_gauge.geometry.volume
+        expected = 4 * 3 * n_plaq * average_plaquette(weak_gauge)
+        assert total == pytest.approx(expected, rel=1e-10)
+
+
+class TestForce:
+    def test_force_is_traceless_antihermitian(self, weak_gauge):
+        f = gauge_force(weak_gauge, 5.7)
+        assert np.abs(f + np.conj(np.swapaxes(f, -1, -2))).max() < 1e-12
+        assert np.abs(np.trace(f, axis1=-2, axis2=-1)).max() < 1e-12
+
+    def test_force_vanishes_on_free_field(self, geom44):
+        f = gauge_force(GaugeField.unit(geom44), 5.7)
+        assert np.abs(f).max() < 1e-12
+
+    def test_force_matches_numerical_derivative(self, weak_gauge, rng):
+        """dS/dt along a random algebra flow equals -Re tr(D F)."""
+        beta = 5.7
+        f = gauge_force(weak_gauge, beta)
+        d = random_algebra_field((4,) + weak_gauge.geometry.shape, rng)
+        eps = 1e-5
+        up = GaugeField(weak_gauge.geometry, expm_su3(eps * d) @ weak_gauge.data)
+        dn = GaugeField(weak_gauge.geometry, expm_su3(-eps * d) @ weak_gauge.data)
+        numeric = (
+            wilson_gauge_action(up, beta) - wilson_gauge_action(dn, beta)
+        ) / (2 * eps)
+        analytic = -float(np.sum(np.trace(d @ f, axis1=-2, axis2=-1)).real)
+        assert numeric == pytest.approx(analytic, rel=1e-6)
+
+
+class TestAlgebra:
+    def test_basis_orthonormal(self):
+        for a in range(8):
+            for b in range(8):
+                ip = -np.trace(ALGEBRA_BASIS[a] @ ALGEBRA_BASIS[b]).real
+                assert ip == pytest.approx(1.0 if a == b else 0.0, abs=1e-12)
+
+    def test_projection_idempotent(self, rng):
+        w = rng.standard_normal((5, 3, 3)) + 1j * rng.standard_normal((5, 3, 3))
+        p = traceless_antihermitian(w)
+        assert np.allclose(traceless_antihermitian(p), 2 * p)  # TA(P)=P-(-P)=2P
+
+    def test_momenta_statistics(self, rng):
+        p = random_algebra_field((500,), rng)
+        # 8 unit Gaussians per link: <|P|^2> = 8.
+        mean = (np.abs(p) ** 2).sum() / 500
+        assert mean == pytest.approx(8.0, rel=0.15)
+        assert algebra_norm2(p) == pytest.approx((np.abs(p) ** 2).sum() / 2)
+
+    def test_momenta_in_algebra(self, rng):
+        p = random_algebra_field((10,), rng)
+        assert np.abs(p + np.conj(np.swapaxes(p, -1, -2))).max() < 1e-12
+        assert np.abs(np.trace(p, axis1=-2, axis2=-1)).max() < 1e-12

@@ -1,0 +1,137 @@
+"""Asqtad fat/long link construction."""
+
+import numpy as np
+import pytest
+
+from repro.gauge.asqtad import (
+    LEPAGE_COEFF,
+    NAIK_COEFF,
+    ONE_LINK_COEFF,
+    SEVEN_STAPLE_COEFF,
+    THREE_STAPLE_COEFF,
+    FIVE_STAPLE_COEFF,
+    AsqtadLinks,
+    build_asqtad_links,
+    build_fat_links,
+    build_long_links,
+    fattening_paths,
+)
+from repro.gauge.paths import path_displacement
+from repro.lattice import GaugeField, Geometry
+
+
+class TestPathSet:
+    def test_path_count(self):
+        # 1 one-link + 6 three-staples + 24 five-staples + 48 seven-staples
+        # + 6 Lepage = 85 paths per direction.
+        for mu in range(4):
+            assert len(fattening_paths(mu)) == 85
+
+    def test_all_paths_displace_one_step(self):
+        for mu in range(4):
+            expected = tuple(1 if nu == mu else 0 for nu in range(4))
+            for _, path in fattening_paths(mu):
+                assert path_displacement(path) == expected
+
+    def test_coefficient_multiplicities(self):
+        from collections import Counter
+
+        counts = Counter(round(c, 9) for c, _ in fattening_paths(0))
+        assert counts[round(ONE_LINK_COEFF, 9)] == 1
+        # Lepage and 3-staple share the coefficient -1/16: 6 + 6 paths.
+        assert counts[round(THREE_STAPLE_COEFF, 9)] == 12
+        assert counts[round(FIVE_STAPLE_COEFF, 9)] == 24
+        assert counts[round(SEVEN_STAPLE_COEFF, 9)] == 48
+
+    def test_total_weight_normalization(self):
+        # Sum of all path coefficients = 1 at tree level: the fat link of a
+        # unit gauge field is the unit link times (sum of coefficients).
+        total = sum(c for c, _ in fattening_paths(0))
+        assert total == pytest.approx(
+            ONE_LINK_COEFF
+            + 6 * THREE_STAPLE_COEFF
+            + 24 * FIVE_STAPLE_COEFF
+            + 48 * SEVEN_STAPLE_COEFF
+            + 6 * LEPAGE_COEFF
+        )
+
+
+class TestFatLinks:
+    def test_unit_gauge_fat_links_are_scalar(self, geom44):
+        unit = GaugeField.unit(geom44)
+        fat = build_fat_links(unit)
+        total = sum(c for c, _ in fattening_paths(0))
+        assert np.allclose(fat[0], total * np.eye(3), atol=1e-12)
+
+    def test_fat_links_not_unitary(self, weak_gauge):
+        fat = build_fat_links(weak_gauge)
+        from repro.linalg import su3
+
+        assert su3.unitarity_error(fat) > 1e-3
+
+    def test_tadpole_scaling_unit_gauge(self, geom44):
+        # On the unit field every L-link path contributes 1/u0^(L-1).
+        unit = GaugeField.unit(geom44)
+        u0 = 0.9
+        fat = build_fat_links(unit, u0=u0)
+        expected = (
+            ONE_LINK_COEFF
+            + 6 * THREE_STAPLE_COEFF / u0**2
+            + 24 * FIVE_STAPLE_COEFF / u0**4
+            + 48 * SEVEN_STAPLE_COEFF / u0**6
+            + 6 * LEPAGE_COEFF / u0**4
+        )
+        assert np.allclose(fat[2], expected * np.eye(3), atol=1e-12)
+
+
+class TestLongLinks:
+    def test_unit_gauge(self, geom44):
+        unit = GaugeField.unit(geom44)
+        long_links = build_long_links(unit)
+        assert np.allclose(long_links[1], NAIK_COEFF * np.eye(3), atol=1e-13)
+
+    def test_long_link_is_three_hop_product(self, weak_gauge):
+        geom = weak_gauge.geometry
+        long_links = build_long_links(weak_gauge)
+        u = weak_gauge.data[3]
+        ref = u @ geom.shift(u, 3, 1) @ geom.shift(u, 3, 2)
+        assert np.allclose(long_links[3], NAIK_COEFF * ref, atol=1e-13)
+
+    def test_tadpole_u0(self, geom44):
+        unit = GaugeField.unit(geom44)
+        ll = build_long_links(unit, u0=0.8)
+        assert np.allclose(ll[0], NAIK_COEFF / 0.64 * np.eye(3), atol=1e-13)
+
+
+class TestBuildAll:
+    def test_bundles_geometry(self, weak_gauge):
+        links = build_asqtad_links(weak_gauge)
+        assert isinstance(links, AsqtadLinks)
+        assert links.geometry == weak_gauge.geometry
+        assert links.fat.shape == links.long.shape == weak_gauge.data.shape
+
+    def test_rejects_too_small_lattice(self):
+        tiny = GaugeField.unit(Geometry((2, 4, 4, 4)))
+        with pytest.raises(ValueError):
+            build_asqtad_links(tiny)
+
+    def test_gauge_covariance_of_fat_links(self, weak_gauge, rng):
+        """Fat links transform like thin links:
+        F_mu(x) -> g(x) F_mu(x) g(x+mu)^+."""
+        from repro.linalg import su3
+
+        geom = weak_gauge.geometry
+        g = su3.random_su3(geom.shape, rng=rng)
+        transformed = np.empty_like(weak_gauge.data)
+        for mu in range(4):
+            transformed[mu] = (
+                g @ weak_gauge.data[mu] @ su3.dagger(geom.shift(g, mu, 1))
+            )
+        fat_then_transform = np.empty_like(weak_gauge.data)
+        fat = build_fat_links(weak_gauge)
+        for mu in range(4):
+            fat_then_transform[mu] = (
+                g @ fat[mu] @ su3.dagger(geom.shift(g, mu, 1))
+            )
+        transform_then_fat = build_fat_links(GaugeField(geom, transformed))
+        assert np.abs(fat_then_transform - transform_then_fat).max() < 1e-10

@@ -1,0 +1,143 @@
+"""The asqtad fermion force (fattening chain rule)."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import AsqtadOperator, StaggeredNormalOperator
+from repro.gauge.action import random_algebra_field, traceless_antihermitian
+from repro.gauge.asqtad_force import (
+    accumulate_path_derivative,
+    asqtad_fermion_force,
+)
+from repro.gauge.dynamical import AsqtadPseudofermionAction, DynamicalHMC
+from repro.gauge.hmc import expm_su3
+from repro.gauge.paths import path_product
+from repro.lattice import GaugeField, Geometry, SpinorField
+from repro.solvers import cg
+from repro.solvers.space import STAGGERED_SPACE
+
+
+@pytest.fixture(scope="module")
+def setup():
+    geom = Geometry((4, 4, 4, 4))
+    gauge = GaugeField.weak(geom, epsilon=0.3, rng=1001)
+    pf = AsqtadPseudofermionAction(mass=0.5, tol=1e-12)
+    rng = np.random.default_rng(2)
+    phi = pf.refresh(gauge, rng)
+    return geom, gauge, pf, phi
+
+
+class TestPathDerivative:
+    def _numeric_check(self, geom, gauge, path, weight, seed, rng):
+        """Generic validator: d(w * Re sum tr(path G))/dt vs accumulated
+        bracket, along a random algebra direction."""
+        bracket = np.zeros_like(gauge.data)
+        accumulate_path_derivative(geom, gauge.data, path, weight, seed,
+                                   bracket)
+        d = random_algebra_field((4,) + geom.shape, rng)
+        eps = 1e-6
+
+        def value(links):
+            g2 = GaugeField(geom, links)
+            prod = path_product(geom, g2.data, path)
+            return weight * float(
+                np.trace(prod @ seed, axis1=-2, axis2=-1).sum().real
+            )
+
+        up = expm_su3(eps * d) @ gauge.data
+        dn = expm_su3(-eps * d) @ gauge.data
+        numeric = (value(up) - value(dn)) / (2 * eps)
+        analytic = float(
+            np.sum(np.trace(d @ bracket, axis1=-2, axis2=-1)).real
+        )
+        assert numeric == pytest.approx(analytic, rel=1e-5, abs=1e-8)
+
+    def test_single_link_path(self, setup, rng):
+        geom, gauge, pf, phi = setup
+        seed = random_algebra_field(geom.shape, rng)  # any 3x3 field works
+        self._numeric_check(geom, gauge, [(0, +1)], 1.0, seed, rng)
+
+    def test_staple_path(self, setup, rng):
+        geom, gauge, pf, phi = setup
+        seed = random_algebra_field(geom.shape, rng)
+        self._numeric_check(
+            geom, gauge, [(1, +1), (0, +1), (1, -1)], -0.25, seed, rng
+        )
+
+    def test_naik_path(self, setup, rng):
+        geom, gauge, pf, phi = setup
+        seed = random_algebra_field(geom.shape, rng)
+        self._numeric_check(geom, gauge, [(3, +1)] * 3, 0.7, seed, rng)
+
+    def test_seven_link_path(self, setup, rng):
+        geom, gauge, pf, phi = setup
+        seed = random_algebra_field(geom.shape, rng)
+        path = [(1, +1), (2, -1), (3, +1), (0, +1), (3, -1), (2, +1), (1, -1)]
+        self._numeric_check(geom, gauge, path, 1.0 / 384, seed, rng)
+
+
+class TestAsqtadForce:
+    def test_force_in_algebra(self, setup):
+        geom, gauge, pf, phi = setup
+        op, x = pf.solve(gauge, phi)
+        f = asqtad_fermion_force(gauge, x, op.apply(x), op.eta)
+        assert np.abs(f + np.conj(np.swapaxes(f, -1, -2))).max() < 1e-12
+        assert np.abs(np.trace(f, axis1=-2, axis2=-1)).max() < 1e-12
+
+    def test_force_matches_numerical_derivative(self, setup):
+        """The full chain rule over all 85 fattening paths + Naik against
+        the numerical derivative of the pseudofermion action."""
+        geom, gauge, pf, phi = setup
+        f = pf.force(gauge, phi)
+        rng = np.random.default_rng(3)
+        d = random_algebra_field((4,) + geom.shape, rng)
+        eps = 1e-5
+        up = GaugeField(geom, expm_su3(eps * d) @ gauge.data)
+        dn = GaugeField(geom, expm_su3(-eps * d) @ gauge.data)
+        numeric = (pf.action(up, phi) - pf.action(dn, phi)) / (2 * eps)
+        analytic = -float(np.sum(np.trace(d @ f, axis1=-2, axis2=-1)).real)
+        assert numeric == pytest.approx(analytic, rel=1e-6)
+
+    def test_tadpole_force_consistent(self, setup):
+        """u0 != 1 rescales paths and the force must track the action."""
+        geom, gauge, _, _ = setup
+        pf = AsqtadPseudofermionAction(mass=0.5, u0=0.9, tol=1e-12)
+        rng = np.random.default_rng(4)
+        phi = pf.refresh(gauge, rng)
+        f = pf.force(gauge, phi)
+        d = random_algebra_field((4,) + geom.shape, rng)
+        eps = 1e-5
+        up = GaugeField(geom, expm_su3(eps * d) @ gauge.data)
+        dn = GaugeField(geom, expm_su3(-eps * d) @ gauge.data)
+        numeric = (pf.action(up, phi) - pf.action(dn, phi)) / (2 * eps)
+        analytic = -float(np.sum(np.trace(d @ f, axis1=-2, axis2=-1)).real)
+        assert numeric == pytest.approx(analytic, rel=1e-6)
+
+
+class TestAsqtadHMC:
+    def test_reversibility(self, setup):
+        geom, gauge, pf, phi = setup
+        hmc = DynamicalHMC(
+            beta=5.5, mass=0.5, step_size=0.05, n_steps=4,
+            discretization="asqtad", rng_seed=5, solver_tol=1e-11,
+        )
+        rng = np.random.default_rng(6)
+        p0 = random_algebra_field((4,) + geom.shape, rng)
+        u1, p1 = hmc.leapfrog(gauge, p0, phi)
+        u2, p2 = hmc.leapfrog(u1, -p1, phi)
+        assert np.abs(u2.data - gauge.data).max() < 1e-9
+        assert np.abs(p2 + p0).max() < 1e-9
+
+    def test_trajectory_runs(self, setup):
+        geom, gauge, pf, phi = setup
+        hmc = DynamicalHMC(
+            beta=5.5, mass=0.5, step_size=0.02, n_steps=4,
+            discretization="asqtad", rng_seed=7, solver_tol=1e-10,
+        )
+        result = hmc.trajectory(gauge)
+        assert np.isfinite(result.delta_h)
+        assert abs(result.delta_h) < 1.0  # small steps: good integration
+
+    def test_unknown_discretization_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicalHMC(beta=5.5, mass=0.5, discretization="domain-wall")

@@ -1,0 +1,131 @@
+"""Dynamical-fermion HMC: pseudofermions, fermion force, full trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.gauge.action import random_algebra_field
+from repro.gauge.dynamical import DynamicalHMC, PseudofermionAction
+from repro.gauge.hmc import expm_su3
+from repro.lattice import GaugeField, Geometry
+
+
+@pytest.fixture(scope="module")
+def setup():
+    geom = Geometry((4, 4, 4, 4))
+    gauge = GaugeField.weak(geom, epsilon=0.3, rng=808)
+    pf = PseudofermionAction(mass=0.5, tol=1e-12)
+    rng = np.random.default_rng(9)
+    phi = pf.refresh(gauge, rng)
+    return geom, gauge, pf, phi
+
+
+class TestPseudofermionAction:
+    def test_action_positive(self, setup):
+        geom, gauge, pf, phi = setup
+        assert pf.action(gauge, phi) > 0
+
+    def test_heatbath_action_is_xi_norm(self, setup):
+        """phi = M^+ xi makes S_pf = |xi|^2 exactly: check the mean over
+        refreshes matches the Gaussian expectation (= #complex dof)."""
+        geom, gauge, pf, phi = setup
+        rng = np.random.default_rng(10)
+        values = [
+            pf.action(gauge, pf.refresh(gauge, rng)) for _ in range(6)
+        ]
+        dof = geom.volume * 3  # complex components, unit variance
+        assert np.mean(values) == pytest.approx(dof, rel=0.1)
+
+    def test_solver_failure_raises(self, setup):
+        geom, gauge, pf, phi = setup
+        strict = PseudofermionAction(mass=0.5, tol=1e-14, maxiter=2)
+        with pytest.raises(RuntimeError):
+            strict.action(gauge, phi)
+
+
+class TestFermionForce:
+    def test_force_in_algebra(self, setup):
+        geom, gauge, pf, phi = setup
+        f = pf.force(gauge, phi)
+        assert np.abs(f + np.conj(np.swapaxes(f, -1, -2))).max() < 1e-12
+        assert np.abs(np.trace(f, axis1=-2, axis2=-1)).max() < 1e-12
+
+    def test_force_matches_numerical_derivative(self, setup):
+        """The defining check: dS_pf/dt along a random algebra flow equals
+        -Re tr(D F) to solver accuracy."""
+        geom, gauge, pf, phi = setup
+        f = pf.force(gauge, phi)
+        rng = np.random.default_rng(11)
+        d = random_algebra_field((4,) + geom.shape, rng)
+        eps = 1e-5
+        up = GaugeField(geom, expm_su3(eps * d) @ gauge.data)
+        dn = GaugeField(geom, expm_su3(-eps * d) @ gauge.data)
+        numeric = (pf.action(up, phi) - pf.action(dn, phi)) / (2 * eps)
+        analytic = -float(np.sum(np.trace(d @ f, axis1=-2, axis2=-1)).real)
+        assert numeric == pytest.approx(analytic, rel=1e-6)
+
+    def test_force_nonzero(self, setup):
+        geom, gauge, pf, phi = setup
+        assert np.abs(pf.force(gauge, phi)).max() > 1e-3
+
+
+class TestDynamicalHMC:
+    @pytest.fixture(scope="class")
+    def hmc(self):
+        return DynamicalHMC(
+            beta=5.5, mass=0.5, step_size=0.04, n_steps=6, rng_seed=12,
+            solver_tol=1e-10,
+        )
+
+    def test_leapfrog_reversibility(self, setup, hmc):
+        geom, gauge, pf, phi = setup
+        rng = np.random.default_rng(13)
+        p0 = random_algebra_field((4,) + geom.shape, rng)
+        u1, p1 = hmc.leapfrog(gauge, p0, phi)
+        u2, p2 = hmc.leapfrog(u1, -p1, phi)
+        assert np.abs(u2.data - gauge.data).max() < 1e-10
+        assert np.abs(p2 + p0).max() < 1e-10
+
+    def test_energy_scaling(self, setup):
+        geom, gauge, pf, phi = setup
+        dh = {}
+        for eps in (0.08, 0.04):
+            hmc = DynamicalHMC(
+                beta=5.5, mass=0.5, step_size=eps,
+                n_steps=int(0.24 / eps), rng_seed=14, solver_tol=1e-11,
+            )
+            rng = np.random.default_rng(15)
+            p0 = random_algebra_field((4,) + geom.shape, rng)
+            h0 = hmc.hamiltonian(gauge, p0, phi)
+            u1, p1 = hmc.leapfrog(gauge, p0, phi)
+            dh[eps] = abs(hmc.hamiltonian(u1, p1, phi) - h0)
+        assert dh[0.04] < dh[0.08] / 2.0
+
+    def test_trajectories_run_with_solves(self, setup, hmc):
+        geom, gauge, pf, phi = setup
+        result = hmc.trajectory(gauge)
+        # One CG solve per force evaluation: initial half kick + n_steps
+        # kicks (+2 for the Hamiltonians' action evaluations are separate
+        # solves but not counted in solver_iterations).
+        assert result.solver_iterations == hmc.n_steps + 1
+        assert np.isfinite(result.delta_h)
+        assert 0 < result.plaquette < 1
+
+    def test_rejection_keeps_configuration(self, setup):
+        geom, gauge, pf, phi = setup
+        wild = DynamicalHMC(
+            beta=5.5, mass=0.5, step_size=1.0, n_steps=3, rng_seed=16,
+        )
+        result = wild.trajectory(gauge)
+        if not result.accepted:
+            assert result.gauge is gauge
+
+    def test_acceptance_reasonable_at_small_steps(self, setup):
+        geom, gauge, pf, phi = setup
+        hmc = DynamicalHMC(
+            beta=5.5, mass=0.5, step_size=0.02, n_steps=6, rng_seed=17,
+            solver_tol=1e-11,
+        )
+        u = gauge
+        for _ in range(3):
+            u = hmc.trajectory(u).gauge
+        assert hmc.acceptance_rate >= 2 / 3

@@ -1,0 +1,105 @@
+"""Landau/Coulomb gauge fixing."""
+
+import numpy as np
+import pytest
+
+from repro.gauge.fixing import (
+    fix_gauge,
+    gauge_divergence,
+    gauge_functional,
+    random_gauge_transform,
+)
+from repro.gauge.observables import average_plaquette
+from repro.lattice import GaugeField, Geometry
+from repro.linalg import su3
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return Geometry((4, 4, 4, 4))
+
+
+@pytest.fixture(scope="module")
+def weak(geom):
+    return GaugeField.weak(geom, epsilon=0.25, rng=3030)
+
+
+class TestMeasures:
+    def test_unit_gauge_is_fixed(self, geom):
+        unit = GaugeField.unit(geom)
+        assert gauge_functional(unit) == pytest.approx(1.0)
+        assert gauge_divergence(unit) == pytest.approx(0.0, abs=1e-14)
+
+    def test_functional_bounded(self, weak):
+        assert -1.0 <= gauge_functional(weak) <= 1.0
+
+    def test_divergence_positive_on_random_gauge(self, weak):
+        assert gauge_divergence(weak) > 1e-3
+
+    def test_mode_validation(self, weak):
+        with pytest.raises(ValueError):
+            gauge_functional(weak, "axial")
+
+
+class TestLandauFixing:
+    @pytest.fixture(scope="class")
+    def fixed(self, weak):
+        return fix_gauge(weak, "landau", max_sweeps=300, theta_tol=1e-7)
+
+    def test_converges(self, fixed):
+        assert fixed.converged
+        assert fixed.theta < 1e-7
+
+    def test_functional_increased(self, weak, fixed):
+        assert fixed.functional > gauge_functional(weak)
+
+    def test_plaquette_invariant(self, weak, fixed):
+        """Gauge fixing is a gauge transformation: gauge-invariant
+        observables are untouched."""
+        assert average_plaquette(fixed.gauge) == pytest.approx(
+            average_plaquette(weak), abs=1e-10
+        )
+
+    def test_links_stay_in_group(self, fixed):
+        assert su3.unitarity_error(fixed.gauge.data) < 1e-9
+
+    def test_transformation_reproduces_fixed_links(self, weak, fixed):
+        """U_fixed == g U g^+(x+mu) with the returned g."""
+        geom = weak.geometry
+        g = fixed.transformation
+        for mu in range(4):
+            expected = (
+                g @ weak.data[mu] @ su3.dagger(geom.shift(g, mu, 1))
+            )
+            assert np.abs(expected - fixed.gauge.data[mu]).max() < 1e-8
+
+    def test_fixing_is_gauge_orbit_invariant(self, weak, fixed, rng):
+        """Fixing a randomly gauge-rotated copy lands on the same
+        functional value (the orbit has one maximum up to Gribov copies,
+        which this smooth configuration does not exhibit)."""
+        rotated, _ = random_gauge_transform(weak, rng=rng)
+        refixed = fix_gauge(rotated, "landau", max_sweeps=300, theta_tol=1e-7)
+        assert refixed.functional == pytest.approx(fixed.functional, abs=1e-5)
+
+
+class TestCoulombFixing:
+    def test_converges_faster_than_landau(self, weak):
+        coulomb = fix_gauge(weak, "coulomb", max_sweeps=300, theta_tol=1e-7)
+        assert coulomb.converged
+        assert coulomb.theta < 1e-7
+
+    def test_only_spatial_condition_enforced(self, weak):
+        out = fix_gauge(weak, "coulomb", max_sweeps=300, theta_tol=1e-7)
+        # The Landau (4-direction) divergence generally stays nonzero.
+        assert gauge_divergence(out.gauge, "coulomb") < 1e-7
+        assert gauge_divergence(out.gauge, "landau") > 1e-6
+
+
+class TestRandomTransform:
+    def test_preserves_plaquette(self, weak, rng):
+        rotated, g = random_gauge_transform(weak, rng=rng)
+        assert average_plaquette(rotated) == pytest.approx(
+            average_plaquette(weak), abs=1e-10
+        )
+        assert su3.unitarity_error(rotated.data) < 1e-10
+        assert np.abs(rotated.data - weak.data).max() > 0.1

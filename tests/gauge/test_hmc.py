@@ -1,0 +1,99 @@
+"""Pure-gauge HMC: reversibility, energy conservation, exactness."""
+
+import numpy as np
+import pytest
+
+from repro.gauge.action import random_algebra_field
+from repro.gauge.hmc import PureGaugeHMC, expm_su3
+from repro.lattice import GaugeField, Geometry
+from repro.linalg import su3
+
+
+@pytest.fixture(scope="module")
+def start():
+    geom = Geometry((4, 4, 4, 4))
+    return GaugeField.weak(geom, epsilon=0.3, rng=100)
+
+
+class TestExpm:
+    def test_exp_of_algebra_is_group(self, rng):
+        p = random_algebra_field((16,), rng)
+        u = expm_su3(p)
+        assert su3.unitarity_error(u) < 1e-12
+        assert su3.determinant_error(u) < 1e-12
+
+    def test_exp_zero_is_identity(self):
+        assert np.allclose(expm_su3(np.zeros((3, 3))), np.eye(3))
+
+
+class TestLeapfrog:
+    def test_reversibility(self, start, rng):
+        hmc = PureGaugeHMC(beta=5.7, step_size=0.05, n_steps=10, rng_seed=1)
+        p0 = random_algebra_field((4,) + start.geometry.shape, rng)
+        u1, p1 = hmc.leapfrog(start, p0)
+        u2, p2 = hmc.leapfrog(u1, -p1)
+        assert np.abs(u2.data - start.data).max() < 1e-12
+        assert np.abs(p2 + p0).max() < 1e-12
+
+    def test_energy_violation_scales_as_eps_squared(self, start, rng):
+        """Fixed trajectory length, halved step: |dH| drops ~4x."""
+        length = 0.4
+        dh = {}
+        for eps in (0.1, 0.05):
+            hmc = PureGaugeHMC(
+                beta=5.7, step_size=eps, n_steps=int(length / eps), rng_seed=2
+            )
+            p0 = random_algebra_field((4,) + start.geometry.shape, hmc.rng)
+            h0 = hmc.hamiltonian(start, p0)
+            u1, p1 = hmc.leapfrog(start, p0)
+            dh[eps] = abs(hmc.hamiltonian(u1, p1) - h0)
+        assert dh[0.05] < dh[0.1] / 2.5
+
+    def test_drift_moves_configuration(self, start, rng):
+        hmc = PureGaugeHMC(beta=5.7, step_size=0.05, n_steps=10, rng_seed=3)
+        p0 = random_algebra_field((4,) + start.geometry.shape, rng)
+        u1, _ = hmc.leapfrog(start, p0)
+        assert np.abs(u1.data - start.data).max() > 1e-3
+
+
+class TestTrajectory:
+    def test_small_steps_accept(self, start):
+        hmc = PureGaugeHMC(beta=5.7, step_size=0.02, n_steps=10, rng_seed=4)
+        u = start
+        for _ in range(3):
+            result = hmc.trajectory(u)
+            u = result.gauge
+        assert hmc.acceptance_rate >= 2 / 3
+
+    def test_rejection_keeps_configuration(self, start):
+        # Gigantic steps: the integrator explodes and Metropolis rejects.
+        hmc = PureGaugeHMC(beta=5.7, step_size=1.5, n_steps=3, rng_seed=5)
+        result = hmc.trajectory(start)
+        if not result.accepted:
+            assert result.gauge is start
+
+    def test_output_stays_in_group(self, start):
+        hmc = PureGaugeHMC(beta=5.7, step_size=0.05, n_steps=8, rng_seed=6)
+        u = hmc.run(start, trajectories=2)
+        assert su3.unitarity_error(u.data) < 1e-10
+
+    def test_history_bookkeeping(self, start):
+        hmc = PureGaugeHMC(beta=5.7, step_size=0.05, n_steps=5, rng_seed=7)
+        hmc.run(start, trajectories=3)
+        assert len(hmc.history) == 3
+        for rec in hmc.history:
+            assert np.isfinite(rec.delta_h)
+            assert 0.0 <= rec.plaquette <= 1.0
+
+    def test_hmc_and_heatbath_agree_on_plaquette(self, start):
+        """The two exact algorithms must sample the same distribution:
+        their thermalized plaquettes at beta=5.7 agree."""
+        from repro.gauge.heatbath import HeatbathUpdater
+
+        hmc = PureGaugeHMC(beta=5.7, step_size=0.04, n_steps=12, rng_seed=8)
+        u_hmc = hmc.run(start, trajectories=12)
+        hb = HeatbathUpdater(beta=5.7, or_steps=1, rng_seed=9)
+        u_hb, hist = hb.thermalize(start, sweeps=16, measure_every=4)
+        assert u_hmc.plaquette() == pytest.approx(
+            float(np.mean(hist[-2:])), abs=0.05
+        )

@@ -1,0 +1,70 @@
+"""Plaquettes and the clover-leaf field strength."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.gauge.observables import (
+    average_plaquette,
+    clover_leaf_sum,
+    field_strength,
+    plaquette_field,
+)
+from repro.lattice import GaugeField
+from repro.linalg import su3
+
+
+class TestPlaquette:
+    def test_unit_gauge(self, geom44):
+        assert average_plaquette(GaugeField.unit(geom44)) == 1.0
+
+    def test_hot_gauge_near_zero(self, geom44):
+        assert abs(average_plaquette(GaugeField.hot(geom44, rng=9))) < 0.15
+
+    def test_plaquette_field_unitary(self, weak_gauge):
+        p = plaquette_field(weak_gauge, 0, 3)
+        assert su3.unitarity_error(p) < 1e-12
+
+    def test_gauge_invariance(self, weak_gauge, rng):
+        """The plaquette average is invariant under gauge transformations
+        U_mu(x) -> g(x) U_mu(x) g(x+mu)^+ — the defining covariance check."""
+        geom = weak_gauge.geometry
+        g = su3.random_su3(geom.shape, rng=rng)
+        transformed = np.empty_like(weak_gauge.data)
+        for mu in range(4):
+            g_fwd = geom.shift(g, mu, 1)
+            transformed[mu] = g @ weak_gauge.data[mu] @ su3.dagger(g_fwd)
+        before = average_plaquette(weak_gauge)
+        after = average_plaquette(GaugeField(geom, transformed))
+        assert after == pytest.approx(before, abs=1e-12)
+
+
+class TestFieldStrength:
+    def test_vanishes_on_unit_gauge(self, geom44):
+        unit = GaugeField.unit(geom44)
+        for mu, nu in itertools.combinations(range(4), 2):
+            f = field_strength(unit, mu, nu)
+            assert np.abs(f).max() < 1e-14
+
+    def test_anti_hermitian(self, weak_gauge):
+        f = field_strength(weak_gauge, 0, 1)
+        assert np.abs(f + su3.dagger(f)).max() < 1e-12
+
+    def test_antisymmetric_in_indices(self, weak_gauge):
+        f01 = field_strength(weak_gauge, 0, 1)
+        f10 = field_strength(weak_gauge, 1, 0)
+        assert np.abs(f01 + f10).max() < 1e-12
+
+    def test_nonzero_on_rough_gauge(self, weak_gauge):
+        f = field_strength(weak_gauge, 2, 3)
+        assert np.abs(f).max() > 1e-3
+
+    def test_leaf_sum_shape(self, weak_gauge):
+        q = clover_leaf_sum(weak_gauge, 0, 3)
+        assert q.shape == weak_gauge.geometry.shape + (3, 3)
+
+    def test_leaves_are_near_identity_on_smooth_field(self, geom44):
+        smooth = GaugeField.weak(geom44, epsilon=0.01, rng=5)
+        q = clover_leaf_sum(smooth, 1, 2)
+        assert np.abs(q - 4 * np.eye(3)).max() < 0.1

@@ -1,0 +1,87 @@
+"""Wilson-line path products."""
+
+import numpy as np
+import pytest
+
+from repro.gauge.paths import path_displacement, path_product, shift_field
+from repro.lattice import GaugeField
+from repro.linalg import su3
+
+
+class TestShiftField:
+    def test_matches_geometry_shift(self, geom44, rng):
+        a = rng.standard_normal(geom44.shape)
+        out = shift_field(geom44, a, (1, 0, 0, 0))
+        assert np.array_equal(out, geom44.shift(a, 0, 1))
+
+    def test_multi_direction_offset(self, geom44, rng):
+        a = rng.standard_normal(geom44.shape)
+        out = shift_field(geom44, a, (1, 0, -1, 2))
+        ref = geom44.shift(geom44.shift(geom44.shift(a, 0, 1), 2, -1), 3, 2)
+        assert np.array_equal(out, ref)
+
+    def test_zero_offset_identity(self, geom44, rng):
+        a = rng.standard_normal(geom44.shape)
+        assert shift_field(geom44, a, (0, 0, 0, 0)) is a
+
+
+class TestPathProduct:
+    def test_empty_path_is_identity(self, weak_gauge):
+        out = path_product(weak_gauge.geometry, weak_gauge.data, [])
+        assert np.allclose(out, np.eye(3))
+
+    def test_single_step_is_link(self, weak_gauge):
+        out = path_product(weak_gauge.geometry, weak_gauge.data, [(1, +1)])
+        assert np.array_equal(out, weak_gauge.data[1])
+
+    def test_forward_backward_cancels(self, weak_gauge):
+        out = path_product(
+            weak_gauge.geometry, weak_gauge.data, [(2, +1), (2, -1)]
+        )
+        assert np.allclose(out, np.eye(3), atol=1e-12)
+
+    def test_backward_forward_cancels(self, weak_gauge):
+        out = path_product(
+            weak_gauge.geometry, weak_gauge.data, [(3, -1), (3, +1)]
+        )
+        assert np.allclose(out, np.eye(3), atol=1e-12)
+
+    def test_closed_loop_is_unitary(self, weak_gauge):
+        loop = [(0, +1), (1, +1), (0, -1), (1, -1)]
+        out = path_product(weak_gauge.geometry, weak_gauge.data, loop)
+        assert su3.unitarity_error(out) < 1e-12
+
+    def test_unit_gauge_gives_identity(self, geom44):
+        unit = GaugeField.unit(geom44)
+        loop = [(0, +1), (1, +1), (2, +1), (0, -1), (1, -1), (2, -1)]
+        out = path_product(geom44, unit.data, loop)
+        assert np.allclose(out, np.eye(3))
+
+    def test_reversed_path_is_dagger(self, weak_gauge):
+        path = [(0, +1), (1, +1), (3, -1)]
+        reverse = [(3, +1), (1, -1), (0, -1)]
+        a = path_product(weak_gauge.geometry, weak_gauge.data, path)
+        b = path_product(weak_gauge.geometry, weak_gauge.data, reverse)
+        # The reverse path starts at the endpoint; shift it back to compare.
+        b_at_start = shift_field(weak_gauge.geometry, b, (1, 1, 0, -1))
+        assert np.allclose(su3.dagger(b_at_start), a, atol=1e-12)
+
+    def test_invalid_sign(self, weak_gauge):
+        with pytest.raises(ValueError):
+            path_product(weak_gauge.geometry, weak_gauge.data, [(0, 2)])
+
+    def test_wraps_periodically(self, geom44):
+        # A straight line across the full extent multiplies all links in a
+        # column; on the unit gauge it is the identity.
+        unit = GaugeField.unit(geom44)
+        out = path_product(geom44, unit.data, [(3, +1)] * 4)
+        assert np.allclose(out, np.eye(3))
+
+
+class TestDisplacement:
+    def test_net_displacement(self):
+        assert path_displacement([(0, 1), (0, 1), (1, -1)]) == (2, -1, 0, 0)
+
+    def test_staple_displaces_one_step(self):
+        staple = [(1, +1), (0, +1), (1, -1)]
+        assert path_displacement(staple) == (1, 0, 0, 0)

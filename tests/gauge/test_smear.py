@@ -1,0 +1,54 @@
+"""APE smearing."""
+
+import numpy as np
+import pytest
+
+from repro.gauge.observables import average_plaquette
+from repro.gauge.smear import ape_smear, staple_sum
+from repro.lattice import GaugeField
+from repro.linalg import su3
+
+
+class TestStapleSum:
+    def test_unit_gauge_staples(self, geom44):
+        unit = GaugeField.unit(geom44)
+        s = staple_sum(unit, 0)
+        assert np.allclose(s, 6 * np.eye(3))
+
+    def test_shape(self, weak_gauge):
+        s = staple_sum(weak_gauge, 3)
+        assert s.shape == weak_gauge.geometry.shape + (3, 3)
+
+
+class TestApeSmear:
+    def test_unit_gauge_fixed_point(self, geom44):
+        unit = GaugeField.unit(geom44)
+        out = ape_smear(unit, alpha=0.5, iterations=2)
+        assert np.abs(out.data - unit.data).max() < 1e-12
+
+    def test_raises_plaquette(self, weak_gauge):
+        before = average_plaquette(weak_gauge)
+        after = average_plaquette(ape_smear(weak_gauge, alpha=0.5))
+        assert after > before
+
+    def test_iterations_compose(self, weak_gauge):
+        once_twice = ape_smear(ape_smear(weak_gauge, 0.4), 0.4)
+        both = ape_smear(weak_gauge, 0.4, iterations=2)
+        assert np.abs(once_twice.data - both.data).max() < 1e-10
+
+    def test_output_in_group(self, weak_gauge):
+        out = ape_smear(weak_gauge, alpha=0.6)
+        assert su3.unitarity_error(out.data) < 1e-10
+
+    def test_alpha_zero_projects_only(self, weak_gauge):
+        out = ape_smear(weak_gauge, alpha=0.0)
+        assert np.abs(out.data - weak_gauge.data).max() < 1e-10
+
+    def test_alpha_validation(self, weak_gauge):
+        with pytest.raises(ValueError):
+            ape_smear(weak_gauge, alpha=1.5)
+
+    def test_original_untouched(self, weak_gauge):
+        before = weak_gauge.data.copy()
+        ape_smear(weak_gauge, alpha=0.5)
+        assert np.array_equal(weak_gauge.data, before)

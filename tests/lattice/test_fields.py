@@ -1,0 +1,112 @@
+"""SpinorField and GaugeField containers."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Geometry, GaugeField, SpinorField
+
+
+class TestSpinorField:
+    def test_zeros_shape_wilson(self, geom44):
+        f = SpinorField.zeros(geom44)
+        assert f.data.shape == geom44.shape + (4, 3)
+        assert f.norm2() == 0.0
+
+    def test_zeros_shape_staggered(self, geom44):
+        f = SpinorField.zeros(geom44, nspin=1)
+        assert f.data.shape == geom44.shape + (3,)
+
+    def test_invalid_nspin(self, geom44):
+        with pytest.raises(ValueError):
+            SpinorField.zeros(geom44, nspin=2)
+
+    def test_data_shape_validation(self, geom44):
+        with pytest.raises(ValueError):
+            SpinorField(geom44, np.zeros((2, 2)))
+
+    def test_random_is_reproducible(self, geom44):
+        a = SpinorField.random(geom44, rng=5)
+        b = SpinorField.random(geom44, rng=5)
+        assert np.array_equal(a.data, b.data)
+
+    def test_point_source_wilson(self, geom44):
+        f = SpinorField.point_source(geom44, (1, 2, 3, 0), spin=2, color=1)
+        assert f.norm2() == 1.0
+        assert f.data[0, 3, 2, 1, 2, 1] == 1.0
+
+    def test_point_source_staggered(self, geom44):
+        f = SpinorField.point_source(geom44, (0, 0, 0, 3), color=2, nspin=1)
+        assert f.norm2() == 1.0
+        assert f.data[3, 0, 0, 0, 2] == 1.0
+
+    def test_arithmetic(self, geom44):
+        a = SpinorField.random(geom44, rng=1)
+        b = SpinorField.random(geom44, rng=2)
+        c = a + b - a
+        assert np.allclose(c.data, b.data)
+        d = 2.0 * a
+        assert np.allclose(d.data, 2 * a.data)
+        assert np.allclose((-a).data, -a.data)
+
+    def test_dot_conjugate_symmetry(self, geom44):
+        a = SpinorField.random(geom44, rng=1)
+        b = SpinorField.random(geom44, rng=2)
+        assert a.dot(b) == pytest.approx(np.conj(b.dot(a)))
+
+    def test_norm2_matches_dot(self, geom44):
+        a = SpinorField.random(geom44, rng=1)
+        assert a.norm2() == pytest.approx(a.dot(a).real)
+
+    def test_copy_is_independent(self, geom44):
+        a = SpinorField.random(geom44, rng=1)
+        b = a.copy()
+        b.data[...] = 0
+        assert a.norm2() > 0
+
+    def test_reals_per_site(self, geom44):
+        assert SpinorField.zeros(geom44).reals_per_site == 24
+        assert SpinorField.zeros(geom44, nspin=1).reals_per_site == 6
+
+    def test_ghost_face_reals(self, geom44):
+        f = SpinorField.zeros(geom44)
+        # Fig. 2 layout: T face has volume/nt sites, 24 reals each.
+        assert f.ghost_face_reals(3) == 24 * geom44.volume // 4
+        assert f.ghost_face_reals(3, depth=3) == 3 * 24 * geom44.volume // 4
+
+
+class TestGaugeField:
+    def test_unit_field(self, geom44):
+        u = GaugeField.unit(geom44)
+        assert u.data.shape == (4,) + geom44.shape + (3, 3)
+        assert u.unitarity_error() < 1e-15
+        assert u.plaquette() == pytest.approx(1.0)
+
+    def test_hot_field_is_unitary_but_disordered(self, geom44):
+        u = GaugeField.hot(geom44, rng=1)
+        assert u.unitarity_error() < 1e-12
+        assert abs(u.plaquette()) < 0.2
+
+    def test_weak_field_plaquette_between(self, geom44):
+        u = GaugeField.weak(geom44, epsilon=0.3, rng=2)
+        assert u.unitarity_error() < 1e-12
+        assert 0.3 < u.plaquette() < 0.99
+
+    def test_weak_epsilon_ordering(self, geom44):
+        tame = GaugeField.weak(geom44, epsilon=0.1, rng=3).plaquette()
+        wild = GaugeField.weak(geom44, epsilon=0.6, rng=3).plaquette()
+        assert tame > wild
+
+    def test_link_accessor(self, geom44):
+        u = GaugeField.hot(geom44, rng=4)
+        assert u.link(2).shape == geom44.shape + (3, 3)
+        assert np.shares_memory(u.link(2), u.data)
+
+    def test_copy_independent(self, geom44):
+        u = GaugeField.hot(geom44, rng=5)
+        v = u.copy()
+        v.data[...] = 0
+        assert u.unitarity_error() < 1e-12
+
+    def test_shape_validation(self, geom44):
+        with pytest.raises(ValueError):
+            GaugeField(geom44, np.zeros((4, 2, 2, 2, 2, 3, 3)))

@@ -1,0 +1,199 @@
+"""Geometry: indexing conventions, parity, shifts, faces."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Geometry, X, Y, Z, T
+from repro.lattice.geometry import axis_of_mu
+
+
+class TestConstruction:
+    def test_shape_is_reversed_dims(self):
+        g = Geometry((4, 6, 8, 10))
+        assert g.dims == (4, 6, 8, 10)
+        assert g.shape == (10, 8, 6, 4)
+
+    def test_volume(self):
+        g = Geometry((4, 6, 8, 10))
+        assert g.volume == 4 * 6 * 8 * 10
+        assert g.half_volume == g.volume // 2
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            Geometry((4, 4, 4))
+
+    def test_rejects_odd_extent(self):
+        with pytest.raises(ValueError):
+            Geometry((4, 4, 4, 5))
+
+    def test_rejects_tiny_extent(self):
+        with pytest.raises(ValueError):
+            Geometry((0, 4, 4, 4))
+
+    def test_equality_and_hash(self):
+        assert Geometry((4, 4, 4, 8)) == Geometry((4, 4, 4, 8))
+        assert Geometry((4, 4, 4, 8)) != Geometry((4, 4, 8, 4))
+        assert hash(Geometry((4, 4, 4, 8))) == hash(Geometry((4, 4, 4, 8)))
+
+
+class TestCoordinatesAndParity:
+    def test_axis_of_mu(self):
+        assert axis_of_mu(X) == 3
+        assert axis_of_mu(Y) == 2
+        assert axis_of_mu(Z) == 1
+        assert axis_of_mu(T) == 0
+        with pytest.raises(ValueError):
+            axis_of_mu(4)
+
+    def test_coordinate_ranges(self):
+        g = Geometry((4, 6, 8, 10))
+        for mu, extent in enumerate(g.dims):
+            c = g.coordinate(mu)
+            assert c.shape == g.shape
+            assert c.min() == 0 and c.max() == extent - 1
+
+    def test_coordinate_varies_on_correct_axis(self):
+        g = Geometry((4, 6, 8, 10))
+        cx = g.coordinate(X)
+        # x coordinate varies along the last axis only
+        assert np.all(cx[0, 0, 0, :] == np.arange(4))
+        assert np.all(cx[:, 0, 0, 1] == 1)
+
+    def test_parity_definition(self):
+        g = Geometry((4, 4, 4, 4))
+        p = g.parity
+        assert p[0, 0, 0, 0] == 0
+        assert p[0, 0, 0, 1] == 1
+        assert p[0, 0, 1, 1] == 0
+        assert p[1, 1, 1, 1] == 0
+
+    def test_parity_masks_partition_lattice(self):
+        g = Geometry((4, 4, 4, 8))
+        assert g.even_mask.sum() == g.half_volume
+        assert g.odd_mask.sum() == g.half_volume
+        assert not np.any(g.even_mask & g.odd_mask)
+
+    def test_parity_mask_accessor(self):
+        g = Geometry((4, 4, 4, 4))
+        assert np.array_equal(g.parity_mask(0), g.even_mask)
+        assert np.array_equal(g.parity_mask(1), g.odd_mask)
+        with pytest.raises(ValueError):
+            g.parity_mask(2)
+
+    def test_neighbors_have_opposite_parity(self):
+        g = Geometry((4, 4, 4, 4))
+        p = g.parity.astype(np.float64)
+        for mu in range(4):
+            shifted = g.shift(p, mu, 1)
+            assert np.all(shifted != p)
+
+
+class TestShift:
+    def test_periodic_shift_moves_data(self):
+        g = Geometry((4, 4, 4, 4))
+        a = g.coordinate(X).astype(float)
+        fwd = g.shift(a, X, 1)
+        # result[x] = a[x+1] = (x+1) mod 4
+        assert np.all(fwd[0, 0, 0, :] == np.array([1, 2, 3, 0]))
+
+    def test_shift_roundtrip(self, rng=np.random.default_rng(0)):
+        g = Geometry((4, 4, 4, 8))
+        a = rng.standard_normal(g.shape + (3,))
+        for mu in range(4):
+            assert np.array_equal(g.shift(g.shift(a, mu, 1), mu, -1), a)
+
+    def test_shift_full_cycle_is_identity(self, rng=np.random.default_rng(1)):
+        g = Geometry((4, 6, 8, 10))
+        a = rng.standard_normal(g.shape)
+        for mu, extent in enumerate(g.dims):
+            assert np.allclose(g.shift(a, mu, extent), a)
+
+    def test_zero_boundary_kills_wrapped_slab(self):
+        g = Geometry((4, 4, 4, 4))
+        a = np.ones(g.shape)
+        out = g.shift(a, X, 1, boundary="zero")
+        # sites with x = 3 read x = 4 (outside): zero
+        assert np.all(out[..., 3] == 0)
+        assert np.all(out[..., :3] == 1)
+
+    def test_zero_boundary_backward(self):
+        g = Geometry((4, 4, 4, 4))
+        a = np.ones(g.shape)
+        out = g.shift(a, T, -1, boundary="zero")
+        assert np.all(out[0] == 0)
+        assert np.all(out[1:] == 1)
+
+    def test_antiperiodic_flips_wrapped_slab(self):
+        g = Geometry((4, 4, 4, 4))
+        a = np.ones(g.shape)
+        out = g.shift(a, T, 1, boundary="antiperiodic")
+        assert np.all(out[-1] == -1)
+        assert np.all(out[:-1] == 1)
+
+    def test_zero_boundary_multihop(self):
+        g = Geometry((8, 4, 4, 4))
+        a = np.ones(g.shape)
+        out = g.shift(a, X, 3, boundary="zero")
+        assert np.all(out[..., 5:] == 0)
+        assert np.all(out[..., :5] == 1)
+
+    def test_zero_boundary_full_extent(self):
+        g = Geometry((4, 4, 4, 4))
+        a = np.ones(g.shape)
+        assert np.all(g.shift(a, X, 4, boundary="zero") == 0)
+
+    def test_antiperiodic_overlong_shift_rejected(self):
+        g = Geometry((4, 4, 4, 4))
+        with pytest.raises(ValueError):
+            g.shift(np.ones(g.shape), X, 4, boundary="antiperiodic")
+
+    def test_unknown_boundary_rejected(self):
+        g = Geometry((4, 4, 4, 4))
+        with pytest.raises(ValueError):
+            g.shift(np.ones(g.shape), X, 1, boundary="reflect")
+
+    def test_shape_mismatch_rejected(self):
+        g = Geometry((4, 4, 4, 4))
+        with pytest.raises(ValueError):
+            g.shift(np.ones((4, 4, 4, 8)), X, 1)
+
+    def test_shift_preserves_trailing_axes(self, rng=np.random.default_rng(2)):
+        g = Geometry((4, 4, 4, 4))
+        a = rng.standard_normal(g.shape + (4, 3))
+        out = g.shift(a, Z, 1)
+        assert out.shape == a.shape
+
+
+class TestFaces:
+    def test_face_slice_selects_slab(self):
+        g = Geometry((4, 4, 4, 8))
+        a = np.zeros(g.shape)
+        a[g.face_slice(T, +1, depth=2)] = 1
+        assert a[6:, ...].sum() == a.sum()
+        assert a.sum() == 2 * 4 * 4 * 4
+
+    def test_face_slice_sides_disjoint(self):
+        g = Geometry((4, 4, 4, 8))
+        a = np.zeros(g.shape)
+        a[g.face_slice(Z, +1)] += 1
+        a[g.face_slice(Z, -1)] += 1
+        assert a.max() == 1
+
+    def test_face_volume(self):
+        g = Geometry((4, 6, 8, 10))
+        assert g.face_volume(X) == g.volume // 4
+        assert g.face_volume(T, depth=3) == 3 * g.volume // 10
+
+    def test_face_slice_validation(self):
+        g = Geometry((4, 4, 4, 4))
+        with pytest.raises(ValueError):
+            g.face_slice(X, 0)
+        with pytest.raises(ValueError):
+            g.face_slice(X, +1, depth=5)
+
+    def test_surface_to_volume_grows_with_partitioning(self):
+        g = Geometry((8, 8, 8, 8))
+        r1 = g.surface_to_volume((T,))
+        r2 = g.surface_to_volume((Z, T))
+        r4 = g.surface_to_volume((X, Y, Z, T))
+        assert r1 < r2 < r4

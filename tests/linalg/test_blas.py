@@ -1,0 +1,109 @@
+"""BLAS layer: numerics and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import blas
+from repro.util.counters import tally
+
+
+@pytest.fixture()
+def vecs(rng):
+    n = 256
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    y = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    return x, y
+
+
+class TestNumerics:
+    def test_norm2(self, vecs):
+        x, _ = vecs
+        assert blas.norm2(x) == pytest.approx(float(np.vdot(x, x).real))
+
+    def test_cdot(self, vecs):
+        x, y = vecs
+        assert blas.cdot(x, y) == pytest.approx(complex(np.vdot(x, y)))
+
+    def test_rdot(self, vecs):
+        x, y = vecs
+        assert blas.rdot(x, y) == pytest.approx(float(np.vdot(x, y).real))
+
+    def test_axpy(self, vecs):
+        x, y = vecs
+        assert np.allclose(blas.axpy(2.5, x, y), y + 2.5 * x)
+
+    def test_caxpy(self, vecs):
+        x, y = vecs
+        a = 1.5 - 0.5j
+        assert np.allclose(blas.caxpy(a, x, y), y + a * x)
+
+    def test_xpay(self, vecs):
+        x, y = vecs
+        assert np.allclose(blas.xpay(x, -0.5, y), x - 0.5 * y)
+
+    def test_cxpay(self, vecs):
+        x, y = vecs
+        a = 0.5 + 2j
+        assert np.allclose(blas.cxpay(x, a, y), x + a * y)
+
+    def test_axpby(self, vecs):
+        x, y = vecs
+        assert np.allclose(blas.axpby(2.0, x, -1.0, y), 2 * x - y)
+
+    def test_caxpby(self, vecs):
+        x, y = vecs
+        a, b = 1j, 2.0 + 0j
+        assert np.allclose(blas.caxpby(a, x, b, y), a * x + b * y)
+
+    def test_scale(self, vecs):
+        x, _ = vecs
+        assert np.allclose(blas.scale(3.0, x), 3 * x)
+
+    def test_copy_and_zero(self, vecs):
+        x, _ = vecs
+        c = blas.copy(x)
+        assert np.array_equal(c, x) and c is not x
+        z = blas.zero_like(x)
+        assert not np.any(z)
+
+    def test_inputs_not_mutated(self, vecs):
+        x, y = vecs
+        x0, y0 = x.copy(), y.copy()
+        blas.axpy(1.0, x, y)
+        blas.caxpby(1j, x, 2.0 + 0j, y)
+        assert np.array_equal(x, x0) and np.array_equal(y, y0)
+
+
+class TestAccounting:
+    def test_norm2_counts_flops_and_reduction(self, vecs):
+        x, _ = vecs
+        with tally() as t:
+            blas.norm2(x)
+        assert t.flops == 4 * x.size
+        assert t.reductions == 1
+
+    def test_cdot_counts(self, vecs):
+        x, y = vecs
+        with tally() as t:
+            blas.cdot(x, y)
+        assert t.flops == 8 * x.size
+        assert t.reductions == 1
+
+    def test_axpy_no_reduction(self, vecs):
+        x, y = vecs
+        with tally() as t:
+            blas.axpy(1.0, x, y)
+        assert t.flops == 4 * x.size
+        assert t.reductions == 0
+        assert t.bytes_moved == 3 * x.nbytes
+
+    def test_copy_counts_bytes_only(self, vecs):
+        x, _ = vecs
+        with tally() as t:
+            blas.copy(x)
+        assert t.flops == 0
+        assert t.bytes_moved == 2 * x.nbytes
+
+    def test_no_tally_is_silent(self, vecs):
+        x, y = vecs
+        blas.cdot(x, y)  # must not raise outside a tally

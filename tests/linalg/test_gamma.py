@@ -1,0 +1,111 @@
+"""Gamma-matrix algebra: Clifford relations, projectors, sigma."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.linalg import gamma
+
+
+class TestCliffordAlgebra:
+    def test_anticommutation(self):
+        for mu, nu in itertools.product(range(4), repeat=2):
+            expected = 2.0 * np.eye(4) if mu == nu else np.zeros((4, 4))
+            assert np.allclose(gamma.anticommutator(mu, nu), expected), (mu, nu)
+
+    def test_hermiticity(self):
+        for mu in range(4):
+            g = gamma.gamma(mu)
+            assert np.allclose(g, g.conj().T), mu
+
+    def test_square_is_identity(self):
+        for mu in range(4):
+            g = gamma.gamma(mu)
+            assert np.allclose(g @ g, np.eye(4))
+
+    def test_gamma5_is_product(self):
+        prod = (
+            gamma.gamma(0) @ gamma.gamma(1) @ gamma.gamma(2) @ gamma.gamma(3)
+        )
+        assert np.allclose(prod, gamma.GAMMA5)
+
+    def test_gamma5_chiral_diagonal(self):
+        assert np.allclose(gamma.GAMMA5, np.diag([1, 1, -1, -1]))
+
+    def test_gamma5_anticommutes_with_gammas(self):
+        for mu in range(4):
+            g = gamma.gamma(mu)
+            assert np.allclose(gamma.GAMMA5 @ g + g @ gamma.GAMMA5, 0)
+
+    def test_gamma_accessor_5(self):
+        assert np.allclose(gamma.gamma(5), gamma.GAMMA5)
+
+    def test_gamma_accessor_invalid(self):
+        with pytest.raises(ValueError):
+            gamma.gamma(4)
+
+
+class TestProjectors:
+    def test_projector_property(self):
+        for mu in range(4):
+            for sign in (+1, -1):
+                p = gamma.projector(mu, sign)
+                assert np.allclose(p @ p, p), (mu, sign)
+
+    def test_rank_two(self):
+        # The rank-2 property behind the spin-projection trick.
+        for mu in range(4):
+            for sign in (+1, -1):
+                rank = np.linalg.matrix_rank(gamma.projector(mu, sign))
+                assert rank == 2
+
+    def test_complementary(self):
+        for mu in range(4):
+            total = gamma.projector(mu, +1) + gamma.projector(mu, -1)
+            assert np.allclose(total, np.eye(4))
+
+    def test_orthogonal(self):
+        for mu in range(4):
+            prod = gamma.projector(mu, +1) @ gamma.projector(mu, -1)
+            assert np.allclose(prod, 0)
+
+    def test_invalid_sign(self):
+        with pytest.raises(ValueError):
+            gamma.projector(0, 2)
+
+
+class TestSigma:
+    def test_antisymmetry(self):
+        for mu, nu in itertools.combinations(range(4), 2):
+            assert np.allclose(gamma.sigma(mu, nu), -gamma.sigma(nu, mu))
+
+    def test_hermiticity(self):
+        for mu, nu in itertools.combinations(range(4), 2):
+            s = gamma.sigma(mu, nu)
+            assert np.allclose(s, s.conj().T)
+
+    def test_commutes_with_gamma5(self):
+        # This is what makes the clover term chirality-block-diagonal.
+        for mu, nu in itertools.combinations(range(4), 2):
+            s = gamma.sigma(mu, nu)
+            assert np.allclose(s @ gamma.GAMMA5, gamma.GAMMA5 @ s)
+
+    def test_diagonal_vanishes(self):
+        for mu in range(4):
+            assert np.allclose(gamma.sigma(mu, mu), 0)
+
+
+class TestApplySpinMatrix:
+    def test_matches_einsum(self, rng=np.random.default_rng(3)):
+        x = rng.standard_normal((2, 2, 2, 2, 4, 3)) + 1j * rng.standard_normal(
+            (2, 2, 2, 2, 4, 3)
+        )
+        m = gamma.gamma(1)
+        out = gamma.apply_spin_matrix(m, x)
+        ref = np.einsum("st,...tc->...sc", m, x)
+        assert np.allclose(out, ref)
+
+    def test_identity_is_noop(self, rng=np.random.default_rng(4)):
+        x = rng.standard_normal((8, 4, 3))
+        assert np.allclose(gamma.apply_spin_matrix(gamma.IDENTITY, x), x)

@@ -1,0 +1,115 @@
+"""SU(3) algebra: group properties, projection, compression."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import su3
+
+
+@pytest.fixture(scope="module")
+def links():
+    return su3.random_su3((64,), rng=11)
+
+
+class TestGroupProperties:
+    def test_identity(self):
+        eye = su3.identity((5,))
+        assert eye.shape == (5, 3, 3)
+        assert np.allclose(eye, np.eye(3))
+
+    def test_random_is_unitary(self, links):
+        assert su3.unitarity_error(links) < 1e-12
+
+    def test_random_has_unit_determinant(self, links):
+        assert su3.determinant_error(links) < 1e-12
+
+    def test_closure_under_multiplication(self, links):
+        prod = su3.mul(links[:32], links[32:])
+        assert su3.unitarity_error(prod) < 1e-12
+        assert su3.determinant_error(prod) < 1e-12
+
+    def test_dagger_is_inverse(self, links):
+        prod = links @ su3.dagger(links)
+        assert np.allclose(prod, np.eye(3), atol=1e-12)
+
+    def test_trace(self, links):
+        tr = su3.trace(links)
+        assert tr.shape == (64,)
+        assert np.allclose(tr, np.einsum("...ii", links))
+
+    def test_haar_mean_trace_is_small(self):
+        # For Haar-distributed SU(3), E[tr U] = 0.
+        u = su3.random_su3((4000,), rng=12)
+        assert abs(su3.trace(u).mean()) < 0.1
+
+
+class TestProjection:
+    def test_projection_restores_group(self, links):
+        rng = np.random.default_rng(0)
+        noisy = links + 0.05 * (
+            rng.standard_normal((64, 3, 3)) + 1j * rng.standard_normal((64, 3, 3))
+        )
+        proj = su3.project_su3(noisy)
+        assert su3.unitarity_error(proj) < 1e-12
+        assert su3.determinant_error(proj) < 1e-12
+        # Projection of a small perturbation stays close to the original.
+        assert np.abs(proj - links).max() < 0.3
+
+    def test_projection_is_idempotent(self, links):
+        assert np.allclose(su3.project_su3(links), links, atol=1e-10)
+
+    def test_reunitarize_alias(self, links):
+        assert np.allclose(su3.reunitarize(links), su3.project_su3(links))
+
+
+class TestCompression:
+    def test_compress12_shape(self, links):
+        rows = su3.compress12(links)
+        assert rows.shape == (64, 2, 3)
+
+    def test_reconstruct12_roundtrip(self, links):
+        assert su3.compression_roundtrip_error(links, 12) < 1e-12
+
+    def test_reconstruct12_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            su3.reconstruct12(np.zeros((4, 3, 3)))
+
+    def test_compress8_shape(self, links):
+        params = su3.compress8(links)
+        assert params.shape == (64, 8)
+        assert params.dtype == np.float64
+
+    def test_reconstruct8_roundtrip(self, links):
+        assert su3.compression_roundtrip_error(links, 8) < 1e-10
+
+    def test_reconstruct8_identity_matrix(self):
+        # The degenerate-pivot path: u01 = 0 but |u00| = 1.
+        eye = su3.identity((3,))
+        assert np.abs(su3.reconstruct8(su3.compress8(eye)) - eye).max() < 1e-12
+
+    def test_reconstruct8_permutation_like(self):
+        # First row = (0, 0, 1): exercises the fallback pivot.
+        u = np.array(
+            [[0, 0, 1], [1, 0, 0], [0, 1, 0]], dtype=np.complex128
+        )[None]
+        assert abs(np.linalg.det(u[0]) - 1) < 1e-12
+        rt = su3.reconstruct8(su3.compress8(u))
+        assert np.abs(rt - u).max() < 1e-10
+
+    def test_reconstruct8_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            su3.reconstruct8(np.zeros((4, 7)))
+
+    def test_no_compression_is_exact(self, links):
+        assert su3.compression_roundtrip_error(links, 18) == 0.0
+
+    def test_unknown_scheme_rejected(self, links):
+        with pytest.raises(ValueError):
+            su3.compression_roundtrip_error(links, 9)
+
+
+class TestFixDeterminant:
+    def test_fixes_phase(self, links):
+        phased = links * np.exp(0.3j)
+        fixed = su3.fix_determinant(phased)
+        assert su3.determinant_error(fixed) < 1e-12

@@ -1,0 +1,81 @@
+"""Reduced-precision ghost-zone communication."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommLog, ProcessGrid
+from repro.dirac import WilsonCloverOperator
+from repro.lattice import GaugeField, Geometry, SpinorField
+from repro.multigpu import BlockPartition, DistributedOperator, DistributedSpace, HaloExchanger
+from repro.precision import HALF, SINGLE
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return Geometry((4, 4, 4, 8))
+
+
+@pytest.fixture(scope="module")
+def gauge(geom):
+    return GaugeField.weak(geom, epsilon=0.25, rng=606)
+
+
+class TestHaloPrecision:
+    def test_logged_bytes_shrink(self, geom, rng):
+        part = BlockPartition(geom, ProcessGrid((1, 1, 1, 2)))
+        x = SpinorField.random(geom, rng=rng).data
+        sizes = {}
+        for name, prec in [("double", None), ("single", SINGLE), ("half", HALF)]:
+            log = CommLog()
+            ex = HaloExchanger(part, depth=1, log=log, precision=prec)
+            ex.exchange_spinor(part.split(x))
+            sizes[name] = log.events[0].nbytes
+        assert sizes["single"] == sizes["double"] // 2
+        assert sizes["half"] == sizes["double"] // 4
+
+    def test_gauge_faces_not_quantized(self, geom, rng):
+        part = BlockPartition(geom, ProcessGrid((1, 1, 1, 2)))
+        log = CommLog()
+        ex = HaloExchanger(part, depth=1, log=log, precision=HALF)
+        u = GaugeField.hot(geom, rng=rng)
+        padded = ex.exchange_gauge(part.split(u.data, lead=1))
+        # Gauge ghosts are exchanged once per solve, in full precision.
+        # Block 0 covers t=0..3; its backward-t ghost wraps to global t=7.
+        ghost = padded[0][(slice(None),) + ex._ghost_slices(3, -1)]
+        interior_src = u.data[:, 7, ...]
+        assert np.abs(np.squeeze(ghost, axis=1) - interior_src).max() == 0
+
+    def test_half_halo_error_bounded(self, geom, gauge, rng):
+        """The distributed operator with half-precision halos matches the
+        serial operator to the fixed-point format's accuracy."""
+        serial = WilsonCloverOperator(gauge, mass=0.1, csw=1.0)
+        dist = DistributedOperator.wilson_clover(
+            gauge, 0.1, 1.0, ProcessGrid((1, 1, 2, 2)), halo_precision=HALF
+        )
+        x = SpinorField.random(geom, rng=rng).data
+        out = dist.gather(dist.apply(dist.scatter(x)))
+        ref = serial.apply(x)
+        err = np.abs(out - ref).max()
+        assert 0 < err < 1e-3 * np.abs(ref).max()
+
+    def test_solver_converges_with_half_halos(self, geom, gauge, rng):
+        """Mixed-precision logic tolerates quantized ghosts: a distributed
+        solve with half halos still reaches single-level accuracy."""
+        from repro.solvers import gcr
+
+        dist = DistributedOperator.wilson_clover(
+            gauge, 0.2, 1.0, ProcessGrid((1, 1, 1, 2)), halo_precision=HALF
+        )
+        exact = DistributedOperator.wilson_clover(
+            gauge, 0.2, 1.0, ProcessGrid((1, 1, 1, 2))
+        )
+        space = DistributedSpace(dist.partition, site_axes=2)
+        b = space.scatter(SpinorField.random(geom, rng=rng).data)
+        # Quantized-halo operator builds the Krylov space; the exact one
+        # computes the restart residuals (the QUDA pattern).
+        res = gcr(
+            exact.apply, b, inner_op=dist.apply, tol=1e-6, maxiter=400,
+            space=space,
+        )
+        assert res.converged
+        assert res.residual < 2e-6

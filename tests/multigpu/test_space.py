@@ -1,0 +1,88 @@
+"""DistributedSpace: global reductions over per-rank blocks."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ProcessGrid
+from repro.lattice import Geometry, SpinorField
+from repro.multigpu import BlockPartition, DistributedSpace
+from repro.util.counters import tally
+
+
+@pytest.fixture(scope="module")
+def setup():
+    geom = Geometry((4, 4, 4, 8))
+    part = BlockPartition(geom, ProcessGrid((1, 1, 2, 2)))
+    return geom, part, DistributedSpace(part)
+
+
+class TestReductions:
+    def test_dot_matches_global(self, setup, rng):
+        geom, part, space = setup
+        x = SpinorField.random(geom, rng=rng).data
+        y = SpinorField.random(geom, rng=rng).data
+        assert space.dot(space.scatter(x), space.scatter(y)) == pytest.approx(
+            complex(np.vdot(x, y))
+        )
+
+    def test_norm2_matches_global(self, setup, rng):
+        geom, part, space = setup
+        x = SpinorField.random(geom, rng=rng).data
+        assert space.norm2(space.scatter(x)) == pytest.approx(
+            float(np.vdot(x, x).real)
+        )
+
+    def test_rdot(self, setup, rng):
+        geom, part, space = setup
+        x = SpinorField.random(geom, rng=rng).data
+        y = SpinorField.random(geom, rng=rng).data
+        assert space.rdot(space.scatter(x), space.scatter(y)) == pytest.approx(
+            float(np.vdot(x, y).real)
+        )
+
+    def test_each_reduction_counted_once(self, setup, rng):
+        geom, part, space = setup
+        xs = space.scatter(SpinorField.random(geom, rng=rng).data)
+        with tally() as t:
+            space.norm2(xs)
+            space.dot(xs, xs)
+        assert t.reductions == 2
+
+
+class TestUpdates:
+    def test_axpy(self, setup, rng):
+        geom, part, space = setup
+        x = SpinorField.random(geom, rng=rng).data
+        y = SpinorField.random(geom, rng=rng).data
+        out = space.asarray(space.axpy(2.0, space.scatter(x), space.scatter(y)))
+        assert np.allclose(out, y + 2 * x)
+
+    def test_xpay_scale_copy(self, setup, rng):
+        geom, part, space = setup
+        x = SpinorField.random(geom, rng=rng).data
+        y = SpinorField.random(geom, rng=rng).data
+        xs, ys = space.scatter(x), space.scatter(y)
+        assert np.allclose(space.asarray(space.xpay(xs, -1.5, ys)), x - 1.5 * y)
+        assert np.allclose(space.asarray(space.scale(1j, xs)), 1j * x)
+        copied = space.copy(xs)
+        copied[0][...] = 0
+        assert np.allclose(space.asarray(xs), x)
+
+    def test_zeros_like(self, setup, rng):
+        geom, part, space = setup
+        xs = space.scatter(SpinorField.random(geom, rng=rng).data)
+        assert space.norm2(space.zeros_like(xs)) == 0.0
+
+    def test_convert_precision(self, setup, rng):
+        from repro.precision import HALF
+
+        geom, part, space = setup
+        x = SpinorField.random(geom, rng=rng).data
+        out = space.convert(space.scatter(x), HALF)
+        assert out[0].dtype == np.complex64
+        assert np.abs(space.asarray(out) - x).max() < 1e-3 * np.abs(x).max()
+
+    def test_scatter_asarray_roundtrip(self, setup, rng):
+        geom, part, space = setup
+        x = SpinorField.random(geom, rng=rng).data
+        assert np.array_equal(space.asarray(space.scatter(x)), x)

@@ -1,0 +1,37 @@
+"""GPU device model: saturation curve and bandwidth."""
+
+import pytest
+
+from repro.perfmodel.device import GPUSpec, M2050
+
+
+class TestSaturation:
+    def test_efficiency_monotone(self):
+        effs = [M2050.kernel_efficiency(v) for v in (1000, 10000, 100000, 1000000)]
+        assert effs == sorted(effs)
+
+    def test_efficiency_bounded(self):
+        assert 0 < M2050.kernel_efficiency(100) < 1
+        assert M2050.kernel_efficiency(10**9) > 0.99
+
+    def test_paper_factor_two(self):
+        """The Sec. 9.1 observation: the 256-GPU local volume (32^3x256/256
+        = 32768 sites) runs at about half the efficiency of the 16-GPU
+        local volume (524288 sites)."""
+        small = M2050.kernel_efficiency(32768)
+        large = M2050.kernel_efficiency(524288)
+        assert large / small == pytest.approx(2.0, rel=0.02)
+
+    def test_effective_bandwidth_scales(self):
+        assert M2050.effective_bandwidth(10**6) < M2050.achievable_bandwidth_GBs
+        assert M2050.effective_bandwidth(10**6) > 0.9 * M2050.achievable_bandwidth_GBs
+
+
+class TestSpec:
+    def test_m2050_peaks(self):
+        assert M2050.peak_gflops["double"] == pytest.approx(515.0)
+        assert M2050.peak_gflops["single"] == pytest.approx(1030.0)
+
+    def test_custom_spec(self):
+        gpu = GPUSpec("toy", {"single": 100.0}, 50.0, 1000.0)
+        assert gpu.kernel_efficiency(1000) == pytest.approx(0.5)

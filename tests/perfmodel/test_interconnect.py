@@ -1,0 +1,52 @@
+"""The PCI-E / host-copy / InfiniBand pipeline model."""
+
+import pytest
+
+from repro.perfmodel.interconnect import InterconnectSpec
+
+
+@pytest.fixture()
+def net():
+    return InterconnectSpec()
+
+
+class TestFaceTransfer:
+    def test_monotone_in_size(self, net):
+        assert net.face_transfer_time(1 << 20) > net.face_transfer_time(1 << 10)
+
+    def test_off_node_costs_more(self, net):
+        s = 1 << 20
+        assert net.face_transfer_time(s, off_node=True) > net.face_transfer_time(
+            s, off_node=False
+        )
+
+    def test_latency_floor(self, net):
+        assert net.face_transfer_time(0) > 0
+
+    def test_average_between_extremes(self, net):
+        s = 1 << 18
+        on = net.face_transfer_time(s, off_node=False)
+        off = net.face_transfer_time(s, off_node=True)
+        avg = net.average_face_time(s)
+        assert on < avg < off
+
+    def test_host_copies_included(self, net):
+        """The two extra host memcpys of Sec. 6.3 are a visible fraction of
+        the pipeline (the GPU-Direct motivation)."""
+        s = 1 << 20
+        with_copies = net.face_transfer_time(s, off_node=True)
+        no_copies = InterconnectSpec(host_copy_GBs=1e9).face_transfer_time(
+            s, off_node=True
+        )
+        assert with_copies > 1.2 * no_copies
+
+
+class TestAllreduce:
+    def test_grows_with_ranks(self, net):
+        times = [net.allreduce_time(n) for n in (1, 2, 16, 256)]
+        assert times == sorted(times)
+
+    def test_logarithmic_scaling(self, net):
+        t256 = net.allreduce_time(256)
+        t16 = net.allreduce_time(16)
+        assert t256 < 4 * t16  # log tree, not linear

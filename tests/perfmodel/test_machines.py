@@ -1,0 +1,61 @@
+"""Machine catalog: Edge and the CPU capability systems of Fig. 9 / Sec. 9.2."""
+
+import pytest
+
+from repro.perfmodel.machines import (
+    CPU_MACHINES,
+    EDGE,
+    INTREPID_BGP,
+    JAGUAR_XT4,
+    JAGUAR_XT5,
+    KRAKEN,
+)
+
+
+class TestEdge:
+    def test_config(self):
+        assert EDGE.gpus_per_node == 2
+        assert EDGE.max_gpus == 256
+        assert "M2050" in EDGE.gpu.name
+
+
+class TestCPUMachines:
+    def test_efficiency_decreasing(self):
+        for m in CPU_MACHINES:
+            effs = [m.efficiency(n) for n in (1024, 8192, 65536)]
+            assert effs == sorted(effs, reverse=True)
+
+    def test_sustained_increasing_in_cores(self):
+        for m in CPU_MACHINES:
+            assert m.sustained_tflops(32768) > m.sustained_tflops(4096)
+
+    def test_fig9_range(self):
+        """Fig. 9: 10-17 Tflops on partitions >= 16K cores across the
+        three machines."""
+        rates = [m.sustained_tflops(32768) for m in CPU_MACHINES]
+        assert max(rates) == pytest.approx(17.0, rel=0.15)
+        assert min(rates) >= 8.0
+        for m in CPU_MACHINES:
+            assert m.sustained_tflops(16384) >= 5.0
+
+    def test_xt5_beats_xt4_beats_bgp_per_core(self):
+        assert (
+            JAGUAR_XT5.rate_per_core_gflops
+            > JAGUAR_XT4.rate_per_core_gflops
+            > INTREPID_BGP.rate_per_core_gflops
+        )
+
+    def test_kraken_sec92_calibration(self):
+        """Sec. 9.2: the CPU MILC multi-shift solver sustains 942 Gflops at
+        4096 Kraken cores."""
+        assert KRAKEN.sustained_tflops(4096) == pytest.approx(0.942, rel=0.05)
+
+    def test_cores_equivalent_inverts_sustained(self):
+        cores = JAGUAR_XT5.cores_equivalent(10.0)
+        assert JAGUAR_XT5.sustained_tflops(cores) >= 10.0
+        assert JAGUAR_XT5.sustained_tflops(cores - 100) < 10.0
+
+    def test_cores_equivalent_saturates(self):
+        # Efficiency decay caps the reachable rate; asking for more returns
+        # the cap.
+        assert JAGUAR_XT5.cores_equivalent(10**6, max_cores=1 << 20) == 1 << 20

@@ -1,0 +1,160 @@
+"""Whole-solver time models and the scaling studies built on them."""
+
+import pytest
+
+from repro.core.scaling import (
+    DslashScalingStudy,
+    MultishiftScalingStudy,
+    WilsonSolverScalingStudy,
+    default_gcr_outer_iterations,
+)
+from repro.perfmodel.kernels import OperatorKind
+from repro.perfmodel.solver_model import (
+    BiCGstabModel,
+    GCRDDModel,
+    GCRDDWorkload,
+    SolverWorkload,
+)
+from repro.perfmodel.machines import EDGE
+from repro.precision import DOUBLE, SINGLE, HALF
+
+VOL = (32, 32, 32, 256)
+GPU_COUNTS = [8, 16, 32, 64, 128, 256]
+
+
+class TestIterationGrowth:
+    def test_reference_point(self):
+        assert default_gcr_outer_iterations(32) == 220
+
+    def test_monotone_in_blocks(self):
+        its = [default_gcr_outer_iterations(n) for n in (16, 32, 64, 256)]
+        assert its == sorted(its)
+
+    def test_single_block(self):
+        assert default_gcr_outer_iterations(1) == 220
+
+
+class TestWilsonStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return WilsonSolverScalingStudy()
+
+    def test_bicgstab_stalls_while_gcr_scales(self, study):
+        """Fig. 7's core claim: BiCGstab cannot effectively scale past ~32
+        GPUs; GCR-DD keeps scaling to 256."""
+        b32 = study.bicgstab_point(32)
+        b256 = study.bicgstab_point(256)
+        g32 = study.gcr_point(32)
+        g256 = study.gcr_point(256)
+        bicg_speedup = b32.seconds / b256.seconds
+        gcr_speedup = g32.seconds / g256.seconds
+        assert bicg_speedup < 2.0  # 8x GPUs, < 2x gain: stalled
+        assert gcr_speedup > 1.8
+        assert gcr_speedup > bicg_speedup
+
+    def test_crossover_past_32(self, study):
+        """BiCGstab is the better solver at small partitions; GCR-DD wins
+        beyond the crossover (paper: superior at 32, loses at 64+)."""
+        assert study.bicgstab_point(8).seconds < study.gcr_point(8).seconds
+        assert study.bicgstab_point(64).seconds > study.gcr_point(64).seconds
+
+    def test_fig8_speedup_band(self, study):
+        """GCR-DD time-to-solution improvements at 64/128/256 GPUs in the
+        neighborhood of the paper's 1.52x/1.63x/1.64x."""
+        for gpus, target in [(64, 1.52), (128, 1.63), (256, 1.64)]:
+            ratio = (
+                study.bicgstab_point(gpus).seconds
+                / study.gcr_point(gpus).seconds
+            )
+            assert ratio == pytest.approx(target, rel=0.25), gpus
+
+    def test_gcr_exceeds_10_tflops_at_128(self, study):
+        """Sec. 9.1: 'greater than 10 Tflops on partitions of 128 GPUs and
+        above'."""
+        assert study.gcr_point(128).tflops > 10.0
+        assert study.gcr_point(256).tflops > 10.0
+
+    def test_breakdown_components_positive(self, study):
+        bd = study.gcr_point(64).breakdown
+        assert bd.preconditioner > 0
+        assert bd.matvec > 0
+        assert bd.reductions > 0
+        assert bd.total == pytest.approx(
+            bd.matvec + bd.preconditioner + bd.blas + bd.reductions + bd.restarts
+        )
+
+    def test_gcr_precond_dominated_by_local_work(self, study):
+        """The Schwarz solve is the bulk of GCR-DD's time but requires no
+        communication — the trade the paper makes."""
+        bd = study.gcr_point(128).breakdown
+        assert bd.preconditioner > bd.reductions
+
+
+class TestDslashStudy:
+    def test_fig5_monotone_decline(self):
+        study = DslashScalingStudy(VOL, OperatorKind.WILSON_CLOVER, SINGLE, 12)
+        rates = [p.gflops_per_gpu for p in study.run(GPU_COUNTS)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_fig5_half_advantage_positive(self):
+        sp = DslashScalingStudy(VOL, OperatorKind.WILSON_CLOVER, SINGLE, 12)
+        hp = DslashScalingStudy(VOL, OperatorKind.WILSON_CLOVER, HALF, 12)
+        for n in GPU_COUNTS:
+            assert hp.point(n).gflops_per_gpu > sp.point(n).gflops_per_gpu
+
+    def test_fig6_partitioning_crossover(self):
+        """ZT wins (or ties) at 32 GPUs; XYZT wins at 256 (Fig. 6)."""
+        vol = (64, 64, 64, 192)
+        zt = DslashScalingStudy(vol, OperatorKind.ASQTAD, SINGLE, 18,
+                                partition_dims=(3, 2))
+        xyzt = DslashScalingStudy(vol, OperatorKind.ASQTAD, SINGLE, 18,
+                                  partition_dims=(3, 2, 1, 0))
+        assert zt.point(32).gflops_per_gpu >= 0.95 * xyzt.point(32).gflops_per_gpu
+        assert xyzt.point(256).gflops_per_gpu > zt.point(256).gflops_per_gpu
+
+    def test_total_tflops_property(self):
+        study = DslashScalingStudy(VOL, OperatorKind.WILSON_CLOVER, SINGLE, 12)
+        p = study.point(64)
+        assert p.total_tflops == pytest.approx(p.gflops_per_gpu * 64 / 1e3)
+
+
+class TestMultishiftStudy:
+    def test_fig10_scaling_band(self):
+        """64 -> 256 GPUs speedup in the neighborhood of the paper's 2.56x,
+        and ~5.5 Tflops at 256 (XYZT/YZT)."""
+        ms = MultishiftScalingStudy()
+        best64 = max(
+            ms.point(64, d).tflops for d in [(3, 2), (3, 2, 1), (3, 2, 1, 0)]
+        )
+        best256 = max(
+            ms.point(256, d).tflops for d in [(3, 2), (3, 2, 1), (3, 2, 1, 0)]
+        )
+        assert best256 / best64 == pytest.approx(2.56, rel=0.2)
+        assert best256 == pytest.approx(5.49, rel=0.2)
+
+    def test_more_dims_win_at_256(self):
+        ms = MultishiftScalingStudy()
+        assert ms.point(256, (3, 2, 1)).tflops > ms.point(256, (3, 2)).tflops
+
+
+class TestBiCGstabModel:
+    def test_time_decreases_then_saturates(self):
+        model = BiCGstabModel(EDGE, VOL, reconstruct=12,
+                              workload=SolverWorkload(iterations=500))
+        from repro.comm.grid import choose_grid
+
+        t8 = model.solve_time(choose_grid(8, (3, 2, 1, 0), VOL).dims).total
+        t64 = model.solve_time(choose_grid(64, (3, 2, 1, 0), VOL).dims).total
+        t256 = model.solve_time(choose_grid(256, (3, 2, 1, 0), VOL).dims).total
+        assert t8 > t64
+        # saturation: the last 4x in GPUs buys much less than 4x in time
+        assert t64 / t256 < 2.0
+
+
+class TestGCRDDModel:
+    def test_useful_flops_counts_preconditioner(self):
+        w = GCRDDWorkload(outer_iterations=100, mr_steps=10)
+        model = GCRDDModel(EDGE, VOL, w)
+        w0 = GCRDDWorkload(outer_iterations=100, mr_steps=0)
+        model0 = GCRDDModel(EDGE, VOL, w0)
+        assert model.useful_flops() > 5 * model0.useful_flops()

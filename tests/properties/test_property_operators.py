@@ -1,0 +1,113 @@
+"""Property-based tests of Dirac-operator invariants.
+
+Operators are drawn over random gauge configurations, masses and boundary
+conditions; the invariants (linearity, gamma5-Hermiticity, staggered
+anti-Hermiticity, parity structure) must hold for all of them.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dirac import (
+    BoundarySpec,
+    NaiveStaggeredOperator,
+    StaggeredNormalOperator,
+    WilsonCloverOperator,
+)
+from repro.lattice import GaugeField, Geometry, SpinorField
+
+SETTINGS = dict(max_examples=15, deadline=None)
+
+GEOM = Geometry((4, 4, 4, 4))
+
+_BCS = st.sampled_from(["periodic", "antiperiodic", "zero"])
+
+
+@st.composite
+def boundaries(draw):
+    return BoundarySpec(tuple(draw(_BCS) for _ in range(4)))
+
+
+@st.composite
+def wilson_ops(draw):
+    seed = draw(st.integers(0, 10**6))
+    mass = draw(st.floats(0.05, 1.0))
+    csw = draw(st.sampled_from([0.0, 1.0, 1.5]))
+    bc = draw(boundaries())
+    gauge = GaugeField.weak(GEOM, epsilon=0.3, rng=seed)
+    return WilsonCloverOperator(gauge, mass=mass, csw=csw, boundary=bc)
+
+
+@st.composite
+def staggered_ops(draw):
+    seed = draw(st.integers(0, 10**6))
+    mass = draw(st.floats(0.05, 1.0))
+    bc = draw(boundaries())
+    gauge = GaugeField.weak(GEOM, epsilon=0.3, rng=seed)
+    return NaiveStaggeredOperator(gauge, mass=mass, boundary=bc)
+
+
+def _rand(nspin, seed):
+    return SpinorField.random(GEOM, nspin=nspin, rng=seed).data
+
+
+class TestWilsonInvariants:
+    @given(wilson_ops(), st.integers(0, 10**6))
+    @settings(**SETTINGS)
+    def test_linearity(self, op, seed):
+        x, y = _rand(4, seed), _rand(4, seed + 1)
+        a = 0.7 - 1.3j
+        lhs = op.apply(a * x + y)
+        rhs = a * op.apply(x) + op.apply(y)
+        assert np.abs(lhs - rhs).max() < 1e-11
+
+    @given(wilson_ops(), st.integers(0, 10**6))
+    @settings(**SETTINGS)
+    def test_gamma5_hermiticity(self, op, seed):
+        x, y = _rand(4, seed), _rand(4, seed + 1)
+        lhs = np.vdot(y, op.apply(x))
+        rhs = np.vdot(op.apply_dagger(y), x)
+        assert abs(lhs - rhs) < 1e-9 * max(abs(lhs), 1.0)
+
+    @given(wilson_ops(), st.integers(0, 10**6))
+    @settings(**SETTINGS)
+    def test_diagonal_hopping_split(self, op, seed):
+        x = _rand(4, seed)
+        total = op.apply(x)
+        assert np.abs(
+            total - op.apply_site_diagonal(x) - op.apply_hopping(x)
+        ).max() < 1e-11
+
+
+class TestStaggeredInvariants:
+    @given(staggered_ops(), st.integers(0, 10**6))
+    @settings(**SETTINGS)
+    def test_dslash_anti_hermitian(self, op, seed):
+        x, y = _rand(1, seed), _rand(1, seed + 1)
+        lhs = np.vdot(y, op._dslash(x))
+        rhs = np.vdot(op._dslash(y), x)
+        assert abs(lhs + rhs) < 1e-9 * max(abs(lhs), 1.0)
+
+    @given(staggered_ops(), st.integers(0, 10**6))
+    @settings(**SETTINGS)
+    def test_dslash_flips_parity(self, op, seed):
+        x = _rand(1, seed) * GEOM.even_mask[..., None]
+        out = op._dslash(x)
+        assert np.abs(out * GEOM.even_mask[..., None]).max() < 1e-12
+
+    @given(staggered_ops(), st.integers(0, 10**6), st.floats(0.0, 2.0))
+    @settings(**SETTINGS)
+    def test_normal_operator_positive(self, op, seed, sigma):
+        x = _rand(1, seed)
+        n = StaggeredNormalOperator(op, sigma)
+        val = np.vdot(x, n.apply(x)).real
+        assert val > 0
+
+    @given(staggered_ops(), st.integers(0, 10**6))
+    @settings(**SETTINGS)
+    def test_normal_operator_hermitian(self, op, seed):
+        x, y = _rand(1, seed), _rand(1, seed + 1)
+        n = StaggeredNormalOperator(op)
+        lhs = np.vdot(y, n.apply(x))
+        rhs = np.vdot(n.apply(y), x)
+        assert abs(lhs - rhs) < 1e-9 * max(abs(lhs), 1.0)

@@ -1,0 +1,68 @@
+"""Property-based tests for the half-precision fixed-point format."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.precision import HALF, quantize_half
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+@st.composite
+def spinor_fields(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    scale = draw(st.floats(1e-6, 1e6))
+    nspin = draw(st.sampled_from([1, 4]))
+    rng = np.random.default_rng(seed)
+    shape = (4, nspin, 3) if nspin == 4 else (4, 3)
+    data = scale * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+    site_axes = 2 if nspin == 4 else 1
+    return data, site_axes
+
+
+class TestHalfFormat:
+    @given(spinor_fields())
+    @settings(**SETTINGS)
+    def test_relative_error_bounded(self, field):
+        data, site_axes = field
+        q = quantize_half(data, site_axes=site_axes)
+        reduce_axes = tuple(range(data.ndim - site_axes, data.ndim))
+        site_max = np.maximum(
+            np.abs(data.real).max(axis=reduce_axes, keepdims=True),
+            np.abs(data.imag).max(axis=reduce_axes, keepdims=True),
+        )
+        err = np.abs(q - data)
+        # Each component is within ~1 ulp of the site's fixed-point grid.
+        assert np.all(err <= 2.5 * site_max / 32767.0)
+
+    @given(spinor_fields())
+    @settings(**SETTINGS)
+    def test_norm_preserved_to_format_accuracy(self, field):
+        data, site_axes = field
+        q = quantize_half(data, site_axes=site_axes)
+        n0 = np.linalg.norm(data)
+        if n0 == 0:
+            return
+        assert abs(np.linalg.norm(q) - n0) / n0 < 1e-3
+
+    @given(spinor_fields(), st.floats(1e-3, 1e3))
+    @settings(**SETTINGS)
+    def test_global_scale_equivariance(self, field, scale):
+        """quantize(a * x) == a * quantize(x) for positive real a: the
+        per-site scale makes the format radix-free."""
+        data, site_axes = field
+        q1 = quantize_half(scale * data, site_axes=site_axes)
+        q2 = scale * quantize_half(data, site_axes=site_axes)
+        denom = max(np.abs(q2).max(), 1e-30)
+        # Equivariant to within ~1 ulp of the int16 grid (the float32 scale
+        # arithmetic can shift components across one grid cell).
+        assert np.abs(q1 - q2).max() / denom < 2.0 / 32767.0
+
+    @given(spinor_fields())
+    @settings(**SETTINGS)
+    def test_convert_is_quantize(self, field):
+        data, site_axes = field
+        assert np.array_equal(
+            HALF.convert(data, site_axes=site_axes),
+            quantize_half(data, site_axes=site_axes),
+        )

@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for the SU(3) layer."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import su3
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+@st.composite
+def su3_fields(draw, max_count=8):
+    count = draw(st.integers(1, max_count))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return su3.random_su3((count,), rng=seed)
+
+
+@st.composite
+def complex_matrices(draw, max_count=6):
+    count = draw(st.integers(1, max_count))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    scale = draw(st.floats(0.1, 10.0))
+    return scale * (
+        rng.standard_normal((count, 3, 3)) + 1j * rng.standard_normal((count, 3, 3))
+    )
+
+
+class TestGroupClosure:
+    @given(su3_fields(), su3_fields(max_count=1))
+    @settings(**SETTINGS)
+    def test_product_stays_in_group(self, a, b):
+        prod = a @ np.broadcast_to(b, a.shape)
+        assert su3.unitarity_error(prod) < 1e-10
+        assert su3.determinant_error(prod) < 1e-10
+
+    @given(su3_fields())
+    @settings(**SETTINGS)
+    def test_dagger_stays_in_group(self, a):
+        assert su3.unitarity_error(su3.dagger(a)) < 1e-10
+        assert su3.determinant_error(su3.dagger(a)) < 1e-10
+
+    @given(su3_fields())
+    @settings(**SETTINGS)
+    def test_trace_bounded(self, a):
+        # |tr U| <= 3 for any unitary.
+        assert np.all(np.abs(su3.trace(a)) <= 3.0 + 1e-10)
+
+
+class TestProjection:
+    @given(complex_matrices())
+    @settings(**SETTINGS)
+    def test_projection_lands_in_group(self, m):
+        p = su3.project_su3(m)
+        assert su3.unitarity_error(p) < 1e-9
+        assert su3.determinant_error(p) < 1e-9
+
+    @given(su3_fields())
+    @settings(**SETTINGS)
+    def test_projection_fixes_group_elements(self, u):
+        assert np.abs(su3.project_su3(u) - u).max() < 1e-8
+
+
+class TestCompressionRoundtrips:
+    @given(su3_fields())
+    @settings(**SETTINGS)
+    def test_compress12(self, u):
+        assert su3.compression_roundtrip_error(u, 12) < 1e-10
+
+    @given(su3_fields())
+    @settings(**SETTINGS)
+    def test_compress8(self, u):
+        assert su3.compression_roundtrip_error(u, 8) < 1e-8
+
+    @given(su3_fields())
+    @settings(**SETTINGS)
+    def test_reconstructions_stay_in_group(self, u):
+        r12 = su3.reconstruct12(su3.compress12(u))
+        r8 = su3.reconstruct8(su3.compress8(u))
+        assert su3.unitarity_error(r12) < 1e-9
+        assert su3.unitarity_error(r8) < 1e-8

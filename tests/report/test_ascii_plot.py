@@ -1,0 +1,82 @@
+"""ASCII log-log charts."""
+
+import pytest
+
+from repro.report import AsciiPlot, loglog_chart
+
+
+class TestAsciiPlot:
+    def test_renders_all_series(self):
+        plot = AsciiPlot("demo", "GPUs", "Gf")
+        plot.add_series("a", [1, 10, 100], [100, 50, 20])
+        plot.add_series("b", [1, 10, 100], [200, 120, 60])
+        out = plot.render()
+        assert "demo" in out
+        assert "* a" in out and "o b" in out
+        assert "GPUs" in out and "Gf" in out
+
+    def test_markers_placed(self):
+        plot = AsciiPlot("t", width=20, height=8)
+        plot.add_series("s", [1, 100], [1, 100])
+        grid_lines = [l for l in plot.render().splitlines() if "|" in l]
+        assert sum(l.count("*") for l in grid_lines) == 2
+
+    def test_extremes_on_axis_labels(self):
+        plot = AsciiPlot("t")
+        plot.add_series("s", [2, 64], [5, 500])
+        out = plot.render()
+        assert "500" in out and "5" in out
+        assert "64" in out and "2" in out
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher y values must land on higher rows."""
+        plot = AsciiPlot("t", width=30, height=10)
+        plot.add_series("s", [1, 10, 100], [1, 10, 100])
+        lines = plot.render().splitlines()
+        rows_cols = [
+            (i, line.index("*"))
+            for i, line in enumerate(lines)
+            if "|" in line and "*" in line
+        ]
+        assert len(rows_cols) == 3
+        # Lower rows (later lines) hold smaller y, which is smaller x here:
+        # columns must decrease as the row index increases.
+        cols = [c for _, c in rows_cols]
+        assert cols == sorted(cols, reverse=True)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AsciiPlot("t").render()
+
+    def test_rejects_nonpositive(self):
+        plot = AsciiPlot("t")
+        with pytest.raises(ValueError):
+            plot.add_series("s", [0, 1], [1, 1])
+
+    def test_rejects_mismatched_lengths(self):
+        plot = AsciiPlot("t")
+        with pytest.raises(ValueError):
+            plot.add_series("s", [1, 2], [1])
+
+    def test_constant_series_ok(self):
+        plot = AsciiPlot("t")
+        plot.add_series("s", [1, 2, 4], [5, 5, 5])
+        assert "5" in plot.render()
+
+
+class TestLogLogChart:
+    def test_one_call_api(self):
+        out = loglog_chart(
+            "fig", "x", "y",
+            {"a": ([1, 10], [10, 1]), "b": ([1, 10], [20, 2])},
+        )
+        assert "fig" in out
+        assert "a" in out and "b" in out
+
+    def test_cli_report_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out and "Fig. 7" in out
+        assert "BiCGstab" in out and "GCR-DD" in out

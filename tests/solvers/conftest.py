@@ -1,0 +1,43 @@
+"""Shared solver-test fixtures: small well-conditioned systems."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import (
+    AsqtadOperator,
+    NaiveStaggeredOperator,
+    StaggeredNormalOperator,
+    WilsonCloverOperator,
+)
+from repro.lattice import GaugeField, Geometry, SpinorField
+
+
+@pytest.fixture(scope="package")
+def geom():
+    return Geometry((4, 4, 4, 4))
+
+
+@pytest.fixture(scope="package")
+def gauge(geom):
+    return GaugeField.weak(geom, epsilon=0.25, rng=321)
+
+
+@pytest.fixture(scope="package")
+def wilson(gauge):
+    return WilsonCloverOperator(gauge, mass=0.2, csw=1.0)
+
+
+@pytest.fixture(scope="package")
+def staggered_normal(gauge):
+    op = NaiveStaggeredOperator(gauge, mass=0.15)
+    return StaggeredNormalOperator(op)
+
+
+@pytest.fixture()
+def b_wilson(geom, rng):
+    return SpinorField.random(geom, rng=rng).data
+
+
+@pytest.fixture()
+def b_staggered(geom, rng):
+    return SpinorField.random(geom, nspin=1, rng=rng).data

@@ -1,0 +1,63 @@
+"""BiCGstab on the non-Hermitian Wilson-clover system."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import bicgstab
+from repro.util.counters import tally
+
+
+class TestBiCGstab:
+    def test_converges(self, wilson, b_wilson):
+        res = bicgstab(wilson.apply, b_wilson, tol=1e-9, maxiter=300)
+        assert res.converged
+        assert res.residual < 1e-8
+
+    def test_solution_satisfies_system(self, wilson, b_wilson):
+        res = bicgstab(wilson.apply, b_wilson, tol=1e-9, maxiter=300)
+        r = b_wilson - wilson.apply(res.x)
+        assert np.linalg.norm(r) / np.linalg.norm(b_wilson) < 1e-8
+
+    def test_two_matvecs_per_iteration(self, wilson, b_wilson):
+        res = bicgstab(wilson.apply, b_wilson, tol=1e-9, maxiter=300)
+        # 2 per iteration + initial residual (x0=None: none) + final check.
+        assert res.matvecs == 2 * res.iterations + 1
+
+    def test_operator_application_accounting(self, wilson, b_wilson):
+        with tally() as t:
+            res = bicgstab(wilson.apply, b_wilson, tol=1e-9, maxiter=300)
+        assert t.operator_applications["wilson_clover"] == res.matvecs
+
+    def test_zero_rhs(self, wilson, b_wilson):
+        res = bicgstab(wilson.apply, np.zeros_like(b_wilson))
+        assert res.converged and res.iterations == 0
+
+    def test_initial_guess(self, wilson, b_wilson):
+        sol = bicgstab(wilson.apply, b_wilson, tol=1e-10, maxiter=300).x
+        res = bicgstab(wilson.apply, b_wilson, x0=sol, tol=1e-8)
+        assert res.converged and res.iterations == 0
+
+    def test_maxiter(self, wilson, b_wilson):
+        res = bicgstab(wilson.apply, b_wilson, tol=1e-14, maxiter=2)
+        assert not res.converged and res.iterations == 2
+
+    def test_faster_than_cgnr(self, wilson, b_wilson):
+        """The reason BiCGstab is the production solver (Sec. 3.1)."""
+        from repro.solvers import cgnr
+
+        bi = bicgstab(wilson.apply, b_wilson, tol=1e-8, maxiter=500)
+        nr = cgnr(wilson, b_wilson, tol=1e-8, maxiter=2000)
+        assert bi.converged and nr.converged
+        # Compare operator applications (CGNR does 2 per iteration too).
+        assert bi.matvecs < 2 * nr.iterations + 10
+
+    def test_identity_system_one_step(self, b_wilson):
+        res = bicgstab(lambda x: x, b_wilson, tol=1e-12)
+        assert res.converged
+        assert res.iterations <= 1
+        assert np.allclose(res.x, b_wilson)
+
+    def test_scaled_identity(self, b_wilson):
+        res = bicgstab(lambda x: 2.5 * x, b_wilson, tol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, b_wilson / 2.5)

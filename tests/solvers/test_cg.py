@@ -1,0 +1,85 @@
+"""Conjugate gradients and CGNR."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import cg, cgnr
+from repro.solvers.space import STAGGERED_SPACE
+from repro.util.counters import tally
+
+
+class TestCG:
+    def test_converges(self, staggered_normal, b_staggered):
+        res = cg(
+            staggered_normal.apply, b_staggered, tol=1e-9, maxiter=500,
+            space=STAGGERED_SPACE,
+        )
+        assert res.converged
+        assert res.residual < 1e-8
+
+    def test_true_residual_verified(self, staggered_normal, b_staggered):
+        res = cg(staggered_normal.apply, b_staggered, tol=1e-9, maxiter=500,
+                 space=STAGGERED_SPACE)
+        r = b_staggered - staggered_normal.apply(res.x)
+        assert np.linalg.norm(r) / np.linalg.norm(b_staggered) == pytest.approx(
+            res.residual, rel=1e-6
+        )
+
+    def test_zero_rhs(self, staggered_normal, b_staggered):
+        res = cg(staggered_normal.apply, np.zeros_like(b_staggered))
+        assert res.converged and res.iterations == 0
+        assert not np.any(res.x)
+
+    def test_initial_guess_exact_solution(self, staggered_normal, b_staggered):
+        sol = cg(staggered_normal.apply, b_staggered, tol=1e-10, maxiter=500,
+                 space=STAGGERED_SPACE).x
+        res = cg(staggered_normal.apply, b_staggered, x0=sol, tol=1e-8,
+                 space=STAGGERED_SPACE)
+        assert res.converged and res.iterations == 0
+
+    def test_maxiter_respected(self, staggered_normal, b_staggered):
+        res = cg(staggered_normal.apply, b_staggered, tol=1e-12, maxiter=3,
+                 space=STAGGERED_SPACE)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_residual_history_decreases_overall(self, staggered_normal, b_staggered):
+        res = cg(staggered_normal.apply, b_staggered, tol=1e-9, maxiter=500,
+                 space=STAGGERED_SPACE)
+        assert res.residual_history[0] == pytest.approx(1.0)
+        assert res.residual_history[-1] < 1e-8
+
+    def test_monotone_energy_norm_proxy(self, staggered_normal, b_staggered):
+        # CG residuals needn't be monotone, but the last should beat the first
+        # by orders of magnitude and the tail should be small.
+        res = cg(staggered_normal.apply, b_staggered, tol=1e-9, maxiter=500,
+                 space=STAGGERED_SPACE)
+        hist = res.residual_history
+        assert min(hist) == pytest.approx(hist[-1], rel=10)
+
+    def test_reduction_accounting(self, staggered_normal, b_staggered):
+        with tally() as t:
+            res = cg(staggered_normal.apply, b_staggered, tol=1e-9,
+                     maxiter=500, space=STAGGERED_SPACE)
+        # 2 reductions per iteration plus setup/final checks.
+        assert t.reductions >= 2 * res.iterations
+
+    def test_indefinite_breakdown_detected(self, b_staggered):
+        res = cg(lambda x: -x, b_staggered, tol=1e-10, maxiter=10,
+                 space=STAGGERED_SPACE)
+        assert not res.converged
+
+
+class TestCGNR:
+    def test_solves_nonhermitian_system(self, wilson, b_wilson):
+        res = cgnr(wilson, b_wilson, tol=1e-8, maxiter=2000)
+        assert res.converged
+        r = b_wilson - wilson.apply(res.x)
+        assert np.linalg.norm(r) / np.linalg.norm(b_wilson) < 1e-6
+
+    def test_residual_is_original_system(self, wilson, b_wilson):
+        res = cgnr(wilson, b_wilson, tol=1e-8, maxiter=2000)
+        r = b_wilson - wilson.apply(res.x)
+        assert res.residual == pytest.approx(
+            np.linalg.norm(r) / np.linalg.norm(b_wilson), rel=1e-6
+        )

@@ -1,0 +1,112 @@
+"""Lanczos spectrum estimation and the mass/conditioning relation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dirac import NaiveStaggeredOperator, StaggeredNormalOperator, WilsonCloverOperator
+from repro.lattice import GaugeField, Geometry, SpinorField
+from repro.solvers.eigen import estimate_condition_number, lanczos_spectrum
+from repro.solvers.space import STAGGERED_SPACE
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return Geometry((4, 4, 4, 4))
+
+
+@pytest.fixture(scope="module")
+def gauge(geom):
+    return GaugeField.weak(geom, epsilon=0.25, rng=1313)
+
+
+class TestLanczos:
+    def test_identity_spectrum(self, geom, rng):
+        v0 = SpinorField.random(geom, nspin=1, rng=rng).data
+        est = lanczos_spectrum(lambda x: x, v0, steps=10,
+                               space=STAGGERED_SPACE)
+        assert est.eigenvalue_min == pytest.approx(1.0, abs=1e-10)
+        assert est.eigenvalue_max == pytest.approx(1.0, abs=1e-10)
+        assert est.condition_number == pytest.approx(1.0, abs=1e-9)
+        assert est.converged_basis  # 1-dim invariant subspace
+
+    def test_diagonal_operator_extremes(self, geom, rng):
+        """A synthetic operator with known spectrum [1, 5]."""
+        scale = np.linspace(1.0, 5.0, geom.volume * 3).reshape(
+            geom.shape + (3,)
+        )
+        v0 = SpinorField.random(geom, nspin=1, rng=rng).data
+        est = lanczos_spectrum(
+            lambda x: scale * x, v0, steps=60, space=STAGGERED_SPACE
+        )
+        assert est.eigenvalue_min == pytest.approx(1.0, rel=0.02)
+        assert est.eigenvalue_max == pytest.approx(5.0, rel=0.02)
+
+    def test_ritz_values_within_spectrum(self, geom, gauge, rng):
+        op = StaggeredNormalOperator(NaiveStaggeredOperator(gauge, 0.3))
+        v0 = SpinorField.random(geom, nspin=1, rng=rng).data
+        est = lanczos_spectrum(op.apply, v0, steps=30, space=STAGGERED_SPACE)
+        # M^+M spectrum lies in [m^2, m^2 + 16] for naive staggered.
+        assert est.eigenvalue_min >= 0.3**2 - 1e-8
+        assert est.eigenvalue_max <= 0.3**2 + 16.0 + 1e-8
+
+    def test_more_steps_widen_ritz_interval(self, geom, gauge, rng):
+        op = StaggeredNormalOperator(NaiveStaggeredOperator(gauge, 0.3))
+        v0 = SpinorField.random(geom, nspin=1, rng=rng).data
+        few = lanczos_spectrum(op.apply, v0, steps=8, space=STAGGERED_SPACE)
+        many = lanczos_spectrum(op.apply, v0, steps=40, space=STAGGERED_SPACE)
+        assert many.eigenvalue_max >= few.eigenvalue_max - 1e-10
+        assert many.eigenvalue_min <= few.eigenvalue_min + 1e-10
+
+    def test_validation(self, geom):
+        z = np.zeros(geom.shape + (3,), dtype=complex)
+        with pytest.raises(ValueError):
+            lanczos_spectrum(lambda x: x, z, steps=5)
+        with pytest.raises(ValueError):
+            lanczos_spectrum(lambda x: x, z + 1.0, steps=1)
+
+
+class TestConditioning:
+    def test_lighter_quarks_worse_conditioned(self, geom, gauge, rng):
+        """Sec. 3.1, quantified: the condition number of M^+M grows as the
+        quark mass falls (kappa ~ 1/m^2 for staggered)."""
+        v0 = SpinorField.random(geom, nspin=1, rng=rng).data
+        kappas = {}
+        for mass in (1.0, 0.5, 0.1):
+            op = StaggeredNormalOperator(NaiveStaggeredOperator(gauge, mass))
+            kappas[mass] = estimate_condition_number(
+                op.apply, v0, steps=40, space=STAGGERED_SPACE
+            )
+        assert kappas[0.1] > kappas[0.5] > kappas[1.0]
+        # Staggered: lambda_min = m^2, so kappa ratio ~ (mass ratio)^-2.
+        assert kappas[0.1] / kappas[1.0] > 20
+
+    def test_condition_number_predicts_cg_iterations(self, geom, gauge, rng):
+        """The reason the spectrum matters: CG iterations grow with
+        sqrt(kappa)."""
+        from repro.solvers import cg
+
+        v0 = SpinorField.random(geom, nspin=1, rng=rng).data
+        b = SpinorField.random(geom, nspin=1, rng=1).data
+        iters = {}
+        kappa = {}
+        for mass in (0.8, 0.15):
+            op = StaggeredNormalOperator(NaiveStaggeredOperator(gauge, mass))
+            kappa[mass] = estimate_condition_number(
+                op.apply, v0, steps=40, space=STAGGERED_SPACE
+            )
+            iters[mass] = cg(
+                op.apply, b, tol=1e-8, maxiter=2000, space=STAGGERED_SPACE
+            ).iterations
+        assert iters[0.15] > iters[0.8]
+        ratio_pred = math.sqrt(kappa[0.15] / kappa[0.8])
+        ratio_obs = iters[0.15] / iters[0.8]
+        assert ratio_obs == pytest.approx(ratio_pred, rel=0.6)
+
+    def test_wilson_normal_operator(self, geom, gauge, rng):
+        op = WilsonCloverOperator(gauge, mass=0.2, csw=1.0).normal()
+        v0 = SpinorField.random(geom, rng=rng).data
+        est = lanczos_spectrum(op.apply, v0, steps=30)
+        assert est.eigenvalue_min > 0
+        assert est.condition_number > 1

@@ -1,0 +1,105 @@
+"""Failure injection: solvers must terminate and report honestly when the
+operator or data misbehaves (no silent hangs, no false convergence)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import bicgstab, cg, gcr, mr
+
+
+@pytest.fixture()
+def b(rng):
+    return rng.standard_normal(512) + 1j * rng.standard_normal(512)
+
+
+class TestNaNPropagation:
+    def _nan_op(self, x):
+        out = x.copy()
+        out[0] = np.nan
+        return out
+
+    def test_cg_terminates_and_reports_failure(self, b):
+        res = cg(self._nan_op, b, tol=1e-8, maxiter=20)
+        assert not res.converged
+        assert res.iterations <= 20
+
+    def test_bicgstab_terminates(self, b):
+        res = bicgstab(self._nan_op, b, tol=1e-8, maxiter=20)
+        assert not res.converged
+
+    def test_gcr_terminates(self, b):
+        res = gcr(self._nan_op, b, tol=1e-8, kmax=4, maxiter=20)
+        assert not res.converged
+
+
+class TestSingularOperators:
+    def test_cg_on_singular_operator_terminates_unconverged(self, b):
+        """A rank-deficient PSD operator cannot be solved for a right-hand
+        side with nullspace components; CG must terminate (breakdown or
+        maxiter) and report failure, never claim convergence."""
+        import warnings
+
+        def projector(x):
+            out = x.copy()
+            out[256:] = 0  # annihilates half the space
+            return out
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            res = cg(projector, b, tol=1e-10, maxiter=50)
+        assert not res.converged
+        assert res.iterations <= 50
+
+    def test_zero_operator(self, b):
+        res = bicgstab(lambda x: np.zeros_like(x), b, tol=1e-8, maxiter=10)
+        assert not res.converged
+        assert res.extras.get("breakdown", False)
+
+    def test_mr_with_zero_operator_stops(self, b):
+        res = mr(lambda x: np.zeros_like(x), b, steps=10)
+        assert res.matvecs <= 1  # Ar = 0 -> immediate exit
+        assert not np.any(res.x)
+
+
+class TestHonestReporting:
+    def test_unconverged_residual_is_true_residual(self, b):
+        """Even on failure, the reported residual reflects b - A x."""
+
+        def slow_op(x):
+            return 1e-3 * x + x  # well-conditioned but we give few iters
+
+        res = cg(slow_op, b, tol=1e-14, maxiter=1)
+        r = b - slow_op(res.x)
+        rel = np.linalg.norm(r) / np.linalg.norm(b)
+        assert res.residual == pytest.approx(rel, rel=1e-6)
+
+    def test_history_length_matches_iterations(self, b):
+        res = cg(lambda x: 2 * x + 0.1 * np.roll(x, 1), b, tol=1e-10,
+                 maxiter=100)
+        # initial entry + one per iteration
+        assert len(res.residual_history) == res.iterations + 1
+
+    def test_gcr_breakdown_no_progress_exits(self, b):
+        """An operator whose Krylov space collapses immediately must not
+        loop to maxiter."""
+
+        res = gcr(lambda x: np.zeros_like(x), b, tol=1e-8, maxiter=1000)
+        assert not res.converged
+        assert res.iterations < 10
+
+
+class TestInputHygiene:
+    def test_solvers_do_not_mutate_rhs(self, b):
+        before = b.copy()
+        cg(lambda x: 2 * x, b, tol=1e-10, maxiter=50)
+        bicgstab(lambda x: 2 * x, b, tol=1e-10, maxiter=50)
+        gcr(lambda x: 2 * x, b, tol=1e-10, maxiter=50)
+        mr(lambda x: 2 * x, b, steps=5)
+        assert np.array_equal(b, before)
+
+    def test_solvers_do_not_mutate_x0(self, b, rng):
+        x0 = rng.standard_normal(512) + 0j
+        before = x0.copy()
+        cg(lambda x: 2 * x, b, x0=x0, tol=1e-10, maxiter=50)
+        bicgstab(lambda x: 2 * x, b, x0=x0, tol=1e-10, maxiter=50)
+        assert np.array_equal(x0, before)

@@ -1,0 +1,58 @@
+"""Minimum-residual smoother (the Schwarz block solver)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import mr
+from repro.util.counters import tally
+
+
+class TestMR:
+    def test_fixed_step_count(self, wilson, b_wilson):
+        res = mr(wilson.apply, b_wilson, steps=7)
+        assert res.matvecs == 7
+        assert res.converged  # fixed-step: always reports done
+
+    def test_residual_decreases(self, wilson, b_wilson):
+        res = mr(wilson.apply, b_wilson, steps=10)
+        assert res.residual_history[-1] < 1.0
+
+    def test_monotone_residual(self, wilson, b_wilson):
+        """MR minimizes the residual at each step, so the iterated
+        residual norm is non-increasing."""
+        res = mr(wilson.apply, b_wilson, steps=12)
+        hist = np.array(res.residual_history)
+        assert np.all(np.diff(hist) <= 1e-12)
+
+    def test_more_steps_better(self, wilson, b_wilson):
+        r3 = mr(wilson.apply, b_wilson, steps=3).residual
+        r12 = mr(wilson.apply, b_wilson, steps=12).residual
+        assert r12 < r3
+
+    def test_initial_guess(self, wilson, b_wilson):
+        warm = mr(wilson.apply, b_wilson, steps=5)
+        cont = mr(wilson.apply, b_wilson, steps=5, x0=warm.x)
+        assert cont.residual < warm.residual
+
+    def test_underrelaxation(self, wilson, b_wilson):
+        """omega < 1 damps each step; it must still reduce the residual."""
+        res = mr(wilson.apply, b_wilson, steps=10, omega=0.85)
+        assert res.residual < 1.0
+
+    def test_identity_solves_in_one_step(self, b_wilson):
+        res = mr(lambda x: x, b_wilson, steps=1)
+        assert np.allclose(res.x, b_wilson)
+        assert res.residual < 1e-14
+
+    def test_zero_steps_returns_zero(self, wilson, b_wilson):
+        res = mr(wilson.apply, b_wilson, steps=0)
+        assert not np.any(res.x)
+
+    def test_local_reductions_inside_domain_scope(self, wilson, b_wilson):
+        from repro.util.counters import domain_local
+
+        with tally() as t:
+            with domain_local():
+                mr(wilson.apply, b_wilson, steps=4)
+        assert t.reductions == 0
+        assert t.local_reductions > 0

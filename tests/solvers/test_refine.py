@@ -1,0 +1,70 @@
+"""The two-stage asqtad strategy: multi-shift + sequential refinement."""
+
+import numpy as np
+import pytest
+
+from repro.precision import SINGLE
+from repro.solvers import multishift_cg, multishift_with_refinement
+from repro.solvers.space import STAGGERED_SPACE
+
+SHIFTS = [0.0, 0.05, 0.25]
+
+
+@pytest.fixture()
+def factory(staggered_normal):
+    def make(sigma):
+        return staggered_normal.shifted(sigma).apply
+
+    return make
+
+
+class TestMultishiftWithRefinement:
+    def test_reaches_tight_tolerance(self, factory, b_staggered):
+        """Stage 1 runs in single precision (cannot reach 1e-11); stage 2
+        refinement must close the gap — Sec. 8.2's whole point."""
+        res = multishift_with_refinement(
+            factory, b_staggered, SHIFTS, tol=1e-11, space=STAGGERED_SPACE
+        )
+        assert res.converged
+        assert all(r < 1e-11 for r in res.residuals)
+
+    def test_every_shift_solved(self, factory, b_staggered):
+        res = multishift_with_refinement(
+            factory, b_staggered, SHIFTS, tol=1e-10, space=STAGGERED_SPACE
+        )
+        for sigma, x in zip(SHIFTS, res.solutions):
+            r = b_staggered - factory(sigma)(x)
+            rel = np.linalg.norm(r) / np.linalg.norm(b_staggered)
+            assert rel < 1e-10, sigma
+
+    def test_refinement_cheaper_than_scratch(self, factory, b_staggered):
+        """The single-precision seed must save refinement iterations
+        compared to refining from zero."""
+        seeded = multishift_with_refinement(
+            factory, b_staggered, SHIFTS, tol=1e-10, space=STAGGERED_SPACE
+        )
+        from repro.solvers import mixed_precision_cg
+
+        scratch_iters = 0
+        for sigma in SHIFTS:
+            r = mixed_precision_cg(
+                factory(sigma), b_staggered, SINGLE, tol=1e-10,
+                space=STAGGERED_SPACE,
+            )
+            scratch_iters += r.iterations
+        seeded_refine_iters = sum(r.iterations for r in seeded.refinements)
+        assert seeded_refine_iters < scratch_iters
+
+    def test_stage1_result_exposed(self, factory, b_staggered):
+        res = multishift_with_refinement(
+            factory, b_staggered, SHIFTS, tol=1e-10, space=STAGGERED_SPACE
+        )
+        assert res.multishift.iterations > 0
+        assert len(res.refinements) == len(SHIFTS)
+        assert res.total_matvecs > res.multishift.matvecs
+
+    def test_shifts_preserved(self, factory, b_staggered):
+        res = multishift_with_refinement(
+            factory, b_staggered, SHIFTS, tol=1e-9, space=STAGGERED_SPACE
+        )
+        assert res.shifts == SHIFTS

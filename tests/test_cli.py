@@ -1,0 +1,74 @@
+"""The command-line driver."""
+
+import pytest
+
+from repro.cli import main
+from repro import io
+
+
+class TestFigures:
+    @pytest.mark.parametrize("n", [5, 6, 7, 8, 9, 10])
+    def test_fig_commands_run(self, n, capsys):
+        assert main([f"fig{n}"]) == 0
+        out = capsys.readouterr().out
+        assert f"Fig" in out
+        assert len(out.splitlines()) >= 3
+
+    def test_fig5_mentions_precisions(self, capsys):
+        main(["fig5"])
+        out = capsys.readouterr().out
+        assert "SP" in out and "HP" in out
+
+    def test_fig10_mentions_partitionings(self, capsys):
+        main(["fig10"])
+        out = capsys.readouterr().out
+        for label in ("ZT", "YZT", "XYZT"):
+            assert label in out
+
+
+class TestSolve:
+    def test_bicgstab(self, capsys):
+        rc = main(["solve", "--dims", "4", "4", "4", "8", "--tol", "1e-6"])
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_gcr_dd(self, capsys):
+        rc = main([
+            "solve", "--dims", "4", "4", "4", "8", "--method", "gcr-dd",
+            "--blocks", "4", "--tol", "1e-5", "--mr-steps", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gcr-dd" in out and "blocks=4" in out
+
+
+class TestGenerate:
+    def test_generate_and_save(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.npz"
+        rc = main([
+            "generate", "--dims", "4", "4", "4", "4", "--beta", "5.7",
+            "--sweeps", "4", "--output", str(out_path),
+        ])
+        assert rc == 0
+        assert "plaquette" in capsys.readouterr().out
+        gauge, extra = io.load_gauge(out_path)
+        assert extra["beta"] == 5.7
+        assert 0.0 < gauge.plaquette() < 1.0
+
+    def test_hot_start(self, capsys):
+        rc = main([
+            "generate", "--dims", "4", "4", "4", "4", "--beta", "1.0",
+            "--sweeps", "2", "--start", "hot",
+        ])
+        assert rc == 0
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Edge" in out and "M2050" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

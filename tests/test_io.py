@@ -1,0 +1,72 @@
+"""Field I/O: save/load roundtrips and validation."""
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.lattice import GaugeField, Geometry, SpinorField
+
+
+class TestGaugeIO:
+    def test_roundtrip(self, tmp_path, geom44):
+        gauge = GaugeField.weak(geom44, epsilon=0.3, rng=1)
+        path = tmp_path / "config.npz"
+        io.save_gauge(path, gauge, extra={"beta": 5.7, "sweeps": 100})
+        loaded, extra = io.load_gauge(path)
+        assert loaded.geometry == geom44
+        assert np.array_equal(loaded.data, gauge.data)
+        assert extra == {"beta": 5.7, "sweeps": 100}
+
+    def test_roundtrip_without_extra(self, tmp_path, geom44):
+        gauge = GaugeField.unit(geom44)
+        path = tmp_path / "unit.npz"
+        io.save_gauge(path, gauge)
+        loaded, extra = io.load_gauge(path)
+        assert extra == {}
+        assert loaded.plaquette() == pytest.approx(1.0)
+
+    def test_kind_mismatch_rejected(self, tmp_path, geom44):
+        spinor = SpinorField.random(geom44, rng=2)
+        path = tmp_path / "spinor.npz"
+        io.save_spinor(path, spinor)
+        with pytest.raises(ValueError, match="expected 'gauge'"):
+            io.load_gauge(path)
+
+    def test_not_a_field_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, whatever=np.zeros(3))
+        with pytest.raises(ValueError, match="metadata"):
+            io.load_gauge(path)
+
+
+class TestSpinorIO:
+    def test_wilson_roundtrip(self, tmp_path, geom44):
+        spinor = SpinorField.random(geom44, rng=3)
+        path = tmp_path / "prop.npz"
+        io.save_spinor(path, spinor, extra={"mass": 0.1})
+        loaded, extra = io.load_spinor(path)
+        assert loaded.nspin == 4
+        assert np.array_equal(loaded.data, spinor.data)
+        assert extra == {"mass": 0.1}
+
+    def test_staggered_roundtrip(self, tmp_path, geom44):
+        spinor = SpinorField.random(geom44, nspin=1, rng=4)
+        path = tmp_path / "stag.npz"
+        io.save_spinor(path, spinor)
+        loaded, _ = io.load_spinor(path)
+        assert loaded.nspin == 1
+        assert np.array_equal(loaded.data, spinor.data)
+
+    def test_loaded_field_usable_in_solver(self, tmp_path, geom44):
+        """End-to-end: generate, save, load, solve."""
+        from repro.core import solve_wilson_clover
+
+        gauge = GaugeField.weak(geom44, epsilon=0.25, rng=5)
+        b = SpinorField.random(geom44, rng=6)
+        gp, bp = tmp_path / "u.npz", tmp_path / "b.npz"
+        io.save_gauge(gp, gauge)
+        io.save_spinor(bp, b)
+        gauge2, _ = io.load_gauge(gp)
+        b2, _ = io.load_spinor(bp)
+        res = solve_wilson_clover(gauge2, b2.data, mass=0.2, csw=1.0, tol=1e-7)
+        assert res.converged

@@ -1,0 +1,115 @@
+"""Precision emulation: dtype mapping and the 16-bit fixed-point format."""
+
+import numpy as np
+import pytest
+
+from repro.precision import (
+    DOUBLE,
+    HALF,
+    SINGLE,
+    SINGLE_HALF_HALF,
+    DOUBLE_SINGLE,
+    PrecisionPolicy,
+    precision,
+    quantize_half,
+)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert precision("double") is DOUBLE
+        assert precision("single") is SINGLE
+        assert precision("half") is HALF
+
+    def test_idempotent(self):
+        assert precision(HALF) is HALF
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            precision("quad")
+
+    def test_storage_sizes(self):
+        assert DOUBLE.bytes_per_real == 8
+        assert SINGLE.bytes_per_real == 4
+        assert HALF.bytes_per_real == 2
+
+    def test_eps_ordering(self):
+        assert DOUBLE.eps < SINGLE.eps < HALF.eps
+        assert HALF.eps == pytest.approx(1 / 32767.0)
+
+
+class TestConvert:
+    def test_double_passthrough(self, rng):
+        x = rng.standard_normal((4, 4, 4, 4, 4, 3)) + 0j
+        out = DOUBLE.convert(x)
+        assert out.dtype == np.complex128
+        assert np.array_equal(out, x)
+
+    def test_single_rounds(self, rng):
+        x = rng.standard_normal((2, 2, 2, 2, 4, 3)) + 1j * rng.standard_normal(
+            (2, 2, 2, 2, 4, 3)
+        )
+        out = SINGLE.convert(x)
+        assert out.dtype == np.complex64
+        assert np.abs(out - x).max() < 1e-6
+
+    def test_half_accuracy(self, rng):
+        x = rng.standard_normal((2, 2, 2, 2, 4, 3)) + 1j * rng.standard_normal(
+            (2, 2, 2, 2, 4, 3)
+        )
+        out = HALF.convert(x)
+        # Relative error per site bounded by the fixed-point resolution
+        # times the site max-norm.
+        site_max = np.abs(x).reshape(x.shape[:-2] + (-1,)).max(-1)
+        err = np.abs(out - x).reshape(x.shape[:-2] + (-1,)).max(-1)
+        assert np.all(err <= 3.0 * site_max / 32767.0)
+
+
+class TestQuantizeHalf:
+    def test_zero_field_unchanged(self):
+        z = np.zeros((4, 4, 3), dtype=np.complex128)
+        assert not np.any(quantize_half(z, site_axes=1))
+
+    def test_idempotent(self, rng):
+        x = rng.standard_normal((8, 4, 3)) + 1j * rng.standard_normal((8, 4, 3))
+        q1 = quantize_half(x)
+        q2 = quantize_half(q1.astype(np.complex128))
+        assert np.abs(q1 - q2).max() < 2e-4 * np.abs(x).max()
+
+    def test_scale_invariance_per_site(self, rng):
+        # Scaling one site's values scales its quantization identically:
+        # the per-site scale makes the format relative, not absolute.
+        x = rng.standard_normal((2, 4, 3)) + 1j * rng.standard_normal((2, 4, 3))
+        q = quantize_half(x)
+        scaled = x.copy()
+        scaled[0] *= 1000.0
+        q_scaled = quantize_half(scaled)
+        assert np.allclose(q_scaled[0], 1000.0 * q[0], rtol=1e-5)
+        assert np.allclose(q_scaled[1], q[1])
+
+    def test_staggered_site_axes(self, rng):
+        x = rng.standard_normal((4, 4, 4, 4, 3)) + 1j * rng.standard_normal(
+            (4, 4, 4, 4, 3)
+        )
+        out = quantize_half(x, site_axes=1)
+        assert out.dtype == np.complex64
+        assert np.abs(out - x).max() < np.abs(x).max() * 1e-3
+
+    def test_quantization_actually_rounds(self, rng):
+        x = rng.standard_normal((8, 4, 3)) + 1j * rng.standard_normal((8, 4, 3))
+        assert np.abs(quantize_half(x) - x).max() > 0
+
+
+class TestPolicy:
+    def test_labels(self):
+        assert SINGLE_HALF_HALF.label() == "single-half-half"
+        assert DOUBLE_SINGLE.label() == "double-single"
+
+    def test_from_names(self):
+        p = PrecisionPolicy("double", "single", "half")
+        assert p.outer is DOUBLE and p.inner is SINGLE and p.preconditioner is HALF
+
+    def test_no_preconditioner(self):
+        p = PrecisionPolicy(DOUBLE, SINGLE)
+        assert p.preconditioner is None
+        assert p.label() == "double-single"

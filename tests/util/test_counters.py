@@ -1,0 +1,98 @@
+"""Tally stack: nesting, merging, domain-local reduction scoping."""
+
+from repro.util.counters import (
+    Tally,
+    current_tally,
+    domain_local,
+    record,
+    record_operator,
+    tally,
+)
+
+
+class TestBasics:
+    def test_no_active_tally(self):
+        assert current_tally() is None
+        record(flops=10)  # silently ignored
+
+    def test_record_inside(self):
+        with tally() as t:
+            record(flops=100, bytes_moved=200, comm_bytes=30, messages=2)
+        assert t.flops == 100
+        assert t.bytes_moved == 200
+        assert t.comm_bytes == 30
+        assert t.messages == 2
+
+    def test_operator_counting(self):
+        with tally() as t:
+            record_operator("wilson")
+            record_operator("wilson")
+            record_operator("asqtad", 3)
+        assert t.operator_applications == {"wilson": 2, "asqtad": 3}
+
+    def test_stack_restored_after_exit(self):
+        with tally():
+            pass
+        assert current_tally() is None
+
+
+class TestNesting:
+    def test_inner_merges_into_outer(self):
+        with tally() as outer:
+            record(flops=1)
+            with tally() as inner:
+                record(flops=10, reductions=2)
+            record(flops=100)
+        assert inner.flops == 10
+        assert outer.flops == 111
+        assert outer.reductions == 2
+
+    def test_inner_sees_only_its_region(self):
+        with tally():
+            record(flops=5)
+            with tally() as inner:
+                record(flops=7)
+            assert inner.flops == 7
+
+    def test_operator_counts_merge(self):
+        with tally() as outer:
+            with tally():
+                record_operator("schwarz")
+        assert outer.operator_applications == {"schwarz": 1}
+
+
+class TestDomainLocal:
+    def test_redirects_reductions(self):
+        with tally() as t:
+            with domain_local():
+                record(reductions=3)
+            record(reductions=1)
+        assert t.reductions == 1
+        assert t.local_reductions == 3
+
+    def test_nested_scopes(self):
+        with tally() as t:
+            with domain_local():
+                with domain_local():
+                    record(reductions=1)
+                record(reductions=1)
+        assert t.local_reductions == 2
+        assert t.reductions == 0
+
+    def test_flops_unaffected(self):
+        with tally() as t:
+            with domain_local():
+                record(flops=42, reductions=1)
+        assert t.flops == 42
+
+
+class TestMerge:
+    def test_manual_merge(self):
+        a = Tally(flops=1, reductions=2)
+        b = Tally(flops=10, local_reductions=5)
+        b.add_operator("x")
+        a.merge(b)
+        assert a.flops == 11
+        assert a.reductions == 2
+        assert a.local_reductions == 5
+        assert a.operator_applications == {"x": 1}
