@@ -90,6 +90,47 @@ def link_apply(links: np.ndarray, x: np.ndarray) -> np.ndarray:
     raise ValueError(f"incompatible shapes {links.shape} and {x.shape}")
 
 
+def link_apply_cols(
+    link_cols: np.ndarray,
+    x: np.ndarray,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply per-site color matrices stored in *column-major* layout.
+
+    ``link_cols`` holds ``U^T`` per site (``link_cols[..., b, a] = U_ab``),
+    so column ``b`` of ``U`` is the contiguous row ``link_cols[..., b, :]``.
+    The contraction ``y_a = sum_b U_ab x_b`` is then three fused
+    broadcast multiply-adds over the whole field instead of one tiny
+    matmul per site — substantially faster for the small (2, 3) and
+    (4, 3) per-site operands of the dslash hot loop, where batched BLAS
+    dispatch overhead dominates.
+
+    ``out`` and ``tmp`` are optional preallocated result/scratch arrays
+    of the result shape (they must not alias ``x``): at hot-loop field
+    sizes the product temporaries are tens of MB each, so reusing
+    buffers avoids allocator/page-fault churn.
+    """
+    if x.ndim == link_cols.ndim:  # (..., nspin, 3)
+        if out is None:
+            out = x[..., :, 0, None] * link_cols[..., None, 0, :]
+        else:
+            np.multiply(x[..., :, 0, None], link_cols[..., None, 0, :], out=out)
+        for b in (1, 2):
+            if tmp is None:
+                out += x[..., :, b, None] * link_cols[..., None, b, :]
+            else:
+                np.multiply(x[..., :, b, None], link_cols[..., None, b, :], out=tmp)
+                out += tmp
+        return out
+    if x.ndim == link_cols.ndim - 1:  # (..., 3)
+        y = x[..., 0, None] * link_cols[..., 0, :]
+        for b in (1, 2):
+            y += x[..., b, None] * link_cols[..., b, :]
+        return y
+    raise ValueError(f"incompatible shapes {link_cols.shape} and {x.shape}")
+
+
 class LatticeOperator(abc.ABC):
     """A linear operator acting on spinor-field arrays.
 

@@ -49,6 +49,11 @@ class EvenOddPreconditionedWilson(LatticeOperator):
     ``apply`` expects (and returns) full-lattice arrays supported on the
     even checkerboard.  Use :meth:`prepare_rhs` / :meth:`reconstruct` to
     convert between the full system and the preconditioned one.
+
+    Every dslash here delegates to ``wilson._dslash``, so the Schur
+    complement inherits the underlying operator's execution path — the
+    spin-projected fast path and its cached daggered links by default,
+    the reference path when built from ``use_projection=False``.
     """
 
     nspin = 4

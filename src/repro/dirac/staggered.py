@@ -18,12 +18,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dirac import base
-from repro.dirac.base import BoundarySpec, LatticeOperator, PERIODIC, link_apply
+from repro.dirac.base import (
+    BoundarySpec,
+    LatticeOperator,
+    PERIODIC,
+    link_apply_cols,
+)
 from repro.gauge.asqtad import AsqtadLinks, build_asqtad_links
 from repro.lattice.fields import GaugeField
 from repro.lattice.geometry import Geometry
-from repro.linalg import su3
-from repro.util.counters import record, record_operator
+from repro.util.counters import record, record_operator, timed
 
 
 def staggered_phases(
@@ -69,6 +73,28 @@ class _StaggeredBase(LatticeOperator):
         self.boundary = boundary
         self.origin = tuple(origin)
         self.eta = staggered_phases(geometry, origin=self.origin)
+        # Column-layout link caches (lazy): the daggered links are
+        # precomputed once per operator instead of per dslash call.
+        self._fat_cols: np.ndarray | None = None
+        self._fat_dag_cols: np.ndarray | None = None
+        self._long_cols: np.ndarray | None = None
+        self._long_dag_cols: np.ndarray | None = None
+
+    def _caches(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]:
+        if self._fat_cols is None:
+            self._fat_cols = np.ascontiguousarray(np.swapaxes(self.fat, -1, -2))
+            self._fat_dag_cols = np.conj(self.fat)  # (F^dagger)^T
+            if self.long is not None:
+                self._long_cols = np.ascontiguousarray(
+                    np.swapaxes(self.long, -1, -2)
+                )
+                self._long_dag_cols = np.conj(self.long)
+        return (
+            self._fat_cols,
+            self._fat_dag_cols,
+            self._long_cols,
+            self._long_dag_cols,
+        )
 
     @property
     def ghost_depth(self) -> int:
@@ -85,19 +111,26 @@ class _StaggeredBase(LatticeOperator):
         return self._dslash(x)
 
     def _dslash(self, x: np.ndarray) -> np.ndarray:
+        with timed(f"{self.name}_dslash"):
+            return self._dslash_impl(x)
+
+    def _dslash_impl(self, x: np.ndarray) -> np.ndarray:
         geom = self.geometry
+        fat_cols, fat_dag_cols, long_cols, long_dag_cols = self._caches()
         out = np.zeros_like(x)
         for mu in range(4):
             bc = self.boundary[mu]
             eta = self.eta[mu][..., None]
-            f = self.fat[mu]
-            hop = link_apply(f, geom.shift(x, mu, +1, boundary=bc))
-            hop -= geom.shift(link_apply(su3.dagger(f), x), mu, -1, boundary=bc)
+            hop = link_apply_cols(fat_cols[mu], geom.shift(x, mu, +1, boundary=bc))
+            hop -= geom.shift(
+                link_apply_cols(fat_dag_cols[mu], x), mu, -1, boundary=bc
+            )
             if self.long is not None:
-                ll = self.long[mu]
-                hop += link_apply(ll, geom.shift(x, mu, +3, boundary=bc))
+                hop += link_apply_cols(
+                    long_cols[mu], geom.shift(x, mu, +3, boundary=bc)
+                )
                 hop -= geom.shift(
-                    link_apply(su3.dagger(ll), x), mu, -3, boundary=bc
+                    link_apply_cols(long_dag_cols[mu], x), mu, -3, boundary=bc
                 )
             out += eta * hop
         return out

@@ -81,6 +81,7 @@ class DistributedOperator:
         mailbox: Mailbox | None = None,
         log: CommLog | None = None,
         halo_precision=None,
+        use_projection: bool = True,
     ) -> "DistributedOperator":
         partition = BlockPartition(gauge.geometry, grid)
         exchanger = HaloExchanger(
@@ -116,6 +117,7 @@ class DistributedOperator:
                     csw=csw,
                     boundary=local_bc,
                     clover=None if padded_clover is None else padded_clover[rank],
+                    use_projection=use_projection,
                 )
             )
         proto = local_ops[0]

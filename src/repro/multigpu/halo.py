@@ -18,6 +18,16 @@ bandwidth are not wasted").  The global fermion boundary condition is
 applied to faces that wrap the lattice.  Corner regions of the padded
 array are never filled: axis-aligned stencils (1-hop Wilson, 1+3-hop
 asqtad) never read them — a property the tests assert.
+
+Spinor exchanges *reuse* their padded staging arrays and precomputed
+slice tuples across calls (one allocation per shape/dtype for the
+lifetime of the exchanger) instead of ``np.zeros``-ing fresh arrays per
+application: every exchange overwrites the interior and all ghost slabs,
+and the never-written corners stay zero from the initial allocation.
+The returned padded arrays are therefore only valid until the next
+exchange of a same-shaped field — exactly the contract of a GPU ghost
+buffer.  Gauge exchanges (done once per solve, and whose results are
+retained by the local operators) always allocate fresh arrays.
 """
 
 from __future__ import annotations
@@ -29,7 +39,28 @@ from repro.comm.traffic import CommEvent, CommLog
 from repro.dirac.base import BoundarySpec, PERIODIC
 from repro.lattice.geometry import Geometry, axis_of_mu
 from repro.multigpu.partition import BlockPartition
-from repro.util.counters import record
+from repro.util.counters import record, timed
+
+
+def halo_logical_nbytes(
+    buf: np.ndarray, precision, site_axes: int
+) -> int:
+    """Logical wire bytes of one ghost-face buffer in ``precision``.
+
+    Double/single transfer the raw complex payload.  QUDA's half format
+    sends int16 mantissas (2 bytes per real) *plus one float32 norm per
+    site* — the per-site scale of the fixed-point format — so the face
+    bytes are ``reals * 2 + sites * 4``, not just ``reals * 2``.
+    ``site_axes`` counts the trailing per-site axes of the buffer (2 for
+    Wilson ``(spin, color)``, 1 for staggered ``(color,)``).
+    """
+    if precision is None:
+        return buf.nbytes
+    nbytes = buf.size * 2 * precision.bytes_per_real
+    if precision.name == "half":
+        sites = int(np.prod(buf.shape[: buf.ndim - site_axes], dtype=np.int64))
+        nbytes += sites * 4
+    return int(nbytes)
 
 
 class HaloExchanger:
@@ -67,6 +98,11 @@ class HaloExchanger:
                     f"local extent {partition.local_dims[mu]} in dir {mu} is "
                     f"thinner than the ghost depth {depth}"
                 )
+        # Reusable padded staging buffers for spinor exchanges, keyed by
+        # (lead, local field shape, dtype); see the module docstring.
+        self._pad_pool: dict[tuple, list[np.ndarray]] = {}
+        # Memoized slice tuples (pure functions of the static layout).
+        self._slice_cache: dict[tuple, tuple[slice, ...]] = {}
 
     @property
     def partitioned_dims(self) -> tuple[int, ...]:
@@ -96,14 +132,24 @@ class HaloExchanger:
 
     def interior_slices(self, lead: int = 0) -> tuple[slice, ...]:
         """Slicing of the padded array that selects the true local block."""
+        key = ("interior", lead)
+        cached = self._slice_cache.get(key)
+        if cached is not None:
+            return cached
         site = [slice(None)] * 4
         for mu in self.partitioned_dims:
             axis = axis_of_mu(mu)
             site[axis] = slice(self.depth, self.depth + self.partition.local_dims[mu])
-        return (slice(None),) * lead + tuple(site)
+        result = (slice(None),) * lead + tuple(site)
+        self._slice_cache[key] = result
+        return result
 
     def _ghost_slices(self, mu: int, side: int, lead: int = 0) -> tuple[slice, ...]:
         """Ghost slab of the padded array beyond the ``side`` face in mu."""
+        key = ("ghost", mu, side, lead)
+        cached = self._slice_cache.get(key)
+        if cached is not None:
+            return cached
         axis = axis_of_mu(mu)
         n_local = self.partition.local_dims[mu]
         site = list(self.interior_slices())
@@ -111,7 +157,33 @@ class HaloExchanger:
             site[axis] = slice(self.depth + n_local, self.depth + n_local + self.depth)
         else:
             site[axis] = slice(0, self.depth)
-        return (slice(None),) * lead + tuple(site)
+        result = (slice(None),) * lead + tuple(site)
+        self._slice_cache[key] = result
+        return result
+
+    def _padded_buffers(
+        self, local_fields: list[np.ndarray], lead: int, reuse: bool
+    ) -> list[np.ndarray]:
+        """Padded staging arrays for one exchange.
+
+        With ``reuse`` the per-(shape, dtype) pool is returned (allocated
+        and zeroed once; corners stay zero because no exchange ever writes
+        them); otherwise fresh zeroed arrays are built.
+        """
+        field = local_fields[0]
+        shape = (
+            field.shape[:lead]
+            + tuple(reversed(self.padded_dims))
+            + field.shape[lead + 4 :]
+        )
+        if not reuse:
+            return [np.zeros(shape, dtype=field.dtype) for _ in local_fields]
+        key = (lead, field.shape, field.dtype)
+        pool = self._pad_pool.get(key)
+        if pool is None:
+            pool = [np.zeros(shape, dtype=field.dtype) for _ in local_fields]
+            self._pad_pool[key] = pool
+        return pool
 
     # ------------------------------------------------------------------
     # the exchange itself
@@ -137,67 +209,76 @@ class HaloExchanger:
             )
         local_geom = part.local_geometry
 
-        padded = []
-        for rank, field in enumerate(local_fields):
-            shape = (
-                field.shape[:lead]
-                + tuple(reversed(self.padded_dims))
-                + field.shape[lead + 4 :]
+        with timed("halo_exchange"):
+            # Gauge exchange results are retained by the local operators,
+            # so only spinor exchanges may reuse the staging pool.
+            padded = self._padded_buffers(
+                local_fields, lead, reuse=(kind == "spinor")
             )
-            pad = np.zeros(shape, dtype=field.dtype)
-            pad[self.interior_slices(lead)] = field
-            padded.append(pad)
-            record(bytes_moved=field.nbytes)  # ghost-layout staging copy
+            interior = self.interior_slices(lead)
+            for pad, field in zip(padded, local_fields):
+                pad[interior] = field
+                # Staging copy reads the field and writes the padded
+                # interior: read + write traffic.
+                record(bytes_moved=2 * field.nbytes)
 
-        # Post all sends first (non-blocking semantics), then receive: the
-        # gather kernel extracts the *opposite* face to the ghost it fills
-        # on the neighbor.
-        for mu in self.partitioned_dims:
-            for sign in (+1, -1):
-                for rank in grid.all_ranks():
-                    dst, wrapped = grid.neighbor(rank, mu, sign)
-                    face = local_geom.face_slice(mu, sign, self.depth)
-                    buf = np.ascontiguousarray(
-                        local_fields[rank][(slice(None),) * lead + face]
-                    )
-                    record(bytes_moved=2 * buf.nbytes)  # gather kernel r/w
-                    if apply_boundary and wrapped:
-                        bc = self.boundary[mu]
-                        if bc == "antiperiodic":
-                            buf = -buf
-                        elif bc == "zero":
-                            buf = np.zeros_like(buf)
-                    logical_nbytes = buf.nbytes
-                    if self.precision is not None and kind == "spinor":
-                        buf = self.precision.convert(
-                            buf, site_axes=self.site_axes
+            # Post all sends first (non-blocking semantics), then receive:
+            # the gather kernel extracts the *opposite* face to the ghost
+            # it fills on the neighbor.
+            for mu in self.partitioned_dims:
+                for sign in (+1, -1):
+                    face_key = ("face", mu, sign, lead)
+                    face = self._slice_cache.get(face_key)
+                    if face is None:
+                        face = (slice(None),) * lead + local_geom.face_slice(
+                            mu, sign, self.depth
                         )
-                        logical_nbytes = (
-                            buf.size * 2 * self.precision.bytes_per_real
+                        self._slice_cache[face_key] = face
+                    for rank in grid.all_ranks():
+                        dst, wrapped = grid.neighbor(rank, mu, sign)
+                        buf = np.ascontiguousarray(local_fields[rank][face])
+                        record(bytes_moved=2 * buf.nbytes)  # gather r/w
+                        if apply_boundary and wrapped:
+                            bc = self.boundary[mu]
+                            if bc == "antiperiodic":
+                                buf = -buf
+                            elif bc == "zero":
+                                buf = np.zeros_like(buf)
+                        logical_nbytes = buf.nbytes
+                        if self.precision is not None and kind == "spinor":
+                            buf = self.precision.convert(
+                                buf, site_axes=self.site_axes
+                            )
+                            logical_nbytes = halo_logical_nbytes(
+                                buf, self.precision, self.site_axes
+                            )
+                        self.mailbox.send(
+                            rank,
+                            dst,
+                            buf,
+                            tag=("halo", mu, sign, kind),
+                            event=CommEvent(
+                                src=rank,
+                                dst=dst,
+                                mu=mu,
+                                sign=sign,
+                                nbytes=logical_nbytes,
+                                kind=kind,
+                                wrapped=wrapped,
+                            ),
                         )
-                    self.mailbox.send(
-                        rank,
-                        dst,
-                        buf,
-                        tag=("halo", mu, sign, kind),
-                        event=CommEvent(
-                            src=rank,
-                            dst=dst,
-                            mu=mu,
-                            sign=sign,
-                            nbytes=logical_nbytes,
-                            kind=kind,
-                            wrapped=wrapped,
-                        ),
-                    )
-                for rank in grid.all_ranks():
-                    src, _ = grid.neighbor(rank, mu, -sign)
-                    data = self.mailbox.recv(rank, src, tag=("halo", mu, sign, kind))
-                    # A face sent forward (+1) fills the receiver's backward
-                    # (-1) ghost slab, and vice versa.
-                    ghost = self._ghost_slices(mu, -sign, lead)
-                    padded[rank][ghost] = data
-                    record(bytes_moved=data.nbytes)  # scatter into ghost zone
+                    for rank in grid.all_ranks():
+                        src, _ = grid.neighbor(rank, mu, -sign)
+                        data = self.mailbox.recv(
+                            rank, src, tag=("halo", mu, sign, kind)
+                        )
+                        # A face sent forward (+1) fills the receiver's
+                        # backward (-1) ghost slab, and vice versa.
+                        ghost = self._ghost_slices(mu, -sign, lead)
+                        padded[rank][ghost] = data
+                        # Scatter reads the receive buffer and writes the
+                        # ghost slab: read + write traffic.
+                        record(bytes_moved=2 * data.nbytes)
         return padded
 
     def exchange_spinor(self, local_fields: list[np.ndarray]) -> list[np.ndarray]:

@@ -86,7 +86,9 @@ def model_dslash_time(
     for n in local_dims:
         local_sites *= n
     depth = kernel.kind.ghost_depth
-    spinor_bytes = kernel.kind.spinor_reals * kernel.precision.bytes_per_real
+    # Wire bytes per face site (includes the per-site float32 norm of the
+    # half format) — the same number the halo exchanger logs.
+    spinor_bytes = kernel.halo_bytes_per_site()
     hops_total = kernel.kind.neighbor_reads  # 8 or 16 one-hop equivalents
 
     # ---- gather kernels (device bandwidth; skip the contiguous T face) ----

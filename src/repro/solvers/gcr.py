@@ -166,6 +166,11 @@ def gcr(
         r0 = to_outer(space.xpay(b, -1.0, op(x)))
         matvecs += 1
         r0_norm2 = space.norm2(r0)
+        # Record the *true* residual of the restart: the inner-precision
+        # estimates above drift from it, and a history that omits the
+        # recomputed value hides exactly the stagnation the restart is
+        # there to detect.
+        history.append(math.sqrt(r0_norm2 / b_norm2))
         restarts += 1
         converged = r0_norm2 <= tol_abs2
         if k == 0:

@@ -15,6 +15,7 @@ perform; see :mod:`repro.perfmodel.kernels` for the per-operator constants.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -44,6 +45,14 @@ class Tally:
         no inter-GPU communication.
     operator_applications:
         Count of full Dirac-operator applications, keyed by operator name.
+    seconds:
+        Measured wall-clock seconds spent inside :func:`timed` kernel
+        regions (the hot-path instrumentation the perf trajectory
+        benchmarks track).  Only *leaf* kernels (dslash stencils, halo
+        exchanges) are instrumented, so the total does not double-count
+        nested regions.
+    kernel_seconds:
+        The same wall-clock seconds, keyed by kernel name.
     """
 
     flops: int = 0
@@ -53,6 +62,8 @@ class Tally:
     reductions: int = 0
     local_reductions: int = 0
     operator_applications: dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+    kernel_seconds: dict[str, float] = field(default_factory=dict)
 
     def add(
         self,
@@ -62,6 +73,7 @@ class Tally:
         messages: int = 0,
         reductions: int = 0,
         local_reductions: int = 0,
+        seconds: float = 0.0,
     ) -> None:
         self.flops += int(flops)
         self.bytes_moved += int(bytes_moved)
@@ -69,10 +81,17 @@ class Tally:
         self.messages += int(messages)
         self.reductions += int(reductions)
         self.local_reductions += int(local_reductions)
+        self.seconds += float(seconds)
 
     def add_operator(self, name: str, count: int = 1) -> None:
         self.operator_applications[name] = (
             self.operator_applications.get(name, 0) + count
+        )
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        self.seconds += float(seconds)
+        self.kernel_seconds[name] = (
+            self.kernel_seconds.get(name, 0.0) + float(seconds)
         )
 
     def merge(self, other: "Tally") -> None:
@@ -82,8 +101,13 @@ class Tally:
         self.messages += other.messages
         self.reductions += other.reductions
         self.local_reductions += other.local_reductions
+        self.seconds += other.seconds
         for name, count in other.operator_applications.items():
             self.add_operator(name, count)
+        for name, secs in other.kernel_seconds.items():
+            self.kernel_seconds[name] = (
+                self.kernel_seconds.get(name, 0.0) + secs
+            )
 
 
 class _TallyStack(threading.local):
@@ -106,6 +130,7 @@ def record(
     comm_bytes: int = 0,
     messages: int = 0,
     reductions: int = 0,
+    seconds: float = 0.0,
 ) -> None:
     """Add counts to the current tally (no-op when no tally is active).
 
@@ -116,9 +141,38 @@ def record(
     if t is None:
         return
     if reductions and _STACK.local_scope_depth > 0:
-        t.add(flops, bytes_moved, comm_bytes, messages, 0, reductions)
+        t.add(flops, bytes_moved, comm_bytes, messages, 0, reductions, seconds)
     else:
-        t.add(flops, bytes_moved, comm_bytes, messages, reductions)
+        t.add(
+            flops, bytes_moved, comm_bytes, messages, reductions,
+            seconds=seconds,
+        )
+
+
+def record_seconds(name: str, seconds: float) -> None:
+    """Charge measured wall-clock time to the named kernel."""
+    t = current_tally()
+    if t is not None:
+        t.add_seconds(name, seconds)
+
+
+@contextmanager
+def timed(name: str):
+    """Measure the wall-clock time of a kernel region.
+
+    Wraps a leaf kernel (a dslash stencil, a halo exchange) and charges
+    ``time.perf_counter()`` elapsed seconds to the current tally under
+    ``kernel_seconds[name]``.  A no-op-cost passthrough when no tally is
+    active.  Do not nest timed regions: totals would double-count.
+    """
+    if current_tally() is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_seconds(name, time.perf_counter() - start)
 
 
 @contextmanager

@@ -87,6 +87,7 @@ class TestWuppertal:
         with pytest.raises(ValueError):
             smearing_radius(np.zeros(geom.shape + (4, 3)), SITE)
 
+    @pytest.mark.slow
     def test_smearing_improves_plateau(self, gauge):
         """The point of smearing: the smeared-source pion effective mass
         settles at least as fast as the point-source one."""

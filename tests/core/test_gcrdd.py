@@ -84,6 +84,7 @@ class TestGCRDD:
         warm = solver.solve(b, x0=first.x)
         assert warm.iterations <= 1
 
+    @pytest.mark.slow
     def test_more_blocks_weaker_preconditioner(self, system):
         """Shrinking the Dirichlet blocks costs outer iterations — the
         iteration-growth input of the performance model."""

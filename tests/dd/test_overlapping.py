@@ -56,6 +56,7 @@ class TestOverlap:
         r = SpinorField.random(geom, rng=rng).data
         assert np.abs(jacobi(r) - ras0(r)).max() < 1e-13
 
+    @pytest.mark.slow
     def test_overlap_reduces_outer_iterations(self, system):
         """The Sec. 3.2 claim: larger overlap -> fewer iterations."""
         geom, op, part, b = system

@@ -32,12 +32,14 @@ class TestSAP:
         k = SAPPreconditioner(op, part, mr_steps=5)
         assert sorted(k.colors) == [0, 0, 1, 1]
 
+    @pytest.mark.slow
     def test_converges_as_preconditioner(self, system):
         geom, op, part, b = system
         k = SAPPreconditioner(op, part, mr_steps=6, precision=None)
         res = gcr(op.apply, b, preconditioner=k, tol=1e-7, maxiter=300)
         assert res.converged
 
+    @pytest.mark.slow
     def test_multiplicative_beats_additive_per_application(self, system):
         """One SAP cycle uses the red corrections when solving black, so it
         needs no more outer iterations than one additive application with
@@ -77,6 +79,7 @@ class TestSAP:
 
 
 class TestTwoLevel:
+    @pytest.mark.slow
     def test_converges_as_preconditioner(self, system):
         geom, op, part, b = system
         k = TwoLevelSchwarzPreconditioner(

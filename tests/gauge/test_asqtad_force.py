@@ -114,6 +114,7 @@ class TestAsqtadForce:
         assert numeric == pytest.approx(analytic, rel=1e-6)
 
 
+@pytest.mark.slow
 class TestAsqtadHMC:
     def test_reversibility(self, setup):
         geom, gauge, pf, phi = setup

@@ -85,6 +85,7 @@ class TestTrajectory:
             assert np.isfinite(rec.delta_h)
             assert 0.0 <= rec.plaquette <= 1.0
 
+    @pytest.mark.slow
     def test_hmc_and_heatbath_agree_on_plaquette(self, start):
         """The two exact algorithms must sample the same distribution:
         their thermalized plaquettes at beta=5.7 agree."""

@@ -26,6 +26,7 @@ from repro.solvers import cg, gcr
 from repro.solvers.space import STAGGERED_SPACE
 
 
+@pytest.mark.slow
 class TestDistributedGCRDDAgreement:
     """The serial-emulated GCR-DD and the fully distributed machinery are
     two faces of the same algorithm; their answers must coincide."""
@@ -105,6 +106,7 @@ class TestStaggeredPipeline:
         assert np.abs(re.x * geom.odd_mask[..., None]).max() < 1e-12
 
 
+@pytest.mark.slow
 class TestPrecisionLadder:
     def test_policies_reach_their_accuracy(self):
         """double > single > half final accuracy, each policy reaching its

@@ -100,6 +100,7 @@ class TestStaggeredDistributed:
         out = dist.gather(dist.apply(dist.scatter(x)))
         assert np.abs(out - serial.apply(x)).max() < 1e-12
 
+    @pytest.mark.slow
     def test_asqtad_multi_dim(self, rng):
         geom = Geometry((4, 8, 8, 8))
         gauge = GaugeField.weak(geom, epsilon=0.3, rng=77)

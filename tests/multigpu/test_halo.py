@@ -146,3 +146,42 @@ class TestDepth3:
         assert np.all(padded[0][2].real == 7)
         assert np.all(padded[0][-3].real == 4)
         assert np.all(padded[0][-1].real == 6)
+
+
+class TestBufferReuse:
+    def test_spinor_staging_buffers_are_reused(self, setup, rng):
+        """Consecutive spinor exchanges of same-shaped fields return the
+        same padded arrays (one allocation for the exchanger lifetime)."""
+        geom, part, ex, log = setup
+        x = SpinorField.random(geom, rng=rng).data
+        first = ex.exchange_spinor(part.split(x))
+        second = ex.exchange_spinor(part.split(x))
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_reused_buffers_hold_correct_contents(self, setup, rng):
+        """The second exchange fully overwrites interior and ghosts, and
+        the never-written corners stay zero."""
+        geom, part, ex, log = setup
+        x = SpinorField.random(geom, rng=rng).data
+        y = SpinorField.random(geom, rng=rng).data
+        ex.exchange_spinor(part.split(x))
+        padded = ex.exchange_spinor(part.split(y))
+        locals_y = part.split(y)
+        for rank, pad in enumerate(padded):
+            assert np.array_equal(pad[ex.interior_slices()], locals_y[rank])
+            # z/t corner of the padded array was never written by either
+            # exchange and must still be zero.
+            assert np.abs(pad[0, 0, 0, 0]).max() == 0.0
+
+    def test_gauge_exchange_allocates_fresh(self, setup, rng):
+        """Gauge ghosts are retained by local operators, so consecutive
+        gauge exchanges must not alias each other."""
+        geom, part, ex, log = setup
+        u = np.asarray(
+            SpinorField.random(geom, rng=rng).data[..., :3]
+        )[None].repeat(4, axis=0)  # (4, sites..., 4, 3) link-like field
+        first = ex.exchange_gauge(part.split(u, lead=1))
+        second = ex.exchange_gauge(part.split(u, lead=1))
+        for a, b in zip(first, second):
+            assert a is not b

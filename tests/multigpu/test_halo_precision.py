@@ -7,6 +7,7 @@ from repro.comm import CommLog, ProcessGrid
 from repro.dirac import WilsonCloverOperator
 from repro.lattice import GaugeField, Geometry, SpinorField
 from repro.multigpu import BlockPartition, DistributedOperator, DistributedSpace, HaloExchanger
+from repro.multigpu.halo import halo_logical_nbytes
 from repro.precision import HALF, SINGLE
 
 
@@ -31,7 +32,23 @@ class TestHaloPrecision:
             ex.exchange_spinor(part.split(x))
             sizes[name] = log.events[0].nbytes
         assert sizes["single"] == sizes["double"] // 2
-        assert sizes["half"] == sizes["double"] // 4
+        # Half = int16 mantissas (a quarter of the double payload) PLUS one
+        # float32 norm per face site — the per-site scale of the fixed-point
+        # format is real traffic and must be modeled.
+        t_face_sites = 4 * 4 * 4
+        assert sizes["half"] == sizes["double"] // 4 + t_face_sites * 4
+
+    def test_modeled_face_bytes_match_helper(self, geom, rng):
+        """The logged wire bytes equal halo_logical_nbytes of the face."""
+        part = BlockPartition(geom, ProcessGrid((1, 1, 1, 2)))
+        x = SpinorField.random(geom, rng=rng).data
+        face = np.empty((4, 4, 4, 1, 4, 3), dtype=np.complex128)
+        for prec in (SINGLE, HALF):
+            log = CommLog()
+            ex = HaloExchanger(part, depth=1, log=log, precision=prec)
+            ex.exchange_spinor(part.split(x))
+            expected = halo_logical_nbytes(face, prec, site_axes=2)
+            assert all(ev.nbytes == expected for ev in log.events)
 
     def test_gauge_faces_not_quantized(self, geom, rng):
         part = BlockPartition(geom, ProcessGrid((1, 1, 1, 2)))

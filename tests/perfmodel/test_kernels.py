@@ -94,3 +94,34 @@ class TestTime:
         small = k.reported_gflops(M2050, 1 << 15)
         large = k.reported_gflops(M2050, 1 << 20)
         assert small < 0.7 * large
+
+
+class TestHaloBytes:
+    def test_face_bytes_match_exchanger_accounting(self):
+        """The analytic per-site face bytes equal what the halo exchanger
+        logs per face site, for every precision and discretization."""
+        import numpy as np
+
+        from repro.multigpu.halo import halo_logical_nbytes
+
+        for kind, site_shape, site_axes in [
+            (OperatorKind.WILSON, (4, 3), 2),
+            (OperatorKind.ASQTAD, (3,), 1),
+        ]:
+            face = np.empty((6, 5) + site_shape, dtype=np.complex128)
+            sites = 30
+            for prec in (DOUBLE, SINGLE, HALF):
+                model = KernelModel(kind, prec)
+                assert (
+                    model.halo_bytes_per_site() * sites
+                    == halo_logical_nbytes(face, prec, site_axes)
+                )
+
+    def test_half_face_is_more_than_a_quarter(self):
+        """Half faces carry the per-site float32 norm on top of the int16
+        mantissas, so they are slightly larger than double/4."""
+        double = KernelModel(OperatorKind.WILSON, DOUBLE).halo_bytes_per_site()
+        single = KernelModel(OperatorKind.WILSON, SINGLE).halo_bytes_per_site()
+        half = KernelModel(OperatorKind.WILSON, HALF).halo_bytes_per_site()
+        assert single == double // 2
+        assert half == double // 4 + 4

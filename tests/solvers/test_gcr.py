@@ -112,3 +112,33 @@ class TestMixedPrecision:
                     maxiter=400)
         assert tight.converged and loose.converged
         assert tight.restarts >= loose.restarts
+
+
+class TestResidualHistory:
+    def test_history_ends_with_true_residual(self, wilson, b_wilson):
+        """The recomputed high-precision residual of every restart is part
+        of the history: the last entry is the solver's reported (true)
+        residual, not the drifted inner-precision estimate."""
+        res = gcr(wilson.apply, b_wilson, tol=1e-8, kmax=8, maxiter=400)
+        assert res.converged
+        assert res.residual_history[-1] == pytest.approx(res.residual)
+
+    def test_history_counts_restart_entries(self, wilson, b_wilson):
+        """One entry for the initial residual, one per Krylov step, and one
+        per high-precision restart recompute."""
+        res = gcr(wilson.apply, b_wilson, tol=1e-8, kmax=8, maxiter=400)
+        assert len(res.residual_history) == 1 + res.iterations + res.restarts
+
+    def test_restart_entries_are_high_precision(self, wilson, b_wilson):
+        """With a single-precision inner solver, the iterated estimates
+        drift below what the true residual can reach; the appended restart
+        values must match an independent recomputation."""
+        res = gcr(
+            wilson.apply, b_wilson, inner_precision=SINGLE,
+            inner_op=PrecisionWrappedOperator(wilson.apply, SINGLE),
+            tol=1e-6, kmax=8, maxiter=400,
+        )
+        assert res.converged
+        r = b_wilson - wilson.apply(res.x)
+        rel = np.linalg.norm(r) / np.linalg.norm(b_wilson)
+        assert res.residual_history[-1] == pytest.approx(rel, rel=1e-6)

@@ -6,7 +6,9 @@ from repro.util.counters import (
     domain_local,
     record,
     record_operator,
+    record_seconds,
     tally,
+    timed,
 )
 
 
@@ -96,3 +98,37 @@ class TestMerge:
         assert a.reductions == 2
         assert a.local_reductions == 5
         assert a.operator_applications == {"x": 1}
+
+
+class TestTiming:
+    def test_record_seconds_accumulates_per_kernel(self):
+        with tally() as t:
+            record_seconds("wilson_dslash", 0.5)
+            record_seconds("wilson_dslash", 0.25)
+            record_seconds("halo_exchange", 1.0)
+        assert t.seconds == 1.75
+        assert t.kernel_seconds == {
+            "wilson_dslash": 0.75,
+            "halo_exchange": 1.0,
+        }
+
+    def test_timed_charges_elapsed_time(self):
+        with tally() as t:
+            with timed("kernel"):
+                sum(range(1000))
+        assert t.kernel_seconds["kernel"] > 0.0
+        assert t.seconds == t.kernel_seconds["kernel"]
+
+    def test_timed_noop_without_tally(self):
+        with timed("kernel"):
+            pass  # must not raise
+        assert current_tally() is None
+
+    def test_timing_merges_into_outer_tally(self):
+        with tally() as outer:
+            with tally() as inner:
+                record_seconds("k", 0.5)
+            record_seconds("k", 0.25)
+        assert inner.kernel_seconds == {"k": 0.5}
+        assert outer.kernel_seconds == {"k": 0.75}
+        assert outer.seconds == 0.75
