@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI smoke check for the observability pipeline (docs/observability.md).
+#
+# 1. Runs a tiny 2-rank Wilson GCR-DD solve with tracing enabled through
+#    the CLI (`python -m repro trace`), writing Perfetto trace JSON.
+# 2. Validates the trace against the trace_event schema and asserts the
+#    Fig. 4 track kinds (gather/comm/interior/exterior) plus the modeled
+#    timeline track are present.
+# 3. Runs the fast test lane (`-m "not slow"`), which includes the
+#    in-tree trace smoke tests (tests/integration/test_trace_smoke.py),
+#    so the trace path cannot silently rot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+out="${TMPDIR:-/tmp}/repro_trace_smoke.json"
+
+python -m repro trace \
+    --dims 4 4 4 8 --grid 2 1 1 1 \
+    --tol 1e-5 --mr-steps 4 \
+    --output "$out"
+
+python - "$out" <<'PY'
+import sys
+from repro.trace import MODEL_RANK, load_chrome_trace
+
+events = load_chrome_trace(sys.argv[1])
+kinds = {ev.kind for ev in events if ev.rank != MODEL_RANK}
+missing = {"gather", "comm", "interior", "exterior"} - kinds
+assert not missing, f"trace is missing track kinds: {missing}"
+assert any(ev.rank == MODEL_RANK for ev in events), "model track absent"
+print(f"trace OK: {len(events)} events, kinds: {sorted(kinds)}")
+PY
+
+python -m pytest -q -m "not slow"

@@ -1,13 +1,14 @@
 """Command-line driver: ``python -m repro <command>``.
 
 A small application shell over the library, in the spirit of the QUDA
-test/benchmark executables:
-
-* ``figN`` commands print the model-regenerated table for the paper's
-  figure N;
-* ``solve`` runs a real Wilson-clover solve on a synthetic configuration;
-* ``generate`` runs heatbath gauge generation and reports plaquettes;
-* ``info`` prints the hardware/calibration summary.
+test/benchmark executables.  The full subcommand table is generated from
+the registered subparsers (see :func:`build_parser`) and printed by
+``python -m repro --help`` — it cannot drift from the actual commands.
+The families: ``figN`` regenerate the paper's figure tables from the
+performance model, ``solve``/``generate`` run real numerics on synthetic
+configurations, ``trace`` captures a Perfetto timeline of a distributed
+solve (docs/observability.md), ``report`` draws ASCII charts, and
+``info`` prints the hardware/calibration summary.
 """
 
 from __future__ import annotations
@@ -187,6 +188,88 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Capture a Perfetto trace of a distributed Wilson(-clover) GCR-DD
+    solve, with the modeled Fig. 4 timeline as a parallel track."""
+    from repro import trace as tracelib
+    from repro.comm.grid import ProcessGrid
+    from repro.core.gcrdd import DistributedGCRDDSolver, GCRDDConfig
+    from repro.lattice import GaugeField, Geometry, SpinorField
+    from repro.perfmodel.kernels import KernelModel, OperatorKind
+    from repro.perfmodel.machines import EDGE
+    from repro.perfmodel.streams import model_dslash_time
+    from repro.report import timeline_chart
+    from repro.trace.model import timeline_events
+    from repro.util.counters import tally
+
+    geometry = Geometry(tuple(args.dims))
+    grid = ProcessGrid(tuple(args.grid))
+    gauge = GaugeField.weak(geometry, epsilon=args.epsilon, rng=args.seed)
+    b = SpinorField.random(geometry, rng=args.seed + 1).data
+
+    # The split (interior/exterior) execution path is what the paper's
+    # Fig. 4 schedules, so a trace always uses it.
+    tracer = tracelib.Tracer()
+    with tracelib.tracing(tracer), tally() as t:
+        solver = DistributedGCRDDSolver(
+            gauge, args.mass, args.csw, grid,
+            config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
+            use_split=True,
+        )
+        res = solver.solve(b)
+    events = list(tracer.events)
+    status = "converged" if res.converged else "FAILED"
+    print(
+        f"gcr-dd on {geometry!r}, grid={grid.label} ranks={grid.size}: "
+        f"{status} in {res.iterations} iterations, "
+        f"residual {res.residual:.2e}"
+    )
+
+    if not args.no_model:
+        op_kind = (
+            OperatorKind.WILSON_CLOVER if args.csw else OperatorKind.WILSON
+        )
+        kernel = KernelModel(
+            op_kind, solver.config.policy.inner, reconstruct=12
+        )
+        timeline = model_dslash_time(
+            kernel, EDGE.gpu, EDGE.interconnect,
+            solver.partition.local_dims, grid.partitioned_dims,
+        )
+        # Modeled times are Fermi-hardware seconds (~us/dslash); stretch
+        # the tiled applications across the measured window so the two
+        # tracks are structurally comparable on one axis.
+        window = max((ev.end for ev in events), default=1.0)
+        scale = window / (timeline.total_time * args.model_repeat)
+        events += timeline_events(
+            timeline, repeat=args.model_repeat, scale=scale
+        )
+
+    path = tracelib.write_chrome_trace(args.output, events)
+    print(
+        f"wrote {len(events)} events to {path} — open in "
+        "https://ui.perfetto.dev or chrome://tracing"
+    )
+    print()
+    print(tracelib.format_table(events, top=args.top))
+    kernel_totals = tracelib.timed_kernel_totals(events)
+    if kernel_totals:
+        print()
+        print("trace vs tally cross-check (identical by construction):")
+        for name in sorted(kernel_totals):
+            print(
+                f"  {name}: trace {kernel_totals[name] * 1e3:.3f} ms, "
+                f"tally {t.kernel_seconds.get(name, 0.0) * 1e3:.3f} ms"
+            )
+    if args.ascii:
+        print()
+        print(timeline_chart(
+            "timeline (one row per rank/kind; model track rescaled)",
+            tracelib.ascii_tracks(events),
+        ))
+    return 0 if res.converged else 1
+
+
 def _cmd_info(args) -> int:
     from repro import __version__
     from repro.perfmodel.machines import CPU_MACHINES, EDGE
@@ -207,13 +290,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+    registered: list[tuple[str, str]] = []
+
+    def add_command(name: str, help_: str):
+        """Register a subcommand; the --help table derives from this
+        registry, so a command cannot be added without a help line."""
+        registered.append((name, help_))
+        return sub.add_parser(name, help=help_, description=help_)
 
     for n in (5, 6, 7, 8, 9, 10):
-        p = sub.add_parser(f"fig{n}", help=f"print the Fig. {n} model table")
+        p = add_command(f"fig{n}", f"print the Fig. {n} model table")
         p.set_defaults(func=_cmd_fig, figure=n)
 
-    p = sub.add_parser("solve", help="run a real Wilson-clover solve")
+    p = add_command("solve", "run a real Wilson-clover solve")
     p.add_argument("--dims", type=int, nargs=4, default=[8, 8, 8, 16],
                    metavar=("NX", "NY", "NZ", "NT"))
     p.add_argument("--mass", type=float, default=0.1)
@@ -229,7 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_solve)
 
-    p = sub.add_parser("generate", help="heatbath gauge generation")
+    p = add_command("generate", "heatbath gauge generation")
     p.add_argument("--dims", type=int, nargs=4, default=[4, 4, 4, 8],
                    metavar=("NX", "NY", "NZ", "NT"))
     p.add_argument("--beta", type=float, default=5.7)
@@ -241,11 +332,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="save the final configuration (.npz)")
     p.set_defaults(func=_cmd_generate)
 
-    p = sub.add_parser("report", help="ASCII charts of Figs. 5 and 7")
+    p = add_command(
+        "trace",
+        "capture a Perfetto trace of a distributed GCR-DD solve",
+    )
+    p.add_argument("--dims", type=int, nargs=4, default=[8, 8, 8, 16],
+                   metavar=("NX", "NY", "NZ", "NT"))
+    p.add_argument("--grid", type=int, nargs=4, default=[2, 1, 1, 1],
+                   metavar=("PX", "PY", "PZ", "PT"),
+                   help="virtual rank grid (default 2 1 1 1)")
+    p.add_argument("--mass", type=float, default=0.1)
+    p.add_argument("--csw", type=float, default=1.0)
+    p.add_argument("--tol", type=float, default=1e-5)
+    p.add_argument("--mr-steps", type=int, default=4)
+    p.add_argument("--epsilon", type=float, default=0.25,
+                   help="gauge disorder of the synthetic configuration")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", type=str, default="trace.json",
+                   help="trace_event JSON output path")
+    p.add_argument("--top", type=int, default=12,
+                   help="rows in the printed summary table (0 = all)")
+    p.add_argument("--ascii", action="store_true",
+                   help="also print an ASCII timeline")
+    p.add_argument("--no-model", action="store_true",
+                   help="omit the modeled Fig. 4 track")
+    p.add_argument("--model-repeat", type=int, default=1,
+                   help="tiled modeled dslash applications (default 1)")
+    p.set_defaults(func=_cmd_trace)
+
+    p = add_command("report", "ASCII charts of Figs. 5 and 7")
     p.set_defaults(func=_cmd_report)
 
-    p = sub.add_parser("info", help="print version and model summary")
+    p = add_command("info", "print version and model summary")
     p.set_defaults(func=_cmd_info)
+
+    width = max(len(name) for name, _ in registered)
+    parser.epilog = "commands:\n" + "\n".join(
+        f"  {name:<{width}}  {help_}" for name, help_ in registered
+    )
     return parser
 
 

@@ -132,6 +132,7 @@ class DistributedGCRDDSolver:
         boundary=None,
         config: GCRDDConfig | None = None,
         log=None,
+        use_split: bool = False,
     ):
         from repro.dirac.base import PERIODIC
         from repro.dirac.wilson import WilsonCloverOperator
@@ -145,6 +146,11 @@ class DistributedGCRDDSolver:
         self.dist_op = DistributedOperator.wilson_clover(
             gauge, mass, csw, grid, boundary=boundary, log=log
         )
+        # ``use_split`` routes every outer matvec through the
+        # interior/exterior kernel decomposition of Sec. 6.2 — the
+        # execution shape whose gather/comm/interior/exterior spans a
+        # trace (docs/observability.md) is meant to exhibit.
+        self.dist_op.use_split = bool(use_split)
         self.partition = self.dist_op.partition
         self.space = DistributedSpace(self.partition, site_axes=2)
         # Per-rank Schwarz blocks: the Dirichlet-cut serial operator
@@ -161,13 +167,14 @@ class DistributedGCRDDSolver:
     # ------------------------------------------------------------------
     def _precondition(self, xs: list) -> list:
         from repro.solvers.mr import mr
+        from repro.trace import span
         from repro.util.counters import domain_local, record_operator
 
         record_operator("schwarz_precond")
         cfg = self.config
         prec = cfg.policy.preconditioner
         out = []
-        for block_op, r_loc in zip(self._blocks, xs):
+        for rank, (block_op, r_loc) in enumerate(zip(self._blocks, xs)):
             if prec is not None:
                 r_loc = self._block_space.convert(r_loc, prec)
 
@@ -178,11 +185,16 @@ class DistributedGCRDDSolver:
                     _op.apply(self._block_space.convert(v, prec)), prec
                 )
 
-            with domain_local():
-                result = mr(
-                    apply, r_loc, steps=cfg.mr_steps, omega=cfg.omega,
-                    space=self._block_space,
-                )
+            # The block solve is the work the paper keeps entirely on one
+            # GPU (Sec. 8.1): its spans sit on the rank's compute stream
+            # with zero comm spans inside.
+            with span("schwarz_block_solve", kind="precond", rank=rank,
+                      stream="compute", mr_steps=cfg.mr_steps):
+                with domain_local():
+                    result = mr(
+                        apply, r_loc, steps=cfg.mr_steps, omega=cfg.omega,
+                        space=self._block_space,
+                    )
             out.append(result.x)
         return out
 

@@ -111,7 +111,7 @@ class _StaggeredBase(LatticeOperator):
         return self._dslash(x)
 
     def _dslash(self, x: np.ndarray) -> np.ndarray:
-        with timed(f"{self.name}_dslash"):
+        with timed(f"{self.name}_dslash", kind="dslash"):
             return self._dslash_impl(x)
 
     def _dslash_impl(self, x: np.ndarray) -> np.ndarray:

@@ -149,7 +149,7 @@ class WilsonCloverOperator(LatticeOperator):
         return self._dslash(x)
 
     def _dslash(self, x: np.ndarray) -> np.ndarray:
-        with timed("wilson_dslash"):
+        with timed("wilson_dslash", kind="dslash"):
             if self.use_projection:
                 return self._dslash_projected(x)
             return self._dslash_reference(x)

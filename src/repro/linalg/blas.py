@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.trace import span
 from repro.util.counters import record
 
 
@@ -25,21 +26,24 @@ def _nbytes(*arrays: np.ndarray) -> int:
 
 def norm2(x: np.ndarray) -> float:
     """Squared 2-norm ||x||^2 (a global reduction)."""
-    val = float(np.vdot(x, x).real)
+    with span("norm2", kind="reduction"):
+        val = float(np.vdot(x, x).real)
     record(flops=4 * x.size, bytes_moved=_nbytes(x), reductions=1)
     return val
 
 
 def cdot(x: np.ndarray, y: np.ndarray) -> complex:
     """Complex inner product <x, y> = sum conj(x) * y (a global reduction)."""
-    val = complex(np.vdot(x, y))
+    with span("cdot", kind="reduction"):
+        val = complex(np.vdot(x, y))
     record(flops=8 * x.size, bytes_moved=_nbytes(x, y), reductions=1)
     return val
 
 
 def rdot(x: np.ndarray, y: np.ndarray) -> float:
     """Real part of <x, y> (a global reduction)."""
-    val = float(np.vdot(x, y).real)
+    with span("rdot", kind="reduction"):
+        val = float(np.vdot(x, y).real)
     record(flops=8 * x.size, bytes_moved=_nbytes(x, y), reductions=1)
     return val
 

@@ -37,8 +37,9 @@ import numpy as np
 from repro.comm.mailbox import Mailbox
 from repro.comm.traffic import CommEvent, CommLog
 from repro.dirac.base import BoundarySpec, PERIODIC
-from repro.lattice.geometry import Geometry, axis_of_mu
+from repro.lattice.geometry import DIR_NAMES, Geometry, axis_of_mu
 from repro.multigpu.partition import BlockPartition
+from repro.trace import span
 from repro.util.counters import record, timed
 
 
@@ -209,15 +210,17 @@ class HaloExchanger:
             )
         local_geom = part.local_geometry
 
-        with timed("halo_exchange"):
+        with timed("halo_exchange", kind="halo"):
             # Gauge exchange results are retained by the local operators,
             # so only spinor exchanges may reuse the staging pool.
             padded = self._padded_buffers(
                 local_fields, lead, reuse=(kind == "spinor")
             )
             interior = self.interior_slices(lead)
-            for pad, field in zip(padded, local_fields):
-                pad[interior] = field
+            for rank, (pad, field) in enumerate(zip(padded, local_fields)):
+                with span("stage_interior", kind="gather", rank=rank,
+                          stream="compute"):
+                    pad[interior] = field
                 # Staging copy reads the field and writes the padded
                 # interior: read + write traffic.
                 record(bytes_moved=2 * field.nbytes)
@@ -234,48 +237,62 @@ class HaloExchanger:
                             mu, sign, self.depth
                         )
                         self._slice_cache[face_key] = face
+                    comm_stream = f"comm {DIR_NAMES[mu]}{'+' if sign > 0 else '-'}"
                     for rank in grid.all_ranks():
                         dst, wrapped = grid.neighbor(rank, mu, sign)
-                        buf = np.ascontiguousarray(local_fields[rank][face])
-                        record(bytes_moved=2 * buf.nbytes)  # gather r/w
-                        if apply_boundary and wrapped:
-                            bc = self.boundary[mu]
-                            if bc == "antiperiodic":
-                                buf = -buf
-                            elif bc == "zero":
-                                buf = np.zeros_like(buf)
-                        logical_nbytes = buf.nbytes
-                        if self.precision is not None and kind == "spinor":
-                            buf = self.precision.convert(
-                                buf, site_axes=self.site_axes
+                        # Gather/pack: extract the face and quantize it to
+                        # the wire format (the strided gather kernels of
+                        # Sec. 6.1, on the compute stream in Fig. 4).
+                        with span("gather", kind="gather", rank=rank,
+                                  stream="compute", mu=mu, sign=sign):
+                            buf = np.ascontiguousarray(local_fields[rank][face])
+                            record(bytes_moved=2 * buf.nbytes)  # gather r/w
+                            if apply_boundary and wrapped:
+                                bc = self.boundary[mu]
+                                if bc == "antiperiodic":
+                                    buf = -buf
+                                elif bc == "zero":
+                                    buf = np.zeros_like(buf)
+                            logical_nbytes = buf.nbytes
+                            if self.precision is not None and kind == "spinor":
+                                buf = self.precision.convert(
+                                    buf, site_axes=self.site_axes
+                                )
+                                logical_nbytes = halo_logical_nbytes(
+                                    buf, self.precision, self.site_axes
+                                )
+                        with span("send", kind="comm", rank=rank,
+                                  stream=comm_stream, mu=mu, sign=sign,
+                                  dst=dst, nbytes=logical_nbytes):
+                            self.mailbox.send(
+                                rank,
+                                dst,
+                                buf,
+                                tag=("halo", mu, sign, kind),
+                                event=CommEvent(
+                                    src=rank,
+                                    dst=dst,
+                                    mu=mu,
+                                    sign=sign,
+                                    nbytes=logical_nbytes,
+                                    kind=kind,
+                                    wrapped=wrapped,
+                                ),
                             )
-                            logical_nbytes = halo_logical_nbytes(
-                                buf, self.precision, self.site_axes
-                            )
-                        self.mailbox.send(
-                            rank,
-                            dst,
-                            buf,
-                            tag=("halo", mu, sign, kind),
-                            event=CommEvent(
-                                src=rank,
-                                dst=dst,
-                                mu=mu,
-                                sign=sign,
-                                nbytes=logical_nbytes,
-                                kind=kind,
-                                wrapped=wrapped,
-                            ),
-                        )
                     for rank in grid.all_ranks():
                         src, _ = grid.neighbor(rank, mu, -sign)
-                        data = self.mailbox.recv(
-                            rank, src, tag=("halo", mu, sign, kind)
-                        )
+                        with span("recv", kind="comm", rank=rank,
+                                  stream=comm_stream, mu=mu, sign=sign,
+                                  src=src):
+                            data = self.mailbox.recv(
+                                rank, src, tag=("halo", mu, sign, kind)
+                            )
                         # A face sent forward (+1) fills the receiver's
                         # backward (-1) ghost slab, and vice versa.
                         ghost = self._ghost_slices(mu, -sign, lead)
-                        padded[rank][ghost] = data
+                        with span("scatter", kind="scatter", rank=rank,
+                                  stream="compute", mu=mu, sign=sign):
+                            padded[rank][ghost] = data
                         # Scatter reads the receive buffer and writes the
                         # ghost slab: read + write traffic.
                         record(bytes_moved=2 * data.nbytes)

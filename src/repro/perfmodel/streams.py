@@ -18,13 +18,27 @@ likely to exceed the interior kernel run time, resulting in some interval
 when the GPU is idle" — that idle interval is exactly
 ``max(0, comm_time - interior_time)`` below, and it is what bends the
 strong-scaling curves of Figs. 5-7.
+
+Paper-section map for the instrumented/modeled regions:
+
+* gather kernels — Sec. 6.1 (face packing) and Fig. 4's leading blocks;
+* communication — Sec. 6.3's nine-stream pipeline (PCI-E -> host -> IB);
+* interior kernel — Sec. 6.2's ghost-independent bulk stencil;
+* exterior kernels — Sec. 6.2's per-dimension ghost updates, serialized
+  by their corner-site data dependencies.
+
+:meth:`DslashTimeline.schedule` lays these intervals out on named streams
+exactly as Fig. 4 draws them; :mod:`repro.trace.model` converts that
+layout into a trace track so the modeled schedule can be viewed side by
+side with the measured spans of a real virtual-cluster solve
+(:mod:`repro.trace`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.lattice.geometry import T as T_DIR
+from repro.lattice.geometry import DIR_NAMES, T as T_DIR
 from repro.perfmodel.device import GPUSpec
 from repro.perfmodel.interconnect import InterconnectSpec
 from repro.perfmodel.kernels import KernelModel
@@ -64,6 +78,40 @@ class DslashTimeline:
 
     def gflops_per_gpu(self, flops_per_site: int) -> float:
         return flops_per_site * self.local_sites / self.total_time / 1e9
+
+    def schedule(self) -> list[tuple[str, str, str, float, float]]:
+        """The Fig. 4 stream layout as ``(name, kind, stream, start, dur)``.
+
+        Gather kernels run first on the compute stream; every partitioned
+        dimension's transfers then occupy their own comm stream while the
+        interior kernel overlaps them on the compute stream; any ghost-wait
+        idle gap follows; the exterior kernels execute sequentially.  All
+        times are modeled seconds on the paper's hardware — the track
+        :mod:`repro.trace.model` places next to measured spans.
+        """
+        entries: list[tuple[str, str, str, float, float]] = []
+        t = 0.0
+        if self.gather_time > 0.0:
+            entries.append(("gather", "gather", "compute", t, self.gather_time))
+        t += self.gather_time
+        for mu in self.exterior_times:
+            entries.append((
+                f"comm {DIR_NAMES[mu]}", "comm", f"comm {DIR_NAMES[mu]}",
+                t, self.comm_time,
+            ))
+        entries.append(("interior", "interior", "compute", t, self.interior_time))
+        if self.idle_time > 0.0:
+            entries.append((
+                "idle (ghost wait)", "idle", "compute",
+                t + self.interior_time, self.idle_time,
+            ))
+        t += max(self.interior_time, self.comm_time)
+        for mu, dur in self.exterior_times.items():
+            entries.append((
+                f"exterior {DIR_NAMES[mu]}", "exterior", "compute", t, dur,
+            ))
+            t += dur
+        return entries
 
 
 def _face_sites(local_dims: tuple[int, ...], mu: int, depth: int) -> int:

@@ -1,5 +1,5 @@
-"""Plain-text reporting: ASCII log-log charts of the scaling figures."""
+"""Plain-text reporting: ASCII log-log charts and trace timelines."""
 
-from repro.report.ascii_plot import AsciiPlot, loglog_chart
+from repro.report.ascii_plot import AsciiPlot, loglog_chart, timeline_chart
 
-__all__ = ["AsciiPlot", "loglog_chart"]
+__all__ = ["AsciiPlot", "loglog_chart", "timeline_chart"]

@@ -1,8 +1,12 @@
-"""ASCII log-log charts.
+"""ASCII log-log charts and timeline (Gantt) charts.
 
 The paper's figures are log-log strong-scaling plots; this renders their
 regenerated series as terminal charts (no plotting dependency), used by
-the ``report`` CLI command and handy in CI logs.
+the ``report`` CLI command and handy in CI logs.  :func:`timeline_chart`
+is the terminal fallback for the trace subsystem (:mod:`repro.trace`):
+where Perfetto renders the exported JSON interactively, this draws one
+row of ``#`` bars per track — enough to see Fig. 4's overlap structure
+(comm bars concurrent with interior-kernel bars) in a CI log.
 """
 
 from __future__ import annotations
@@ -89,6 +93,51 @@ class AsciiPlot:
         legend = "   ".join(f"{s.marker} {s.label}" for s in self.series)
         lines.append(" " * (margin + 2) + legend)
         return "\n".join(lines)
+
+
+def timeline_chart(
+    title: str,
+    tracks: "dict[str, list[tuple[float, float]]]",
+    width: int = 64,
+    t0: float | None = None,
+    t1: float | None = None,
+) -> str:
+    """Render labeled tracks of ``(start, duration)`` intervals as bars.
+
+    ``tracks`` maps a row label (e.g. ``"rank0/comm"``) to its intervals;
+    rows render in mapping order.  The time window defaults to the data's
+    span.  A cell is filled when any interval overlaps it, so bars never
+    round down to invisibility.
+    """
+    if not tracks:
+        raise ValueError("nothing to plot")
+    starts = [s for iv in tracks.values() for s, _ in iv]
+    ends = [s + d for iv in tracks.values() for s, d in iv]
+    if t0 is None:
+        t0 = min(starts, default=0.0)
+    if t1 is None:
+        t1 = max(ends, default=1.0)
+    if t1 <= t0:
+        t1 = t0 + 1.0
+    cell = (t1 - t0) / width
+    label_w = max(len(label) for label in tracks)
+
+    lines = [title]
+    for label, intervals in tracks.items():
+        row = [" "] * width
+        for start, dur in intervals:
+            lo = max(int((start - t0) / cell), 0)
+            hi = min(int(math.ceil((start + dur - t0) / cell)), width)
+            for c in range(lo, max(hi, lo + 1)):
+                if c < width:
+                    row[c] = "#"
+        lines.append(f"{label:>{label_w}} |{''.join(row)}|")
+    axis = f"{'':>{label_w}} +{'-' * width}+"
+    lines.append(axis)
+    left, right = f"{t0:.4g}", f"{t1:.4g} s"
+    pad = width - len(left) - len(right)
+    lines.append(f"{'':>{label_w}}  {left}{' ' * max(pad, 1)}{right}")
+    return "\n".join(lines)
 
 
 def loglog_chart(

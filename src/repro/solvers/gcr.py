@@ -26,6 +26,7 @@ import numpy as np
 from repro.precision import DOUBLE, Precision
 from repro.solvers.base import Operator, SolverResult
 from repro.solvers.space import ArraySpace
+from repro.trace import span
 
 
 def gcr(
@@ -115,15 +116,22 @@ def gcr(
         k = 0
         cycle_done = False
         while not cycle_done:
-            p_k = preconditioner(r_hat) if preconditioner is not None else space.copy(r_hat)
+            with span("precondition", kind="precond", cycle=restarts, k=k):
+                p_k = (
+                    preconditioner(r_hat)
+                    if preconditioner is not None
+                    else space.copy(r_hat)
+                )
             p_k = to_inner(p_k)
-            z_k = to_inner(inner_op(p_k))
+            with span("inner_matvec", kind="matvec", cycle=restarts, k=k):
+                z_k = to_inner(inner_op(p_k))
             matvecs += 1
-            # Classical Gram-Schmidt against the existing basis.
-            for i in range(k):
-                b_ik = space.dot(z_basis[i], z_k)
-                betas[i, k] = b_ik
-                z_k = space.axpy(-b_ik, z_basis[i], z_k)
+            with span("orthogonalize", kind="blas", cycle=restarts, k=k):
+                # Classical Gram-Schmidt against the existing basis.
+                for i in range(k):
+                    b_ik = space.dot(z_basis[i], z_k)
+                    betas[i, k] = b_ik
+                    z_k = space.axpy(-b_ik, z_basis[i], z_k)
             gamma_k = math.sqrt(space.norm2(z_k))
             if gamma_k == 0.0:
                 # Exact breakdown: the Krylov space is exhausted.
@@ -151,19 +159,21 @@ def gcr(
 
         # ---- implicit solution update (back-substitution for chi) ----
         if k > 0:
-            chi = np.zeros(k, dtype=np.complex128)
-            for ell in range(k - 1, -1, -1):
-                acc = alphas[ell]
-                for i in range(ell + 1, k):
-                    acc = acc - betas[ell, i] * chi[i]
-                chi[ell] = acc / gammas[ell]
-            x_hat = space.scale(chi[0], p_basis[0])
-            for i in range(1, k):
-                x_hat = space.axpy(chi[i], p_basis[i], x_hat)
-            x = space.axpy(1.0, to_outer(x_hat), x)
+            with span("solution_update", kind="solver", cycle=restarts):
+                chi = np.zeros(k, dtype=np.complex128)
+                for ell in range(k - 1, -1, -1):
+                    acc = alphas[ell]
+                    for i in range(ell + 1, k):
+                        acc = acc - betas[ell, i] * chi[i]
+                    chi[ell] = acc / gammas[ell]
+                x_hat = space.scale(chi[0], p_basis[0])
+                for i in range(1, k):
+                    x_hat = space.axpy(chi[i], p_basis[i], x_hat)
+                x = space.axpy(1.0, to_outer(x_hat), x)
 
         # ---- high-precision restart ----
-        r0 = to_outer(space.xpay(b, -1.0, op(x)))
+        with span("true_residual", kind="solver", cycle=restarts):
+            r0 = to_outer(space.xpay(b, -1.0, op(x)))
         matvecs += 1
         r0_norm2 = space.norm2(r0)
         # Record the *true* residual of the restart: the inner-precision

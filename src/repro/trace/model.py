@@ -1,0 +1,57 @@
+"""The modeled Fig. 4 timeline as a trace track.
+
+Converts a :class:`~repro.perfmodel.streams.DslashTimeline` — the
+performance model's prediction of how one distributed dslash overlaps
+gathers, nine-stream communication, and interior/exterior kernels on the
+paper's Fermi-class hardware (Secs. 6.2-6.3, Fig. 4) — into
+:class:`~repro.trace.core.TraceEvent` records on the reserved
+:data:`~repro.trace.core.MODEL_RANK` track.  Exported next to the spans
+measured from a real virtual-cluster solve, Perfetto then shows the
+*predicted* overlap structure directly above the *observed* one.
+
+Caveat on units: modeled times are seconds on the modeled GPU cluster
+(microseconds-scale dslash intervals), while measured spans are
+wall-clock seconds of the numpy emulation (milliseconds-scale), so the
+two tracks share a time axis but not a magnitude; the comparison is
+*structural* — ordering, concurrency, and relative width of the blocks.
+Pass ``repeat > 1`` to tile several modeled applications back to back
+(e.g. one per outer matvec of a solve).
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.streams import DslashTimeline
+from repro.trace.core import MODEL_RANK, TraceEvent
+
+
+def timeline_events(
+    timeline: DslashTimeline,
+    start: float = 0.0,
+    repeat: int = 1,
+    scale: float = 1.0,
+) -> list[TraceEvent]:
+    """Trace events for ``repeat`` back-to-back modeled dslash applications.
+
+    ``scale`` multiplies every modeled duration (use it to stretch the
+    microsecond-scale model to the width of the measured emulation
+    timeline); ``start`` offsets the first application.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    events: list[TraceEvent] = []
+    period = timeline.total_time * scale
+    for i in range(repeat):
+        base = start + i * period
+        for name, kind, stream, t0, dur in timeline.schedule():
+            events.append(
+                TraceEvent(
+                    name=name,
+                    kind=kind,
+                    start=base + t0 * scale,
+                    duration=dur * scale,
+                    rank=MODEL_RANK,
+                    stream=stream,
+                    args={"modeled": True, "application": i},
+                )
+            )
+    return events

@@ -1,0 +1,193 @@
+"""Chrome/Perfetto ``trace_event`` JSON export and round-trip loading.
+
+Turns a list of :class:`~repro.trace.core.TraceEvent` into the JSON Trace
+Event Format consumed by ``https://ui.perfetto.dev`` and ``chrome://tracing``:
+one *complete* (``"ph": "X"``) event per span, with
+
+* ``pid`` — one process per virtual GPU rank (so each rank gets its own
+  group of tracks, like the per-GPU rows of the paper's Fig. 4), plus a
+  ``host`` process for rank-less driver/outer-solver spans and a
+  ``model (Fig. 4)`` process for the modeled
+  :class:`~repro.perfmodel.streams.DslashTimeline` track;
+* ``tid`` — one thread per stream name within the rank, mirroring the
+  nine CUDA streams of Sec. 6.3 (a compute stream plus two transfer
+  streams per partitioned dimension);
+* ``cat`` — the span kind (``gather``/``comm``/``interior``/...), so the
+  viewer can filter by track family;
+* ``ts``/``dur`` — microseconds, as the format requires.
+
+Process/thread name metadata (``"ph": "M"``) events label the tracks.
+:func:`load_chrome_trace` is the validating inverse used by the round-trip
+tests and the CI smoke check.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.trace.core import MODEL_RANK, TraceEvent
+
+#: pid assigned to rank-less (host/driver) spans.
+HOST_PID = 0
+#: pid assigned to the modeled Fig. 4 track.
+MODEL_PID = 10_000
+
+
+def _pid_of(rank: int | None) -> int:
+    if rank is None:
+        return HOST_PID
+    if rank == MODEL_RANK:
+        return MODEL_PID
+    return rank + 1
+
+
+def _process_name(pid: int) -> str:
+    if pid == HOST_PID:
+        return "host"
+    if pid == MODEL_PID:
+        return "model (Fig. 4)"
+    return f"rank {pid - 1}"
+
+
+def events_to_chrome(events: list[TraceEvent]) -> dict:
+    """Build the trace_event JSON document (as a dict) for ``events``."""
+    trace_events: list[dict] = []
+    # Stable (pid -> {stream name -> tid}) assignment, in first-seen order.
+    tids: dict[int, dict[str, int]] = {}
+    for ev in events:
+        pid = _pid_of(ev.rank)
+        stream = ev.stream if ev.stream is not None else "main"
+        per_pid = tids.setdefault(pid, {})
+        tid = per_pid.setdefault(stream, len(per_pid) + 1)
+        record = {
+            "name": ev.name,
+            "cat": ev.kind,
+            "ph": "X",
+            "ts": ev.start * 1e6,
+            "dur": ev.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if ev.args:
+            record["args"] = {k: _jsonable(v) for k, v in ev.args.items()}
+        trace_events.append(record)
+
+    meta: list[dict] = []
+    for pid, streams in sorted(tids.items()):
+        meta.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": _process_name(pid)},
+        })
+        # Render ranks above host above model.
+        meta.append({
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": pid,
+            "args": {"sort_index": pid if pid != HOST_PID else MODEL_PID - 1},
+        })
+        for stream, tid in streams.items():
+            meta.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": stream},
+            })
+    return {
+        "traceEvents": meta + trace_events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_chrome_trace(path, events: list[TraceEvent]) -> Path:
+    """Serialize ``events`` to ``path`` in trace_event JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(events_to_chrome(events), indent=1))
+    return path
+
+
+class TraceFormatError(ValueError):
+    """The file is not a valid Chrome/Perfetto trace_event document."""
+
+
+def validate_chrome_trace(doc: dict) -> list[dict]:
+    """Check ``doc`` against the trace_event schema; return the X events.
+
+    Validates the subset of the format this package emits (and Perfetto
+    requires to render): a top-level ``traceEvents`` list whose complete
+    events carry a string ``name``/``cat`` and non-negative numeric
+    ``ts``/``dur``, with integer ``pid``/``tid``.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise TraceFormatError("missing top-level 'traceEvents' list")
+    raw = doc["traceEvents"]
+    if not isinstance(raw, list):
+        raise TraceFormatError("'traceEvents' must be a list")
+    complete = []
+    for i, ev in enumerate(raw):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            raise TraceFormatError(f"event {i}: not a phase record")
+        if ev["ph"] == "M":
+            continue
+        if ev["ph"] != "X":
+            raise TraceFormatError(f"event {i}: unsupported phase {ev['ph']!r}")
+        if not isinstance(ev.get("name"), str) or not isinstance(ev.get("cat"), str):
+            raise TraceFormatError(f"event {i}: 'name'/'cat' must be strings")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                raise TraceFormatError(f"event {i}: bad {key!r}: {v!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise TraceFormatError(f"event {i}: bad {key!r}")
+        complete.append(ev)
+    return complete
+
+
+def load_chrome_trace(path) -> list[TraceEvent]:
+    """Load and validate a trace file back into :class:`TraceEvent` objects.
+
+    Process/thread metadata is folded back into ``rank``/``stream``; the
+    inverse of :func:`write_chrome_trace` up to args stringification.
+    """
+    doc = json.loads(Path(path).read_text())
+    complete = validate_chrome_trace(doc)
+    names: dict[int, str] = {}
+    threads: dict[tuple[int, int], str] = {}
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") != "M":
+            continue
+        if ev.get("name") == "process_name":
+            names[ev["pid"]] = ev["args"]["name"]
+        elif ev.get("name") == "thread_name":
+            threads[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    out = []
+    for ev in complete:
+        pid = ev["pid"]
+        if pid == HOST_PID:
+            rank = None
+        elif pid == MODEL_PID:
+            rank = MODEL_RANK
+        else:
+            rank = pid - 1
+        out.append(
+            TraceEvent(
+                name=ev["name"],
+                kind=ev["cat"],
+                start=ev["ts"] / 1e6,
+                duration=ev["dur"] / 1e6,
+                rank=rank,
+                stream=threads.get((pid, ev["tid"])),
+                args=dict(ev.get("args", {})),
+            )
+        )
+    return out

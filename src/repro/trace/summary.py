@@ -1,0 +1,129 @@
+"""Aggregate metrics over trace events: the textual companion to the
+timeline.
+
+Where :mod:`repro.trace.perfetto` answers "when did it run", this module
+answers "how much, in total": per-(kind, name) counts and summed
+durations, the per-kind totals that the acceptance checks compare against
+``Tally.kernel_seconds``, and a plain-text table for terminals and CI
+logs.
+
+Because :func:`repro.util.counters.timed` reports one elapsed measurement
+to *both* the tally and the trace, :func:`timed_kernel_totals` reproduces
+``Tally.kernel_seconds`` exactly (not just statistically) for every
+``timed``-instrumented kernel — the invariant the trace smoke test
+asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.core import MODEL_RANK, TraceEvent
+
+
+@dataclass
+class SpanStat:
+    """Count and duration aggregate for one (kind, name) span family."""
+
+    kind: str
+    name: str
+    count: int = 0
+    total: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def measured(events: list[TraceEvent]) -> list[TraceEvent]:
+    """Only the measured events (drop the modeled Fig. 4 track)."""
+    return [ev for ev in events if ev.rank != MODEL_RANK]
+
+
+def summarize(events: list[TraceEvent]) -> list[SpanStat]:
+    """Per-(kind, name) stats over the *measured* events, largest first."""
+    stats: dict[tuple[str, str], SpanStat] = {}
+    for ev in measured(events):
+        st = stats.setdefault((ev.kind, ev.name), SpanStat(ev.kind, ev.name))
+        st.count += 1
+        st.total += ev.duration
+    return sorted(stats.values(), key=lambda s: -s.total)
+
+
+def kind_totals(events: list[TraceEvent]) -> dict[str, float]:
+    """Summed span seconds per kind (measured events only).
+
+    Note these are *span* totals: kinds nest (a ``wilson_dslash`` kernel
+    span runs inside an ``interior`` span), so totals of different kinds
+    overlap in wall-clock and do not sum to the run time.
+    """
+    out: dict[str, float] = {}
+    for ev in measured(events):
+        out[ev.kind] = out.get(ev.kind, 0.0) + ev.duration
+    return out
+
+
+def timed_kernel_totals(events: list[TraceEvent]) -> dict[str, float]:
+    """Summed seconds per kernel name for spans emitted by ``timed()``.
+
+    Directly comparable to ``Tally.kernel_seconds`` captured over the
+    same region (identical, because both sides share one measurement).
+    """
+    out: dict[str, float] = {}
+    for ev in measured(events):
+        if ev.args.get("source") == "timed":
+            out[ev.name] = out.get(ev.name, 0.0) + ev.duration
+    return out
+
+
+def ascii_tracks(events: list[TraceEvent]) -> dict[str, list[tuple[float, float]]]:
+    """Group events into ``label -> [(start, duration), ...]`` tracks for
+    :func:`repro.report.ascii_plot.timeline_chart`.
+
+    One track per (rank, kind): fine-grained enough to show overlap
+    structure, coarse enough for a terminal.  Modeled events render
+    first, then host (rank-less) tracks, then ranks in order.
+    """
+    def sort_key(ev: TraceEvent) -> tuple:
+        if ev.rank == MODEL_RANK:
+            group = (0, 0)
+        elif ev.rank is None:
+            group = (1, 0)
+        else:
+            group = (2, ev.rank)
+        return (*group, ev.kind)
+
+    def label(ev: TraceEvent) -> str:
+        if ev.rank == MODEL_RANK:
+            prefix = "model"
+        elif ev.rank is None:
+            prefix = "host"
+        else:
+            prefix = f"rank{ev.rank}"
+        return f"{prefix}/{ev.kind}"
+
+    tracks: dict[str, list[tuple[float, float]]] = {}
+    for ev in sorted(events, key=sort_key):
+        tracks.setdefault(label(ev), []).append((ev.start, ev.duration))
+    return tracks
+
+
+def format_table(events: list[TraceEvent], top: int = 0) -> str:
+    """Render the summary as an aligned text table."""
+    stats = summarize(events)
+    if top:
+        stats = stats[:top]
+    if not stats:
+        return "(no trace events)"
+    name_w = max(len(s.name) for s in stats)
+    kind_w = max(len(s.kind) for s in stats)
+    lines = [
+        f"{'kind':<{kind_w}}  {'span':<{name_w}}  {'count':>7}  "
+        f"{'total [ms]':>10}  {'mean [us]':>10}"
+    ]
+    for s in stats:
+        lines.append(
+            f"{s.kind:<{kind_w}}  {s.name:<{name_w}}  {s.count:>7d}  "
+            f"{s.total * 1e3:>10.3f}  {s.mean * 1e6:>10.1f}"
+        )
+    return "\n".join(lines)

@@ -10,6 +10,19 @@ GFLOP of BLAS") into modeled wall-clock time on the paper's hardware.
 Flop counts use the community-standard numbers (the same ones QUDA and MILC
 report performance against), not the count of arithmetic numpy happens to
 perform; see :mod:`repro.perfmodel.kernels` for the per-operator constants.
+
+Relation to tracing (:mod:`repro.trace`): tallies are *scalar* — they sum
+costs over a region but discard when each cost occurred.  The
+:func:`timed` context manager bridges the two systems: one
+``perf_counter`` measurement is charged to the current tally's
+``kernel_seconds`` *and* emitted as a trace span (when a tracer is
+active), so per-kernel trace totals reproduce ``Tally.kernel_seconds``
+exactly rather than approximately.  Paper-section map of the ``timed``
+call sites: ``wilson_dslash``/``*_dslash`` are the Sec. 4/6.2 stencil
+kernels, ``halo_exchange`` is the Sec. 6.1/6.3 ghost-zone machinery.
+
+Both the tally stack and the active tracer are thread-local; with neither
+installed, :func:`record`/:func:`timed` cost one attribute check.
 """
 
 from __future__ import annotations
@@ -18,6 +31,8 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.trace.core import active_tracer, emit_complete
 
 
 @dataclass
@@ -157,22 +172,35 @@ def record_seconds(name: str, seconds: float) -> None:
 
 
 @contextmanager
-def timed(name: str):
+def timed(name: str, kind: str = "kernel", rank: int | None = None,
+          stream: str | None = None):
     """Measure the wall-clock time of a kernel region.
 
     Wraps a leaf kernel (a dslash stencil, a halo exchange) and charges
     ``time.perf_counter()`` elapsed seconds to the current tally under
-    ``kernel_seconds[name]``.  A no-op-cost passthrough when no tally is
-    active.  Do not nest timed regions: totals would double-count.
+    ``kernel_seconds[name]``.  The *same* measurement is also emitted as a
+    trace span (kind/rank/stream tag it for the timeline viewer; rank and
+    stream inherit from the enclosing span when ``None``) whenever a
+    :func:`repro.trace.tracing` scope is active — so trace totals and
+    tally totals cannot disagree.  A no-op-cost passthrough when neither a
+    tally nor a tracer is active.  Do not nest timed regions: totals
+    would double-count.
     """
-    if current_tally() is None:
+    has_tally = current_tally() is not None
+    if not has_tally and active_tracer() is None:
         yield
         return
     start = time.perf_counter()
     try:
         yield
     finally:
-        record_seconds(name, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        if has_tally:
+            record_seconds(name, elapsed)
+        emit_complete(
+            name, kind, start, elapsed, rank=rank, stream=stream,
+            source="timed",
+        )
 
 
 @contextmanager

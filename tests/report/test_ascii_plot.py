@@ -1,4 +1,4 @@
-"""ASCII log-log charts."""
+"""ASCII log-log charts and timeline charts."""
 
 import pytest
 
@@ -80,3 +80,40 @@ class TestLogLogChart:
         out = capsys.readouterr().out
         assert "Fig. 5" in out and "Fig. 7" in out
         assert "BiCGstab" in out and "GCR-DD" in out
+
+
+class TestTimelineChart:
+    def test_bars_and_labels(self):
+        from repro.report import timeline_chart
+
+        out = timeline_chart(
+            "tl",
+            {
+                "rank0/comm": [(0.0, 0.5)],
+                "rank0/interior": [(0.0, 1.0)],
+                "rank0/exterior": [(1.0, 0.25)],
+            },
+            width=40,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "tl"
+        assert "rank0/comm" in lines[1]
+        # The comm bar covers roughly the first 40% of the axis; the
+        # interior bar covers ~80% (the window ends at 1.25 s).
+        comm_bar = lines[1].split("|")[1]
+        interior_bar = lines[2].split("|")[1]
+        assert comm_bar.count("#") < interior_bar.count("#")
+
+    def test_tiny_interval_still_visible(self):
+        from repro.report import timeline_chart
+
+        out = timeline_chart(
+            "tl", {"a": [(0.0, 1e-9)], "b": [(0.0, 1.0)]}, width=30
+        )
+        assert "#" in out.splitlines()[1]
+
+    def test_empty_tracks_rejected(self):
+        from repro.report import timeline_chart
+
+        with pytest.raises(ValueError):
+            timeline_chart("tl", {})

@@ -2,8 +2,35 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 from repro import io
+
+
+class TestHelp:
+    def test_every_subcommand_listed_with_help(self, capsys):
+        """The --help table derives from the subparser registry: every
+        registered command must appear with a one-line description."""
+        parser = build_parser()
+        sub = next(
+            a for a in parser._subparsers._group_actions
+            if hasattr(a, "choices")
+        )
+        commands = set(sub.choices)
+        assert {"solve", "generate", "trace", "report", "info"} <= commands
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "commands:" in out
+        for name in commands:
+            assert name in out
+
+    def test_epilog_lines_carry_descriptions(self):
+        parser = build_parser()
+        table = parser.epilog.splitlines()[1:]
+        assert len(table) == 11  # fig5..fig10 + 5 named commands
+        for line in table:
+            name, _, help_ = line.strip().partition(" ")
+            assert help_.strip(), f"command {name} has no help line"
 
 
 class TestFigures:

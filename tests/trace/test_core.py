@@ -1,0 +1,138 @@
+"""Span recording: LIFO close order, zero-cost disabled path, inheritance,
+thread locality."""
+
+import threading
+import time
+
+from repro.trace import (
+    Tracer,
+    active_tracer,
+    emit_complete,
+    instant,
+    span,
+    tracing,
+)
+
+
+class TestDisabled:
+    def test_no_tracer_by_default(self):
+        assert active_tracer() is None
+
+    def test_span_is_noop_without_tracer(self):
+        with span("k", kind="interior") as rec:
+            pass
+        assert rec is None
+
+    def test_disabled_adds_no_events(self):
+        with tracing() as tr:
+            pass
+        with span("outside"):  # tracer no longer installed
+            pass
+        instant("outside")
+        emit_complete("outside", "kernel", 0.0, 1.0)
+        assert tr.events == []
+
+    def test_tracer_uninstalled_after_exit(self):
+        with tracing():
+            assert active_tracer() is not None
+        assert active_tracer() is None
+
+
+class TestSpans:
+    def test_single_span(self):
+        with tracing() as tr:
+            with span("work", kind="interior", rank=3, stream="compute",
+                      mu=2):
+                time.sleep(0.001)
+        (ev,) = tr.events
+        assert ev.name == "work"
+        assert ev.kind == "interior"
+        assert ev.rank == 3
+        assert ev.stream == "compute"
+        assert ev.args == {"mu": 2}
+        assert ev.duration >= 0.001
+        assert ev.end == ev.start + ev.duration
+
+    def test_lifo_close_order(self):
+        with tracing() as tr:
+            with span("outer"):
+                with span("mid"):
+                    with span("inner"):
+                        pass
+        assert [ev.name for ev in tr.events] == ["inner", "mid", "outer"]
+        inner, mid, outer = tr.events
+        # Proper interval nesting.
+        assert outer.start <= mid.start <= inner.start
+        assert inner.end <= mid.end <= outer.end
+
+    def test_rank_and_stream_inherited_from_parent(self):
+        with tracing() as tr:
+            with span("parent", rank=1, stream="compute"):
+                with span("child"):
+                    pass
+                with span("override", rank=2, stream="comm X+"):
+                    pass
+        child, override, _parent = tr.events
+        assert (child.rank, child.stream) == (1, "compute")
+        assert (override.rank, override.stream) == (2, "comm X+")
+
+    def test_nested_tracing_scopes(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                with span("a"):
+                    pass
+            with span("b"):
+                pass
+        assert [ev.name for ev in inner.events] == ["a"]
+        assert [ev.name for ev in outer.events] == ["b"]
+
+
+class TestInstantAndComplete:
+    def test_instant_zero_duration(self):
+        with tracing() as tr:
+            instant("restart", kind="mark", cycle=2)
+        (ev,) = tr.events
+        assert ev.duration == 0.0
+        assert ev.args == {"cycle": 2}
+
+    def test_emit_complete_rebases_to_epoch(self):
+        with tracing() as tr:
+            start = time.perf_counter()
+            emit_complete("k", "kernel", start, 0.5, rank=0)
+        (ev,) = tr.events
+        assert ev.duration == 0.5
+        assert 0.0 <= ev.start < 1.0  # rebased, not an absolute clock value
+
+
+class TestThreadLocality:
+    def test_tracer_not_visible_in_other_thread(self):
+        seen = {}
+
+        def worker():
+            seen["tracer"] = active_tracer()
+            with span("other-thread"):
+                pass
+
+        with tracing() as tr:
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        assert seen["tracer"] is None
+        assert tr.events == []
+
+    def test_shared_tracer_collects_from_both_threads(self):
+        tr = Tracer()
+
+        def worker():
+            with tracing(tr):
+                with span("from-worker"):
+                    pass
+
+        th = threading.Thread(target=worker)
+        with tracing(tr):
+            with span("from-main"):
+                th.start()
+                th.join()
+        assert sorted(ev.name for ev in tr.events) == [
+            "from-main", "from-worker",
+        ]

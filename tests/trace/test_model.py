@@ -1,0 +1,82 @@
+"""The modeled Fig. 4 track: schedule layout and trace-event conversion."""
+
+import pytest
+
+from repro.perfmodel.device import M2050
+from repro.perfmodel.interconnect import InterconnectSpec
+from repro.perfmodel.kernels import KernelModel, OperatorKind
+from repro.perfmodel.streams import model_dslash_time
+from repro.trace import MODEL_RANK
+from repro.trace.model import timeline_events
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    kernel = KernelModel(OperatorKind.WILSON_CLOVER, "single", reconstruct=12)
+    return model_dslash_time(
+        kernel, M2050, InterconnectSpec(), (32, 32, 32, 8), (2, 3)
+    )
+
+
+class TestSchedule:
+    def test_fig4_block_structure(self, timeline):
+        entries = timeline.schedule()
+        by_kind = {}
+        for name, kind, stream, start, dur in entries:
+            by_kind.setdefault(kind, []).append((name, stream, start, dur))
+        assert set(by_kind) >= {"gather", "comm", "interior", "exterior"}
+        # Gather leads on the compute stream.
+        (gather,) = by_kind["gather"]
+        assert gather[1] == "compute" and gather[2] == 0.0
+        # One comm block per partitioned dimension, each on its own
+        # stream, all starting when the gathers finish.
+        comms = by_kind["comm"]
+        assert len(comms) == 2
+        assert len({c[1] for c in comms}) == 2
+        assert all(c[2] == pytest.approx(timeline.gather_time) for c in comms)
+        # The interior kernel overlaps the comm blocks.
+        (interior,) = by_kind["interior"]
+        assert interior[2] == pytest.approx(timeline.gather_time)
+        # Exterior kernels are sequential, starting once both the interior
+        # kernel and communication are done.
+        exteriors = sorted(by_kind["exterior"], key=lambda e: e[2])
+        t_ready = timeline.gather_time + max(
+            timeline.interior_time, timeline.comm_time
+        )
+        assert exteriors[0][2] == pytest.approx(t_ready)
+        assert exteriors[1][2] == pytest.approx(t_ready + exteriors[0][3])
+
+    def test_schedule_ends_at_total_time(self, timeline):
+        end = max(start + dur for _, _, _, start, dur in timeline.schedule())
+        assert end == pytest.approx(timeline.total_time)
+
+
+class TestTimelineEvents:
+    def test_events_on_model_rank(self, timeline):
+        events = timeline_events(timeline)
+        assert events
+        assert all(ev.rank == MODEL_RANK for ev in events)
+        assert all(ev.args["modeled"] for ev in events)
+
+    def test_repeat_tiles_back_to_back(self, timeline):
+        events = timeline_events(timeline, repeat=3)
+        per_app = {ev.args["application"] for ev in events}
+        assert per_app == {0, 1, 2}
+        first_app_end = max(
+            ev.end for ev in events if ev.args["application"] == 0
+        )
+        second_start = min(
+            ev.start for ev in events if ev.args["application"] == 1
+        )
+        assert second_start == pytest.approx(timeline.total_time)
+        assert first_app_end <= second_start + 1e-15
+
+    def test_scale_stretches_durations(self, timeline):
+        base = timeline_events(timeline)
+        scaled = timeline_events(timeline, scale=10.0)
+        for b, s in zip(base, scaled):
+            assert s.duration == pytest.approx(10.0 * b.duration)
+
+    def test_repeat_must_be_positive(self, timeline):
+        with pytest.raises(ValueError):
+            timeline_events(timeline, repeat=0)

@@ -1,0 +1,110 @@
+"""Chrome/Perfetto trace_event export: schema validity and round-trip."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    MODEL_RANK,
+    TraceEvent,
+    TraceFormatError,
+    events_to_chrome,
+    load_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+EVENTS = [
+    TraceEvent("gather", "gather", 0.0, 1e-3, rank=0, stream="compute",
+               args={"mu": 3}),
+    TraceEvent("send", "comm", 1e-3, 2e-3, rank=0, stream="comm T+"),
+    TraceEvent("interior_kernel", "interior", 1e-3, 5e-3, rank=1,
+               stream="compute"),
+    TraceEvent("true_residual", "solver", 6e-3, 1e-3, rank=None),
+    TraceEvent("interior", "interior", 0.0, 4e-3, rank=MODEL_RANK,
+               stream="compute"),
+]
+
+
+class TestExport:
+    def test_document_shape(self):
+        doc = events_to_chrome(EVENTS)
+        complete = validate_chrome_trace(doc)
+        assert len(complete) == len(EVENTS)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_microsecond_units(self):
+        doc = events_to_chrome(EVENTS[:1])
+        (ev,) = validate_chrome_trace(doc)
+        assert ev["ts"] == pytest.approx(0.0)
+        assert ev["dur"] == pytest.approx(1000.0)  # 1 ms -> 1000 us
+
+    def test_process_and_thread_metadata(self):
+        doc = events_to_chrome(EVENTS)
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert {"rank 0", "rank 1", "host", "model (Fig. 4)"} <= names
+        threads = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert {"compute", "comm T+", "main"} <= threads
+
+    def test_distinct_ranks_get_distinct_pids(self):
+        doc = events_to_chrome(EVENTS)
+        pids = {ev["pid"] for ev in validate_chrome_trace(doc)}
+        assert len(pids) == 4  # rank 0, rank 1, host, model
+
+    def test_json_serializable(self):
+        json.dumps(events_to_chrome(EVENTS))
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", EVENTS)
+        loaded = load_chrome_trace(path)
+        assert len(loaded) == len(EVENTS)
+        for orig, back in zip(EVENTS, loaded):
+            assert back.name == orig.name
+            assert back.kind == orig.kind
+            assert back.rank == orig.rank
+            assert back.stream == (orig.stream or "main")
+            assert back.start == pytest.approx(orig.start, abs=1e-12)
+            assert back.duration == pytest.approx(orig.duration, abs=1e-12)
+        assert loaded[0].args == {"mu": 3}
+
+
+class TestValidation:
+    def test_missing_trace_events(self):
+        with pytest.raises(TraceFormatError):
+            validate_chrome_trace({"foo": []})
+
+    def test_non_list_trace_events(self):
+        with pytest.raises(TraceFormatError):
+            validate_chrome_trace({"traceEvents": {}})
+
+    def test_negative_duration_rejected(self):
+        doc = events_to_chrome(EVENTS[:1])
+        doc["traceEvents"][-1]["dur"] = -1.0
+        with pytest.raises(TraceFormatError):
+            validate_chrome_trace(doc)
+
+    def test_missing_name_rejected(self):
+        doc = events_to_chrome(EVENTS[:1])
+        del doc["traceEvents"][-1]["name"]
+        with pytest.raises(TraceFormatError):
+            validate_chrome_trace(doc)
+
+    def test_unsupported_phase_rejected(self):
+        with pytest.raises(TraceFormatError):
+            validate_chrome_trace({"traceEvents": [{"ph": "B", "name": "x"}]})
+
+    def test_load_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": [{"ph": "X", "name": 3}]}')
+        with pytest.raises(TraceFormatError):
+            load_chrome_trace(path)

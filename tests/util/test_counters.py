@@ -1,5 +1,9 @@
-"""Tally stack: nesting, merging, domain-local reduction scoping."""
+"""Tally stack: nesting, merging, domain-local scoping, thread locality,
+and the timed() bridge into the trace subsystem."""
 
+import threading
+
+from repro import trace
 from repro.util.counters import (
     Tally,
     current_tally,
@@ -132,3 +136,71 @@ class TestTiming:
         assert inner.kernel_seconds == {"k": 0.5}
         assert outer.kernel_seconds == {"k": 0.75}
         assert outer.seconds == 0.75
+
+
+class TestThreadLocality:
+    def test_tally_not_visible_in_other_thread(self):
+        seen = {}
+
+        def worker():
+            seen["tally"] = current_tally()
+            record(flops=999)  # must vanish, not leak into main's tally
+
+        with tally() as t:
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        assert seen["tally"] is None
+        assert t.flops == 0
+
+    def test_threads_nest_independently(self):
+        results = {}
+
+        def worker():
+            with tally() as inner:
+                record(flops=7)
+            results["flops"] = inner.flops
+
+        with tally() as t:
+            record(flops=1)
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        assert results["flops"] == 7
+        assert t.flops == 1  # worker's tally never merged across threads
+
+
+class TestTimedTraceBridge:
+    def test_timed_emits_span_with_identical_duration(self):
+        with trace.tracing() as tr, tally() as t:
+            with timed("kernel", kind="interior"):
+                sum(range(1000))
+        (ev,) = tr.events
+        assert ev.name == "kernel"
+        assert ev.kind == "interior"
+        assert ev.args["source"] == "timed"
+        # One shared measurement: exactly equal, not approximately.
+        assert ev.duration == t.kernel_seconds["kernel"]
+
+    def test_timed_traces_without_tally(self):
+        with trace.tracing() as tr:
+            with timed("kernel"):
+                pass
+        assert [ev.name for ev in tr.events] == ["kernel"]
+        assert current_tally() is None
+
+    def test_timed_tallies_without_tracer(self):
+        with tally() as t:
+            with timed("kernel"):
+                pass
+        assert "kernel" in t.kernel_seconds
+
+    def test_timed_inherits_rank_from_enclosing_span(self):
+        with trace.tracing() as tr:
+            with trace.span("interior_kernel", kind="interior", rank=5,
+                            stream="compute"):
+                with timed("wilson_dslash", kind="dslash"):
+                    pass
+        dslash = next(ev for ev in tr.events if ev.name == "wilson_dslash")
+        assert dslash.rank == 5
+        assert dslash.stream == "compute"
