@@ -21,7 +21,7 @@ import tempfile
 import numpy as np
 
 from repro import io
-from repro.core import solve_wilson_clover
+from repro.core import SolveRequest, solve
 from repro.gauge.heatbath import HeatbathUpdater
 from repro.gauge.hmc import PureGaugeHMC
 from repro.lattice import GaugeField, Geometry, SpinorField
@@ -65,7 +65,10 @@ def main() -> None:
         loaded, meta = io.load_gauge(path)
         print(f"\nsaved + reloaded configuration (metadata: {meta})")
         b = SpinorField.random(geometry, rng=17).data
-        res = solve_wilson_clover(loaded, b, mass=0.3, csw=1.0, tol=1e-8)
+        res = solve(SolveRequest(
+            operator="wilson_clover", gauge=loaded, rhs=b,
+            mass=0.3, csw=1.0, tol=1e-8,
+        ))
         print(f"analysis solve on the generated configuration: "
               f"{res.iterations} iterations, residual {res.residual:.2e}")
 

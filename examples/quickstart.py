@@ -21,9 +21,10 @@ from repro import (
     GaugeField,
     Geometry,
     ProcessGrid,
+    SolveRequest,
     SpinorField,
     WilsonCloverOperator,
-    solve_wilson_clover,
+    solve,
     tally,
 )
 from repro.precision import SINGLE
@@ -42,16 +43,20 @@ def main() -> None:
 
     # 1. Baseline double-precision BiCGstab.
     with tally() as t:
-        res = solve_wilson_clover(gauge, b, mass=mass, csw=csw, tol=1e-8)
+        res = solve(SolveRequest(
+            operator="wilson_clover", gauge=gauge, rhs=b,
+            mass=mass, csw=csw, tol=1e-8,
+        ))
     print(
         f"\nBiCGstab (double):       {res.iterations:4d} iterations, "
         f"residual {res.residual:.2e}, {t.reductions} global reductions"
     )
 
     # 2. Mixed-precision BiCGstab (QUDA's production baseline).
-    res_mp = solve_wilson_clover(
-        gauge, b, mass=mass, csw=csw, tol=1e-8, inner_precision=SINGLE
-    )
+    res_mp = solve(SolveRequest(
+        operator="wilson_clover", gauge=gauge, rhs=b,
+        mass=mass, csw=csw, tol=1e-8, inner_precision=SINGLE,
+    ))
     print(
         f"BiCGstab (mixed d/s):    {res_mp.iterations:4d} inner iterations, "
         f"{res_mp.restarts} reliable updates, residual {res_mp.residual:.2e}"

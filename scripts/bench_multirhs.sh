@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Multi-RHS batching benchmark (docs/api.md).
+#
+# 1. Runs `python -m repro bench-multirhs` at batch sizes 1/4/12 on a
+#    small Wilson-clover system, timing the batched execution path
+#    against the same solves run sequentially, and writes the JSON
+#    report to BENCH_multirhs.json at the repo root.
+# 2. Runs the fast test lane (`-m "not slow"`), which includes the
+#    batched-kernel equality, multi-RHS solver, and batched-halo tests,
+#    so the batched path cannot silently rot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m repro bench-multirhs \
+    --dims 4 4 4 4 --mass 0.1 --tol 1e-8 \
+    --batches 1 4 12 \
+    --output BENCH_multirhs.json
+
+python - <<'PY'
+import json
+
+with open("BENCH_multirhs.json") as fh:
+    report = json.load(fh)
+by_batch = {e["batch"]: e for e in report["results"]}
+assert all(e["all_converged"] for e in report["results"])
+big = by_batch[max(by_batch)]
+assert big["speedup"] >= 2.0, (
+    f"batch-{big['batch']} speedup {big['speedup']:.2f}x < 2x"
+)
+print(f"bench OK: batch-{big['batch']} speedup {big['speedup']:.2f}x, "
+      f"reductions {big['sequential_reductions']} -> "
+      f"{big['batched_reductions']}")
+PY
+
+python -m pytest -q -m "not slow"

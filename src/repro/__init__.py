@@ -18,13 +18,21 @@ The library implements the paper's full stack in pure Python/NumPy:
 Quick start::
 
     import numpy as np
-    from repro import Geometry, GaugeField, SpinorField, solve_wilson_clover
+    from repro import Geometry, GaugeField, SpinorField, SolveRequest, solve
 
     geometry = Geometry((8, 8, 8, 16))
     gauge = GaugeField.weak(geometry, epsilon=0.25, rng=0)
     b = SpinorField.random(geometry, rng=1)
-    result = solve_wilson_clover(gauge, b.data, mass=0.1, csw=1.0, tol=1e-8)
+    result = solve(SolveRequest(
+        operator="wilson_clover", gauge=gauge, rhs=b.data,
+        mass=0.1, csw=1.0, tol=1e-8,
+    ))
     print(result.converged, result.iterations, result.residual)
+
+Stack N right-hand sides along a leading axis (``rhs.shape == (N,) +
+field.shape``) and the same call runs the batched multi-RHS path: one
+stencil sweep, one reduction, and one halo message per neighbor serve
+all N systems at once (see docs/api.md).
 """
 
 from repro.lattice import Geometry, GaugeField, SpinorField
@@ -47,7 +55,11 @@ from repro.dirac import (
     BoundarySpec,
 )
 from repro.solvers import (
+    BatchedSolverResult,
     SolverResult,
+    batched_bicgstab,
+    batched_cg,
+    batched_gcr,
     bicgstab,
     cg,
     cgnr,
@@ -73,6 +85,8 @@ from repro.core import (
     DistributedGCRDDSolver,
     GCRDDConfig,
     GCRDDSolver,
+    SolveRequest,
+    solve,
     solve_asqtad,
     solve_asqtad_multishift,
     solve_wilson_clover,
@@ -106,9 +120,13 @@ __all__ = [
     "AsqtadOperator",
     "StaggeredNormalOperator",
     "SolverResult",
+    "BatchedSolverResult",
     "cg",
     "cgnr",
     "bicgstab",
+    "batched_cg",
+    "batched_bicgstab",
+    "batched_gcr",
     "mr",
     "gcr",
     "multishift_cg",
@@ -126,6 +144,8 @@ __all__ = [
     "GCRDDConfig",
     "GCRDDSolver",
     "DistributedGCRDDSolver",
+    "SolveRequest",
+    "solve",
     "solve_wilson_clover",
     "solve_asqtad",
     "solve_asqtad_multishift",

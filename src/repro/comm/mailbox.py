@@ -81,5 +81,8 @@ class Mailbox:
                 f"allreduce needs one contribution per rank "
                 f"({len(contributions)} != {self.size})"
             )
-        record(reductions=1)
+        # A real allreduce moves each rank's contribution over the wire:
+        # charge one payload per participating rank alongside the event.
+        nbytes = np.asarray(contributions[0]).nbytes
+        record(reductions=1, comm_bytes=nbytes * self.size)
         return sum(contributions[1:], start=contributions[0])

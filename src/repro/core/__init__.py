@@ -5,6 +5,8 @@ entry points."""
 
 from repro.core.gcrdd import DistributedGCRDDSolver, GCRDDConfig, GCRDDSolver
 from repro.core.api import (
+    SolveRequest,
+    solve,
     solve_wilson_clover,
     solve_asqtad,
     solve_asqtad_multishift,
@@ -19,6 +21,8 @@ __all__ = [
     "GCRDDConfig",
     "GCRDDSolver",
     "DistributedGCRDDSolver",
+    "SolveRequest",
+    "solve",
     "solve_wilson_clover",
     "solve_asqtad",
     "solve_asqtad_multishift",

@@ -1,12 +1,22 @@
-"""High-level solve entry points — the "QUDA interface" of this library.
+"""High-level solve entry point — the "QUDA interface" of this library.
 
-These are the calls an application (Chroma/MILC in the paper; the example
-scripts here) makes: hand over a gauge configuration, a right-hand side,
-and physics parameters; get back a :class:`~repro.solvers.base.SolverResult`.
+One call serves every operator and execution path: build a
+:class:`SolveRequest` describing the system (operator kind, gauge field,
+right-hand side(s), method, precisions, tolerances) and hand it to
+:func:`solve`.  The request's ``rhs`` may be a single field or carry a
+leading multi-RHS axis, in which case the batched execution path is used
+end-to-end: one stencil application, one reduction, and one halo message
+per neighbor serve all right-hand sides at once.
+
+The old per-operator entry points (``solve_wilson_clover``,
+``solve_asqtad``, ``solve_asqtad_multishift``) remain as thin deprecated
+shims over :func:`solve`.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -19,75 +29,168 @@ from repro.dirac.staggered import AsqtadOperator, StaggeredNormalOperator
 from repro.dirac.wilson import WilsonCloverOperator
 from repro.gauge.asqtad import AsqtadLinks, build_asqtad_links
 from repro.lattice.fields import GaugeField
-from repro.precision import HALF, SINGLE, PrecisionPolicy
-from repro.solvers.bicgstab import bicgstab
+from repro.precision import Precision, SINGLE
 from repro.solvers.base import SolverResult
-from repro.solvers.mixed import mixed_precision_bicgstab
+from repro.solvers.bicgstab import bicgstab
+from repro.solvers.cg import cg
+from repro.solvers.mixed import mixed_precision_bicgstab, mixed_precision_cg
+from repro.solvers.multirhs import (
+    BatchedSolverResult,
+    batched_bicgstab,
+    batched_cg,
+    batched_defect_correction,
+)
 from repro.solvers.refine import MultishiftRefineResult, multishift_with_refinement
-from repro.solvers.space import STAGGERED_SPACE, WILSON_SPACE
+from repro.solvers.space import (
+    STAGGERED_SPACE,
+    WILSON_SPACE,
+    batched_space_for_nspin,
+)
+
+_DEFAULT_TOL = 1e-8
+_MULTISHIFT_TOL = 1e-10
+_DEFAULT_MAXITER = 2000
+
+_OPERATORS = ("wilson_clover", "asqtad", "asqtad_multishift")
 
 
-def solve_wilson_clover(
-    gauge: GaugeField,
-    b: np.ndarray,
-    mass: float,
-    csw: float = 1.0,
-    method: str = "bicgstab",
-    tol: float = 1e-8,
-    maxiter: int = 2000,
-    boundary: BoundarySpec = PERIODIC,
-    grid: ProcessGrid | None = None,
-    config: GCRDDConfig | None = None,
-    even_odd: bool = False,
-    inner_precision=None,
-) -> SolverResult:
-    """Solve ``M_WC x = b`` (Eq. 2).
+@dataclass
+class SolveRequest:
+    """Everything :func:`solve` needs to produce a solution.
 
     Parameters
     ----------
+    operator:
+        ``"wilson_clover"`` (Eq. 2), ``"asqtad"`` (Eq. 3, solved through
+        the normal equations), or ``"asqtad_multishift"`` (Eq. 4).
+    gauge:
+        Thin-link :class:`GaugeField`, or prebuilt :class:`AsqtadLinks`
+        for the staggered operators.
+    rhs:
+        Right-hand side(s): a single spinor field, or an array with one
+        extra leading axis batching N right-hand sides.  A batched rhs
+        selects the multi-RHS execution path and yields a
+        :class:`~repro.solvers.multirhs.BatchedSolverResult`.
     method:
-        ``"bicgstab"`` — the baseline Krylov solver (optionally mixed
-        precision via ``inner_precision``);
-        ``"gcr-dd"`` — the paper's domain-decomposed GCR (requires
-        ``grid``).
+        ``"auto"`` picks the operator's default (BiCGstab for
+        Wilson-clover, CG for asqtad, multi-shift CG + refinement for
+        asqtad_multishift); or name one of ``"bicgstab"``, ``"cg"``,
+        ``"gcr-dd"`` (Wilson-clover, requires ``grid``).
+    tol, maxiter:
+        ``None`` means "whatever the method's config or defaults say" —
+        the caller's ``config`` object is never mutated; explicit values
+        override via a copy.
+    inner_precision:
+        When set, run the work-horse iteration in this precision with
+        high-precision reliable updates (ignored by ``"gcr-dd"``, whose
+        :class:`GCRDDConfig` policy already fixes all three precisions).
     even_odd:
-        Solve the red-black Schur system instead of the full one
-        (BiCGstab only), reconstructing the full solution afterwards.
-    grid:
-        Virtual GPU grid defining the Schwarz blocks for ``"gcr-dd"``.
+        Wilson-clover BiCGstab only: solve the red-black Schur system
+        and reconstruct the full solution.
+    shifts:
+        Required for ``"asqtad_multishift"``.
     """
-    op = WilsonCloverOperator(gauge, mass=mass, csw=csw, boundary=boundary)
-    if method == "gcr-dd":
-        if grid is None:
-            raise ValueError("gcr-dd needs a process grid (the Schwarz blocks)")
-        cfg = config or GCRDDConfig(tol=tol, maxiter=maxiter)
-        cfg.tol, cfg.maxiter = tol, maxiter
-        return GCRDDSolver(op, grid, cfg).solve(b)
-    if method != "bicgstab":
-        raise ValueError(f"unknown method {method!r}; expected bicgstab/gcr-dd")
 
-    if even_odd:
-        eo = EvenOddPreconditionedWilson(op)
-        rhs = eo.prepare_rhs(b)
-        if inner_precision is not None:
-            res = mixed_precision_bicgstab(
-                eo.apply, rhs, inner_precision, tol=tol,
-                inner_maxiter=maxiter, space=WILSON_SPACE,
+    operator: str
+    gauge: "GaugeField | AsqtadLinks"
+    rhs: np.ndarray
+    mass: float
+    csw: float = 1.0
+    method: str = "auto"
+    tol: float | None = None
+    maxiter: int | None = None
+    boundary: BoundarySpec = PERIODIC
+    grid: ProcessGrid | None = None
+    config: GCRDDConfig | None = None
+    even_odd: bool = False
+    inner_precision: Precision | None = None
+    u0: float = 1.0
+    shifts: Sequence[float] | None = None
+
+
+def _resolved(value, default):
+    return default if value is None else value
+
+
+def _rel_residuals(op, x, b, lead: int):
+    """Relative true residual(s): a float, or a ``(B,)`` array if batched."""
+    r = b - op.apply(x)
+    if lead:
+        nb = b.shape[0]
+        rn = np.linalg.norm(r.reshape(nb, -1), axis=1)
+        bn = np.linalg.norm(b.reshape(nb, -1), axis=1)
+        return np.where(bn > 0.0, rn / np.where(bn == 0.0, 1.0, bn), 0.0)
+    bn = np.linalg.norm(b)
+    return float(np.linalg.norm(r) / bn) if bn else 0.0
+
+
+def _gcrdd_config(request: SolveRequest) -> GCRDDConfig:
+    """The solver config, honoring the caller's object without mutating it.
+
+    Only fields the caller explicitly set on the request override the
+    config (via a copy) — passing ``config=`` plus the default
+    ``tol=None`` leaves the config's own tolerance in charge.
+    """
+    base = request.config or GCRDDConfig()
+    overrides = {}
+    if request.tol is not None:
+        overrides["tol"] = float(request.tol)
+    if request.maxiter is not None:
+        overrides["maxiter"] = int(request.maxiter)
+    return replace(base, **overrides) if overrides else base
+
+
+def _solve_wilson(request: SolveRequest):
+    op = WilsonCloverOperator(
+        request.gauge, mass=request.mass, csw=request.csw,
+        boundary=request.boundary,
+    )
+    b = np.asarray(request.rhs)
+    lead = op.field_lead(b)
+    method = "bicgstab" if request.method == "auto" else request.method
+
+    if method == "gcr-dd":
+        if request.grid is None:
+            raise ValueError("gcr-dd needs a process grid (the Schwarz blocks)")
+        cfg = _gcrdd_config(request)
+        return GCRDDSolver(op, request.grid, cfg).solve(b)
+    if method != "bicgstab":
+        raise ValueError(
+            f"unknown method {method!r} for wilson_clover; "
+            "expected bicgstab/gcr-dd"
+        )
+
+    tol = _resolved(request.tol, _DEFAULT_TOL)
+    maxiter = _resolved(request.maxiter, _DEFAULT_MAXITER)
+    space = batched_space_for_nspin(4) if lead else WILSON_SPACE
+    prec = request.inner_precision
+
+    def run(target_op, rhs):
+        if prec is not None:
+            if lead:
+                return batched_defect_correction(
+                    target_op, rhs, batched_bicgstab, prec,
+                    tol=tol, inner_maxiter=maxiter, space=space,
+                )
+            return mixed_precision_bicgstab(
+                target_op, rhs, prec, tol=tol,
+                inner_maxiter=maxiter, space=space,
             )
-        else:
-            res = bicgstab(eo.apply, rhs, tol=tol, maxiter=maxiter, space=WILSON_SPACE)
+        solver = batched_bicgstab if lead else bicgstab
+        return solver(target_op, rhs, tol=tol, maxiter=maxiter, space=space)
+
+    if request.even_odd:
+        eo = EvenOddPreconditionedWilson(op)
+        res = run(eo.apply, eo.prepare_rhs(b))
         res.x = eo.reconstruct(res.x, b)
         # Re-express the residual in terms of the original system.
-        r = b - op.apply(res.x)
-        bn = np.linalg.norm(b)
-        res.residual = float(np.linalg.norm(r) / bn) if bn else 0.0
+        rel = _rel_residuals(op, res.x, b, lead)
+        if lead:
+            res.residuals = rel
+        else:
+            res.residual = rel
         return res
-    if inner_precision is not None:
-        return mixed_precision_bicgstab(
-            op.apply, b, inner_precision, tol=tol,
-            inner_maxiter=maxiter, space=WILSON_SPACE,
-        )
-    return bicgstab(op.apply, b, tol=tol, maxiter=maxiter, space=WILSON_SPACE)
+    return run(op.apply, b)
 
 
 def _asqtad_operator(
@@ -104,6 +207,140 @@ def _asqtad_operator(
     return AsqtadOperator(links, mass=mass, boundary=boundary)
 
 
+def _solve_asqtad(request: SolveRequest):
+    if request.method not in ("auto", "cg"):
+        raise ValueError(
+            f"unknown method {request.method!r} for asqtad; expected cg"
+        )
+    op = _asqtad_operator(request.gauge, request.mass, request.boundary, request.u0)
+    normal = StaggeredNormalOperator(op)
+    b = np.asarray(request.rhs)
+    lead = op.field_lead(b)
+    tol = _resolved(request.tol, _DEFAULT_TOL)
+    maxiter = _resolved(request.maxiter, _DEFAULT_MAXITER)
+    rhs = op.apply_dagger(b)
+    space = batched_space_for_nspin(1) if lead else STAGGERED_SPACE
+    prec = request.inner_precision
+
+    if prec is None:
+        solver = batched_cg if lead else cg
+        res = solver(normal.apply, rhs, tol=tol, maxiter=maxiter, space=space)
+    elif lead:
+        res = batched_defect_correction(
+            normal.apply, rhs, batched_cg, prec,
+            tol=tol, inner_maxiter=maxiter, space=space,
+        )
+    else:
+        res = mixed_precision_cg(
+            normal.apply, rhs, prec, tol=tol,
+            inner_maxiter=maxiter, space=space,
+        )
+    rel = _rel_residuals(op, res.x, b, lead)
+    if lead:
+        res.residuals = rel
+    else:
+        res.residual = rel
+    return res
+
+
+def _solve_asqtad_multishift(request: SolveRequest) -> MultishiftRefineResult:
+    if request.shifts is None:
+        raise ValueError("asqtad_multishift needs shifts")
+    b = np.asarray(request.rhs)
+    op = _asqtad_operator(request.gauge, request.mass, request.boundary, request.u0)
+    if op.field_lead(b):
+        raise ValueError("asqtad_multishift does not support a batched rhs")
+    tol = _resolved(request.tol, _MULTISHIFT_TOL)
+    maxiter = _resolved(request.maxiter, _DEFAULT_MAXITER)
+
+    def factory(sigma: float):
+        return StaggeredNormalOperator(op, sigma).apply
+
+    return multishift_with_refinement(
+        factory, b, list(request.shifts), tol=tol, maxiter=maxiter,
+        space=STAGGERED_SPACE,
+    )
+
+
+def solve(
+    request: SolveRequest,
+) -> "SolverResult | BatchedSolverResult | MultishiftRefineResult":
+    """Solve the system described by ``request``.
+
+    Returns a :class:`~repro.solvers.base.SolverResult` for a single
+    right-hand side, a
+    :class:`~repro.solvers.multirhs.BatchedSolverResult` when ``rhs``
+    carries a leading batch axis, and a
+    :class:`~repro.solvers.refine.MultishiftRefineResult` for
+    ``asqtad_multishift``.
+    """
+    if request.operator == "wilson_clover":
+        return _solve_wilson(request)
+    if request.operator == "asqtad":
+        return _solve_asqtad(request)
+    if request.operator == "asqtad_multishift":
+        return _solve_asqtad_multishift(request)
+    raise ValueError(
+        f"unknown operator {request.operator!r}; expected one of {_OPERATORS}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Deprecated per-operator shims.
+# ----------------------------------------------------------------------
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use repro.core.api.solve(SolveRequest(...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def solve_wilson_clover(
+    gauge: GaugeField,
+    b: np.ndarray,
+    mass: float,
+    csw: float = 1.0,
+    method: str = "bicgstab",
+    tol: float | None = 1e-8,
+    maxiter: int | None = 2000,
+    boundary: BoundarySpec = PERIODIC,
+    grid: ProcessGrid | None = None,
+    config: GCRDDConfig | None = None,
+    even_odd: bool = False,
+    inner_precision=None,
+) -> SolverResult:
+    """Deprecated shim: solve ``M_WC x = b`` via :func:`solve`.
+
+    Note: when ``config`` is provided, ``tol``/``maxiter`` arguments left
+    at their defaults no longer clobber the config's values (and the
+    caller's config object is never mutated).
+    """
+    _deprecated("solve_wilson_clover")
+    if config is not None:
+        # Legacy callers passing a config own tol/maxiter through it.
+        tol = None if tol == 1e-8 else tol
+        maxiter = None if maxiter == 2000 else maxiter
+    return solve(
+        SolveRequest(
+            operator="wilson_clover",
+            gauge=gauge,
+            rhs=b,
+            mass=mass,
+            csw=csw,
+            method=method,
+            tol=tol,
+            maxiter=maxiter,
+            boundary=boundary,
+            grid=grid,
+            config=config,
+            even_odd=even_odd,
+            inner_precision=inner_precision,
+        )
+    )
+
+
 def solve_asqtad(
     source: "GaugeField | AsqtadLinks",
     b: np.ndarray,
@@ -114,29 +351,23 @@ def solve_asqtad(
     u0: float = 1.0,
     inner_precision=SINGLE,
 ) -> SolverResult:
-    """Solve ``M_IS x = b`` (Eq. 3) through the normal equations.
-
-    Uses mixed-precision CG on ``M^+M`` restricted to the parity of b (the
-    staggered system decouples; pass an even- or odd-supported b).
-    """
-    op = _asqtad_operator(source, mass, boundary, u0)
-    normal = StaggeredNormalOperator(op)
-    rhs = op.apply_dagger(b)
-    from repro.solvers.mixed import mixed_precision_cg
-
-    if inner_precision is None:
-        from repro.solvers.cg import cg
-
-        res = cg(normal.apply, rhs, tol=tol, maxiter=maxiter, space=STAGGERED_SPACE)
-    else:
-        res = mixed_precision_cg(
-            normal.apply, rhs, inner_precision, tol=tol,
-            inner_maxiter=maxiter, space=STAGGERED_SPACE,
+    """Deprecated shim: solve ``M_IS x = b`` (normal equations) via
+    :func:`solve`."""
+    _deprecated("solve_asqtad")
+    return solve(
+        SolveRequest(
+            operator="asqtad",
+            gauge=source,
+            rhs=b,
+            mass=mass,
+            method="cg",
+            tol=tol,
+            maxiter=maxiter,
+            boundary=boundary,
+            u0=u0,
+            inner_precision=inner_precision,
         )
-    r = b - op.apply(res.x)
-    bn = np.linalg.norm(b)
-    res.residual = float(np.linalg.norm(r) / bn) if bn else 0.0
-    return res
+    )
 
 
 def solve_asqtad_multishift(
@@ -149,14 +380,18 @@ def solve_asqtad_multishift(
     boundary: BoundarySpec = PERIODIC,
     u0: float = 1.0,
 ) -> MultishiftRefineResult:
-    """Solve ``(M^+M + sigma_i) x_i = b`` for all shifts (Eq. 4) with the
-    paper's two-stage strategy: single-precision multi-shift CG, then
-    mixed-precision sequential refinement (Sec. 8.2)."""
-    op = _asqtad_operator(source, mass, boundary, u0)
-
-    def factory(sigma: float):
-        return StaggeredNormalOperator(op, sigma).apply
-
-    return multishift_with_refinement(
-        factory, b, list(shifts), tol=tol, maxiter=maxiter, space=STAGGERED_SPACE
+    """Deprecated shim: multi-shift solve + refinement via :func:`solve`."""
+    _deprecated("solve_asqtad_multishift")
+    return solve(
+        SolveRequest(
+            operator="asqtad_multishift",
+            gauge=source,
+            rhs=b,
+            mass=mass,
+            tol=tol,
+            maxiter=maxiter,
+            boundary=boundary,
+            u0=u0,
+            shifts=list(shifts),
+        )
     )

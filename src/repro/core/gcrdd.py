@@ -24,7 +24,8 @@ from repro.multigpu.partition import BlockPartition
 from repro.precision import PrecisionPolicy, SINGLE_HALF_HALF
 from repro.solvers.base import PrecisionWrappedOperator, SolverResult
 from repro.solvers.gcr import gcr
-from repro.solvers.space import ArraySpace
+from repro.solvers.multirhs import BatchedSolverResult, batched_gcr, batched_mr
+from repro.solvers.space import ArraySpace, BatchedArraySpace
 
 
 @dataclass
@@ -82,10 +83,24 @@ class GCRDDSolver:
         self.inner_op = PrecisionWrappedOperator(
             op.apply, cfg.policy.inner, space=self.space
         )
+        self.batched_space = BatchedArraySpace(
+            site_axes=2 if op.nspin == 4 else 1
+        )
+        self._batched_inner_op = PrecisionWrappedOperator(
+            op.apply, cfg.policy.inner, space=self.batched_space
+        )
 
-    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> SolverResult:
+    def solve(
+        self, b: np.ndarray, x0: np.ndarray | None = None
+    ) -> SolverResult | BatchedSolverResult:
+        """Solve M x = b.  ``b`` may carry a leading multi-RHS axis, in
+        which case all right-hand sides advance through one batched GCR-DD
+        (shared restarts, one reduction per Gram-Schmidt coefficient
+        set) and a :class:`BatchedSolverResult` is returned."""
         cfg = self.config
-        return gcr(
+        batched = self.op.field_lead(np.asarray(b)) == 1
+        solver = batched_gcr if batched else gcr
+        return solver(
             self.op.apply,
             b,
             x0=x0,
@@ -96,8 +111,8 @@ class GCRDDSolver:
             maxiter=cfg.maxiter,
             outer_precision=cfg.policy.outer,
             inner_precision=cfg.policy.inner,
-            inner_op=self.inner_op,
-            space=self.space,
+            inner_op=self._batched_inner_op if batched else self.inner_op,
+            space=self.batched_space if batched else self.space,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -163,9 +178,10 @@ class DistributedGCRDDSolver:
             for rank in range(self.partition.n_ranks)
         ]
         self._block_space = ArraySpace(site_axes=2)
+        self._batched_block_space = BatchedArraySpace(site_axes=2)
 
     # ------------------------------------------------------------------
-    def _precondition(self, xs: list) -> list:
+    def _precondition(self, xs: list, batched: bool = False) -> list:
         from repro.solvers.mr import mr
         from repro.trace import span
         from repro.util.counters import domain_local, record_operator
@@ -173,51 +189,71 @@ class DistributedGCRDDSolver:
         record_operator("schwarz_precond")
         cfg = self.config
         prec = cfg.policy.preconditioner
+        block_space = self._batched_block_space if batched else self._block_space
+        block_solver = batched_mr if batched else mr
         out = []
         for rank, (block_op, r_loc) in enumerate(zip(self._blocks, xs)):
             if prec is not None:
-                r_loc = self._block_space.convert(r_loc, prec)
+                r_loc = block_space.convert(r_loc, prec)
 
             def apply(v, _op=block_op):
                 if prec is None:
                     return _op.apply(v)
-                return self._block_space.convert(
-                    _op.apply(self._block_space.convert(v, prec)), prec
+                return block_space.convert(
+                    _op.apply(block_space.convert(v, prec)), prec
                 )
 
             # The block solve is the work the paper keeps entirely on one
             # GPU (Sec. 8.1): its spans sit on the rank's compute stream
-            # with zero comm spans inside.
+            # with zero comm spans inside.  In the batched path one MR
+            # sweep relaxes every RHS's block system simultaneously.
             with span("schwarz_block_solve", kind="precond", rank=rank,
-                      stream="compute", mr_steps=cfg.mr_steps):
+                      stream="compute", mr_steps=cfg.mr_steps,
+                      batch=(xs[0].shape[0] if batched else 1)):
                 with domain_local():
-                    result = mr(
+                    result = block_solver(
                         apply, r_loc, steps=cfg.mr_steps, omega=cfg.omega,
-                        space=self._block_space,
+                        space=block_space,
                     )
             out.append(result.x)
         return out
 
-    def solve(self, b, x0=None) -> SolverResult:
+    def solve(self, b, x0=None) -> SolverResult | BatchedSolverResult:
         """Solve M x = b; accepts/returns *global* arrays for convenience
-        (scattered/gathered internally)."""
+        (scattered/gathered internally).  A leading multi-RHS axis on
+        ``b`` selects the batched execution path: one halo message per
+        neighbor carries every RHS's faces, and each global reduction
+        carries B scalars."""
         import numpy as np
 
+        from repro.multigpu.space import BatchedDistributedSpace
+
         cfg = self.config
-        bs = self.space.scatter(np.asarray(b))
-        x0s = None if x0 is None else self.space.scatter(np.asarray(x0))
+        b = np.asarray(b)
+        batched = self.dist_op._field_lead([b]) == 1
+        space = (
+            BatchedDistributedSpace(
+                self.partition, site_axes=2, mailbox=self.space.mailbox
+            )
+            if batched
+            else self.space
+        )
+        bs = space.scatter(b)
+        x0s = None if x0 is None else space.scatter(np.asarray(x0))
 
         def inner_op(xs):
-            out = self.dist_op.apply(
-                self.space.convert(xs, cfg.policy.inner)
-            )
-            return self.space.convert(out, cfg.policy.inner)
+            out = self.dist_op.apply(space.convert(xs, cfg.policy.inner))
+            return space.convert(out, cfg.policy.inner)
 
-        result = gcr(
+        def preconditioner(xs):
+            return self._precondition(xs, batched=batched)
+
+        solver = batched_gcr if batched else gcr
+        result = solver(
             self.dist_op.apply,
             bs,
             x0=x0s,
-            preconditioner=self._precondition,
+            preconditioner=preconditioner,
             tol=cfg.tol,
             kmax=cfg.kmax,
             delta=cfg.delta,
@@ -225,7 +261,7 @@ class DistributedGCRDDSolver:
             outer_precision=cfg.policy.outer,
             inner_precision=cfg.policy.inner,
             inner_op=inner_op,
-            space=self.space,
+            space=space,
         )
-        result.x = self.space.asarray(result.x)
+        result.x = space.asarray(result.x)
         return result

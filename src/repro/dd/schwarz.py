@@ -24,7 +24,8 @@ from repro.dirac.base import LatticeOperator
 from repro.multigpu.partition import BlockPartition
 from repro.precision import HALF, Precision
 from repro.solvers.mr import mr
-from repro.solvers.space import ArraySpace
+from repro.solvers.multirhs import batched_mr
+from repro.solvers.space import ArraySpace, BatchedArraySpace
 from repro.util.counters import domain_local, record_operator
 
 
@@ -67,9 +68,10 @@ class AdditiveSchwarzPreconditioner:
             for rank in range(partition.n_ranks)
         ]
         self._space = ArraySpace(site_axes=2 if op.nspin == 4 else 1)
+        self._bspace = BatchedArraySpace(site_axes=2 if op.nspin == 4 else 1)
 
-    def _block_apply(self, block_op: LatticeOperator):
-        prec, space = self.precision, self._space
+    def _block_apply(self, block_op: LatticeOperator, space):
+        prec = self.precision
         if prec is None:
             return block_op.apply
 
@@ -79,21 +81,31 @@ class AdditiveSchwarzPreconditioner:
         return apply
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
-        """Approximately solve ``M z = r`` block-by-block; returns z."""
+        """Approximately solve ``M z = r`` block-by-block; returns z.
+
+        Accepts both a single residual and a batched one with a leading
+        RHS axis; the batched path runs one vectorized MR sweep per block
+        that relaxes all N right-hand sides at once.
+        """
         record_operator("schwarz_precond")
+        lead = r.ndim - (6 if self.op.nspin == 4 else 5)
+        if lead not in (0, 1):
+            raise ValueError(f"unexpected residual rank {r.ndim}")
+        space = self._bspace if lead else self._space
+        solver = batched_mr if lead else mr
         z = np.zeros_like(r)
         for rank, block_op in enumerate(self.block_ops):
-            sl = self.partition.slices(rank)
+            sl = (slice(None),) * lead + self.partition.slices(rank)
             r_loc = np.ascontiguousarray(r[sl])
             if self.precision is not None:
-                r_loc = self._space.convert(r_loc, self.precision)
+                r_loc = space.convert(r_loc, self.precision)
             with domain_local():
-                result = mr(
-                    self._block_apply(block_op),
+                result = solver(
+                    self._block_apply(block_op, space),
                     r_loc,
                     steps=self.mr_steps,
                     omega=self.omega,
-                    space=self._space,
+                    space=space,
                 )
             z[sl] = result.x
         return z

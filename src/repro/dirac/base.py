@@ -75,17 +75,23 @@ PERIODIC = BoundarySpec()
 PHYSICAL = BoundarySpec(("periodic", "periodic", "periodic", "antiperiodic"))
 
 
-def link_apply(links: np.ndarray, x: np.ndarray) -> np.ndarray:
+def link_apply(links: np.ndarray, x: np.ndarray, batched: bool = False) -> np.ndarray:
     """Apply per-site 3x3 color matrices to a spinor array.
 
     ``links`` has shape ``sites + (3, 3)``; ``x`` has shape
     ``sites + (nspin, 3)`` (Wilson) or ``sites + (3,)`` (staggered).
     Computes ``y_a = sum_b U_ab x_b`` at every site (and spin).
+
+    With ``batched=True`` the field carries one extra *leading* batch axis
+    (multi-RHS); the links broadcast over it unchanged.  The flag is
+    explicit because ndim alone cannot distinguish a batched staggered
+    field from an unbatched Wilson one.
     """
     lt = np.swapaxes(links, -1, -2)
-    if x.ndim == links.ndim:  # (..., nspin, 3): batched matmul
+    spinor_ndim = links.ndim + (1 if batched else 0)
+    if x.ndim == spinor_ndim:  # (..., nspin, 3): batched matmul
         return x @ lt
-    if x.ndim == links.ndim - 1:  # (..., 3): promote to a row vector
+    if x.ndim == spinor_ndim - 1:  # (..., 3): promote to a row vector
         return np.squeeze(x[..., None, :] @ lt, axis=-2)
     raise ValueError(f"incompatible shapes {links.shape} and {x.shape}")
 
@@ -95,6 +101,7 @@ def link_apply_cols(
     x: np.ndarray,
     out: np.ndarray | None = None,
     tmp: np.ndarray | None = None,
+    batched: bool = False,
 ) -> np.ndarray:
     """Apply per-site color matrices stored in *column-major* layout.
 
@@ -110,8 +117,12 @@ def link_apply_cols(
     of the result shape (they must not alias ``x``): at hot-loop field
     sizes the product temporaries are tens of MB each, so reusing
     buffers avoids allocator/page-fault churn.
+
+    ``batched=True`` marks a leading multi-RHS batch axis on ``x`` (and
+    ``out``/``tmp``); the per-site links broadcast over it.
     """
-    if x.ndim == link_cols.ndim:  # (..., nspin, 3)
+    spinor_ndim = link_cols.ndim + (1 if batched else 0)
+    if x.ndim == spinor_ndim:  # (..., nspin, 3)
         if out is None:
             out = x[..., :, 0, None] * link_cols[..., None, 0, :]
         else:
@@ -123,7 +134,7 @@ def link_apply_cols(
                 np.multiply(x[..., :, b, None], link_cols[..., None, b, :], out=tmp)
                 out += tmp
         return out
-    if x.ndim == link_cols.ndim - 1:  # (..., 3)
+    if x.ndim == spinor_ndim - 1:  # (..., 3)
         y = x[..., 0, None] * link_cols[..., 0, :]
         for b in (1, 2):
             y += x[..., b, None] * link_cols[..., b, :]
@@ -168,20 +179,55 @@ class LatticeOperator(abc.ABC):
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.apply(x)
 
-    def _record(self, x: np.ndarray) -> None:
-        record_operator(self.name)
-        record(
-            flops=self.flops_per_site * self.geometry.volume,
-            bytes_moved=self.bytes_per_application(x.dtype),
+    # -- multi-RHS (batched) layout ----------------------------------------
+    @property
+    def field_ndim(self) -> int:
+        """ndim of an unbatched field this operator acts on: 4 lattice
+        axes plus ``(spin, color)`` for Wilson or ``(color,)`` for
+        staggered."""
+        return 4 + (2 if self.nspin == 4 else 1)
+
+    def field_lead(self, x: np.ndarray) -> int:
+        """Number of leading batch axes of ``x`` (0 or 1).
+
+        Batched fields carry the multi-RHS axis *in front* of the lattice
+        axes — ``(B, T, Z, Y, X, ...)`` — so numpy's left-padded
+        broadcasting makes the per-site gauge/clover contractions
+        batch-transparent.
+        """
+        extra = x.ndim - self.field_ndim
+        if extra in (0, 1):
+            return extra
+        raise ValueError(
+            f"{self.name} expects field ndim {self.field_ndim} "
+            f"(or +1 batch axis), got shape {x.shape}"
         )
 
-    def bytes_per_application(self, dtype) -> int:
+    def batch_size(self, x: np.ndarray) -> int:
+        """Number of right-hand sides carried by ``x`` (1 if unbatched)."""
+        return x.shape[0] if self.field_lead(x) else 1
+
+    def _record(self, x: np.ndarray) -> None:
+        batch = self.batch_size(x)
+        record_operator(self.name)
+        record(
+            flops=self.flops_per_site * self.geometry.volume * batch,
+            bytes_moved=self.bytes_per_application(x.dtype, batch=batch),
+        )
+
+    def bytes_per_application(self, dtype, batch: int = 1) -> int:
         """Rough device-memory traffic per application (spinor in/out plus
-        gauge reads); refined numbers live in :mod:`repro.perfmodel.kernels`."""
+        gauge reads); refined numbers live in :mod:`repro.perfmodel.kernels`.
+
+        For a batched (multi-RHS) application the spinor traffic scales
+        with ``batch`` while the gauge links are read once and reused
+        across the batch — the arithmetic-intensity gain batching buys.
+        """
         site_complex = 3 * self.nspin
         itemsize = np.dtype(dtype).itemsize
-        # 8 neighbor spinor reads + 1 write + 8 link reads (9 complex each)
-        per_site = (9 * site_complex + 8 * 9) * itemsize
+        # 8 neighbor spinor reads + 1 write per RHS + 8 link reads
+        # (9 complex each) shared across the batch.
+        per_site = 9 * site_complex * itemsize * batch + 8 * 9 * itemsize
         return per_site * self.geometry.volume
 
     def apply_hopping(self, x: np.ndarray) -> np.ndarray:

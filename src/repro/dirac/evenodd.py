@@ -36,11 +36,17 @@ from repro.lattice.geometry import Geometry
 from repro.linalg.gamma import GAMMA5, apply_spin_matrix
 
 
-def parity_project(geometry: Geometry, x: np.ndarray, parity: int) -> np.ndarray:
-    """Zero out the sites of the opposite parity (0 = even, 1 = odd)."""
+def parity_project(
+    geometry: Geometry, x: np.ndarray, parity: int, lead: int = 0
+) -> np.ndarray:
+    """Zero out the sites of the opposite parity (0 = even, 1 = odd).
+
+    ``lead`` leading axes (the multi-RHS batch axis) broadcast over the
+    parity mask instead of being mistaken for lattice axes.
+    """
     mask = geometry.parity_mask(parity)
-    extra = (None,) * (x.ndim - 4)
-    return x * mask[(...,) + extra]
+    extra = (None,) * (x.ndim - 4 - lead)
+    return x * mask[(None,) * lead + (...,) + extra]
 
 
 class EvenOddPreconditionedWilson(LatticeOperator):
@@ -87,12 +93,13 @@ class EvenOddPreconditionedWilson(LatticeOperator):
     # -- the Schur complement ---------------------------------------------
     def _apply(self, x: np.ndarray) -> np.ndarray:
         geom = self.geometry
-        x = parity_project(geom, x, 0)
+        lead = self.field_lead(x)
+        x = parity_project(geom, x, 0, lead=lead)
         d1 = self.wilson._dslash(x)  # supported on odd sites
         t = self.apply_cinv(d1)
         d2 = self.wilson._dslash(t)  # back on even sites
         out = self.apply_c(x) - 0.25 * d2
-        return parity_project(geom, out, 0)
+        return parity_project(geom, out, 0, lead=lead)
 
     def _apply_dagger(self, x: np.ndarray) -> np.ndarray:
         # Mhat inherits gamma5-Hermiticity from M.
@@ -103,18 +110,22 @@ class EvenOddPreconditionedWilson(LatticeOperator):
     def prepare_rhs(self, b: np.ndarray) -> np.ndarray:
         """Even-site right-hand side ``b_e + 1/2 D C^{-1} b_o |_e``."""
         geom = self.geometry
-        b_e = parity_project(geom, b, 0)
-        b_o = parity_project(geom, b, 1)
+        lead = self.field_lead(b)
+        b_e = parity_project(geom, b, 0, lead=lead)
+        b_o = parity_project(geom, b, 1, lead=lead)
         lifted = 0.5 * self.wilson._dslash(self.apply_cinv(b_o))
-        return b_e + parity_project(geom, lifted, 0)
+        return b_e + parity_project(geom, lifted, 0, lead=lead)
 
     def reconstruct(self, x_e: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Back-substitute the odd sites: full solution of ``M x = b``."""
         geom = self.geometry
-        x_e = parity_project(geom, x_e, 0)
-        b_o = parity_project(geom, b, 1)
-        rhs_o = b_o + parity_project(geom, 0.5 * self.wilson._dslash(x_e), 1)
-        x_o = parity_project(geom, self.apply_cinv(rhs_o), 1)
+        lead = self.field_lead(b)
+        x_e = parity_project(geom, x_e, 0, lead=lead)
+        b_o = parity_project(geom, b, 1, lead=lead)
+        rhs_o = b_o + parity_project(
+            geom, 0.5 * self.wilson._dslash(x_e), 1, lead=lead
+        )
+        x_o = parity_project(geom, self.apply_cinv(rhs_o), 1, lead=lead)
         return x_e + x_o
 
     def with_boundary(self, boundary) -> "EvenOddPreconditionedWilson":

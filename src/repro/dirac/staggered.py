@@ -103,10 +103,11 @@ class _StaggeredBase(LatticeOperator):
 
     def dslash(self, x: np.ndarray) -> np.ndarray:
         """The derivative term D_IS (records its own tally entry)."""
+        batch = self.batch_size(x)
         record_operator(f"{self.name}_dslash")
         record(
-            flops=self.dslash_flops_per_site * self.geometry.volume,
-            bytes_moved=self.bytes_per_application(x.dtype),
+            flops=self.dslash_flops_per_site * self.geometry.volume * batch,
+            bytes_moved=self.bytes_per_application(x.dtype, batch=batch),
         )
         return self._dslash(x)
 
@@ -116,21 +117,31 @@ class _StaggeredBase(LatticeOperator):
 
     def _dslash_impl(self, x: np.ndarray) -> np.ndarray:
         geom = self.geometry
+        lead = self.field_lead(x)
+        batched = bool(lead)
         fat_cols, fat_dag_cols, long_cols, long_dag_cols = self._caches()
         out = np.zeros_like(x)
         for mu in range(4):
             bc = self.boundary[mu]
             eta = self.eta[mu][..., None]
-            hop = link_apply_cols(fat_cols[mu], geom.shift(x, mu, +1, boundary=bc))
+            hop = link_apply_cols(
+                fat_cols[mu],
+                geom.shift(x, mu, +1, boundary=bc, lead=lead),
+                batched=batched,
+            )
             hop -= geom.shift(
-                link_apply_cols(fat_dag_cols[mu], x), mu, -1, boundary=bc
+                link_apply_cols(fat_dag_cols[mu], x, batched=batched),
+                mu, -1, boundary=bc, lead=lead,
             )
             if self.long is not None:
                 hop += link_apply_cols(
-                    long_cols[mu], geom.shift(x, mu, +3, boundary=bc)
+                    long_cols[mu],
+                    geom.shift(x, mu, +3, boundary=bc, lead=lead),
+                    batched=batched,
                 )
                 hop -= geom.shift(
-                    link_apply_cols(long_dag_cols[mu], x), mu, -3, boundary=bc
+                    link_apply_cols(long_dag_cols[mu], x, batched=batched),
+                    mu, -3, boundary=bc, lead=lead,
                 )
             out += eta * hop
         return out

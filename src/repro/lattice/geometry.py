@@ -125,6 +125,7 @@ class Geometry:
         mu: int,
         steps: int = 1,
         boundary: str = "periodic",
+        lead: int = 0,
     ) -> np.ndarray:
         """Return the array of neighbor values ``result[x] = array[x + steps*mu]``.
 
@@ -134,19 +135,24 @@ class Geometry:
         the additive Schwarz preconditioner imposes at block boundaries;
         ``boundary="antiperiodic"`` flips the sign of wrapped values (the
         physical fermion boundary condition in time).
+
+        ``lead`` leading axes (e.g. a multi-RHS batch axis) pass through
+        unshifted; the lattice axes then start at ``array.shape[lead]``.
         """
-        if array.ndim < 4 or array.shape[:4] != self.shape:
+        lead = int(lead)
+        if array.ndim < lead + 4 or array.shape[lead : lead + 4] != self.shape:
             raise ValueError(
-                f"array leading shape {array.shape[:4]} does not match lattice {self.shape}"
+                f"array lattice shape {array.shape[lead:lead + 4]} does not "
+                f"match lattice {self.shape}"
             )
-        axis = axis_of_mu(mu)
+        axis = lead + axis_of_mu(mu)
         out = np.roll(array, -steps, axis=axis)
         if boundary == "periodic":
             return out
         if boundary not in ("zero", "antiperiodic"):
             raise ValueError(f"unknown boundary {boundary!r}")
         out = out.copy() if out is array else out
-        n = self.shape[axis]
+        n = self.shape[axis_of_mu(mu)]
         if abs(steps) >= n:
             # Every site's neighbor crossed the boundary at least once; for
             # simplicity only single-crossing shifts are supported beyond

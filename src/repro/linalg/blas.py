@@ -109,3 +109,76 @@ def zero_like(x: np.ndarray) -> np.ndarray:
     out = np.zeros_like(x)
     record(bytes_moved=out.nbytes)
     return out
+
+
+# ----------------------------------------------------------------------
+# Batched (multi-RHS) family.
+#
+# Fields carry a leading batch axis ``(B, ...)``; reductions return one
+# ``(B,)`` array of per-RHS results while costing a *single* global
+# reduction — one allreduce carrying N scalars instead of N allreduces,
+# the latency amortization the multi-RHS execution path is built for.
+# Update routines take a ``(B,)`` coefficient vector applied per RHS.
+# ----------------------------------------------------------------------
+
+
+def _bflat(x: np.ndarray) -> np.ndarray:
+    return x.reshape(x.shape[0], -1)
+
+
+def _bcoeff(a, x: np.ndarray) -> np.ndarray:
+    """Broadcast a per-RHS ``(B,)`` coefficient over the field axes."""
+    a = np.asarray(a)
+    if a.ndim == 0:
+        return a
+    return a.reshape(a.shape + (1,) * (x.ndim - 1))
+
+
+def bnorm2(x: np.ndarray) -> np.ndarray:
+    """Per-RHS squared 2-norms, shape ``(B,)`` (ONE global reduction)."""
+    with span("bnorm2", kind="reduction", batch=x.shape[0]):
+        flat = _bflat(x)
+        # vecdot conjugates its first operand internally — no
+        # materialized conj() pass over the field.
+        val = np.vecdot(flat, flat).real.astype(np.float64)
+    record(flops=4 * x.size, bytes_moved=_nbytes(x), reductions=1)
+    return val
+
+
+def bcdot(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Per-RHS complex inner products ``<x_b, y_b>`` (ONE reduction)."""
+    with span("bcdot", kind="reduction", batch=x.shape[0]):
+        val = np.vecdot(_bflat(x), _bflat(y))
+    record(flops=8 * x.size, bytes_moved=_nbytes(x, y), reductions=1)
+    return val
+
+
+def brdot(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Real parts of the per-RHS inner products (ONE reduction)."""
+    with span("brdot", kind="reduction", batch=x.shape[0]):
+        val = np.vecdot(_bflat(x), _bflat(y)).real.astype(np.float64)
+    record(flops=8 * x.size, bytes_moved=_nbytes(x, y), reductions=1)
+    return val
+
+
+def baxpy(a, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """y + a*x with a per-RHS ``(B,)`` coefficient vector."""
+    out = _bcoeff(a, x) * x
+    out += y
+    record(flops=8 * x.size, bytes_moved=_nbytes(x, y, out))
+    return out
+
+
+def bxpay(x: np.ndarray, a, y: np.ndarray) -> np.ndarray:
+    """x + a*y with a per-RHS ``(B,)`` coefficient vector."""
+    out = _bcoeff(a, y) * y
+    out += x
+    record(flops=8 * x.size, bytes_moved=_nbytes(x, y, out))
+    return out
+
+
+def bscale(a, x: np.ndarray) -> np.ndarray:
+    """a*x with a per-RHS ``(B,)`` coefficient vector."""
+    out = _bcoeff(a, x) * x
+    record(flops=6 * x.size, bytes_moved=_nbytes(x, out))
+    return out

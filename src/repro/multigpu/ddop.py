@@ -214,33 +214,51 @@ class DistributedOperator:
     # ------------------------------------------------------------------
     # application paths
     # ------------------------------------------------------------------
-    def _record(self) -> None:
+    def _field_lead(self, xs: list[np.ndarray]) -> int:
+        """Leading batch axes (0 or 1) of the per-rank blocks: batched
+        multi-RHS fields are ``(B,) + local lattice + site`` arrays."""
+        expected = 4 + (2 if self.nspin == 4 else 1)
+        extra = xs[0].ndim - expected
+        if extra in (0, 1):
+            return extra
+        raise ValueError(
+            f"dist_{self.name} expects local field ndim {expected} "
+            f"(or +1 batch axis), got shape {xs[0].shape}"
+        )
+
+    def _record(self, batch: int = 1) -> None:
         record_operator(f"dist_{self.name}")
-        record(flops=self.flops_per_site * self.partition.geometry.volume)
+        record(flops=self.flops_per_site * self.partition.geometry.volume * batch)
 
     def apply(self, xs: list[np.ndarray]) -> list[np.ndarray]:
         """Fused path: exchange ghosts, one local stencil per rank
         (or the split path when ``use_split`` is set)."""
         if self.use_split:
             return self.apply_split(xs)
-        self._record()
-        padded = self.exchanger.exchange_spinor(xs)
+        lead = self._field_lead(xs)
+        self._record(batch=xs[0].shape[0] if lead else 1)
+        padded = self.exchanger.exchange_spinor(xs, lead=lead)
         out = []
         for rank, (op, pad) in enumerate(zip(self.local_ops, padded)):
             with span("fused_stencil", kind="interior", rank=rank,
                       stream="compute"):
-                out.append(self.exchanger.extract_interior(op._apply(pad)))
+                out.append(
+                    self.exchanger.extract_interior(op._apply(pad), lead=lead)
+                )
         return out
 
     def apply_dagger(self, xs: list[np.ndarray]) -> list[np.ndarray]:
-        self._record()
-        padded = self.exchanger.exchange_spinor(xs)
+        lead = self._field_lead(xs)
+        self._record(batch=xs[0].shape[0] if lead else 1)
+        padded = self.exchanger.exchange_spinor(xs, lead=lead)
         out = []
         for rank, (op, pad) in enumerate(zip(self.local_ops, padded)):
             with span("fused_stencil_dagger", kind="interior", rank=rank,
                       stream="compute"):
                 out.append(
-                    self.exchanger.extract_interior(op._apply_dagger(pad))
+                    self.exchanger.extract_interior(
+                        op._apply_dagger(pad), lead=lead
+                    )
                 )
         return out
 
@@ -254,21 +272,22 @@ class DistributedOperator:
         receive updates from several exterior kernels, reproducing the
         data dependency the paper serializes the exterior kernels over.
         """
-        self._record()
+        lead = self._field_lead(xs)
+        self._record(batch=xs[0].shape[0] if lead else 1)
         exch = self.exchanger
-        padded = exch.exchange_spinor(xs)
+        padded = exch.exchange_spinor(xs, lead=lead)
         outputs = []
         for rank, (op, pad) in enumerate(zip(self.local_ops, padded)):
             with span("interior_kernel", kind="interior", rank=rank,
                       stream="compute"):
-                interior_in = exch.zero_ghosts(pad)
-                out = exch.extract_interior(op._apply(interior_in))
+                interior_in = exch.zero_ghosts(pad, lead=lead)
+                out = exch.extract_interior(op._apply(interior_in), lead=lead)
             for mu in exch.partitioned_dims:
                 with span(f"exterior_{DIR_NAMES[mu]}", kind="exterior",
                           rank=rank, stream="compute", mu=mu):
-                    ghost_in = exch.only_ghost(pad, mu)
+                    ghost_in = exch.only_ghost(pad, mu, lead=lead)
                     out = out + exch.extract_interior(
-                        op.apply_hopping(ghost_in)
+                        op.apply_hopping(ghost_in), lead=lead
                     )
             outputs.append(out)
         return outputs
@@ -281,10 +300,12 @@ class DistributedOperator:
         return DistributedNormalOperator(self)
 
     def scatter(self, global_array: np.ndarray) -> list[np.ndarray]:
-        return self.partition.split(global_array)
+        expected = 4 + (2 if self.nspin == 4 else 1)
+        lead = global_array.ndim - expected
+        return self.partition.split(global_array, lead=lead)
 
     def gather(self, xs: list[np.ndarray]) -> np.ndarray:
-        return self.partition.assemble(xs)
+        return self.partition.assemble(xs, lead=self._field_lead(xs))
 
 
 class DistributedNormalOperator:

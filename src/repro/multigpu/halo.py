@@ -237,6 +237,16 @@ class HaloExchanger:
                             mu, sign, self.depth
                         )
                         self._slice_cache[face_key] = face
+                    # A batched (multi-RHS) spinor exchange packs all B
+                    # faces into ONE message per neighbor per direction:
+                    # the lead axis rides inside the face buffer, so the
+                    # message count below is independent of B while the
+                    # payload scales xB.
+                    batch = (
+                        int(np.prod(local_fields[0].shape[:lead]))
+                        if (lead and kind == "spinor")
+                        else 1
+                    )
                     comm_stream = f"comm {DIR_NAMES[mu]}{'+' if sign > 0 else '-'}"
                     for rank in grid.all_ranks():
                         dst, wrapped = grid.neighbor(rank, mu, sign)
@@ -244,7 +254,8 @@ class HaloExchanger:
                         # the wire format (the strided gather kernels of
                         # Sec. 6.1, on the compute stream in Fig. 4).
                         with span("gather", kind="gather", rank=rank,
-                                  stream="compute", mu=mu, sign=sign):
+                                  stream="compute", mu=mu, sign=sign,
+                                  batch=batch):
                             buf = np.ascontiguousarray(local_fields[rank][face])
                             record(bytes_moved=2 * buf.nbytes)  # gather r/w
                             if apply_boundary and wrapped:
@@ -263,7 +274,8 @@ class HaloExchanger:
                                 )
                         with span("send", kind="comm", rank=rank,
                                   stream=comm_stream, mu=mu, sign=sign,
-                                  dst=dst, nbytes=logical_nbytes):
+                                  dst=dst, nbytes=logical_nbytes,
+                                  batch=batch):
                             self.mailbox.send(
                                 rank,
                                 dst,
@@ -298,9 +310,17 @@ class HaloExchanger:
                         record(bytes_moved=2 * data.nbytes)
         return padded
 
-    def exchange_spinor(self, local_fields: list[np.ndarray]) -> list[np.ndarray]:
-        """Spinor-field exchange (applies the fermion boundary condition)."""
-        return self.exchange(local_fields, lead=0, kind="spinor")
+    def exchange_spinor(
+        self, local_fields: list[np.ndarray], lead: int = 0
+    ) -> list[np.ndarray]:
+        """Spinor-field exchange (applies the fermion boundary condition).
+
+        ``lead=1`` exchanges a *batched* multi-RHS field ``(B, ...)``: all
+        B ghost faces travel in one message per neighbor per direction, so
+        the message count is independent of the batch size while the bytes
+        scale xB — the per-message-latency amortization multi-RHS buys.
+        """
+        return self.exchange(local_fields, lead=lead, kind="spinor")
 
     def exchange_gauge(self, local_links: list[np.ndarray]) -> list[np.ndarray]:
         """Gauge/link-field exchange — done once per solve (Sec. 6.1)."""

@@ -95,18 +95,23 @@ class KernelModel:
         write = self.kind.spinor_reals * w + scale
         return reads + write
 
-    def halo_bytes_per_site(self) -> int:
+    def halo_bytes_per_site(self, batch: int = 1) -> int:
         """Wire bytes of one ghost-face site in this precision.
 
         Matches :func:`repro.multigpu.halo.halo_logical_nbytes`: the half
         format ships 2-byte mantissas *plus one float32 norm per site* —
         the per-site scale is real traffic, so half faces are slightly
         more than a quarter of double, not exactly a quarter.
+
+        ``batch`` scales the payload for multi-RHS exchanges: all N
+        right-hand sides' face values travel in the same message, so
+        bytes grow N-fold while the message count (and thus the latency
+        term of the comm model) stays fixed.
         """
         nbytes = self.kind.spinor_reals * self.precision.bytes_per_real
         if self.precision.name == "half":
             nbytes += 4
-        return nbytes
+        return nbytes * int(batch)
 
     def clover_bytes_per_site(self) -> int:
         if self.kind is OperatorKind.WILSON_CLOVER:

@@ -13,12 +13,22 @@ from repro.solvers.mixed import (
     mixed_precision_cg,
 )
 from repro.solvers.mr import mr
+from repro.solvers.multirhs import (
+    BatchedSolverResult,
+    batched_bicgstab,
+    batched_cg,
+    batched_defect_correction,
+    batched_gcr,
+    batched_mr,
+)
 from repro.solvers.multishift import multishift_cg
 from repro.solvers.refine import MultishiftRefineResult, multishift_with_refinement
 from repro.solvers.space import (
     ArraySpace,
+    BatchedArraySpace,
     STAGGERED_SPACE,
     WILSON_SPACE,
+    batched_space_for_nspin,
     space_for_nspin,
 )
 
@@ -26,10 +36,18 @@ __all__ = [
     "Operator",
     "PrecisionWrappedOperator",
     "SolverResult",
+    "BatchedSolverResult",
     "ArraySpace",
+    "BatchedArraySpace",
     "WILSON_SPACE",
     "STAGGERED_SPACE",
     "space_for_nspin",
+    "batched_space_for_nspin",
+    "batched_cg",
+    "batched_bicgstab",
+    "batched_defect_correction",
+    "batched_mr",
+    "batched_gcr",
     "cg",
     "cgnr",
     "lanczos_spectrum",

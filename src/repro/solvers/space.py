@@ -67,6 +67,59 @@ class ArraySpace:
         return x
 
 
+class BatchedArraySpace:
+    """Multi-RHS space: vectors are arrays with a *leading* batch axis.
+
+    Reductions return one ``(B,)`` array of per-RHS results but cost a
+    single global reduction (see the batched family in
+    :mod:`repro.linalg.blas`); update coefficients are per-RHS ``(B,)``
+    vectors (plain scalars broadcast).  The batched Krylov solvers in
+    :mod:`repro.solvers.multirhs` are written against this interface.
+    """
+
+    def __init__(self, site_axes: int = 2):
+        self.site_axes = site_axes
+
+    def batch(self, x) -> int:
+        return x.shape[0]
+
+    # -- reductions (one allreduce carrying B scalars) -------------------
+    def dot(self, x, y) -> np.ndarray:
+        return blas.bcdot(x, y)
+
+    def rdot(self, x, y) -> np.ndarray:
+        return blas.brdot(x, y)
+
+    def norm2(self, x) -> np.ndarray:
+        return blas.bnorm2(x)
+
+    # -- updates (per-RHS coefficients) ----------------------------------
+    def axpy(self, a, x, y):
+        return blas.baxpy(a, x, y)
+
+    def xpay(self, x, a, y):
+        return blas.bxpay(x, a, y)
+
+    def scale(self, a, x):
+        return blas.bscale(a, x)
+
+    def copy(self, x):
+        return blas.copy(x)
+
+    def zeros_like(self, x):
+        return blas.zero_like(x)
+
+    # -- precision --------------------------------------------------------
+    def convert(self, x, precision: Precision):
+        # The batch axis is a non-site axis, so the emulated half format
+        # keeps one norm per site *per RHS* — exactly the per-site scale
+        # a real batched half-precision field would store.
+        return precision.convert(x, site_axes=self.site_axes)
+
+    def asarray(self, x) -> np.ndarray:
+        return x
+
+
 #: Default space for Wilson-type fields.
 WILSON_SPACE = ArraySpace(site_axes=2)
 #: Default space for staggered fields.
@@ -75,3 +128,7 @@ STAGGERED_SPACE = ArraySpace(site_axes=1)
 
 def space_for_nspin(nspin: int) -> ArraySpace:
     return WILSON_SPACE if nspin == 4 else STAGGERED_SPACE
+
+
+def batched_space_for_nspin(nspin: int) -> BatchedArraySpace:
+    return BatchedArraySpace(site_axes=2 if nspin == 4 else 1)

@@ -1,7 +1,17 @@
-"""High-level solve entry points."""
+"""High-level solve entry points (the deprecated per-operator shims).
+
+These tests exercise the legacy ``solve_wilson_clover`` /
+``solve_asqtad`` / ``solve_asqtad_multishift`` wrappers, so the
+deprecation warning that is an error everywhere else is silenced here.
+The facade itself is covered in test_solve_facade.py.
+"""
 
 import numpy as np
 import pytest
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated. use repro.core.api.solve.*:DeprecationWarning"
+)
 
 from repro.comm import ProcessGrid
 from repro.core import solve_asqtad, solve_asqtad_multishift, solve_wilson_clover
@@ -104,3 +114,36 @@ class TestAsqtadAPI:
         for sigma, x in zip(shifts, out.solutions):
             r = be - StaggeredNormalOperator(op, sigma).apply(x)
             assert np.linalg.norm(r) / np.linalg.norm(be) < 1e-9
+
+
+class TestShimBehaviour:
+    def test_shims_emit_deprecation_warning(self, wilson_setup):
+        geom, gauge, b = wilson_setup
+        with pytest.warns(DeprecationWarning,
+                          match="deprecated; use repro.core.api.solve"):
+            solve_wilson_clover(gauge, b, mass=0.2, csw=1.0, tol=1e-6)
+
+    def test_gcr_dd_config_not_mutated(self, wilson_setup):
+        """Regression: the shim used to clobber the caller's config with
+        its own tol/maxiter arguments."""
+        from repro.core import GCRDDConfig
+
+        geom, gauge, b = wilson_setup
+        cfg = GCRDDConfig(tol=1e-4, maxiter=55, mr_steps=4)
+        res = solve_wilson_clover(
+            gauge, b, mass=0.2, csw=1.0, method="gcr-dd",
+            grid=ProcessGrid((1, 1, 2, 2)), config=cfg,
+        )
+        assert res.converged
+        assert (cfg.tol, cfg.maxiter) == (1e-4, 55)
+
+    def test_gcr_dd_explicit_tol_overrides_config(self, wilson_setup):
+        from repro.core import GCRDDConfig
+        from repro.core.api import SolveRequest, _gcrdd_config
+
+        resolved = _gcrdd_config(SolveRequest(
+            operator="wilson_clover", gauge=None, rhs=None, mass=0.0,
+            tol=1e-3, config=GCRDDConfig(tol=1e-4, maxiter=55),
+        ))
+        assert resolved.tol == 1e-3
+        assert resolved.maxiter == 55

@@ -14,9 +14,10 @@ from repro import (
     GaugeField,
     Geometry,
     ProcessGrid,
+    SolveRequest,
     SpinorField,
     WilsonCloverOperator,
-    solve_wilson_clover,
+    solve,
     tally,
 )
 from repro.comm import CommLog
@@ -140,6 +141,9 @@ class TestAPIRoundTrip:
         geometry = Geometry((4, 4, 4, 8))
         gauge = GaugeField.weak(geometry, epsilon=0.25, rng=0)
         b = SpinorField.random(geometry, rng=1)
-        result = solve_wilson_clover(gauge, b.data, mass=0.1, csw=1.0, tol=1e-8)
+        result = solve(SolveRequest(
+            operator="wilson_clover", gauge=gauge, rhs=b.data,
+            mass=0.1, csw=1.0, tol=1e-8,
+        ))
         assert result.converged
         assert result.residual < 1e-7

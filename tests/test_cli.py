@@ -16,7 +16,9 @@ class TestHelp:
             if hasattr(a, "choices")
         )
         commands = set(sub.choices)
-        assert {"solve", "generate", "trace", "report", "info"} <= commands
+        assert {
+            "solve", "generate", "trace", "report", "info", "bench-multirhs"
+        } <= commands
         with pytest.raises(SystemExit):
             main(["--help"])
         out = capsys.readouterr().out
@@ -27,7 +29,7 @@ class TestHelp:
     def test_epilog_lines_carry_descriptions(self):
         parser = build_parser()
         table = parser.epilog.splitlines()[1:]
-        assert len(table) == 11  # fig5..fig10 + 5 named commands
+        assert len(table) == 12  # fig5..fig10 + 6 named commands
         for line in table:
             name, _, help_ = line.strip().partition(" ")
             assert help_.strip(), f"command {name} has no help line"

@@ -59,7 +59,7 @@ class TestSpinorIO:
 
     def test_loaded_field_usable_in_solver(self, tmp_path, geom44):
         """End-to-end: generate, save, load, solve."""
-        from repro.core import solve_wilson_clover
+        from repro.core import SolveRequest, solve
 
         gauge = GaugeField.weak(geom44, epsilon=0.25, rng=5)
         b = SpinorField.random(geom44, rng=6)
@@ -68,5 +68,8 @@ class TestSpinorIO:
         io.save_spinor(bp, b)
         gauge2, _ = io.load_gauge(gp)
         b2, _ = io.load_spinor(bp)
-        res = solve_wilson_clover(gauge2, b2.data, mass=0.2, csw=1.0, tol=1e-7)
+        res = solve(SolveRequest(
+            operator="wilson_clover", gauge=gauge2, rhs=b2.data,
+            mass=0.2, csw=1.0, tol=1e-7,
+        ))
         assert res.converged

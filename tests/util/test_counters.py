@@ -204,3 +204,36 @@ class TestTimedTraceBridge:
         dslash = next(ev for ev in tr.events if ev.name == "wilson_dslash")
         assert dslash.rank == 5
         assert dslash.stream == "compute"
+
+
+class TestAllreduceAccounting:
+    """Regression: allreduce_sum recorded the reduction event but zero
+    wire bytes — global sums looked free in the communication ledger."""
+
+    def test_scalar_allreduce_charges_bytes(self):
+        import numpy as np
+
+        from repro.comm.mailbox import Mailbox
+
+        box = Mailbox(4)
+        parts = [np.complex128(r + 1) for r in range(4)]
+        with tally() as t:
+            total = box.allreduce_sum(parts)
+        assert total == np.complex128(10)
+        assert t.reductions == 1
+        assert t.comm_bytes == 16 * 4  # one complex128 per rank
+
+    def test_batched_allreduce_scales_with_payload(self):
+        import numpy as np
+
+        from repro.comm.mailbox import Mailbox
+
+        box = Mailbox(2)
+        nb = 12
+        parts = [np.ones(nb, dtype=np.complex128) for _ in range(2)]
+        with tally() as t:
+            total = box.allreduce_sum(parts)
+        assert np.all(total == 2.0)
+        # Payload grows with the batch, the event count does not.
+        assert t.reductions == 1
+        assert t.comm_bytes == nb * 16 * 2
