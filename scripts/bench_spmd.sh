@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# SPMD backend benchmark (docs/architecture.md, "Execution model").
+#
+# 1. Runs `python -m repro bench`: one 4-rank Wilson GCR-DD solve per
+#    execution backend (sequential baton / threads / fork+shared-memory
+#    processes), best-of-N timing, and writes the JSON report to
+#    BENCH_spmd.json at the repo root.
+# 2. Verifies the invariants: every backend converges and is bit-identical
+#    to the sequential reference (solution, residual history, comm
+#    tallies).  The processes-backend speedup target (>= 1.5x over
+#    sequential) is asserted only when the host actually has at least as
+#    many cores as ranks — on fewer cores the fork/IPC overhead can only
+#    lose, and the report records cpu_count so the numbers stay honest.
+# 3. Runs the backend-parity test suite in deterministic order.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m repro bench \
+    --dims 8 8 8 16 --ranks 4 --mass 0.1 --csw 1.0 --tol 1e-6 \
+    --mr-steps 10 --repeats 3 \
+    --output BENCH_spmd.json
+
+python - <<'PY'
+import json
+
+with open("BENCH_spmd.json") as fh:
+    report = json.load(fh)
+results = {e["backend"]: e for e in report["results"]}
+assert all(e["converged"] for e in results.values())
+assert all(e["bitwise_equal_to_first_backend"] for e in results.values())
+cores, ranks = report["cpu_count"], report["ranks"]
+proc = results.get("processes")
+if proc and cores is not None and cores >= ranks:
+    speedup = proc["speedup_vs_sequential"]
+    assert speedup >= 1.5, (
+        f"processes speedup {speedup:.2f}x < 1.5x on {cores} cores"
+    )
+    print(f"bench OK: processes {speedup:.2f}x over sequential "
+          f"({cores} cores, {ranks} ranks)")
+elif proc:
+    print(f"bench OK (speedup target waived: {cores} core(s) < "
+          f"{ranks} ranks): processes "
+          f"{proc['speedup_vs_sequential']:.2f}x over sequential")
+else:
+    print("bench OK (processes backend unavailable)")
+PY
+
+python -m pytest -p no:randomly -q \
+    tests/core/test_spmd_parity.py \
+    tests/comm/test_backends.py \
+    tests/multigpu/test_rank_halo.py

@@ -85,6 +85,7 @@ from repro.core import (
     DistributedGCRDDSolver,
     GCRDDConfig,
     GCRDDSolver,
+    SPMDGCRDDSolver,
     SolveRequest,
     solve,
     solve_asqtad,
@@ -144,6 +145,7 @@ __all__ = [
     "GCRDDConfig",
     "GCRDDSolver",
     "DistributedGCRDDSolver",
+    "SPMDGCRDDSolver",
     "SolveRequest",
     "solve",
     "solve_wilson_clover",

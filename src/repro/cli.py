@@ -6,9 +6,11 @@ the registered subparsers (see :func:`build_parser`) and printed by
 ``python -m repro --help`` — it cannot drift from the actual commands.
 The families: ``figN`` regenerate the paper's figure tables from the
 performance model, ``solve``/``generate`` run real numerics on synthetic
-configurations, ``trace`` captures a Perfetto timeline of a distributed
-solve (docs/observability.md), ``report`` draws ASCII charts, and
-``info`` prints the hardware/calibration summary.
+configurations, ``bench``/``bench-multirhs`` time the SPMD execution
+backends and the batched multi-RHS path, ``trace`` captures a Perfetto
+timeline of a distributed solve (docs/observability.md), ``report``
+draws ASCII charts, and ``info`` prints the hardware/calibration
+summary.
 """
 
 from __future__ import annotations
@@ -105,7 +107,13 @@ def _cmd_solve(args) -> int:
         request.grid = grid
         request.config = GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps)
         request.tol = None  # the config carries the tolerance
+        request.backend = args.backend
         extra = f" grid={grid.label} blocks={grid.size}"
+        if args.backend:
+            extra += f" backend={args.backend}"
+    elif args.backend:
+        print("--backend requires --method gcr-dd", file=sys.stderr)
+        return 2
     res = solve(request)
     status = "converged" if res.converged else "FAILED"
     print(
@@ -207,6 +215,111 @@ def _cmd_bench_multirhs(args) -> int:
         fh.write("\n")
     print(f"wrote {args.output}")
     return 0 if all(e["all_converged"] for e in report["results"]) else 1
+
+
+def _cmd_bench_spmd(args) -> int:
+    """Benchmark the SPMD execution backends on one GCR-DD solve."""
+    import json
+    import os
+    import time
+
+    import numpy as np
+
+    from repro.comm.backends import process_backend_available
+    from repro.comm.grid import choose_grid
+    from repro.core.gcrdd import GCRDDConfig
+    from repro.core.spmd import SPMDGCRDDSolver
+    from repro.lattice import GaugeField, Geometry, SpinorField
+    from repro.util.counters import tally
+
+    geometry = Geometry(tuple(args.dims))
+    grid = choose_grid(args.ranks, (3, 2, 1, 0), geometry.dims)
+    gauge = GaugeField.weak(geometry, epsilon=args.epsilon, rng=args.seed)
+    b = SpinorField.random(geometry, rng=args.seed + 1).data
+    solver = SPMDGCRDDSolver(
+        gauge, args.mass, args.csw, grid,
+        config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
+        timeout=args.timeout,
+    )
+
+    backends = list(args.backends or ("sequential", "threads", "processes"))
+    if "processes" in backends and not process_backend_available():
+        print("processes backend unavailable (no fork); skipping",
+              file=sys.stderr)
+        backends.remove("processes")
+
+    report = {
+        "bench": "spmd",
+        "operator": "wilson_clover",
+        "method": "gcr-dd",
+        "dims": list(geometry.shape),
+        "grid": list(grid.dims),
+        "ranks": grid.size,
+        "mass": args.mass,
+        "csw": args.csw,
+        "tol": args.tol,
+        "mr_steps": args.mr_steps,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        # Parallel backends cannot beat sequential with fewer cores than
+        # ranks — record the machine so speedups are interpretable.
+        "cpu_count": os.cpu_count(),
+        "results": [],
+    }
+
+    reference = None
+    for backend in backends:
+        solver.solve(b, backend=backend)  # warm caches/forks untimed
+        best = None
+        for _ in range(max(args.repeats, 1)):
+            with tally() as t:
+                t0 = time.perf_counter()
+                res = solver.solve(b, backend=backend)
+                dt = time.perf_counter() - t0
+            if best is None or dt < best[0]:
+                best = (dt, res, t)
+        seconds, res, t = best
+        history = [float(r) for r in res.residual_history]
+        if reference is None:
+            reference = (res.x, history)
+        bitwise = bool(
+            np.array_equal(res.x, reference[0]) and history == reference[1]
+        )
+        entry = {
+            "backend": backend,
+            "seconds": seconds,
+            "converged": bool(res.converged),
+            "iterations": int(res.iterations),
+            "residual": float(res.residual),
+            "comm_bytes": t.comm_bytes,
+            "messages": t.messages,
+            "reductions": t.reductions,
+            "bitwise_equal_to_first_backend": bitwise,
+        }
+        report["results"].append(entry)
+        print(
+            f"{backend:>10}: {seconds:7.2f}s, {res.iterations} iterations, "
+            f"residual {res.residual:.2e}, bitwise match: {bitwise}"
+        )
+
+    seq = next(
+        (e for e in report["results"] if e["backend"] == "sequential"), None
+    )
+    if seq:
+        for e in report["results"]:
+            e["speedup_vs_sequential"] = (
+                seq["seconds"] / e["seconds"] if e["seconds"] else 0.0
+            )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    ok = all(
+        e["converged"] and e["bitwise_equal_to_first_backend"]
+        for e in report["results"]
+    )
+    return 0 if ok else 1
 
 
 def _cmd_generate(args) -> int:
@@ -407,8 +520,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--blocks", type=int, default=4,
                    help="Schwarz blocks (gcr-dd)")
     p.add_argument("--mr-steps", type=int, default=10)
+    p.add_argument("--backend",
+                   choices=["sequential", "threads", "processes"],
+                   default=None,
+                   help="run gcr-dd as SPMD rank programs under this "
+                        "execution backend (default: global-view driver)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_solve)
+
+    p = add_command(
+        "bench",
+        "benchmark the SPMD execution backends on a GCR-DD solve",
+    )
+    p.add_argument("--dims", type=int, nargs=4, default=[8, 8, 8, 16],
+                   metavar=("NX", "NY", "NZ", "NT"))
+    p.add_argument("--ranks", type=int, default=4,
+                   help="virtual ranks / Schwarz blocks (default 4)")
+    p.add_argument("--mass", type=float, default=0.1)
+    p.add_argument("--csw", type=float, default=1.0)
+    p.add_argument("--tol", type=float, default=1e-6)
+    p.add_argument("--mr-steps", type=int, default=10)
+    p.add_argument("--epsilon", type=float, default=0.25,
+                   help="gauge disorder of the synthetic configuration")
+    p.add_argument("--backend", dest="backends", action="append",
+                   choices=["sequential", "threads", "processes"],
+                   help="backend to benchmark; repeatable (default: all)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats per backend; best is kept")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-wait deadlock timeout under threads/processes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", type=str, default="BENCH_spmd.json",
+                   help="JSON report path")
+    p.set_defaults(func=_cmd_bench_spmd)
 
     p = add_command(
         "bench-multirhs",

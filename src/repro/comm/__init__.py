@@ -5,14 +5,45 @@ Stands in for the MPI/QMP + InfiniBand stack of the Edge cluster: a
 :class:`Mailbox` moves real data between virtual ranks in-process while
 logging every message, and :class:`CommLog` keeps the per-message records
 the performance model replays against its interconnect timings.
+
+The SPMD layer sits on top: a :class:`Communicator` is one rank's
+endpoint (``rank``/``size``/``isend``/``irecv``/``wait``/
+``allreduce_sum``/``barrier``), and :func:`run_rank_programs` executes
+the same rank program across every rank under one of three
+interchangeable backends (``sequential``, ``threads``, ``processes``)
+that produce bit-identical numerics.
 """
 
+from repro.comm.backends import (
+    DeadlockError,
+    RankOutcome,
+    SPMDError,
+    process_backend_available,
+    run_rank_programs,
+)
+from repro.comm.communicator import (
+    BACKENDS,
+    Communicator,
+    MailboxCommunicator,
+    reduce_in_rank_order,
+)
 from repro.comm.grid import ProcessGrid, choose_grid
 from repro.comm.mailbox import Mailbox
 from repro.comm.qmp import QMPChannel
+from repro.comm.shm import ShmCommunicator
 from repro.comm.traffic import CommEvent, CommLog
 
 __all__ = [
+    "BACKENDS",
+    "Communicator",
+    "MailboxCommunicator",
+    "ShmCommunicator",
+    "DeadlockError",
+    "SPMDError",
+    "RankOutcome",
+    "run_rank_programs",
+    "process_backend_available",
+    "reduce_in_rank_order",
     "ProcessGrid",
     "choose_grid",
     "Mailbox",

@@ -1,0 +1,249 @@
+"""The rank-local communication interface of the SPMD execution model.
+
+The paper's scaling rests on SPMD execution: every GPU runs the *same*
+rank-local program, and all inter-rank data movement goes through a
+message-passing interface (MPI or QMP).  A :class:`Communicator` is this
+reproduction's equivalent of an ``MPI_Comm`` handle: a *per-rank
+endpoint* exposing
+
+* ``rank`` / ``size`` — who am I, how many of us are there,
+* ``isend`` / ``irecv`` / ``wait`` — non-blocking point-to-point
+  messages (sends are eager and buffered, so posting every send before
+  any receive can never deadlock — the discipline the halo engine
+  follows),
+* ``allreduce_sum`` — the global reduction Krylov inner products need,
+  summed in a *fixed rank order* so every backend produces bit-identical
+  scalars,
+* ``barrier`` — a full synchronization point.
+
+Rank programs (:mod:`repro.multigpu.rank_halo`,
+:mod:`repro.core.spmd`) are written against this protocol only; the
+interchangeable backends in :mod:`repro.comm.backends` (sequential /
+threads / processes) supply concrete endpoints.
+
+Cost accounting convention (kept consistent with the global-view
+:meth:`repro.comm.mailbox.Mailbox.allreduce_sum` so that merged per-rank
+tallies reproduce the global-view numbers exactly):
+
+* every point-to-point send charges ``messages=1`` and its payload bytes
+  to the *sender's* tally;
+* an allreduce charges each participant its own wire share
+  (``comm_bytes = nbytes``, ``messages = 1``) while the single collective
+  ``reductions=1`` is charged to rank 0 — summing the per-rank tallies
+  therefore gives ``reductions=1, messages=size, comm_bytes=nbytes*size``
+  per collective, exactly the global-view accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.traffic import CommEvent
+from repro.util.counters import record
+
+#: Names of the interchangeable SPMD backends (see repro.comm.backends).
+BACKENDS = ("sequential", "threads", "processes")
+
+
+def reduce_in_rank_order(parts: list):
+    """The canonical allreduce fold: ``((p0 + p1) + p2) + ...``.
+
+    Every backend (and the global-view
+    :meth:`~repro.comm.mailbox.Mailbox.allreduce_sum`) combines per-rank
+    contributions with this exact left fold, which is what makes residual
+    histories bit-identical across sequential, threaded and multiprocess
+    execution.
+    """
+    return sum(parts[1:], start=parts[0])
+
+
+def record_collective(rank: int, value) -> None:
+    """Charge one rank's share of an allreduce to the active tally (see
+    the accounting convention in the module docstring)."""
+    nbytes = np.asarray(value).nbytes
+    record(
+        comm_bytes=nbytes,
+        messages=1,
+        reductions=1 if rank == 0 else 0,
+    )
+
+
+@dataclass
+class SendHandle:
+    """Handle of a posted (eager, already-buffered) send."""
+
+    dst: int
+    tag: Any = 0
+    complete: bool = True
+
+    def wait(self) -> None:
+        return None
+
+
+@dataclass
+class RecvHandle:
+    """Handle of a posted receive; ``wait`` blocks until the message is in."""
+
+    comm: "Communicator"
+    src: int
+    tag: Any = 0
+    _data: np.ndarray | None = field(default=None, repr=False)
+    _done: bool = False
+
+    def wait(self) -> np.ndarray:
+        if not self._done:
+            self._data = self.comm.recv(self.src, self.tag)
+            self._done = True
+        return self._data
+
+
+class Communicator(abc.ABC):
+    """Per-rank endpoint of the SPMD message-passing interface."""
+
+    rank: int
+    size: int
+
+    # -- point to point --------------------------------------------------
+    @abc.abstractmethod
+    def isend(
+        self, dst: int, payload: np.ndarray, tag=0,
+        event: CommEvent | None = None,
+    ) -> SendHandle:
+        """Post an eager (buffered) send; never blocks."""
+
+    def irecv(self, src: int, tag=0) -> RecvHandle:
+        """Post a receive; the message is pulled in at :meth:`wait`."""
+        return RecvHandle(self, src, tag)
+
+    def wait(self, handle):
+        """Complete a send or receive handle (returns the payload for
+        receives, ``None`` for sends)."""
+        return handle.wait()
+
+    @abc.abstractmethod
+    def recv(self, src: int, tag=0) -> np.ndarray:
+        """Blocking receive (``wait(irecv(...))`` shorthand)."""
+
+    def send(self, dst: int, payload: np.ndarray, tag=0,
+             event: CommEvent | None = None) -> None:
+        """Blocking send (sends are eager, so this is just ``isend``)."""
+        self.wait(self.isend(dst, payload, tag, event=event))
+
+    # -- collectives -----------------------------------------------------
+    @abc.abstractmethod
+    def allreduce_sum(self, value):
+        """Global sum of one per-rank contribution, folded in rank order;
+        every rank receives the identical result."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+
+
+class MailboxCommunicator(Communicator):
+    """A rank endpoint over a shared in-process :class:`Mailbox`.
+
+    Two modes:
+
+    * ``blocking=False`` (default) — the *driver* mode used by the
+      global-view :class:`~repro.multigpu.halo.HaloExchanger`, whose
+      single thread orders all sends before the matching receives; a
+      missing message is a bug and raises immediately.
+    * ``blocking=True`` — the threaded SPMD mode: ``recv`` waits on the
+      mailbox's condition variable (bounded by ``timeout``).
+
+    Collectives need a rendezvous object shared by all ranks
+    (:class:`repro.comm.backends.ReduceState`); driver-mode endpoints are
+    created without one and raise if a collective is attempted (the
+    driver reduces through ``Mailbox.allreduce_sum`` directly).
+    """
+
+    def __init__(
+        self,
+        mailbox: Mailbox,
+        rank: int,
+        blocking: bool = False,
+        timeout: float | None = None,
+        reducer=None,
+        scheduler=None,
+    ):
+        if not 0 <= rank < mailbox.size:
+            raise ValueError(f"rank {rank} out of range for {mailbox.size}")
+        self.mailbox = mailbox
+        self.rank = rank
+        self.size = mailbox.size
+        self.blocking = blocking
+        self.timeout = timeout
+        self.reducer = reducer
+        self.scheduler = scheduler
+
+    # -- point to point --------------------------------------------------
+    def isend(self, dst, payload, tag=0, event=None) -> SendHandle:
+        self.mailbox.send(self.rank, dst, payload, tag=tag, event=event)
+        if self.scheduler is not None:
+            self.scheduler.notify(self.rank)
+        return SendHandle(dst, tag)
+
+    def recv(self, src, tag=0) -> np.ndarray:
+        if self.scheduler is not None:
+            # Sequential backend: yield the baton until the message is in,
+            # then pop it without blocking.
+            self.scheduler.wait_for(
+                self.rank,
+                lambda: self.mailbox.probe(self.rank, src, tag),
+                describe=lambda: self.mailbox._deadlock_message(
+                    src, self.rank, tag
+                ),
+            )
+            return self.mailbox.recv(self.rank, src, tag)
+        return self.mailbox.recv(
+            self.rank, src, tag, block=self.blocking, timeout=self.timeout
+        )
+
+    # -- collectives -----------------------------------------------------
+    def _require_reducer(self):
+        if self.reducer is None:
+            raise RuntimeError(
+                "this endpoint has no collective rendezvous (driver-mode "
+                "MailboxCommunicator); use an SPMD backend from "
+                "repro.comm.backends for allreduce/barrier"
+            )
+        return self.reducer
+
+    def allreduce_sum(self, value):
+        reducer = self._require_reducer()
+        gen = reducer.deposit(self.rank, value)
+        if self.scheduler is not None:
+            self.scheduler.wait_for(
+                self.rank,
+                lambda: reducer.ready(gen),
+                describe=lambda: (
+                    f"allreduce #{gen} stalled: "
+                    f"{reducer.describe(gen)}"
+                ),
+            )
+            result = reducer.collect(self.rank, gen, timeout=0)
+        else:
+            result = reducer.collect(self.rank, gen, timeout=self.timeout)
+        record_collective(self.rank, value)
+        return result
+
+    def barrier(self) -> None:
+        reducer = self._require_reducer()
+        gen = reducer.deposit(self.rank, np.int64(0))
+        if self.scheduler is not None:
+            self.scheduler.wait_for(
+                self.rank,
+                lambda: reducer.ready(gen),
+                describe=lambda: (
+                    f"barrier #{gen} stalled: {reducer.describe(gen)}"
+                ),
+            )
+            reducer.collect(self.rank, gen, timeout=0)
+        else:
+            reducer.collect(self.rank, gen, timeout=self.timeout)

@@ -1,11 +1,17 @@
-"""A QMP-flavored channel interface over the mailbox.
+"""A QMP-flavored channel interface over the communication substrate.
 
 QMP ("QCD message passing") is the paper's alternative communication
 framework: a simplified subset of primitives — declared memory ranges and
 started/waited message handles — implemented as a thin layer over MPI.
-We mirror that shape so the halo-exchange engine can be written against
-either interface, as QUDA is ("performance with the two frameworks is
-virtually identical" — trivially true here, both drive the same mailbox).
+We mirror that shape so halo-exchange code can be written against either
+interface, as QUDA is ("performance with the two frameworks is virtually
+identical" — trivially true here, both drive the same endpoint).
+
+A channel wraps either a shared :class:`~repro.comm.mailbox.Mailbox`
+(the legacy global-view form, ``QMPChannel(mailbox, rank)``) or any
+rank-local :class:`~repro.comm.communicator.Communicator` endpoint
+(``QMPChannel.over(comm)``), so the same declare/start/wait code runs
+under every SPMD backend.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.comm.communicator import Communicator, MailboxCommunicator
 from repro.comm.mailbox import Mailbox
 from repro.comm.traffic import CommEvent
 
@@ -28,8 +35,8 @@ class _SendHandle:
     started: bool = False
 
     def start(self) -> None:
-        self.channel.mailbox.send(
-            self.channel.rank, self.dst, self.payload, tag=self.tag, event=self.event
+        self.channel.comm.isend(
+            self.dst, self.payload, tag=self.tag, event=self.event
         )
         self.started = True
 
@@ -53,9 +60,7 @@ class _RecvHandle:
         if not self.started:
             raise RuntimeError("wait() before start() on a QMP receive handle")
         if self.data is None:
-            self.data = self.channel.mailbox.recv(
-                self.channel.rank, self.src, tag=self.tag
-            )
+            self.data = self.channel.comm.recv(self.src, tag=self.tag)
         return self.data
 
 
@@ -65,6 +70,17 @@ class QMPChannel:
     def __init__(self, mailbox: Mailbox, rank: int):
         self.mailbox = mailbox
         self.rank = rank
+        self.comm: Communicator = MailboxCommunicator(mailbox, rank)
+
+    @classmethod
+    def over(cls, comm: Communicator) -> "QMPChannel":
+        """A QMP channel over an arbitrary rank-local communicator
+        endpoint (any SPMD backend)."""
+        channel = cls.__new__(cls)
+        channel.mailbox = getattr(comm, "mailbox", None)
+        channel.rank = comm.rank
+        channel.comm = comm
+        return channel
 
     def declare_send(
         self, dst: int, payload: np.ndarray, tag=0, event: CommEvent | None = None

@@ -1,0 +1,303 @@
+"""Shared-memory multiprocess backend for SPMD rank programs.
+
+The threaded backend overlaps only numpy's GIL-releasing kernels; this
+backend forks one worker process per rank so the compute-bound stencils
+run truly core-parallel.  Message envelopes (src, tag, payload
+descriptor) travel through one ``multiprocessing.Queue`` inbox per rank,
+while payloads above a small inline threshold move through POSIX shared
+memory (``multiprocessing.shared_memory``) — the sender copies the array
+into a fresh segment and the receiver copies it out and unlinks it, so
+payload bytes cross process boundaries exactly once and never go through
+pickle.
+
+Lifecycle of a segment (and the resource-tracker discipline that keeps
+Python 3.10–3.12 from spewing leak warnings): the *sender* creates the
+segment, immediately ``unregister``\\ s it from its own resource tracker
+(ownership is being transferred), and closes its mapping; the *receiver*
+attaches (which registers it), copies the data out, closes, and unlinks
+(which unregisters).  A message that is never received therefore leaks
+its segment until the machine reclaims ``/dev/shm`` — rank-program
+failures are surfaced loudly for exactly this reason.
+
+Requires the POSIX ``fork`` start method (rank programs are closures over
+live numpy arrays; fork inherits them without pickling).  Availability is
+reported by :func:`repro.comm.backends.process_backend_available`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import deque
+from queue import Empty
+
+import numpy as np
+
+from repro.comm.communicator import (
+    Communicator,
+    SendHandle,
+    record_collective,
+    reduce_in_rank_order,
+)
+from repro.util.counters import record, tally
+
+#: Payloads at or below this many bytes ride inline in the queue envelope
+#: (a shared-memory segment per tiny scalar message would cost more than
+#: it saves).
+INLINE_LIMIT = 1 << 16
+
+
+def _unregister_segment(seg) -> None:
+    """Detach a segment from this process's resource tracker (no-op if the
+    tracker refuses)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(getattr(seg, "_name", seg.name),
+                                    "shared_memory")
+    except Exception:  # pragma: no cover - tracker quirks vary by version
+        pass
+
+
+def _pack(arr: np.ndarray):
+    """Build the queue envelope payload descriptor for one array."""
+    arr = np.asarray(arr)
+    shape = arr.shape  # before ascontiguousarray, which promotes 0-d to 1-d
+    arr = np.ascontiguousarray(arr)
+    if arr.nbytes <= INLINE_LIMIT:
+        return ("inline", arr.dtype.str, shape, arr.tobytes())
+    from multiprocessing import shared_memory
+
+    seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+    view = np.ndarray(shape, dtype=arr.dtype, buffer=seg.buf)
+    view[...] = arr.reshape(shape)
+    del view
+    _unregister_segment(seg)  # ownership transfers to the receiver
+    seg.close()
+    return ("shm", seg.name, arr.dtype.str, arr.shape)
+
+
+def _unpack(descriptor) -> np.ndarray:
+    """Materialize (and retire) the payload behind a descriptor."""
+    kind = descriptor[0]
+    if kind == "inline":
+        _, dtype, shape, raw = descriptor
+        return np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape).copy()
+    _, name, dtype, shape = descriptor
+    from multiprocessing import shared_memory
+
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        data = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf).copy()
+    finally:
+        seg.close()
+        seg.unlink()
+    return data
+
+
+class ShmCommunicator(Communicator):
+    """A rank endpoint whose wire is queues + POSIX shared memory.
+
+    Unlike the in-process mailbox, one inbox queue carries messages from
+    *all* sources, so arrivals that don't match the receive currently
+    being serviced are parked in per-(src, tag) local buffers — the
+    standard unexpected-message queue of an MPI implementation.
+    """
+
+    def __init__(self, rank: int, size: int, inboxes, timeout: float | None = None):
+        self.rank = rank
+        self.size = size
+        self.inboxes = inboxes
+        self.timeout = timeout
+        self._unexpected: dict[tuple, deque] = {}
+        self._collective_gen = 0
+
+    # -- point to point --------------------------------------------------
+    def _post(self, dst: int, payload, tag, record_cost: bool) -> int:
+        arr = np.asarray(payload)
+        self.inboxes[dst].put((self.rank, tag, _pack(arr)))
+        if record_cost:
+            record(comm_bytes=arr.nbytes, messages=1)
+        return arr.nbytes
+
+    def isend(self, dst, payload, tag=0, event=None) -> SendHandle:
+        self._post(dst, payload, tag, record_cost=True)
+        return SendHandle(dst, tag)
+
+    def recv(self, src, tag=0) -> np.ndarray:
+        key = (src, tag)
+        buffered = self._unexpected.get(key)
+        if buffered:
+            return _unpack(buffered.popleft())
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        inbox = self.inboxes[self.rank]
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise RuntimeError(self._timeout_message(src, tag))
+            try:
+                got_src, got_tag, descriptor = inbox.get(
+                    timeout=None if remaining is None else min(remaining, 0.5)
+                )
+            except Empty:
+                continue
+            if (got_src, got_tag) == key:
+                return _unpack(descriptor)
+            self._unexpected.setdefault((got_src, got_tag), deque()).append(
+                descriptor
+            )
+
+    def _timeout_message(self, src, tag) -> str:
+        lines = [
+            f"  {s} -> {self.rank}  tag={t!r}  ({len(q)} message"
+            f"{'s' if len(q) != 1 else ''})"
+            for (s, t), q in sorted(
+                self._unexpected.items(), key=lambda kv: str(kv[0])
+            )
+            if q
+        ]
+        pending = "\n".join(lines) if lines else "  (none)"
+        return (
+            f"recv timed out after {self.timeout:g}s: no message from {src} "
+            f"to {self.rank} with tag {tag!r}; locally buffered messages:\n"
+            f"{pending}"
+        )
+
+    # -- collectives -----------------------------------------------------
+    def allreduce_sum(self, value):
+        result = self._gather_fold_broadcast(value)
+        record_collective(self.rank, value)
+        return result[()] if result.ndim == 0 else result
+
+    def barrier(self) -> None:
+        # A barrier is an allreduce nobody reads — and charges nothing.
+        self._gather_fold_broadcast(np.int64(0))
+
+    def _gather_fold_broadcast(self, value) -> np.ndarray:
+        """Gather-to-root, rank-ordered fold, broadcast.  The constituent
+        sends are raw (uncharged): the collective's cost is charged once,
+        per the convention in :mod:`repro.comm.communicator`."""
+        gen = self._collective_gen
+        self._collective_gen += 1
+        up, down = ("__coll__", gen, "up"), ("__coll__", gen, "down")
+        if self.rank == 0:
+            parts = [np.asarray(value)]
+            parts += [self.recv(r, up) for r in range(1, self.size)]
+            result = np.asarray(reduce_in_rank_order(parts))
+            for r in range(1, self.size):
+                self._post(r, result, down, record_cost=False)
+            return result
+        self._post(0, value, up, record_cost=False)
+        return self.recv(0, down)
+
+
+# ----------------------------------------------------------------------
+# the process runner
+# ----------------------------------------------------------------------
+def _child_main(program, rank, size, inboxes, payload, epoch, timeout, results):
+    """Worker-process entry: run the rank program, ship back (value,
+    tally, trace events, error) through the results queue."""
+    from repro.trace import Tracer, span, tracing
+
+    comm = ShmCommunicator(rank, size, inboxes, timeout=timeout)
+    value, events, error, t = None, [], None, None
+    try:
+        with tally() as t:
+            if epoch is not None:
+                tracer = Tracer()
+                # perf_counter is CLOCK_MONOTONIC system-wide on Linux, so
+                # rebasing to the parent's epoch puts child spans on the
+                # parent's timeline.
+                tracer.epoch = epoch
+                with tracing(tracer):
+                    with span("rank_program", kind="rank", rank=rank,
+                              stream="compute"):
+                        value = program(comm, payload)
+                events = tracer.events
+            else:
+                value = program(comm, payload)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+    results.put((rank, value, t, events, error))
+
+
+def run_in_processes(program, size, payloads, timeout: float | None):
+    """Fork ``size`` workers, run ``program(comm, payloads[rank])`` in
+    each, and return the per-rank outcomes (rank order)."""
+    import multiprocessing
+
+    from repro.comm.backends import RankOutcome, SPMDError
+    from repro.trace import active_tracer
+
+    ctx = multiprocessing.get_context("fork")
+    inboxes = [ctx.Queue() for _ in range(size)]
+    results = ctx.Queue()
+    tracer = active_tracer()
+    epoch = tracer.epoch if tracer is not None else None
+
+    procs = [
+        ctx.Process(
+            target=_child_main,
+            args=(program, r, size, inboxes, payloads[r], epoch, timeout,
+                  results),
+            name=f"spmd-rank-{r}",
+            daemon=True,
+        )
+        for r in range(size)
+    ]
+    for p in procs:
+        p.start()
+
+    outcomes = {r: None for r in range(size)}
+    deadline = None if timeout is None else time.monotonic() + 4 * timeout
+    # Drain results BEFORE joining: a child blocks in its queue feeder
+    # until the parent reads its (potentially large) result.
+    while any(o is None for o in outcomes.values()):
+        try:
+            rank, value, t, events, error = results.get(timeout=0.5)
+        except Empty:
+            missing = [r for r, o in outcomes.items() if o is None]
+            dead = [
+                r for r in missing
+                if procs[r].exitcode is not None and procs[r].exitcode != 0
+            ]
+            for r in dead:
+                outcomes[r] = RankOutcome(
+                    rank=r,
+                    error=(
+                        f"worker process died with exit code "
+                        f"{procs[r].exitcode} before reporting a result"
+                    ),
+                )
+            missing = [r for r, o in outcomes.items() if o is None]
+            if missing and deadline is not None and time.monotonic() > deadline:
+                for p in procs:
+                    if p.is_alive():
+                        p.terminate()
+                raise SPMDError(
+                    f"process backend timed out waiting for ranks {missing}"
+                )
+            continue
+        outcomes[rank] = RankOutcome(
+            rank=rank,
+            value=value,
+            tally=t if t is not None else None,
+            events=events,
+            error=error,
+        )
+        if outcomes[rank].tally is None:
+            from repro.util.counters import Tally
+
+            outcomes[rank].tally = Tally()
+    for p in procs:
+        p.join(timeout=5.0)
+        if p.is_alive():  # pragma: no cover - defensive
+            p.terminate()
+    return [outcomes[r] for r in range(size)]
+
+
+__all__ = ["INLINE_LIMIT", "ShmCommunicator", "run_in_processes"]

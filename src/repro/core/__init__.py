@@ -4,6 +4,7 @@ BiCGstab, the two-stage asqtad multi-shift solver, and high-level solve
 entry points."""
 
 from repro.core.gcrdd import DistributedGCRDDSolver, GCRDDConfig, GCRDDSolver
+from repro.core.spmd import SPMDGCRDDSolver
 from repro.core.api import (
     SolveRequest,
     solve,
@@ -21,6 +22,7 @@ __all__ = [
     "GCRDDConfig",
     "GCRDDSolver",
     "DistributedGCRDDSolver",
+    "SPMDGCRDDSolver",
     "SolveRequest",
     "solve",
     "solve_wilson_clover",

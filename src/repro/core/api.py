@@ -89,6 +89,13 @@ class SolveRequest:
         and reconstruct the full solution.
     shifts:
         Required for ``"asqtad_multishift"``.
+    backend:
+        ``"gcr-dd"`` only: run the solve as SPMD rank programs under the
+        named execution backend (``"sequential"``, ``"threads"``, or
+        ``"processes"`` — see :mod:`repro.comm.backends`) instead of the
+        default global-view driver.  All backends are bit-identical to
+        the global-view solver; ``"processes"`` actually runs the ranks
+        on separate cores.
     """
 
     operator: str
@@ -106,6 +113,7 @@ class SolveRequest:
     inner_precision: Precision | None = None
     u0: float = 1.0
     shifts: Sequence[float] | None = None
+    backend: str | None = None
 
 
 def _resolved(value, default):
@@ -153,7 +161,17 @@ def _solve_wilson(request: SolveRequest):
         if request.grid is None:
             raise ValueError("gcr-dd needs a process grid (the Schwarz blocks)")
         cfg = _gcrdd_config(request)
+        if request.backend is not None:
+            from repro.core.spmd import SPMDGCRDDSolver
+
+            return SPMDGCRDDSolver(
+                request.gauge, request.mass, request.csw, request.grid,
+                boundary=request.boundary, config=cfg,
+                backend=request.backend,
+            ).solve(b)
         return GCRDDSolver(op, request.grid, cfg).solve(b)
+    if request.backend is not None:
+        raise ValueError("backend= is only meaningful for method='gcr-dd'")
     if method != "bicgstab":
         raise ValueError(
             f"unknown method {method!r} for wilson_clover; "

@@ -1,0 +1,333 @@
+"""SPMD GCR-DD: every rank runs the same rank-local solver program.
+
+Where :class:`repro.core.gcrdd.DistributedGCRDDSolver` drives the whole
+virtual cluster from one global-view loop, :class:`SPMDGCRDDSolver` runs
+the paper's actual execution model (Secs. 6-8): each rank executes
+:func:`_gcrdd_rank_program` — an unmodified flexible GCR
+(:func:`repro.solvers.gcr.gcr`) over a rank-local vector space, a
+rank-local halo-exchanging operator, and a rank-local Schwarz block
+preconditioner — and the only inter-rank interactions are the halo
+point-to-points and the allreduce behind every inner product.  Because
+the allreduce returns the identical, rank-order-folded scalar to every
+rank, all ranks take the same branches and the iteration is bit-identical
+to the global-view solver.
+
+The ``backend`` argument selects how the rank programs execute
+(:mod:`repro.comm.backends`): ``sequential`` (deterministic round-robin,
+the test reference), ``threads`` (GIL-released kernels overlap), or
+``processes`` (fork + shared memory, true core parallelism).  All three
+produce bit-identical solutions, residual histories, and — after the
+per-rank tallies are merged at join — identical cost tallies; the
+backend-parity tests assert exactly this.
+
+Supports the Wilson-clover operator (the paper's GCR-DD target) and the
+naive staggered operator; ``b`` may carry a leading multi-RHS axis, which
+runs the batched rank program (one allreduce carrying B scalars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.backends import run_rank_programs
+from repro.comm.grid import ProcessGrid
+from repro.core.gcrdd import GCRDDConfig
+from repro.dirac.base import PERIODIC, BoundarySpec
+from repro.multigpu.layout import HaloLayout
+from repro.multigpu.partition import BlockPartition
+from repro.multigpu.rank_halo import RankHaloEngine
+from repro.multigpu.rank_op import rank_naive_staggered, rank_wilson_clover
+from repro.multigpu.rank_space import BatchedRankSpace, RankSpace
+from repro.solvers.base import SolverResult
+from repro.solvers.gcr import gcr
+from repro.solvers.multirhs import BatchedSolverResult, batched_gcr, batched_mr
+from repro.solvers.space import ArraySpace, BatchedArraySpace
+
+#: Operators the SPMD solver can run.
+OPERATORS = ("wilson_clover", "staggered")
+
+
+@dataclass
+class _RankTask:
+    """Everything one rank program needs (parent-built, rank-local)."""
+
+    rank: int
+    partition: BlockPartition
+    operator: str
+    gauge_block: np.ndarray       # unpadded local links, lead=1
+    clover_block: np.ndarray | None
+    block_op: object              # Dirichlet-cut Schwarz block operator
+    mass: float
+    csw: float
+    boundary: BoundarySpec
+    config: GCRDDConfig
+    use_split: bool
+    b_local: np.ndarray
+    x0_local: np.ndarray | None
+    batched: bool
+
+
+def _gcrdd_rank_program(comm, task: _RankTask) -> dict:
+    """One rank's entire GCR-DD solve (mirrors
+    :meth:`repro.core.gcrdd.DistributedGCRDDSolver.solve` step for step —
+    the bit-parity tests depend on the exact operation sequence)."""
+    from repro.solvers.mr import mr
+    from repro.trace import span
+    from repro.util.counters import domain_local, record_operator
+
+    cfg = task.config
+    site_axes = 2 if task.operator == "wilson_clover" else 1
+    layout = HaloLayout(task.partition, depth=1)
+    engine = RankHaloEngine(
+        layout, comm, boundary=task.boundary, site_axes=site_axes
+    )
+    if task.operator == "wilson_clover":
+        rank_op = rank_wilson_clover(
+            engine, task.gauge_block, task.mass, task.csw,
+            boundary=task.boundary, clover_block=task.clover_block,
+            use_split=task.use_split,
+        )
+    else:
+        rank_op = rank_naive_staggered(
+            engine, task.gauge_block, task.mass, boundary=task.boundary,
+            use_split=task.use_split,
+        )
+
+    batched = task.batched
+    space = (
+        BatchedRankSpace(comm, site_axes=site_axes)
+        if batched
+        else RankSpace(comm, site_axes=site_axes)
+    )
+    block_space = (
+        BatchedArraySpace(site_axes=site_axes)
+        if batched
+        else ArraySpace(site_axes=site_axes)
+    )
+    block_solver = batched_mr if batched else mr
+    block_op = task.block_op
+    prec = cfg.policy.preconditioner
+
+    def preconditioner(r_loc):
+        # The single collective "schwarz_precond" event is charged to
+        # rank 0 (merged tallies then match the global-view count).
+        if comm.rank == 0:
+            record_operator("schwarz_precond")
+        if prec is not None:
+            r_loc = block_space.convert(r_loc, prec)
+
+        def apply(v):
+            if prec is None:
+                return block_op.apply(v)
+            return block_space.convert(
+                block_op.apply(block_space.convert(v, prec)), prec
+            )
+
+        # The block solve is the work the paper keeps entirely on one GPU
+        # (Sec. 8.1): its spans sit on the rank's compute stream with zero
+        # comm spans inside.
+        with span("schwarz_block_solve", kind="precond", rank=comm.rank,
+                  stream="compute", mr_steps=cfg.mr_steps,
+                  batch=(r_loc.shape[0] if batched else 1)):
+            with domain_local():
+                result = block_solver(
+                    apply, r_loc, steps=cfg.mr_steps, omega=cfg.omega,
+                    space=block_space,
+                )
+        return result.x
+
+    def inner_op(x):
+        out = rank_op.apply(space.convert(x, cfg.policy.inner))
+        return space.convert(out, cfg.policy.inner)
+
+    solver = batched_gcr if batched else gcr
+    result = solver(
+        rank_op.apply,
+        task.b_local,
+        x0=task.x0_local,
+        preconditioner=preconditioner,
+        tol=cfg.tol,
+        kmax=cfg.kmax,
+        delta=cfg.delta,
+        maxiter=cfg.maxiter,
+        outer_precision=cfg.policy.outer,
+        inner_precision=cfg.policy.inner,
+        inner_op=inner_op,
+        space=space,
+    )
+    return {
+        "x": result.x,
+        "converged": result.converged,
+        "iterations": result.iterations,
+        "residual": getattr(result, "residual", None),
+        "history": result.residual_history,
+        "matvecs": result.matvecs,
+        "restarts": result.restarts,
+        "residuals": getattr(result, "residuals", None),
+    }
+
+
+class SPMDGCRDDSolver:
+    """GCR-DD executed as per-rank SPMD programs over a pluggable backend.
+
+    Parameters mirror :class:`repro.core.gcrdd.DistributedGCRDDSolver`,
+    plus ``backend`` (``sequential`` / ``threads`` / ``processes``),
+    ``operator`` (``wilson_clover`` or ``staggered``; staggered ignores
+    ``csw``), and ``timeout`` (seconds a blocked receive may wait under
+    the concurrent backends before raising the deadlock diagnostic).
+    """
+
+    def __init__(
+        self,
+        gauge,
+        mass: float,
+        csw: float,
+        grid: ProcessGrid,
+        boundary: BoundarySpec | None = None,
+        config: GCRDDConfig | None = None,
+        backend: str = "sequential",
+        operator: str = "wilson_clover",
+        use_split: bool = False,
+        timeout: float | None = 60.0,
+    ):
+        from repro.dirac.clover import build_clover_field
+        from repro.dirac.staggered import NaiveStaggeredOperator
+        from repro.dirac.wilson import WilsonCloverOperator
+
+        if operator not in OPERATORS:
+            raise ValueError(
+                f"unknown operator {operator!r}; choose from {OPERATORS}"
+            )
+        self.grid = grid
+        self.config = config or GCRDDConfig()
+        self.backend = backend
+        self.operator = operator
+        self.use_split = bool(use_split)
+        self.timeout = timeout
+        self.boundary = boundary or PERIODIC
+        self.mass = float(mass)
+        self.csw = float(csw) if operator == "wilson_clover" else 0.0
+        self.partition = BlockPartition(gauge.geometry, grid)
+        self.site_axes = 2 if operator == "wilson_clover" else 1
+
+        # Parent-built shared pieces.  The gauge field is scattered here;
+        # its ghost exchange is part of each rank's program.  The Schwarz
+        # blocks are the same Dirichlet-cut operators the global-view
+        # solver builds — bit-parity requires identical block systems.
+        self._gauge_blocks = self.partition.split(gauge.data, lead=1)
+        if operator == "wilson_clover":
+            serial = WilsonCloverOperator(
+                gauge, mass=mass, csw=csw, boundary=self.boundary
+            )
+            # The clover field is built globally (its leaves read corner
+            # sites ghost exchange never fills) and scattered per rank.
+            self._clover_blocks = (
+                self.partition.split(build_clover_field(gauge, csw))
+                if csw != 0.0
+                else [None] * self.partition.n_ranks
+            )
+        else:
+            serial = NaiveStaggeredOperator(
+                gauge, mass=mass, boundary=self.boundary
+            )
+            self._clover_blocks = [None] * self.partition.n_ranks
+        self._blocks = [
+            serial.restrict_to_block(self.partition, rank)
+            for rank in range(self.partition.n_ranks)
+        ]
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, b, x0=None, backend: str | None = None
+    ) -> SolverResult | BatchedSolverResult:
+        """Solve M x = b; accepts/returns *global* arrays (scattered to
+        the ranks and gathered back here).  A leading multi-RHS axis on
+        ``b`` selects the batched rank program."""
+        backend = backend or self.backend
+        b = np.asarray(b)
+        expected = 4 + self.site_axes
+        lead = b.ndim - expected
+        if lead not in (0, 1):
+            raise ValueError(
+                f"b must have ndim {expected} (or +1 batch axis), "
+                f"got shape {b.shape}"
+            )
+        batched = lead == 1
+        bs = self.partition.split(b, lead=lead)
+        x0s = (
+            [None] * self.partition.n_ranks
+            if x0 is None
+            else self.partition.split(np.asarray(x0), lead=lead)
+        )
+        tasks = [
+            _RankTask(
+                rank=rank,
+                partition=self.partition,
+                operator=self.operator,
+                gauge_block=self._gauge_blocks[rank],
+                clover_block=self._clover_blocks[rank],
+                block_op=self._blocks[rank],
+                mass=self.mass,
+                csw=self.csw,
+                boundary=self.boundary,
+                config=self.config,
+                use_split=self.use_split,
+                b_local=bs[rank],
+                x0_local=x0s[rank],
+                batched=batched,
+            )
+            for rank in range(self.partition.n_ranks)
+        ]
+        outcomes = run_rank_programs(
+            _gcrdd_rank_program,
+            self.partition.n_ranks,
+            tasks,
+            backend=backend,
+            timeout=self.timeout,
+        )
+        values = [o.value for o in outcomes]
+        x = self.partition.assemble([v["x"] for v in values], lead=lead)
+        # Every rank ran the same scalar recurrence; their histories must
+        # agree bit-for-bit or the backend broke determinism.
+        for v in values[1:]:
+            if not np.array_equal(
+                np.asarray(v["history"]), np.asarray(values[0]["history"])
+            ):
+                raise RuntimeError(
+                    "SPMD ranks diverged: residual histories differ between "
+                    "ranks (non-deterministic backend reduction?)"
+                )
+        v0 = values[0]
+        extras = {"backend": backend, "spmd_ranks": self.partition.n_ranks}
+        if batched:
+            return BatchedSolverResult(
+                x=x,
+                converged=v0["converged"],
+                iterations=v0["iterations"],
+                residuals=v0["residuals"],
+                residual_history=v0["history"],
+                matvecs=v0["matvecs"],
+                restarts=v0["restarts"],
+                extras=extras,
+            )
+        return SolverResult(
+            x=x,
+            converged=v0["converged"],
+            iterations=v0["iterations"],
+            residual=v0["residual"],
+            residual_history=v0["history"],
+            matvecs=v0["matvecs"],
+            restarts=v0["restarts"],
+            extras=extras,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SPMDGCRDDSolver({self.operator}, grid={self.grid.label}, "
+            f"backend={self.backend}, blocks={self.partition.n_ranks})"
+        )
+
+
+__all__ = ["OPERATORS", "SPMDGCRDDSolver"]

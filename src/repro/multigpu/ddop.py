@@ -13,6 +13,12 @@ interior extraction.  Two execution paths are provided:
   the two paths agree to rounding; tests assert both equal the serial
   operator.
 
+The per-rank stencil bodies live in :mod:`repro.multigpu.rank_op`
+(:func:`~repro.multigpu.rank_op.fused_apply` /
+:func:`~repro.multigpu.rank_op.split_apply`) and are shared with the SPMD
+rank programs; this class is the global-view driver looping them over
+all ranks.
+
 Gauge (and fat/long link) ghost zones are exchanged once at construction,
 matching "the gauge field ... must only be transfered once at the
 beginning of a solve".
@@ -31,21 +37,11 @@ from repro.dirac.wilson import WilsonCloverOperator
 from repro.dirac.clover import build_clover_field
 from repro.gauge.asqtad import AsqtadLinks, build_asqtad_links
 from repro.lattice.fields import GaugeField
-from repro.lattice.geometry import DIR_NAMES
 from repro.multigpu.halo import HaloExchanger
+from repro.multigpu.layout import local_boundary as _local_boundary
 from repro.multigpu.partition import BlockPartition
-from repro.trace import span
+from repro.multigpu.rank_op import fused_apply, split_apply
 from repro.util.counters import record, record_operator
-
-
-def _local_boundary(global_bc: BoundarySpec, partitioned: tuple[int, ...]) -> BoundarySpec:
-    """Boundary spec for the padded local operator: partitioned directions
-    become periodic within the padded array (their wrap only pollutes ghost
-    outputs, which are discarded); the rest keep the global condition."""
-    conds = list(global_bc.conditions)
-    for mu in partitioned:
-        conds[mu] = "periodic"
-    return BoundarySpec(tuple(conds))
 
 
 class DistributedOperator:
@@ -238,29 +234,19 @@ class DistributedOperator:
         lead = self._field_lead(xs)
         self._record(batch=xs[0].shape[0] if lead else 1)
         padded = self.exchanger.exchange_spinor(xs, lead=lead)
-        out = []
-        for rank, (op, pad) in enumerate(zip(self.local_ops, padded)):
-            with span("fused_stencil", kind="interior", rank=rank,
-                      stream="compute"):
-                out.append(
-                    self.exchanger.extract_interior(op._apply(pad), lead=lead)
-                )
-        return out
+        return [
+            fused_apply(op, self.exchanger, pad, lead, rank)
+            for rank, (op, pad) in enumerate(zip(self.local_ops, padded))
+        ]
 
     def apply_dagger(self, xs: list[np.ndarray]) -> list[np.ndarray]:
         lead = self._field_lead(xs)
         self._record(batch=xs[0].shape[0] if lead else 1)
         padded = self.exchanger.exchange_spinor(xs, lead=lead)
-        out = []
-        for rank, (op, pad) in enumerate(zip(self.local_ops, padded)):
-            with span("fused_stencil_dagger", kind="interior", rank=rank,
-                      stream="compute"):
-                out.append(
-                    self.exchanger.extract_interior(
-                        op._apply_dagger(pad), lead=lead
-                    )
-                )
-        return out
+        return [
+            fused_apply(op, self.exchanger, pad, lead, rank, dagger=True)
+            for rank, (op, pad) in enumerate(zip(self.local_ops, padded))
+        ]
 
     def apply_split(self, xs: list[np.ndarray]) -> list[np.ndarray]:
         """Interior/exterior kernel path (Sec. 6.2).
@@ -274,23 +260,11 @@ class DistributedOperator:
         """
         lead = self._field_lead(xs)
         self._record(batch=xs[0].shape[0] if lead else 1)
-        exch = self.exchanger
-        padded = exch.exchange_spinor(xs, lead=lead)
-        outputs = []
-        for rank, (op, pad) in enumerate(zip(self.local_ops, padded)):
-            with span("interior_kernel", kind="interior", rank=rank,
-                      stream="compute"):
-                interior_in = exch.zero_ghosts(pad, lead=lead)
-                out = exch.extract_interior(op._apply(interior_in), lead=lead)
-            for mu in exch.partitioned_dims:
-                with span(f"exterior_{DIR_NAMES[mu]}", kind="exterior",
-                          rank=rank, stream="compute", mu=mu):
-                    ghost_in = exch.only_ghost(pad, mu, lead=lead)
-                    out = out + exch.extract_interior(
-                        op.apply_hopping(ghost_in), lead=lead
-                    )
-            outputs.append(out)
-        return outputs
+        padded = self.exchanger.exchange_spinor(xs, lead=lead)
+        return [
+            split_apply(op, self.exchanger, pad, lead, rank)
+            for rank, (op, pad) in enumerate(zip(self.local_ops, padded))
+        ]
 
     def __call__(self, xs: list[np.ndarray]) -> list[np.ndarray]:
         return self.apply(xs)

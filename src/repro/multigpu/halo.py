@@ -12,6 +12,19 @@ For every partitioned dimension, each rank
 3. *scatters* the received faces into the ghost slabs of a padded local
    array, placed adjacent to the local sub-volume exactly as in Fig. 2.
 
+The per-rank mechanics — staging, face gather/boundary/quantize, send,
+receive, scatter, all the cost accounting and trace spans — live in
+:class:`~repro.multigpu.rank_halo.RankHaloEngine`; the slicing arithmetic
+lives in :class:`~repro.multigpu.layout.HaloLayout`.  This module's
+:class:`HaloExchanger` is the *global-view driver*: it owns one engine
+per rank (each with a driver-mode
+:class:`~repro.comm.communicator.MailboxCommunicator` endpoint) and
+iterates them from a single thread in a fixed order — all sends of a
+(dimension, direction) pair posted before any receive, exactly the
+non-blocking discipline of the SPMD execution model
+(docs/architecture.md, "Execution model"), which runs the same engines
+concurrently instead.
+
 Ghost zones are only allocated and exchanged for partitioned dimensions
 ("so as to ensure that GPU memory as well as PCI-E and interconnect
 bandwidth are not wasted").  The global fermion boundary condition is
@@ -19,53 +32,32 @@ applied to faces that wrap the lattice.  Corner regions of the padded
 array are never filled: axis-aligned stencils (1-hop Wilson, 1+3-hop
 asqtad) never read them — a property the tests assert.
 
-Spinor exchanges *reuse* their padded staging arrays and precomputed
-slice tuples across calls (one allocation per shape/dtype for the
-lifetime of the exchanger) instead of ``np.zeros``-ing fresh arrays per
-application: every exchange overwrites the interior and all ghost slabs,
-and the never-written corners stay zero from the initial allocation.
-The returned padded arrays are therefore only valid until the next
-exchange of a same-shaped field — exactly the contract of a GPU ghost
-buffer.  Gauge exchanges (done once per solve, and whose results are
-retained by the local operators) always allocate fresh arrays.
+Spinor exchanges *reuse* their padded staging arrays (one allocation per
+shape/dtype per engine); the returned padded arrays are only valid until
+the next exchange of a same-shaped field — exactly the contract of a GPU
+ghost buffer.  Gauge exchanges always allocate fresh arrays.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.communicator import MailboxCommunicator
 from repro.comm.mailbox import Mailbox
-from repro.comm.traffic import CommEvent, CommLog
+from repro.comm.traffic import CommLog
 from repro.dirac.base import BoundarySpec, PERIODIC
-from repro.lattice.geometry import DIR_NAMES, Geometry, axis_of_mu
+from repro.lattice.geometry import Geometry
+from repro.multigpu.layout import HaloLayout, halo_logical_nbytes  # noqa: F401
 from repro.multigpu.partition import BlockPartition
-from repro.trace import span
-from repro.util.counters import record, timed
+from repro.multigpu.rank_halo import RankHaloEngine
+from repro.util.counters import timed
 
-
-def halo_logical_nbytes(
-    buf: np.ndarray, precision, site_axes: int
-) -> int:
-    """Logical wire bytes of one ghost-face buffer in ``precision``.
-
-    Double/single transfer the raw complex payload.  QUDA's half format
-    sends int16 mantissas (2 bytes per real) *plus one float32 norm per
-    site* — the per-site scale of the fixed-point format — so the face
-    bytes are ``reals * 2 + sites * 4``, not just ``reals * 2``.
-    ``site_axes`` counts the trailing per-site axes of the buffer (2 for
-    Wilson ``(spin, color)``, 1 for staggered ``(color,)``).
-    """
-    if precision is None:
-        return buf.nbytes
-    nbytes = buf.size * 2 * precision.bytes_per_real
-    if precision.name == "half":
-        sites = int(np.prod(buf.shape[: buf.ndim - site_axes], dtype=np.int64))
-        nbytes += sites * 4
-    return int(nbytes)
+__all__ = ["HaloExchanger", "halo_logical_nbytes"]
 
 
 class HaloExchanger:
-    """Ghost-zone exchange for one partition / stencil depth / boundary."""
+    """Global-view ghost-zone exchange: one rank engine per virtual rank,
+    driven sequentially for one partition / stencil depth / boundary."""
 
     def __init__(
         self,
@@ -84,8 +76,6 @@ class HaloExchanger:
         buffer before it is sent and logs the format's *logical* byte
         count; ``site_axes`` parametrizes the per-site scaling of the
         half format (2 for Wilson, 1 for staggered)."""
-        if depth < 1:
-            raise ValueError("ghost depth must be >= 1")
         self.partition = partition
         self.depth = depth
         self.boundary = boundary
@@ -93,98 +83,45 @@ class HaloExchanger:
         self.site_axes = site_axes
         self.log = log if log is not None else CommLog()
         self.mailbox = mailbox or Mailbox(partition.n_ranks, log=self.log)
-        for mu in self.partitioned_dims:
-            if partition.local_dims[mu] < depth:
-                raise ValueError(
-                    f"local extent {partition.local_dims[mu]} in dir {mu} is "
-                    f"thinner than the ghost depth {depth}"
-                )
-        # Reusable padded staging buffers for spinor exchanges, keyed by
-        # (lead, local field shape, dtype); see the module docstring.
-        self._pad_pool: dict[tuple, list[np.ndarray]] = {}
-        # Memoized slice tuples (pure functions of the static layout).
-        self._slice_cache: dict[tuple, tuple[slice, ...]] = {}
+        self.layout = HaloLayout(partition, depth)
+        self.engines = [
+            RankHaloEngine(
+                self.layout,
+                MailboxCommunicator(self.mailbox, rank),
+                boundary=boundary,
+                precision=precision,
+                site_axes=site_axes,
+            )
+            for rank in range(partition.n_ranks)
+        ]
 
     @property
     def partitioned_dims(self) -> tuple[int, ...]:
         return self.partition.grid.partitioned_dims
 
     # ------------------------------------------------------------------
-    # padded layout
+    # padded layout (delegated to the shared HaloLayout)
     # ------------------------------------------------------------------
     @property
     def padded_dims(self) -> tuple[int, int, int, int]:
         """Local extents grown by 2*depth in each partitioned dimension."""
-        dims = list(self.partition.local_dims)
-        for mu in self.partitioned_dims:
-            dims[mu] += 2 * self.depth
-        return tuple(dims)
+        return self.layout.padded_dims
 
     @property
     def padded_geometry(self) -> Geometry:
-        return Geometry(self.padded_dims)
+        return self.layout.padded_geometry
 
     def padded_origin(self, rank: int) -> tuple[int, int, int, int]:
         """Global coordinate of the padded array's (0,0,0,0) site."""
-        origin = list(self.partition.origin(rank))
-        for mu in self.partitioned_dims:
-            origin[mu] -= self.depth
-        return tuple(origin)
+        return self.layout.padded_origin(rank)
 
     def interior_slices(self, lead: int = 0) -> tuple[slice, ...]:
         """Slicing of the padded array that selects the true local block."""
-        key = ("interior", lead)
-        cached = self._slice_cache.get(key)
-        if cached is not None:
-            return cached
-        site = [slice(None)] * 4
-        for mu in self.partitioned_dims:
-            axis = axis_of_mu(mu)
-            site[axis] = slice(self.depth, self.depth + self.partition.local_dims[mu])
-        result = (slice(None),) * lead + tuple(site)
-        self._slice_cache[key] = result
-        return result
+        return self.layout.interior_slices(lead)
 
     def _ghost_slices(self, mu: int, side: int, lead: int = 0) -> tuple[slice, ...]:
         """Ghost slab of the padded array beyond the ``side`` face in mu."""
-        key = ("ghost", mu, side, lead)
-        cached = self._slice_cache.get(key)
-        if cached is not None:
-            return cached
-        axis = axis_of_mu(mu)
-        n_local = self.partition.local_dims[mu]
-        site = list(self.interior_slices())
-        if side == +1:
-            site[axis] = slice(self.depth + n_local, self.depth + n_local + self.depth)
-        else:
-            site[axis] = slice(0, self.depth)
-        result = (slice(None),) * lead + tuple(site)
-        self._slice_cache[key] = result
-        return result
-
-    def _padded_buffers(
-        self, local_fields: list[np.ndarray], lead: int, reuse: bool
-    ) -> list[np.ndarray]:
-        """Padded staging arrays for one exchange.
-
-        With ``reuse`` the per-(shape, dtype) pool is returned (allocated
-        and zeroed once; corners stay zero because no exchange ever writes
-        them); otherwise fresh zeroed arrays are built.
-        """
-        field = local_fields[0]
-        shape = (
-            field.shape[:lead]
-            + tuple(reversed(self.padded_dims))
-            + field.shape[lead + 4 :]
-        )
-        if not reuse:
-            return [np.zeros(shape, dtype=field.dtype) for _ in local_fields]
-        key = (lead, field.shape, field.dtype)
-        pool = self._pad_pool.get(key)
-        if pool is None:
-            pool = [np.zeros(shape, dtype=field.dtype) for _ in local_fields]
-            self._pad_pool[key] = pool
-        return pool
+        return self.layout.ghost_slices(mu, side, lead)
 
     # ------------------------------------------------------------------
     # the exchange itself
@@ -203,111 +140,40 @@ class HaloExchanger:
         periodic wrapping regardless of the fermion BC (used for gauge
         fields, which are periodic).
         """
-        part, grid = self.partition, self.partition.grid
+        part = self.partition
         if len(local_fields) != part.n_ranks:
             raise ValueError(
                 f"need {part.n_ranks} local fields, got {len(local_fields)}"
             )
-        local_geom = part.local_geometry
-
+        # A batched (multi-RHS) spinor exchange packs all B faces into ONE
+        # message per neighbor per direction: the lead axis rides inside
+        # the face buffer, so the message count is independent of B while
+        # the payload scales xB.
+        batch = (
+            int(np.prod(local_fields[0].shape[:lead]))
+            if (lead and kind == "spinor")
+            else 1
+        )
         with timed("halo_exchange", kind="halo"):
             # Gauge exchange results are retained by the local operators,
             # so only spinor exchanges may reuse the staging pool.
-            padded = self._padded_buffers(
-                local_fields, lead, reuse=(kind == "spinor")
-            )
-            interior = self.interior_slices(lead)
-            for rank, (pad, field) in enumerate(zip(padded, local_fields)):
-                with span("stage_interior", kind="gather", rank=rank,
-                          stream="compute"):
-                    pad[interior] = field
-                # Staging copy reads the field and writes the padded
-                # interior: read + write traffic.
-                record(bytes_moved=2 * field.nbytes)
-
+            reuse = kind == "spinor"
+            padded = [
+                engine.stage(field, lead, reuse=reuse)
+                for engine, field in zip(self.engines, local_fields)
+            ]
             # Post all sends first (non-blocking semantics), then receive:
             # the gather kernel extracts the *opposite* face to the ghost
             # it fills on the neighbor.
             for mu in self.partitioned_dims:
                 for sign in (+1, -1):
-                    face_key = ("face", mu, sign, lead)
-                    face = self._slice_cache.get(face_key)
-                    if face is None:
-                        face = (slice(None),) * lead + local_geom.face_slice(
-                            mu, sign, self.depth
+                    for engine, field in zip(self.engines, local_fields):
+                        engine.send_faces(
+                            field, mu, sign, lead=lead, kind=kind,
+                            apply_boundary=apply_boundary, batch=batch,
                         )
-                        self._slice_cache[face_key] = face
-                    # A batched (multi-RHS) spinor exchange packs all B
-                    # faces into ONE message per neighbor per direction:
-                    # the lead axis rides inside the face buffer, so the
-                    # message count below is independent of B while the
-                    # payload scales xB.
-                    batch = (
-                        int(np.prod(local_fields[0].shape[:lead]))
-                        if (lead and kind == "spinor")
-                        else 1
-                    )
-                    comm_stream = f"comm {DIR_NAMES[mu]}{'+' if sign > 0 else '-'}"
-                    for rank in grid.all_ranks():
-                        dst, wrapped = grid.neighbor(rank, mu, sign)
-                        # Gather/pack: extract the face and quantize it to
-                        # the wire format (the strided gather kernels of
-                        # Sec. 6.1, on the compute stream in Fig. 4).
-                        with span("gather", kind="gather", rank=rank,
-                                  stream="compute", mu=mu, sign=sign,
-                                  batch=batch):
-                            buf = np.ascontiguousarray(local_fields[rank][face])
-                            record(bytes_moved=2 * buf.nbytes)  # gather r/w
-                            if apply_boundary and wrapped:
-                                bc = self.boundary[mu]
-                                if bc == "antiperiodic":
-                                    buf = -buf
-                                elif bc == "zero":
-                                    buf = np.zeros_like(buf)
-                            logical_nbytes = buf.nbytes
-                            if self.precision is not None and kind == "spinor":
-                                buf = self.precision.convert(
-                                    buf, site_axes=self.site_axes
-                                )
-                                logical_nbytes = halo_logical_nbytes(
-                                    buf, self.precision, self.site_axes
-                                )
-                        with span("send", kind="comm", rank=rank,
-                                  stream=comm_stream, mu=mu, sign=sign,
-                                  dst=dst, nbytes=logical_nbytes,
-                                  batch=batch):
-                            self.mailbox.send(
-                                rank,
-                                dst,
-                                buf,
-                                tag=("halo", mu, sign, kind),
-                                event=CommEvent(
-                                    src=rank,
-                                    dst=dst,
-                                    mu=mu,
-                                    sign=sign,
-                                    nbytes=logical_nbytes,
-                                    kind=kind,
-                                    wrapped=wrapped,
-                                ),
-                            )
-                    for rank in grid.all_ranks():
-                        src, _ = grid.neighbor(rank, mu, -sign)
-                        with span("recv", kind="comm", rank=rank,
-                                  stream=comm_stream, mu=mu, sign=sign,
-                                  src=src):
-                            data = self.mailbox.recv(
-                                rank, src, tag=("halo", mu, sign, kind)
-                            )
-                        # A face sent forward (+1) fills the receiver's
-                        # backward (-1) ghost slab, and vice versa.
-                        ghost = self._ghost_slices(mu, -sign, lead)
-                        with span("scatter", kind="scatter", rank=rank,
-                                  stream="compute", mu=mu, sign=sign):
-                            padded[rank][ghost] = data
-                        # Scatter reads the receive buffer and writes the
-                        # ghost slab: read + write traffic.
-                        record(bytes_moved=2 * data.nbytes)
+                    for engine, pad in zip(self.engines, padded):
+                        engine.recv_face(pad, mu, sign, lead=lead, kind=kind)
         return padded
 
     def exchange_spinor(
@@ -330,22 +196,14 @@ class HaloExchanger:
 
     # ------------------------------------------------------------------
     def extract_interior(self, padded: np.ndarray, lead: int = 0) -> np.ndarray:
-        return np.ascontiguousarray(padded[self.interior_slices(lead)])
+        return self.layout.extract_interior(padded, lead)
 
     def zero_ghosts(self, padded: np.ndarray, lead: int = 0) -> np.ndarray:
         """Copy of a padded array with every ghost slab zeroed (the input
         the *interior kernel* effectively sees)."""
-        out = padded.copy()
-        for mu in self.partitioned_dims:
-            for side in (+1, -1):
-                out[self._ghost_slices(mu, side, lead)] = 0
-        return out
+        return self.layout.zero_ghosts(padded, lead)
 
     def only_ghost(self, padded: np.ndarray, mu: int, lead: int = 0) -> np.ndarray:
         """Array with only dimension-mu ghost slabs kept (the input the
         mu *exterior kernel* effectively sees)."""
-        out = np.zeros_like(padded)
-        for side in (+1, -1):
-            sl = self._ghost_slices(mu, side, lead)
-            out[sl] = padded[sl]
-        return out
+        return self.layout.only_ghost(padded, mu, lead)

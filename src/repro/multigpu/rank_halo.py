@@ -1,0 +1,223 @@
+"""Per-rank ghost-zone exchange: the SPMD half of the halo machinery.
+
+A :class:`RankHaloEngine` is ONE rank's view of the halo exchange of
+Secs. 6.1-6.3: it stages the rank's own field into a padded array,
+gathers and posts its boundary faces to its neighbors through a
+:class:`~repro.comm.communicator.Communicator` endpoint, and scatters the
+faces it receives into its ghost slabs.  The engine follows the eager
+non-blocking send discipline — *every* send is posted before any receive
+— so the exchange can never deadlock regardless of rank scheduling.
+
+The same engine serves both execution models:
+
+* the global-view :class:`~repro.multigpu.halo.HaloExchanger` drives one
+  engine per rank from a single thread (calling the granular
+  ``stage``/``send_faces``/``recv_face`` phases in its fixed order), and
+* SPMD rank programs (:mod:`repro.core.spmd`) call the composite
+  :meth:`exchange` concurrently, one engine per thread or process.
+
+Cost accounting and trace spans are emitted here, per rank, identically
+in both models — which is what makes merged per-rank tallies reproduce
+the global-view numbers exactly (the backend-parity tests assert this).
+
+Spinor exchanges reuse their padded staging array and slice tuples
+across calls (one allocation per shape/dtype for the engine's lifetime);
+corners stay zero because no exchange ever writes them.  The returned
+padded array is only valid until the next exchange of a same-shaped
+field — exactly the contract of a GPU ghost buffer.  Gauge exchanges
+always allocate fresh arrays (their results are retained by the local
+operators).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.comm.traffic import CommEvent
+from repro.dirac.base import BoundarySpec, PERIODIC
+from repro.lattice.geometry import DIR_NAMES
+from repro.multigpu.layout import HaloLayout, halo_logical_nbytes
+from repro.trace import span
+from repro.util.counters import record, timed
+
+
+class RankHaloEngine:
+    """One rank's halo-exchange endpoint over a communicator."""
+
+    def __init__(
+        self,
+        layout: HaloLayout,
+        comm: Communicator,
+        boundary: BoundarySpec = PERIODIC,
+        precision=None,
+        site_axes: int = 2,
+    ):
+        self.layout = layout
+        self.comm = comm
+        self.rank = comm.rank
+        self.boundary = boundary
+        self.precision = precision
+        self.site_axes = site_axes
+        self.grid = layout.partition.grid
+        # Reusable padded staging buffer for spinor exchanges, keyed by
+        # (lead, local field shape, dtype); see the module docstring.
+        self._pad_pool: dict[tuple, np.ndarray] = {}
+
+    @property
+    def partitioned_dims(self) -> tuple[int, ...]:
+        return self.layout.partitioned_dims
+
+    # ------------------------------------------------------------------
+    # exchange phases (driven either by self.exchange or by the
+    # global-view HaloExchanger, in the same order)
+    # ------------------------------------------------------------------
+    def stage(self, field: np.ndarray, lead: int = 0, reuse: bool = True) -> np.ndarray:
+        """Copy the local field into the interior of a padded array."""
+        shape = self.layout.padded_shape(field, lead)
+        if reuse:
+            key = (lead, field.shape, field.dtype)
+            pad = self._pad_pool.get(key)
+            if pad is None:
+                pad = np.zeros(shape, dtype=field.dtype)
+                self._pad_pool[key] = pad
+        else:
+            pad = np.zeros(shape, dtype=field.dtype)
+        with span("stage_interior", kind="gather", rank=self.rank,
+                  stream="compute"):
+            pad[self.layout.interior_slices(lead)] = field
+        # Staging copy reads the field and writes the padded interior:
+        # read + write traffic.
+        record(bytes_moved=2 * field.nbytes)
+        return pad
+
+    def send_faces(
+        self,
+        field: np.ndarray,
+        mu: int,
+        sign: int,
+        lead: int = 0,
+        kind: str = "spinor",
+        apply_boundary: bool = True,
+        batch: int = 1,
+    ) -> None:
+        """Gather the (mu, sign) face of the local field and post it to the
+        neighbor (eager non-blocking send)."""
+        dst, wrapped = self.grid.neighbor(self.rank, mu, sign)
+        comm_stream = f"comm {DIR_NAMES[mu]}{'+' if sign > 0 else '-'}"
+        # Gather/pack: extract the face and quantize it to the wire format
+        # (the strided gather kernels of Sec. 6.1, on the compute stream
+        # in Fig. 4).
+        with span("gather", kind="gather", rank=self.rank, stream="compute",
+                  mu=mu, sign=sign, batch=batch):
+            buf = np.ascontiguousarray(field[self.layout.face_slices(mu, sign, lead)])
+            record(bytes_moved=2 * buf.nbytes)  # gather r/w
+            if apply_boundary and wrapped:
+                bc = self.boundary[mu]
+                if bc == "antiperiodic":
+                    buf = -buf
+                elif bc == "zero":
+                    buf = np.zeros_like(buf)
+            logical_nbytes = buf.nbytes
+            if self.precision is not None and kind == "spinor":
+                buf = self.precision.convert(buf, site_axes=self.site_axes)
+                logical_nbytes = halo_logical_nbytes(
+                    buf, self.precision, self.site_axes
+                )
+        with span("send", kind="comm", rank=self.rank, stream=comm_stream,
+                  mu=mu, sign=sign, dst=dst, nbytes=logical_nbytes,
+                  batch=batch):
+            self.comm.isend(
+                dst,
+                buf,
+                tag=("halo", mu, sign, kind),
+                event=CommEvent(
+                    src=self.rank,
+                    dst=dst,
+                    mu=mu,
+                    sign=sign,
+                    nbytes=logical_nbytes,
+                    kind=kind,
+                    wrapped=wrapped,
+                ),
+            )
+
+    def recv_face(
+        self,
+        padded: np.ndarray,
+        mu: int,
+        sign: int,
+        lead: int = 0,
+        kind: str = "spinor",
+    ) -> None:
+        """Receive the face a neighbor sent along (mu, sign) and scatter it
+        into the corresponding ghost slab of the padded array."""
+        src, _ = self.grid.neighbor(self.rank, mu, -sign)
+        comm_stream = f"comm {DIR_NAMES[mu]}{'+' if sign > 0 else '-'}"
+        with span("recv", kind="comm", rank=self.rank, stream=comm_stream,
+                  mu=mu, sign=sign, src=src):
+            data = self.comm.recv(src, tag=("halo", mu, sign, kind))
+        # A face sent forward (+1) fills the receiver's backward (-1)
+        # ghost slab, and vice versa.
+        ghost = self.layout.ghost_slices(mu, -sign, lead)
+        with span("scatter", kind="scatter", rank=self.rank,
+                  stream="compute", mu=mu, sign=sign):
+            padded[ghost] = data
+        # Scatter reads the receive buffer and writes the ghost slab:
+        # read + write traffic.
+        record(bytes_moved=2 * data.nbytes)
+
+    # ------------------------------------------------------------------
+    # the composite per-rank exchange (SPMD rank programs)
+    # ------------------------------------------------------------------
+    def exchange(
+        self,
+        field: np.ndarray,
+        lead: int = 0,
+        kind: str = "spinor",
+        apply_boundary: bool = True,
+    ) -> np.ndarray:
+        """Full rank-local exchange: stage, post all sends, then receive.
+
+        Returns this rank's padded array with ghost zones filled from the
+        neighbors.  Safe under any backend scheduling: all sends are
+        posted (eagerly, buffered) before the first receive.
+        """
+        batch = (
+            int(np.prod(field.shape[:lead]))
+            if (lead and kind == "spinor")
+            else 1
+        )
+        with timed("halo_exchange", kind="halo"):
+            padded = self.stage(field, lead, reuse=(kind == "spinor"))
+            for mu in self.partitioned_dims:
+                for sign in (+1, -1):
+                    self.send_faces(
+                        field, mu, sign, lead=lead, kind=kind,
+                        apply_boundary=apply_boundary, batch=batch,
+                    )
+            for mu in self.partitioned_dims:
+                for sign in (+1, -1):
+                    self.recv_face(padded, mu, sign, lead=lead, kind=kind)
+        return padded
+
+    def exchange_spinor(self, field: np.ndarray, lead: int = 0) -> np.ndarray:
+        """Spinor-field exchange (applies the fermion boundary condition)."""
+        return self.exchange(field, lead=lead, kind="spinor")
+
+    def exchange_gauge(self, links: np.ndarray) -> np.ndarray:
+        """Gauge/link-field exchange — done once per solve (Sec. 6.1)."""
+        return self.exchange(links, lead=1, kind="gauge", apply_boundary=False)
+
+    # -- padded-array helpers (delegate to the shared layout) -------------
+    def extract_interior(self, padded: np.ndarray, lead: int = 0) -> np.ndarray:
+        return self.layout.extract_interior(padded, lead)
+
+    def zero_ghosts(self, padded: np.ndarray, lead: int = 0) -> np.ndarray:
+        return self.layout.zero_ghosts(padded, lead)
+
+    def only_ghost(self, padded: np.ndarray, mu: int, lead: int = 0) -> np.ndarray:
+        return self.layout.only_ghost(padded, mu, lead)
+
+
+__all__ = ["RankHaloEngine"]

@@ -1,0 +1,137 @@
+"""Rank-local vector space: one rank's share of a distributed vector.
+
+The SPMD mirror of :class:`repro.multigpu.space.DistributedSpace`: a
+vector is this rank's *block* (a plain numpy array), updates are local,
+and every inner product is a genuine two-step global reduction — a local
+partial sum followed by ``comm.allreduce_sum`` (the communication that
+throttles traditional Krylov methods at scale, Sec. 3.2).
+
+Because the allreduce folds contributions in fixed rank order and
+returns the identical scalar to every rank, a Krylov solver written
+against this space executes the *same* control flow on every rank — and
+bit-identically to the global-view solver run over
+``DistributedSpace``.  To keep the merged per-rank tallies equal to the
+global-view tallies, the recording here mirrors ``DistributedSpace``
+exactly (raw ``np.vdot`` partials plus explicit ``record`` — NOT the
+:mod:`repro.linalg.blas` reduction helpers, which would charge an extra
+``reductions=1`` on top of the communicator's collective accounting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.precision import Precision
+from repro.util.counters import record
+
+
+class RankSpace:
+    """Vector-space operations on one rank's block of a distributed field."""
+
+    def __init__(self, comm: Communicator, site_axes: int = 2):
+        self.comm = comm
+        self.site_axes = site_axes
+
+    # -- reductions -----------------------------------------------------
+    def dot(self, x, y) -> complex:
+        part = np.vdot(x, y)
+        record(flops=8 * x.size, bytes_moved=x.nbytes + y.nbytes)
+        return complex(self.comm.allreduce_sum(part))
+
+    def rdot(self, x, y) -> float:
+        part = np.vdot(x, y).real
+        record(flops=8 * x.size, bytes_moved=x.nbytes + y.nbytes)
+        return float(self.comm.allreduce_sum(part))
+
+    def norm2(self, x) -> float:
+        part = np.vdot(x, x).real
+        record(flops=4 * x.size, bytes_moved=x.nbytes)
+        return float(self.comm.allreduce_sum(part))
+
+    # -- updates ---------------------------------------------------------
+    def axpy(self, a, x, y):
+        record(flops=8 * x.size)
+        return y + a * x
+
+    def xpay(self, x, a, y):
+        record(flops=8 * x.size)
+        return x + a * y
+
+    def scale(self, a, x):
+        record(flops=6 * x.size)
+        return a * x
+
+    def copy(self, x):
+        record(bytes_moved=2 * x.nbytes)
+        return x.copy()
+
+    def zeros_like(self, x):
+        return np.zeros_like(x)
+
+    # -- precision / interop ----------------------------------------------
+    def convert(self, x, precision: Precision):
+        return precision.convert(x, site_axes=self.site_axes)
+
+    def asarray(self, x) -> np.ndarray:
+        """The rank-local block (gathering is the parent's job)."""
+        return x
+
+
+class BatchedRankSpace(RankSpace):
+    """Multi-RHS rank-local vectors: blocks ``(B,) + local lattice + site``.
+
+    Reductions compute per-RHS partial sums and combine them in ONE
+    allreduce carrying B scalars, mirroring
+    :class:`repro.multigpu.space.BatchedDistributedSpace`.
+    """
+
+    @staticmethod
+    def _bparts(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """(B,) per-RHS partial inner product of this rank's blocks."""
+        nb = x.shape[0]
+        return np.einsum(
+            "bi,bi->b", x.reshape(nb, -1).conj(), y.reshape(nb, -1)
+        )
+
+    @staticmethod
+    def _bcoeff(a, x: np.ndarray):
+        a = np.asarray(a)
+        if a.ndim == 0:
+            return a
+        return a.reshape(a.shape + (1,) * (x.ndim - 1))
+
+    def batch(self, x) -> int:
+        return x.shape[0]
+
+    # -- reductions (one allreduce carrying B scalars) -------------------
+    def dot(self, x, y) -> np.ndarray:
+        part = self._bparts(x, y)
+        record(flops=8 * x.size, bytes_moved=x.nbytes + y.nbytes)
+        return np.asarray(self.comm.allreduce_sum(part))
+
+    def rdot(self, x, y) -> np.ndarray:
+        part = self._bparts(x, y).real
+        record(flops=8 * x.size, bytes_moved=x.nbytes + y.nbytes)
+        return np.asarray(self.comm.allreduce_sum(part))
+
+    def norm2(self, x) -> np.ndarray:
+        part = self._bparts(x, x).real
+        record(flops=4 * x.size, bytes_moved=x.nbytes)
+        return np.asarray(self.comm.allreduce_sum(part))
+
+    # -- updates (per-RHS coefficients) ----------------------------------
+    def axpy(self, a, x, y):
+        record(flops=8 * x.size)
+        return y + self._bcoeff(a, x) * x
+
+    def xpay(self, x, a, y):
+        record(flops=8 * x.size)
+        return x + self._bcoeff(a, y) * y
+
+    def scale(self, a, x):
+        record(flops=6 * x.size)
+        return self._bcoeff(a, x) * x
+
+
+__all__ = ["BatchedRankSpace", "RankSpace"]

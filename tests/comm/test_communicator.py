@@ -1,0 +1,145 @@
+"""The rank-local Communicator protocol and its mailbox endpoint."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Mailbox, MailboxCommunicator, QMPChannel
+from repro.comm.communicator import (
+    BACKENDS,
+    record_collective,
+    reduce_in_rank_order,
+)
+from repro.util.counters import tally
+
+
+class TestReduceInRankOrder:
+    def test_left_fold_order(self):
+        # Floating-point addition is not associative; the canonical fold
+        # is the left fold ((p0+p1)+p2)+p3 — assert exact bit equality
+        # with the hand-written chain, not with a different grouping.
+        parts = [0.1, 0.2, 0.3, 1e16]
+        assert reduce_in_rank_order(parts) == ((0.1 + 0.2) + 0.3) + 1e16
+
+    def test_matches_mailbox_allreduce(self):
+        parts = [np.float64(0.1 * (r + 1)) for r in range(4)]
+        assert reduce_in_rank_order(parts) == Mailbox(4).allreduce_sum(parts)
+
+    def test_array_contributions(self):
+        parts = [np.arange(3.0) + r for r in range(3)]
+        assert np.array_equal(reduce_in_rank_order(parts), np.arange(3.0) * 3 + 3)
+
+
+class TestRecordCollective:
+    def test_rank0_owns_the_reduction_event(self):
+        value = np.complex128(1.0)
+        tallies = []
+        for rank in range(4):
+            with tally() as t:
+                record_collective(rank, value)
+            tallies.append(t)
+        assert [t.reductions for t in tallies] == [1, 0, 0, 0]
+        # Every participant pays its own wire share.
+        assert all(t.comm_bytes == value.nbytes for t in tallies)
+        assert all(t.messages == 1 for t in tallies)
+
+    def test_per_rank_shares_sum_to_global_accounting(self):
+        box = Mailbox(4)
+        parts = [np.complex128(r) for r in range(4)]
+        with tally() as globalview:
+            box.allreduce_sum(parts)
+        with tally() as merged:
+            for rank in range(4):
+                record_collective(rank, parts[rank])
+        assert merged.reductions == globalview.reductions == 1
+        assert merged.messages == globalview.messages == 4
+        assert merged.comm_bytes == globalview.comm_bytes
+
+
+class TestMailboxCommunicator:
+    def test_rank_and_size(self):
+        comm = MailboxCommunicator(Mailbox(3), 1)
+        assert (comm.rank, comm.size) == (1, 3)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            MailboxCommunicator(Mailbox(2), 5)
+
+    def test_isend_recv_roundtrip(self, rng):
+        box = Mailbox(2)
+        tx, rx = MailboxCommunicator(box, 0), MailboxCommunicator(box, 1)
+        payload = rng.standard_normal(8)
+        handle = tx.isend(1, payload)
+        handle.wait()  # sends are eager: wait is a no-op
+        assert np.array_equal(rx.recv(0), payload)
+
+    def test_irecv_wait(self, rng):
+        box = Mailbox(2)
+        tx, rx = MailboxCommunicator(box, 0), MailboxCommunicator(box, 1)
+        payload = rng.standard_normal(4)
+        handle = rx.irecv(0, tag="h")
+        tx.send(1, payload, tag="h")
+        assert np.array_equal(rx.wait(handle), payload)
+
+    def test_wait_is_idempotent(self, rng):
+        box = Mailbox(2)
+        MailboxCommunicator(box, 0).send(1, rng.standard_normal(4))
+        handle = MailboxCommunicator(box, 1).irecv(0)
+        assert np.array_equal(handle.wait(), handle.wait())
+
+    def test_tags_are_separate(self):
+        box = Mailbox(2)
+        tx, rx = MailboxCommunicator(box, 0), MailboxCommunicator(box, 1)
+        tx.send(1, np.array([1.0]), tag="a")
+        tx.send(1, np.array([2.0]), tag="b")
+        assert rx.recv(0, tag="b")[0] == 2.0
+        assert rx.recv(0, tag="a")[0] == 1.0
+
+    def test_driver_mode_missing_message_raises(self):
+        comm = MailboxCommunicator(Mailbox(2), 0)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            comm.recv(1)
+
+    def test_driver_mode_collectives_raise(self):
+        comm = MailboxCommunicator(Mailbox(2), 0)
+        with pytest.raises(RuntimeError, match="rendezvous"):
+            comm.allreduce_sum(1.0)
+        with pytest.raises(RuntimeError, match="rendezvous"):
+            comm.barrier()
+
+    def test_send_charges_the_sender(self):
+        box = Mailbox(2)
+        payload = np.zeros(16)
+        with tally() as t:
+            MailboxCommunicator(box, 0).send(1, payload)
+        assert t.comm_bytes == payload.nbytes
+        assert t.messages == 1
+
+
+class TestBackendsConstant:
+    def test_names(self):
+        assert BACKENDS == ("sequential", "threads", "processes")
+
+
+class TestQMPOverCommunicator:
+    def test_channel_over_endpoint(self, rng):
+        box = Mailbox(2)
+        tx = QMPChannel.over(MailboxCommunicator(box, 0))
+        rx = QMPChannel.over(MailboxCommunicator(box, 1))
+        payload = rng.standard_normal(6)
+        send = tx.declare_send(1, payload)
+        recv = rx.declare_receive(0)
+        send.start()
+        recv.start()
+        send.wait()
+        assert np.array_equal(recv.wait(), payload)
+
+    def test_legacy_and_over_interoperate(self, rng):
+        box = Mailbox(2)
+        legacy = QMPChannel(box, 0)
+        modern = QMPChannel.over(MailboxCommunicator(box, 1))
+        payload = rng.standard_normal(3)
+        h = legacy.declare_send(1, payload)
+        h.start()
+        r = modern.declare_receive(0)
+        r.start()
+        assert np.array_equal(r.wait(), payload)

@@ -75,9 +75,85 @@ class TestMailbox:
         assert total == 10.0
         assert t.reductions == 1
 
+    def test_allreduce_charges_one_message_per_rank(self):
+        # Regression: the collective recorded its payload bytes but zero
+        # messages, so message counts disagreed between the global-view
+        # allreduce and the summed per-rank SPMD charges.
+        box = Mailbox(4)
+        parts = [np.float64(r) for r in range(4)]
+        with tally() as t:
+            box.allreduce_sum(parts)
+        assert t.messages == 4
+        assert t.comm_bytes == 8 * 4
+
     def test_allreduce_arity_check(self):
         with pytest.raises(ValueError):
             Mailbox(4).allreduce_sum([1.0, 2.0])
+
+
+class TestBlockingRecv:
+    def test_blocks_until_sent(self):
+        import threading
+
+        box = Mailbox(2)
+        payload = np.arange(4.0)
+
+        def sender():
+            box.send(0, 1, payload)
+
+        t = threading.Timer(0.05, sender)
+        t.start()
+        try:
+            out = box.recv(1, 0, block=True, timeout=10.0)
+        finally:
+            t.join()
+        assert np.array_equal(out, payload)
+
+    def test_timeout_raises_diagnostic(self):
+        box = Mailbox(2)
+        box.send(0, 1, np.zeros(2), tag="other")
+        with pytest.raises(RuntimeError, match="timed out") as err:
+            box.recv(1, 0, tag="wanted", block=True, timeout=0.05)
+        # The diagnostic names the missing edge and dumps what IS pending.
+        message = str(err.value)
+        assert "with tag 'wanted'" in message
+        assert "tag='other'" in message
+
+    def test_probe(self):
+        box = Mailbox(2)
+        assert not box.probe(1, 0)
+        box.send(0, 1, np.zeros(1))
+        assert box.probe(1, 0)
+        assert not box.probe(1, 0, tag="elsewhere")
+
+
+class TestDeadlockDiagnostics:
+    def test_empty_mailbox_summary(self):
+        assert "no pending messages" in Mailbox(2).pending_summary()
+
+    def test_summary_lists_src_dst_tag_and_count(self):
+        box = Mailbox(4)
+        box.send(0, 1, np.zeros(2), tag="halo")
+        box.send(0, 1, np.zeros(2), tag="halo")
+        box.send(3, 2, np.zeros(2))
+        summary = box.pending_summary()
+        assert "0 -> 1  tag='halo'  (2 messages)" in summary
+        assert "3 -> 2  tag=0  (1 message)" in summary
+
+    def test_recv_error_includes_pending_queues(self):
+        box = Mailbox(3)
+        box.send(0, 2, np.zeros(1), tag="stray")
+        with pytest.raises(RuntimeError) as err:
+            box.recv(1, 0)
+        message = str(err.value)
+        assert "no message from 0 to 1" in message
+        assert "0 -> 2  tag='stray'  (1 message)" in message
+
+    def test_drained_queues_are_not_listed(self):
+        box = Mailbox(2)
+        box.send(0, 1, np.zeros(1))
+        box.recv(1, 0)
+        assert "no pending messages" in box.pending_summary()
 
 
 class TestQMP:

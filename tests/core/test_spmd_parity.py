@@ -1,0 +1,188 @@
+"""Backend parity for the SPMD GCR-DD solver: every execution backend
+(sequential / threads / processes) must produce bit-identical solutions,
+residual histories and communication tallies — and the sequential SPMD
+run must be bit-identical to the global-view DistributedGCRDDSolver."""
+
+import numpy as np
+import pytest
+
+from repro.comm.backends import (
+    SPMDError,
+    process_backend_available,
+    run_rank_programs,
+)
+from repro.comm.grid import ProcessGrid
+from repro.core.gcrdd import DistributedGCRDDSolver, GCRDDConfig
+from repro.core.spmd import SPMDGCRDDSolver
+from repro.lattice import GaugeField, Geometry, SpinorField
+from repro.util.counters import tally
+
+BACKENDS_AVAILABLE = ["sequential", "threads"] + (
+    ["processes"] if process_backend_available() else []
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    geom = Geometry((4, 4, 4, 8))
+    gauge = GaugeField.weak(geom, epsilon=0.25, rng=929)
+    grid = ProcessGrid((1, 1, 2, 2))
+    cfg = GCRDDConfig(tol=1e-6, mr_steps=8)
+    return geom, gauge, grid, cfg
+
+
+def _solve_all_backends(solver, b):
+    """(result, tally) per backend; construction is shared, each solve
+    re-runs the full rank programs (including the gauge ghost exchange)."""
+    out = {}
+    for backend in BACKENDS_AVAILABLE:
+        with tally() as t:
+            res = solver.solve(b, backend=backend)
+        out[backend] = (res, t)
+    return out
+
+
+class TestWilsonBackendParity:
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        geom, gauge, grid, cfg = setup
+        solver = SPMDGCRDDSolver(gauge, 0.2, 1.0, grid, config=cfg)
+        b = SpinorField.random(geom, rng=30).data
+        return _solve_all_backends(solver, b)
+
+    def test_all_converge(self, results):
+        for backend, (res, _) in results.items():
+            assert res.converged, f"{backend} failed to converge"
+            assert res.extras["backend"] == backend
+
+    def test_bit_identical_solutions(self, results):
+        reference = results["sequential"][0]
+        for backend, (res, _) in results.items():
+            assert np.array_equal(res.x, reference.x), backend
+
+    def test_bit_identical_residual_histories(self, results):
+        reference = results["sequential"][0]
+        for backend, (res, _) in results.items():
+            assert res.iterations == reference.iterations, backend
+            assert res.residual == reference.residual, backend
+            assert tuple(res.residual_history) == tuple(
+                reference.residual_history
+            ), backend
+
+    def test_identical_comm_tallies(self, results):
+        reference = results["sequential"][1]
+        for backend, (_, t) in results.items():
+            assert t.comm_bytes == reference.comm_bytes, backend
+            assert t.messages == reference.messages, backend
+            assert t.reductions == reference.reductions, backend
+            assert t.flops == reference.flops, backend
+            assert (
+                t.operator_applications == reference.operator_applications
+            ), backend
+
+
+class TestStaggeredBackendParity:
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        geom, gauge, grid, cfg = setup
+        solver = SPMDGCRDDSolver(
+            gauge, 0.5, 0.0, grid, config=cfg, operator="staggered"
+        )
+        b = SpinorField.random(geom, nspin=1, rng=11).data
+        return _solve_all_backends(solver, b)
+
+    def test_all_converge(self, results):
+        for backend, (res, _) in results.items():
+            assert res.converged, f"{backend} failed to converge"
+
+    def test_bit_identical_solutions_and_histories(self, results):
+        reference = results["sequential"][0]
+        for backend, (res, _) in results.items():
+            assert np.array_equal(res.x, reference.x), backend
+            assert tuple(res.residual_history) == tuple(
+                reference.residual_history
+            ), backend
+
+    def test_identical_comm_tallies(self, results):
+        reference = results["sequential"][1]
+        for backend, (_, t) in results.items():
+            assert t.comm_bytes == reference.comm_bytes, backend
+            assert t.messages == reference.messages, backend
+            assert t.reductions == reference.reductions, backend
+
+
+class TestAgainstGlobalView:
+    def test_spmd_is_bit_identical_to_global_view(self, setup):
+        geom, gauge, grid, cfg = setup
+        b = SpinorField.random(geom, rng=30).data
+        # Parity includes the tallies, so both tallies must cover the
+        # one-time gauge ghost exchange: the global-view solver does it at
+        # construction, the SPMD solver inside each rank program.
+        with tally() as t_global:
+            reference = DistributedGCRDDSolver(
+                gauge, 0.2, 1.0, grid, config=cfg
+            ).solve(b)
+        with tally() as t_spmd:
+            res = SPMDGCRDDSolver(gauge, 0.2, 1.0, grid, config=cfg).solve(b)
+        assert np.array_equal(res.x, reference.x)
+        assert res.iterations == reference.iterations
+        assert res.residual == reference.residual
+        assert tuple(res.residual_history) == tuple(reference.residual_history)
+        assert t_spmd.flops == t_global.flops
+        assert t_spmd.comm_bytes == t_global.comm_bytes
+        assert t_spmd.messages == t_global.messages
+        assert t_spmd.reductions == t_global.reductions
+        assert t_spmd.local_reductions == t_global.local_reductions
+        assert (
+            t_spmd.operator_applications == t_global.operator_applications
+        )
+
+    def test_batched_rhs_round_trips(self, setup):
+        geom, gauge, grid, cfg = setup
+        solver = SPMDGCRDDSolver(gauge, 0.2, 1.0, grid, config=cfg)
+        b = np.stack([
+            SpinorField.random(geom, rng=40 + i).data for i in range(2)
+        ])
+        res = solver.solve(b)
+        assert res.x.shape == b.shape
+        assert np.all(res.converged)
+
+
+class TestDeadlockDetection:
+    def test_threaded_mismatch_times_out_with_diagnostic(self):
+        """A rank program with mismatched sends/receives must surface the
+        deadlock diagnostic under the threaded backend, not hang."""
+
+        def bad_program(comm, payload):
+            if comm.rank == 0:
+                # Waits forever: rank 1 never sends with this tag.
+                return comm.recv(1, tag="missing_face")
+            comm.barrier()
+            return None
+
+        with pytest.raises(SPMDError) as err:
+            run_rank_programs(bad_program, 2, backend="threads", timeout=1.0)
+        message = str(err.value)
+        assert "missing_face" in message or "stalled" in message
+
+    def test_sequential_mismatch_is_detected_without_waiting(self):
+        def bad_program(comm, payload):
+            return comm.recv((comm.rank + 1) % comm.size, tag="nope")
+
+        with pytest.raises(SPMDError, match="deadlock|blocked|pending"):
+            run_rank_programs(
+                bad_program, 2, backend="sequential", timeout=30.0
+            )
+
+
+class TestValidation:
+    def test_unknown_operator(self, setup):
+        _, gauge, grid, cfg = setup
+        with pytest.raises(ValueError, match="unknown operator"):
+            SPMDGCRDDSolver(gauge, 0.2, 1.0, grid, operator="overlap")
+
+    def test_bad_rhs_shape(self, setup):
+        _, gauge, grid, cfg = setup
+        solver = SPMDGCRDDSolver(gauge, 0.2, 1.0, grid, config=cfg)
+        with pytest.raises(ValueError, match="ndim"):
+            solver.solve(np.zeros((4, 4)))

@@ -17,7 +17,8 @@ class TestHelp:
         )
         commands = set(sub.choices)
         assert {
-            "solve", "generate", "trace", "report", "info", "bench-multirhs"
+            "solve", "generate", "trace", "report", "info",
+            "bench-multirhs", "bench",
         } <= commands
         with pytest.raises(SystemExit):
             main(["--help"])
@@ -29,7 +30,7 @@ class TestHelp:
     def test_epilog_lines_carry_descriptions(self):
         parser = build_parser()
         table = parser.epilog.splitlines()[1:]
-        assert len(table) == 12  # fig5..fig10 + 6 named commands
+        assert len(table) == 13  # fig5..fig10 + 7 named commands
         for line in table:
             name, _, help_ = line.strip().partition(" ")
             assert help_.strip(), f"command {name} has no help line"
@@ -69,6 +70,43 @@ class TestSolve:
         assert rc == 0
         out = capsys.readouterr().out
         assert "gcr-dd" in out and "blocks=4" in out
+
+    def test_gcr_dd_spmd_backend(self, capsys):
+        rc = main([
+            "solve", "--dims", "4", "4", "4", "8", "--method", "gcr-dd",
+            "--blocks", "4", "--tol", "1e-5", "--mr-steps", "4",
+            "--backend", "threads",
+        ])
+        assert rc == 0
+        assert "backend=threads" in capsys.readouterr().out
+
+    def test_backend_requires_gcr_dd(self, capsys):
+        rc = main([
+            "solve", "--dims", "4", "4", "4", "8", "--backend", "threads",
+        ])
+        assert rc == 2
+        assert "gcr-dd" in capsys.readouterr().err
+
+
+class TestBenchSPMD:
+    def test_bench_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--dims", "4", "4", "4", "8", "--ranks", "4",
+            "--repeats", "1", "--backend", "sequential",
+            "--backend", "threads", "--output", str(out_path),
+        ])
+        assert rc == 0
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["ranks"] == 4
+        assert report["cpu_count"] is not None
+        backends = [e["backend"] for e in report["results"]]
+        assert backends == ["sequential", "threads"]
+        assert all(e["bitwise_equal_to_first_backend"]
+                   for e in report["results"])
+        assert report["results"][1]["speedup_vs_sequential"] > 0
 
 
 class TestGenerate:

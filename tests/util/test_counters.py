@@ -237,3 +237,38 @@ class TestAllreduceAccounting:
         # Payload grows with the batch, the event count does not.
         assert t.reductions == 1
         assert t.comm_bytes == nb * 16 * 2
+
+    def test_allreduce_charges_one_message_per_rank(self):
+        # Regression: allreduce_sum charged bytes and the reduction event
+        # but zero messages, while each SPMD rank endpoint charges one
+        # message for its contribution — merged per-rank tallies then
+        # disagreed with the global-view message count.  The convention:
+        # an allreduce costs one message per participating rank.
+        import numpy as np
+
+        from repro.comm.mailbox import Mailbox
+
+        box = Mailbox(4)
+        parts = [np.complex128(r) for r in range(4)]
+        with tally() as t:
+            box.allreduce_sum(parts)
+        assert t.messages == box.size
+        assert t.comm_bytes == 16 * box.size
+        assert t.reductions == 1
+
+    def test_global_view_equals_summed_spmd_shares(self):
+        import numpy as np
+
+        from repro.comm.communicator import record_collective
+        from repro.comm.mailbox import Mailbox
+
+        size = 4
+        parts = [np.float64(r + 0.5) for r in range(size)]
+        with tally() as globalview:
+            Mailbox(size).allreduce_sum(parts)
+        with tally() as merged:
+            for rank in range(size):
+                record_collective(rank, parts[rank])
+        assert merged.messages == globalview.messages
+        assert merged.comm_bytes == globalview.comm_bytes
+        assert merged.reductions == globalview.reductions
