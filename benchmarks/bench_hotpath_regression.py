@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.dirac import WilsonCloverOperator
 from repro.lattice import GaugeField, Geometry, SpinorField
+from repro.metrics.bench_schema import wrap_bench
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -101,9 +102,25 @@ def main() -> None:
         parser.error("--dims entries must be >= 2 (even-odd structure)")
 
     result = run(tuple(args.dims), args.reps)
+    report = wrap_bench(
+        "wilson_dslash_hotpath",
+        config={
+            "dims": result["dims"],
+            "sites": result["sites"],
+            "reps": result["reps"],
+            "rounds": result["rounds"],
+        },
+        metrics={
+            key: result[key]
+            for key in (
+                "reference_seconds", "projected_seconds",
+                "speedup", "max_rel_err",
+            )
+        },
+    )
     out_path = REPO_ROOT / "BENCH_hotpath.json"
-    out_path.write_text(json.dumps(result, indent=2) + "\n")
-    print(json.dumps(result, indent=2))
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
     print(f"wrote {out_path}")
 
 

@@ -17,6 +17,8 @@ python -m repro bench-multirhs \
     --batches 1 4 12 \
     --output BENCH_multirhs.json
 
+python -m repro.metrics.bench_schema BENCH_multirhs.json
+
 python - <<'PY'
 import json
 

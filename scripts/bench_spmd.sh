@@ -21,6 +21,8 @@ python -m repro bench \
     --mr-steps 10 --repeats 3 \
     --output BENCH_spmd.json
 
+python -m repro.metrics.bench_schema BENCH_spmd.json
+
 python - <<'PY'
 import json
 
@@ -29,7 +31,8 @@ with open("BENCH_spmd.json") as fh:
 results = {e["backend"]: e for e in report["results"]}
 assert all(e["converged"] for e in results.values())
 assert all(e["bitwise_equal_to_first_backend"] for e in results.values())
-cores, ranks = report["cpu_count"], report["ranks"]
+cores = report["host"]["cpu_count"]
+ranks = report["config"]["ranks"]
 proc = results.get("processes")
 if proc and cores is not None and cores >= ranks:
     speedup = proc["speedup_vs_sequential"]

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Solve-report regression gate (docs/observability.md, "Solve reports").
+#
+# 1. Runs a small deterministic GCR-DD solve with `--report`, producing
+#    the schema-validated SolveReport artifact (report_ci.json — CI
+#    uploads it).
+# 2. Self-diff: a report diffed against itself must pass.
+# 3. Gates against the committed golden report.  The operation counts
+#    (iterations, matvecs, flops, messages, reductions, comm bytes) are
+#    deterministic across machines and compared exactly; wall-clock
+#    numbers are machine-dependent, so the timing tolerance is waived
+#    with a huge --tolerance — the committed golden gates *work*, not
+#    speed.
+# 4. Proves the gate has teeth: a copy with kernel-seconds inflated 25%
+#    must fail the default 20% timing tolerance with a nonzero exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m repro solve \
+    --dims 4 4 4 8 --method gcr-dd --blocks 4 --tol 1e-6 --mr-steps 4 \
+    --backend threads --report report_ci.json
+
+python -m repro report show report_ci.json > /dev/null
+python -m repro report diff report_ci.json --baseline report_ci.json
+
+python -m repro report diff report_ci.json \
+    --baseline results/report_golden.json --tolerance 1e9
+
+python - <<'PY'
+import json
+
+with open("report_ci.json") as fh:
+    report = json.load(fh)
+report["tally"]["kernel_seconds"] = {
+    k: 1.25 * v for k, v in report["tally"]["kernel_seconds"].items()
+}
+with open("report_ci_inflated.json", "w") as fh:
+    json.dump(report, fh, indent=2)
+PY
+
+if python -m repro report diff report_ci_inflated.json \
+        --baseline report_ci.json; then
+    echo "gate failure: 25% kernel-seconds inflation passed" >&2
+    exit 1
+fi
+echo "report gate OK: inflated report rejected, golden counts match"

@@ -120,6 +120,9 @@ def _cmd_solve(args) -> int:
         f"{args.method} on {geometry!r}: {status} in {res.iterations} "
         f"iterations, residual {res.residual:.2e}{extra}"
     )
+    if args.report:
+        res.report.write(args.report)
+        print(f"wrote solve report to {args.report}")
     return 0 if res.converged else 1
 
 
@@ -150,6 +153,8 @@ def _cmd_bench_multirhs(args) -> int:
             mass=args.mass, csw=args.csw, tol=args.tol,
         )
 
+    from repro.metrics.bench_schema import wrap_bench
+
     solve(request(sources))  # warm caches (incl. batched scratch) untimed
 
     def timed_best(fn):
@@ -167,8 +172,7 @@ def _cmd_bench_multirhs(args) -> int:
                 best = (dt, result, t)
         return best
 
-    report = {
-        "bench": "multirhs",
+    config = {
         "operator": "wilson_clover",
         "method": "bicgstab",
         "dims": list(geometry.shape),
@@ -178,8 +182,9 @@ def _cmd_bench_multirhs(args) -> int:
         "epsilon": args.epsilon,
         "seed": args.seed,
         "repeats": args.repeats,
-        "results": [],
     }
+    results = []
+    metrics = {}
     for nb in batches:
         rhs = sources[:nb]
         seq_seconds, seq, seq_tally = timed_best(
@@ -204,23 +209,25 @@ def _cmd_bench_multirhs(args) -> int:
                 all(r.converged for r in seq) and np.all(bat.converged)
             ),
         }
-        report["results"].append(entry)
+        results.append(entry)
+        metrics[f"speedup_batch_{nb}"] = entry["speedup"]
+        metrics[f"batched_seconds_batch_{nb}"] = bat_seconds
         print(
             f"batch {nb:3d}: sequential {seq_seconds:7.2f}s, "
             f"batched {bat_seconds:7.2f}s, speedup {entry['speedup']:5.2f}x, "
             f"reductions {seq_tally.reductions} -> {bat_tally.reductions}"
         )
+    report = wrap_bench("multirhs", config, metrics, results=results)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
-    return 0 if all(e["all_converged"] for e in report["results"]) else 1
+    return 0 if all(e["all_converged"] for e in results) else 1
 
 
 def _cmd_bench_spmd(args) -> int:
     """Benchmark the SPMD execution backends on one GCR-DD solve."""
     import json
-    import os
     import time
 
     import numpy as np
@@ -230,6 +237,7 @@ def _cmd_bench_spmd(args) -> int:
     from repro.core.gcrdd import GCRDDConfig
     from repro.core.spmd import SPMDGCRDDSolver
     from repro.lattice import GaugeField, Geometry, SpinorField
+    from repro.metrics.bench_schema import wrap_bench
     from repro.util.counters import tally
 
     geometry = Geometry(tuple(args.dims))
@@ -248,8 +256,9 @@ def _cmd_bench_spmd(args) -> int:
               file=sys.stderr)
         backends.remove("processes")
 
-    report = {
-        "bench": "spmd",
+    # The host block records the machine (parallel backends cannot beat
+    # sequential with fewer cores than ranks — speedups need context).
+    config = {
         "operator": "wilson_clover",
         "method": "gcr-dd",
         "dims": list(geometry.shape),
@@ -262,11 +271,8 @@ def _cmd_bench_spmd(args) -> int:
         "epsilon": args.epsilon,
         "seed": args.seed,
         "repeats": args.repeats,
-        # Parallel backends cannot beat sequential with fewer cores than
-        # ranks — record the machine so speedups are interpretable.
-        "cpu_count": os.cpu_count(),
-        "results": [],
     }
+    results = []
 
     reference = None
     for backend in backends:
@@ -297,27 +303,33 @@ def _cmd_bench_spmd(args) -> int:
             "reductions": t.reductions,
             "bitwise_equal_to_first_backend": bitwise,
         }
-        report["results"].append(entry)
+        results.append(entry)
         print(
             f"{backend:>10}: {seconds:7.2f}s, {res.iterations} iterations, "
             f"residual {res.residual:.2e}, bitwise match: {bitwise}"
         )
 
-    seq = next(
-        (e for e in report["results"] if e["backend"] == "sequential"), None
-    )
+    seq = next((e for e in results if e["backend"] == "sequential"), None)
     if seq:
-        for e in report["results"]:
+        for e in results:
             e["speedup_vs_sequential"] = (
                 seq["seconds"] / e["seconds"] if e["seconds"] else 0.0
             )
+    metrics = {}
+    for e in results:
+        metrics[f"{e['backend']}_seconds"] = e["seconds"]
+        if "speedup_vs_sequential" in e:
+            metrics[f"{e['backend']}_speedup_vs_sequential"] = (
+                e["speedup_vs_sequential"]
+            )
+    report = wrap_bench("spmd", config, metrics, results=results)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
     ok = all(
         e["converged"] and e["bitwise_equal_to_first_backend"]
-        for e in report["results"]
+        for e in results
     )
     return 0 if ok else 1
 
@@ -352,6 +364,66 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    """Solve-report tooling (`show`/`diff`) and the default `figs` ASCII
+    charts of the headline figures."""
+    if args.action == "show":
+        return _report_show(args)
+    if args.action == "diff":
+        return _report_diff(args)
+    return _report_figs(args)
+
+
+def _report_show(args) -> int:
+    import json
+
+    from repro.metrics import render_report, validate_report
+
+    if not args.path:
+        print("report show needs a report path", file=sys.stderr)
+        return 2
+    with open(args.path) as fh:
+        doc = json.load(fh)
+    problems = validate_report(doc)
+    if problems:
+        print(f"{args.path}: INVALID solve report", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print(render_report(doc))
+    return 0
+
+
+def _report_diff(args) -> int:
+    """The perf regression gate: nonzero exit when the current report
+    regressed past the tolerances relative to the baseline."""
+    import json
+
+    from repro.metrics import diff_reports, format_diff, validate_report
+
+    if not args.path or not args.baseline:
+        print("report diff needs a report path and --baseline",
+              file=sys.stderr)
+        return 2
+    with open(args.path) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    for label, doc in (("current", current), ("baseline", baseline)):
+        problems = validate_report(doc)
+        if problems:
+            print(f"{label} report is invalid:", file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 2
+    regressions, notes = diff_reports(
+        current, baseline,
+        tolerance=args.tolerance, count_tolerance=args.count_tolerance,
+    )
+    print(format_diff(regressions, notes))
+    return 1 if regressions else 0
+
+
+def _report_figs(args) -> int:
     """ASCII log-log charts of the headline figures."""
     from repro.core.scaling import DslashScalingStudy, WilsonSolverScalingStudy
     from repro.perfmodel.kernels import OperatorKind
@@ -526,6 +598,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run gcr-dd as SPMD rank programs under this "
                         "execution backend (default: global-view driver)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--report", type=str, default="",
+                   help="write the SolveReport JSON artifact here")
     p.set_defaults(func=_cmd_solve)
 
     p = add_command(
@@ -614,7 +688,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tiled modeled dslash applications (default 1)")
     p.set_defaults(func=_cmd_trace)
 
-    p = add_command("report", "ASCII charts of Figs. 5 and 7")
+    p = add_command(
+        "report",
+        "figs: ASCII charts of Figs. 5/7; show/diff: solve-report tools",
+    )
+    p.add_argument("action", nargs="?", choices=["figs", "show", "diff"],
+                   default="figs",
+                   help="figs (default): model charts; show: render a "
+                        "SolveReport JSON; diff: regression-gate two")
+    p.add_argument("path", nargs="?", default="",
+                   help="solve-report JSON (the current one for diff)")
+    p.add_argument("--baseline", type=str, default="",
+                   help="baseline solve-report JSON to diff against")
+    p.add_argument("--tolerance", type=float, default=0.2,
+                   help="allowed relative increase for measured timings "
+                        "(default 0.2)")
+    p.add_argument("--count-tolerance", type=float, default=0.0,
+                   help="allowed relative increase for deterministic "
+                        "counters (default 0: any growth fails)")
     p.set_defaults(func=_cmd_report)
 
     p = add_command("info", "print version and model summary")

@@ -52,6 +52,11 @@ from repro.comm.communicator import (
     reduce_in_rank_order,
 )
 from repro.comm.mailbox import Mailbox
+from repro.metrics.registry import (
+    MetricsRegistry,
+    current_registry,
+    metrics_scope,
+)
 from repro.trace import TraceEvent, active_tracer
 from repro.util.counters import Tally, current_tally, tally
 
@@ -235,22 +240,30 @@ class BatonScheduler:
 @dataclass
 class RankOutcome:
     """What one rank program produced: its return value, its cost tally,
-    its trace events, and (on failure) the formatted error."""
+    its trace events, its metrics registry (when the caller had one
+    active), and (on failure) the formatted error."""
 
     rank: int
     value: Any = None
     tally: Tally = field(default_factory=Tally)
     events: list = field(default_factory=list)
     error: str | None = None
+    metrics: MetricsRegistry | None = None
 
 
-def _rank_body(program, comm, payload, tracer, outcome: RankOutcome):
-    """Run one rank program under its own tally (and the shared tracer),
-    recording the result into ``outcome``."""
+def _rank_body(program, comm, payload, tracer, outcome: RankOutcome,
+               metrics_on: bool = False):
+    """Run one rank program under its own tally — and, when the caller
+    has a metrics registry active, its own registry — recording the
+    result into ``outcome``."""
+    from contextlib import nullcontext
+
     from repro.trace import span, tracing
 
+    registry = MetricsRegistry() if metrics_on else None
+    scope = metrics_scope(registry) if registry is not None else nullcontext()
     try:
-        with tally() as t:
+        with tally() as t, scope:
             if tracer is not None:
                 with tracing(tracer):
                     with span("rank_program", kind="rank", rank=comm.rank,
@@ -259,6 +272,7 @@ def _rank_body(program, comm, payload, tracer, outcome: RankOutcome):
             else:
                 outcome.value = program(comm, payload)
         outcome.tally = t
+        outcome.metrics = registry
     except BaseException as exc:  # noqa: BLE001 - reported to the caller
         outcome.error = "".join(
             traceback.format_exception_only(type(exc), exc)
@@ -267,13 +281,19 @@ def _rank_body(program, comm, payload, tracer, outcome: RankOutcome):
 
 
 def _merge_outcomes(outcomes: list[RankOutcome]) -> None:
-    """Fold per-rank tallies into the caller's active tally, in rank order
-    (deterministic merge — the join side of the SPMD accounting)."""
+    """Fold per-rank tallies (and metrics registries) into the caller's,
+    in rank order (deterministic merge — the join side of the SPMD
+    accounting).  The metrics merge is exact bucket-wise addition, so the
+    merged registry is identical whichever backend produced the ranks."""
     parent = current_tally()
-    if parent is None:
-        return
-    for outcome in outcomes:
-        parent.merge(outcome.tally)
+    if parent is not None:
+        for outcome in outcomes:
+            parent.merge(outcome.tally)
+    registry = current_registry()
+    if registry is not None:
+        for outcome in outcomes:
+            if outcome.metrics is not None:
+                registry.merge(outcome.metrics)
 
 
 def _raise_on_errors(outcomes: list[RankOutcome], mailbox: Mailbox | None):
@@ -293,7 +313,8 @@ def _raise_on_errors(outcomes: list[RankOutcome], mailbox: Mailbox | None):
 
 
 def _run_in_threads(
-    program, size, payloads, timeout, sequential: bool
+    program, size, payloads, timeout, sequential: bool,
+    metrics_on: bool = False,
 ) -> tuple[list[RankOutcome], Mailbox]:
     mailbox = Mailbox(size)
     reducer = ReduceState(size)
@@ -315,7 +336,8 @@ def _run_in_threads(
         try:
             if scheduler is not None:
                 scheduler.start(rank)
-            _rank_body(program, comm, payloads[rank], tracer, outcomes[rank])
+            _rank_body(program, comm, payloads[rank], tracer, outcomes[rank],
+                       metrics_on=metrics_on)
         except BaseException as exc:  # noqa: BLE001
             if outcomes[rank].error is None:
                 outcomes[rank].error = "".join(
@@ -366,11 +388,15 @@ def process_backend_available() -> bool:
 
 
 def _run_in_processes(
-    program, size, payloads, timeout
+    program, size, payloads, timeout, metrics_on: bool = False
 ) -> tuple[list[RankOutcome], None]:
     from repro.comm.shm import run_in_processes
 
-    return run_in_processes(program, size, payloads, timeout), None
+    return (
+        run_in_processes(program, size, payloads, timeout,
+                         metrics_on=metrics_on),
+        None,
+    )
 
 
 def run_rank_programs(
@@ -401,13 +427,18 @@ def run_rank_programs(
     if len(payloads) != size:
         raise ValueError(f"need {size} payloads, got {len(payloads)}")
 
+    # Metrics follow the tally/tracer discipline: each rank gets its own
+    # registry exactly when the caller has one active, merged back at join.
+    metrics_on = current_registry() is not None
     if backend == "processes":
         if not process_backend_available():
             raise SPMDError(
                 "the multiprocess backend needs the POSIX 'fork' start "
                 "method; use backend='threads' or 'sequential' instead"
             )
-        outcomes, mailbox = _run_in_processes(program, size, payloads, timeout)
+        outcomes, mailbox = _run_in_processes(
+            program, size, payloads, timeout, metrics_on=metrics_on
+        )
         tracer = active_tracer()
         if tracer is not None:
             for outcome in outcomes:
@@ -415,7 +446,8 @@ def run_rank_programs(
                     tracer.emit(ev)
     else:
         outcomes, mailbox = _run_in_threads(
-            program, size, payloads, timeout, sequential=(backend == "sequential")
+            program, size, payloads, timeout,
+            sequential=(backend == "sequential"), metrics_on=metrics_on,
         )
     _raise_on_errors(outcomes, mailbox)
     _merge_outcomes(outcomes)

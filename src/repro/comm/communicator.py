@@ -37,6 +37,7 @@ tallies reproduce the global-view numbers exactly):
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -44,6 +45,8 @@ import numpy as np
 
 from repro.comm.mailbox import Mailbox
 from repro.comm.traffic import CommEvent
+from repro.metrics.registry import current_registry
+from repro.metrics.straggler import ALLREDUCE_WAIT, BARRIER_WAIT, RECV_WAIT
 from repro.util.counters import record
 
 #: Names of the interchangeable SPMD backends (see repro.comm.backends).
@@ -184,12 +187,29 @@ class MailboxCommunicator(Communicator):
 
     # -- point to point --------------------------------------------------
     def isend(self, dst, payload, tag=0, event=None) -> SendHandle:
+        reg = current_registry()
+        if reg is not None:
+            reg.counter("comm_messages_total", rank=self.rank).inc()
+            reg.counter("comm_bytes_total", rank=self.rank).inc(
+                np.asarray(payload).nbytes
+            )
         self.mailbox.send(self.rank, dst, payload, tag=tag, event=event)
         if self.scheduler is not None:
             self.scheduler.notify(self.rank)
         return SendHandle(dst, tag)
 
     def recv(self, src, tag=0) -> np.ndarray:
+        reg = current_registry()
+        if reg is None:
+            return self._recv(src, tag)
+        start = time.perf_counter()
+        data = self._recv(src, tag)
+        reg.histogram(RECV_WAIT, rank=self.rank).observe(
+            time.perf_counter() - start
+        )
+        return data
+
+    def _recv(self, src, tag=0) -> np.ndarray:
         if self.scheduler is not None:
             # Sequential backend: yield the baton until the message is in,
             # then pop it without blocking.
@@ -215,35 +235,38 @@ class MailboxCommunicator(Communicator):
             )
         return self.reducer
 
-    def allreduce_sum(self, value):
+    def _rendezvous(self, value, describe_what: str):
+        """Deposit + collect one collective generation, measuring the
+        rendezvous wait (deposit until every rank's contribution is in)."""
         reducer = self._require_reducer()
+        reg = current_registry()
+        start = time.perf_counter() if reg is not None else 0.0
         gen = reducer.deposit(self.rank, value)
         if self.scheduler is not None:
             self.scheduler.wait_for(
                 self.rank,
                 lambda: reducer.ready(gen),
                 describe=lambda: (
-                    f"allreduce #{gen} stalled: "
-                    f"{reducer.describe(gen)}"
+                    f"{describe_what} #{gen} stalled: {reducer.describe(gen)}"
                 ),
             )
             result = reducer.collect(self.rank, gen, timeout=0)
         else:
             result = reducer.collect(self.rank, gen, timeout=self.timeout)
+        if reg is not None:
+            name = (
+                ALLREDUCE_WAIT if describe_what == "allreduce"
+                else BARRIER_WAIT
+            )
+            reg.histogram(name, rank=self.rank).observe(
+                time.perf_counter() - start
+            )
+        return result
+
+    def allreduce_sum(self, value):
+        result = self._rendezvous(value, "allreduce")
         record_collective(self.rank, value)
         return result
 
     def barrier(self) -> None:
-        reducer = self._require_reducer()
-        gen = reducer.deposit(self.rank, np.int64(0))
-        if self.scheduler is not None:
-            self.scheduler.wait_for(
-                self.rank,
-                lambda: reducer.ready(gen),
-                describe=lambda: (
-                    f"barrier #{gen} stalled: {reducer.describe(gen)}"
-                ),
-            )
-            reducer.collect(self.rank, gen, timeout=0)
-        else:
-            reducer.collect(self.rank, gen, timeout=self.timeout)
+        self._rendezvous(np.int64(0), "barrier")

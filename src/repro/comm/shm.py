@@ -39,6 +39,8 @@ from repro.comm.communicator import (
     record_collective,
     reduce_in_rank_order,
 )
+from repro.metrics.registry import current_registry
+from repro.metrics.straggler import ALLREDUCE_WAIT, BARRIER_WAIT, RECV_WAIT
 from repro.util.counters import record, tally
 
 #: Payloads at or below this many bytes ride inline in the queue envelope
@@ -121,10 +123,31 @@ class ShmCommunicator(Communicator):
         return arr.nbytes
 
     def isend(self, dst, payload, tag=0, event=None) -> SendHandle:
+        reg = current_registry()
+        if reg is not None:
+            reg.counter("comm_messages_total", rank=self.rank).inc()
+            reg.counter("comm_bytes_total", rank=self.rank).inc(
+                np.asarray(payload).nbytes
+            )
         self._post(dst, payload, tag, record_cost=True)
         return SendHandle(dst, tag)
 
     def recv(self, src, tag=0) -> np.ndarray:
+        reg = current_registry()
+        if reg is None:
+            return self._recv(src, tag)
+        start = time.perf_counter()
+        data = self._recv(src, tag)
+        reg.histogram(RECV_WAIT, rank=self.rank).observe(
+            time.perf_counter() - start
+        )
+        return data
+
+    def _recv(self, src, tag=0) -> np.ndarray:
+        """The raw receive.  Collective internals call this directly so
+        their constituent messages don't pollute the per-rank recv-wait
+        histogram (each backend then observes exactly one wait per
+        user-level ``recv``/``allreduce``/``barrier`` call)."""
         key = (src, tag)
         buffered = self._unexpected.get(key)
         if buffered:
@@ -167,44 +190,64 @@ class ShmCommunicator(Communicator):
 
     # -- collectives -----------------------------------------------------
     def allreduce_sum(self, value):
-        result = self._gather_fold_broadcast(value)
+        result = self._timed_collective(value, ALLREDUCE_WAIT)
         record_collective(self.rank, value)
         return result[()] if result.ndim == 0 else result
 
     def barrier(self) -> None:
         # A barrier is an allreduce nobody reads — and charges nothing.
-        self._gather_fold_broadcast(np.int64(0))
+        self._timed_collective(np.int64(0), BARRIER_WAIT)
+
+    def _timed_collective(self, value, wait_metric: str) -> np.ndarray:
+        reg = current_registry()
+        if reg is None:
+            return self._gather_fold_broadcast(value)
+        start = time.perf_counter()
+        result = self._gather_fold_broadcast(value)
+        reg.histogram(wait_metric, rank=self.rank).observe(
+            time.perf_counter() - start
+        )
+        return result
 
     def _gather_fold_broadcast(self, value) -> np.ndarray:
         """Gather-to-root, rank-ordered fold, broadcast.  The constituent
-        sends are raw (uncharged): the collective's cost is charged once,
-        per the convention in :mod:`repro.comm.communicator`."""
+        sends and receives are raw (uncharged, unobserved): the
+        collective's cost is charged once, per the convention in
+        :mod:`repro.comm.communicator`, and its wait is observed once by
+        :meth:`_timed_collective`."""
         gen = self._collective_gen
         self._collective_gen += 1
         up, down = ("__coll__", gen, "up"), ("__coll__", gen, "down")
         if self.rank == 0:
             parts = [np.asarray(value)]
-            parts += [self.recv(r, up) for r in range(1, self.size)]
+            parts += [self._recv(r, up) for r in range(1, self.size)]
             result = np.asarray(reduce_in_rank_order(parts))
             for r in range(1, self.size):
                 self._post(r, result, down, record_cost=False)
             return result
         self._post(0, value, up, record_cost=False)
-        return self.recv(0, down)
+        return self._recv(0, down)
 
 
 # ----------------------------------------------------------------------
 # the process runner
 # ----------------------------------------------------------------------
-def _child_main(program, rank, size, inboxes, payload, epoch, timeout, results):
+def _child_main(program, rank, size, inboxes, payload, epoch, timeout,
+                metrics_on, results):
     """Worker-process entry: run the rank program, ship back (value,
-    tally, trace events, error) through the results queue."""
+    tally, trace events, error, metrics snapshot) through the results
+    queue."""
+    from contextlib import nullcontext
+
+    from repro.metrics.registry import MetricsRegistry, metrics_scope
     from repro.trace import Tracer, span, tracing
 
     comm = ShmCommunicator(rank, size, inboxes, timeout=timeout)
     value, events, error, t = None, [], None, None
+    registry = MetricsRegistry() if metrics_on else None
+    scope = metrics_scope(registry) if registry is not None else nullcontext()
     try:
-        with tally() as t:
+        with tally() as t, scope:
             if epoch is not None:
                 tracer = Tracer()
                 # perf_counter is CLOCK_MONOTONIC system-wide on Linux, so
@@ -222,15 +265,18 @@ def _child_main(program, rank, size, inboxes, payload, epoch, timeout, results):
         error = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
-    results.put((rank, value, t, events, error))
+    metrics_doc = registry.to_dict() if registry is not None else None
+    results.put((rank, value, t, events, error, metrics_doc))
 
 
-def run_in_processes(program, size, payloads, timeout: float | None):
+def run_in_processes(program, size, payloads, timeout: float | None,
+                     metrics_on: bool = False):
     """Fork ``size`` workers, run ``program(comm, payloads[rank])`` in
     each, and return the per-rank outcomes (rank order)."""
     import multiprocessing
 
     from repro.comm.backends import RankOutcome, SPMDError
+    from repro.metrics.registry import MetricsRegistry
     from repro.trace import active_tracer
 
     ctx = multiprocessing.get_context("fork")
@@ -243,7 +289,7 @@ def run_in_processes(program, size, payloads, timeout: float | None):
         ctx.Process(
             target=_child_main,
             args=(program, r, size, inboxes, payloads[r], epoch, timeout,
-                  results),
+                  metrics_on, results),
             name=f"spmd-rank-{r}",
             daemon=True,
         )
@@ -258,7 +304,9 @@ def run_in_processes(program, size, payloads, timeout: float | None):
     # until the parent reads its (potentially large) result.
     while any(o is None for o in outcomes.values()):
         try:
-            rank, value, t, events, error = results.get(timeout=0.5)
+            rank, value, t, events, error, metrics_doc = results.get(
+                timeout=0.5
+            )
         except Empty:
             missing = [r for r, o in outcomes.items() if o is None]
             dead = [
@@ -288,6 +336,11 @@ def run_in_processes(program, size, payloads, timeout: float | None):
             tally=t if t is not None else None,
             events=events,
             error=error,
+            metrics=(
+                MetricsRegistry.from_dict(metrics_doc)
+                if metrics_doc is not None
+                else None
+            ),
         )
         if outcomes[rank].tally is None:
             from repro.util.counters import Tally

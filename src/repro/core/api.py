@@ -15,6 +15,7 @@ shims over :func:`solve`.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, replace
 from typing import Sequence
@@ -29,6 +30,8 @@ from repro.dirac.staggered import AsqtadOperator, StaggeredNormalOperator
 from repro.dirac.wilson import WilsonCloverOperator
 from repro.gauge.asqtad import AsqtadLinks, build_asqtad_links
 from repro.lattice.fields import GaugeField
+from repro.metrics.registry import metrics_scope
+from repro.metrics.solve_report import build_solve_report
 from repro.precision import Precision, SINGLE
 from repro.solvers.base import SolverResult
 from repro.solvers.bicgstab import bicgstab
@@ -280,6 +283,18 @@ def _solve_asqtad_multishift(request: SolveRequest) -> MultishiftRefineResult:
     )
 
 
+def _dispatch(request: SolveRequest):
+    if request.operator == "wilson_clover":
+        return _solve_wilson(request)
+    if request.operator == "asqtad":
+        return _solve_asqtad(request)
+    if request.operator == "asqtad_multishift":
+        return _solve_asqtad_multishift(request)
+    raise ValueError(
+        f"unknown operator {request.operator!r}; expected one of {_OPERATORS}"
+    )
+
+
 def solve(
     request: SolveRequest,
 ) -> "SolverResult | BatchedSolverResult | MultishiftRefineResult":
@@ -291,16 +306,24 @@ def solve(
     carries a leading batch axis, and a
     :class:`~repro.solvers.refine.MultishiftRefineResult` for
     ``asqtad_multishift``.
+
+    Every result carries the flight-recorder artifact on ``.report``: a
+    :class:`~repro.metrics.SolveReport` assembled from the solve's own
+    tally, metrics registry (per-rank wait histograms under the SPMD
+    backends) and wall time — see docs/observability.md.  The solve runs
+    under a nested tally/registry, so a caller's enclosing
+    :func:`~repro.util.counters.tally` or
+    :func:`~repro.metrics.metrics_scope` still observes everything.
     """
-    if request.operator == "wilson_clover":
-        return _solve_wilson(request)
-    if request.operator == "asqtad":
-        return _solve_asqtad(request)
-    if request.operator == "asqtad_multishift":
-        return _solve_asqtad_multishift(request)
-    raise ValueError(
-        f"unknown operator {request.operator!r}; expected one of {_OPERATORS}"
+    from repro.util.counters import tally
+
+    start = time.perf_counter()
+    with tally() as t, metrics_scope() as registry:
+        result = _dispatch(request)
+    result.report = build_solve_report(
+        request, result, t, time.perf_counter() - start, registry
     )
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -166,6 +166,7 @@ def _gcrdd_rank_program(comm, task: _RankTask) -> dict:
         "matvecs": result.matvecs,
         "restarts": result.restarts,
         "residuals": getattr(result, "residuals", None),
+        "extras": getattr(result, "extras", {}),
     }
 
 
@@ -300,7 +301,13 @@ class SPMDGCRDDSolver:
                     "ranks (non-deterministic backend reduction?)"
                 )
         v0 = values[0]
-        extras = {"backend": backend, "spmd_ranks": self.partition.n_ranks}
+        # Rank 0's solver extras (e.g. iterations_by_precision) are
+        # identical on every rank — the solve is bit-reproducible — so
+        # forwarding one rank's copy loses nothing.
+        extras = dict(v0.get("extras") or {})
+        extras.update(
+            {"backend": backend, "spmd_ranks": self.partition.n_ranks}
+        )
         if batched:
             return BatchedSolverResult(
                 x=x,

@@ -1,0 +1,78 @@
+"""Flight-recorder metrics: labeled counters/gauges/histograms with the
+same thread-local, zero-cost-when-disabled, merge-at-SPMD-join
+discipline as tallies and traces (see docs/observability.md)."""
+
+from repro.metrics.bench_schema import (
+    BENCH_SCHEMA_VERSION,
+    host_info,
+    validate_bench,
+    validate_bench_file,
+    wrap_bench,
+)
+from repro.metrics.export import to_jsonl, to_prometheus
+from repro.metrics.registry import (
+    DEFAULT_BUCKET_SPEC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    inc,
+    log_buckets,
+    metrics_scope,
+    observe,
+    set_gauge,
+)
+from repro.metrics.solve_report import (
+    REPORT_SCHEMA_VERSION,
+    SolveReport,
+    build_solve_report,
+    config_fingerprint,
+    diff_reports,
+    format_diff,
+    render_report,
+    validate_report,
+)
+from repro.metrics.straggler import (
+    ALLREDUCE_WAIT,
+    BARRIER_WAIT,
+    RECV_WAIT,
+    WAIT_METRICS,
+    rank_wait_stats,
+    straggler_summary,
+)
+
+__all__ = [
+    "ALLREDUCE_WAIT",
+    "BARRIER_WAIT",
+    "BENCH_SCHEMA_VERSION",
+    "Counter",
+    "DEFAULT_BUCKET_SPEC",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RECV_WAIT",
+    "REPORT_SCHEMA_VERSION",
+    "SolveReport",
+    "WAIT_METRICS",
+    "build_solve_report",
+    "config_fingerprint",
+    "current_registry",
+    "diff_reports",
+    "format_diff",
+    "host_info",
+    "inc",
+    "log_buckets",
+    "metrics_scope",
+    "observe",
+    "rank_wait_stats",
+    "render_report",
+    "set_gauge",
+    "straggler_summary",
+    "to_jsonl",
+    "to_prometheus",
+    "validate_bench",
+    "validate_bench_file",
+    "validate_report",
+    "wrap_bench",
+]

@@ -1,0 +1,149 @@
+"""The one versioned schema behind every ``BENCH_*.json`` artifact.
+
+Before this module each benchmark writer invented its own JSON layout;
+now all of them (``python -m repro bench``, ``bench-multirhs``,
+``benchmarks/bench_hotpath_regression.py``) emit the same envelope and
+both the bench scripts and the CI gate validate it with
+:func:`validate_bench`:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "bench": "spmd",
+      "host": {"cpu_count": 8, "platform": "...", "python": "3.12.1"},
+      "config": { ...the knobs that produced the run... },
+      "metrics": { ...headline scalars the trajectory gate reads... },
+      "results": [ ...optional detailed per-point entries... ]
+    }
+
+``metrics`` is deliberately flat (name -> number): it is what a
+regression gate diffs and what a dashboard plots; anything structured
+belongs in ``results``.  Run ``python -m repro.metrics.bench_schema
+FILE...`` to validate artifacts from the command line (the CI
+trajectory gate does exactly this against the committed files).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Keys every host block carries (values may be null for artifacts
+#: migrated from before host capture existed).
+HOST_KEYS = ("cpu_count", "platform", "python")
+
+
+def host_info() -> dict:
+    """The host block for a fresh artifact (shared with SolveReport)."""
+    import os
+    import platform
+
+    import numpy as np
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+    }
+
+
+def wrap_bench(
+    bench: str,
+    config: dict,
+    metrics: dict,
+    results: list | None = None,
+    host: dict | None = None,
+) -> dict:
+    """Assemble (and validate) one schema-conforming bench document."""
+    doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": bench,
+        "host": host if host is not None else host_info(),
+        "config": config,
+        "metrics": metrics,
+    }
+    if results is not None:
+        doc["results"] = results
+    problems = validate_bench(doc)
+    if problems:
+        raise ValueError(
+            "refusing to emit an invalid bench document:\n  "
+            + "\n  ".join(problems)
+        )
+    return doc
+
+
+def validate_bench(doc: dict) -> list[str]:
+    """All schema violations in ``doc`` (empty list == valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        problems.append("bench must be a non-empty string")
+    host = doc.get("host")
+    if not isinstance(host, dict):
+        problems.append("host must be an object")
+    else:
+        for key in HOST_KEYS:
+            if key not in host:
+                problems.append(f"host is missing {key!r}")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config must be an object")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    else:
+        for name, value in metrics.items():
+            if value is not None and not isinstance(value, (int, float)):
+                problems.append(
+                    f"metrics[{name!r}] must be a number (or null), "
+                    f"got {type(value).__name__}"
+                )
+    if "results" in doc and not isinstance(doc["results"], list):
+        problems.append("results, when present, must be a list")
+    return problems
+
+
+def validate_bench_file(path: str) -> list[str]:
+    """Validate one JSON artifact on disk; parse errors are violations."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    return validate_bench(doc)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.metrics.bench_schema FILE...`` — the CI gate's
+    schema check over the committed trajectory artifacts."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.metrics.bench_schema FILE...",
+              file=sys.stderr)
+        return 2
+    rc = 0
+    for path in paths:
+        problems = validate_bench_file(path)
+        if problems:
+            rc = 1
+            print(f"{path}: INVALID")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(f"{path}: ok")
+    return rc
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -1,0 +1,296 @@
+"""A mergeable registry of labeled counters, gauges and histograms.
+
+The third observability instrument, next to tallies
+(:mod:`repro.util.counters` — *how much*) and traces
+(:mod:`repro.trace` — *when*): durable, labeled **metrics** in the
+Prometheus data model, built for the flight-recorder layer
+(docs/observability.md).  The registry follows the exact discipline the
+other two instruments established:
+
+* **thread-local stack** — a registry is installed with
+  :func:`metrics_scope`; the module-level instrument helpers
+  (:func:`inc`, :func:`set_gauge`, :func:`observe`) act on the innermost
+  registry of *this thread*;
+* **zero cost when disabled** — with no registry installed, every helper
+  returns after a single thread-local attribute check (asserted by a
+  micro-test), so instrumented hot paths are unperturbed by default;
+* **mergeable at SPMD join** — each rank program runs under its own
+  registry instance, and :meth:`MetricsRegistry.merge` folds them into
+  the caller's in rank order, exactly like per-rank tallies and tracers
+  (:mod:`repro.comm.backends`).  Merging is exact: counter values add,
+  histogram bucket counts add integer-wise — no re-binning, no loss.
+
+Histograms use **fixed, deterministic, log-spaced buckets**
+(:func:`log_buckets`): bucket edges are a pure function of the
+``(low, high, per_decade)`` spec, so histograms created independently on
+every rank (or on different backends) are structurally identical and
+merge bucket-by-bucket.  Two histograms with the same name and labels
+but different bucket layouts are a configuration error and raise.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Default histogram layout: 1e-7 s .. 100 s, 3 buckets per decade — wide
+#: enough for microsecond condition-variable waits and second-scale
+#: allreduce stalls on one deterministic axis.
+DEFAULT_BUCKET_SPEC = (1e-7, 100.0, 3)
+
+
+def log_buckets(
+    low: float, high: float, per_decade: int = 3
+) -> tuple[float, ...]:
+    """Deterministic log-spaced bucket upper edges from ``low`` to ``high``.
+
+    Edges are ``low * 10**(k / per_decade)`` for integer ``k``, computed
+    from the spec alone — independently created histograms therefore get
+    bit-identical layouts and merge exactly.
+    """
+    if low <= 0 or high <= low:
+        raise ValueError(f"need 0 < low < high, got ({low}, {high})")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    n = int(math.ceil(per_decade * math.log10(high / low)))
+    edges = [low * 10.0 ** (k / per_decade) for k in range(n + 1)]
+    return tuple(edges)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing labeled value."""
+
+    name: str
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A labeled value that may go up or down (last write wins on merge)."""
+
+    name: str
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: observation counts per log-spaced bucket,
+    plus exact ``sum`` and ``count`` (the Prometheus histogram triple).
+
+    ``bucket_counts[i]`` counts observations ``<= edges[i]``
+    (non-cumulative storage; the exporter renders the cumulative ``le``
+    series), with one final overflow bucket for values above the last
+    edge (rendered as ``le="+Inf"``).
+    """
+
+    __slots__ = ("name", "labels", "edges", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, labels: dict, edges: tuple[float, ...]):
+        self.name = name
+        self.labels = labels
+        self.edges = tuple(edges)
+        self.bucket_counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Binary search would win for many edges; ~30 linear compares is
+        # cheaper than the bisect call overhead at this size.
+        idx = len(self.edges)
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                idx = i
+                break
+        self.bucket_counts[idx] += 1
+        self.count += 1
+        self.sum += value
+
+
+class _MetricsState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[MetricsRegistry] = []
+
+
+_STATE = _MetricsState()
+
+
+class MetricsRegistry:
+    """All metrics of one scope (a solve, a rank program), keyed by
+    ``(name, sorted labels)``.
+
+    Not locked: a registry is owned by one thread at a time (installed
+    per rank thread, merged by the parent after join), mirroring the
+    tally and tracer ownership discipline.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[tuple, Counter] = {}
+        self.gauges: dict[tuple, Gauge] = {}
+        self.histograms: dict[tuple, Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        c = self.counters.get(key)
+        if c is None:
+            c = self.counters[key] = Counter(name, labels)
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        g = self.gauges.get(key)
+        if g is None:
+            g = self.gauges[key] = Gauge(name, labels)
+        return g
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        h = self.histograms.get(key)
+        edges = (
+            tuple(buckets)
+            if buckets is not None
+            else log_buckets(*DEFAULT_BUCKET_SPEC)
+        )
+        if h is None:
+            h = self.histograms[key] = Histogram(name, labels, edges)
+        elif buckets is not None and h.edges != edges:
+            raise ValueError(
+                f"histogram {name!r} {labels} already exists with a "
+                f"different bucket layout"
+            )
+        return h
+
+    # -- merge / serialize ----------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry, exactly.
+
+        Counters and histogram buckets/sums add; gauges take the other's
+        value (last merge wins).  Histograms must agree on bucket layout.
+        """
+        for key, c in other.counters.items():
+            self.counter(c.name, **c.labels).value += c.value
+        for key, g in other.gauges.items():
+            self.gauge(g.name, **g.labels).value = g.value
+        for key, h in other.histograms.items():
+            mine = self.histogram(h.name, buckets=h.edges, **h.labels)
+            if mine.edges != h.edges:
+                raise ValueError(
+                    f"cannot merge histogram {h.name!r} {h.labels}: "
+                    f"bucket layouts differ"
+                )
+            for i, n in enumerate(h.bucket_counts):
+                mine.bucket_counts[i] += n
+            mine.count += h.count
+            mine.sum += h.sum
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (the wire format of the process backend and
+        the ``metrics`` block of a :class:`~repro.metrics.SolveReport`)."""
+        return {
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels), "value": c.value}
+                for _, c in sorted(self.counters.items())
+            ],
+            "gauges": [
+                {"name": g.name, "labels": dict(g.labels), "value": g.value}
+                for _, g in sorted(self.gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": dict(h.labels),
+                    "edges": list(h.edges),
+                    "bucket_counts": list(h.bucket_counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for _, h in sorted(self.histograms.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        reg = cls()
+        for c in data.get("counters", ()):
+            reg.counter(c["name"], **c["labels"]).value = c["value"]
+        for g in data.get("gauges", ()):
+            reg.gauge(g["name"], **g["labels"]).value = g["value"]
+        for h in data.get("histograms", ()):
+            hist = reg.histogram(
+                h["name"], buckets=tuple(h["edges"]), **h["labels"]
+            )
+            hist.bucket_counts = list(h["bucket_counts"])
+            hist.count = h["count"]
+            hist.sum = h["sum"]
+        return reg
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+
+# ----------------------------------------------------------------------
+# the thread-local scope + zero-cost instrument helpers
+# ----------------------------------------------------------------------
+def current_registry() -> MetricsRegistry | None:
+    """The innermost registry installed on *this thread*, or ``None``."""
+    return _STATE.stack[-1] if _STATE.stack else None
+
+
+@contextmanager
+def metrics_scope(registry: MetricsRegistry | None = None):
+    """Install a registry on the current thread for the duration of the
+    block (creates a fresh one when ``None``).
+
+    >>> with metrics_scope() as reg:
+    ...     run_solve()
+    >>> print(to_prometheus(reg))
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    _STATE.stack.append(reg)
+    try:
+        yield reg
+    finally:
+        _STATE.stack.pop()
+
+
+def inc(name: str, amount: float = 1.0, **labels) -> None:
+    """Increment a counter on the active registry (no-op when disabled)."""
+    if not _STATE.stack:
+        return
+    _STATE.stack[-1].counter(name, **labels).inc(amount)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Set a gauge on the active registry (no-op when disabled)."""
+    if not _STATE.stack:
+        return
+    _STATE.stack[-1].gauge(name, **labels).set(value)
+
+
+def observe(
+    name: str, value: float, buckets: tuple[float, ...] | None = None,
+    **labels,
+) -> None:
+    """Record one histogram observation (no-op when disabled)."""
+    if not _STATE.stack:
+        return
+    _STATE.stack[-1].histogram(name, buckets=buckets, **labels).observe(value)

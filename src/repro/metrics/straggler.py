@@ -1,0 +1,77 @@
+"""Load-imbalance summary over the per-rank wait histograms.
+
+The paper's strong-scaling knee (Sec. 9) — and QUDA's before it
+(arXiv:1011.0024) — appears when some ranks finish their local work
+early and sit in blocking receives or the allreduce rendezvous waiting
+for the slowest rank.  The SPMD communicators measure exactly that wait
+(:mod:`repro.comm.communicator`, :mod:`repro.comm.shm`): every blocking
+``recv``, ``allreduce`` and ``barrier`` observes its elapsed wait into a
+per-rank histogram.  This module reduces those histograms to the
+*straggler summary*: total wait seconds per rank, and the
+``max/median`` rank-wait ratio — read it like the scaling knee: a ratio
+near 1 means the ranks are balanced and waits are pure wire latency; a
+ratio that grows with rank count means one rank's slowness is serializing
+the whole cluster.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+from repro.metrics.registry import MetricsRegistry
+
+#: Histogram of seconds a rank spent blocked in ``recv`` before the
+#: matching message was available.
+RECV_WAIT = "spmd_recv_wait_seconds"
+#: Histogram of seconds a rank spent in the allreduce rendezvous (deposit
+#: to result) — the global inner-product synchronization cost.
+ALLREDUCE_WAIT = "spmd_allreduce_wait_seconds"
+#: Histogram of seconds a rank spent in ``barrier`` — arrival skew.
+BARRIER_WAIT = "spmd_barrier_wait_seconds"
+
+#: All per-rank wait histogram families, in reporting order.
+WAIT_METRICS = (RECV_WAIT, ALLREDUCE_WAIT, BARRIER_WAIT)
+
+
+def rank_wait_stats(registry: MetricsRegistry) -> dict[int, dict]:
+    """Per-rank wait totals: ``{rank: {metric: {"seconds", "count"}}}``.
+
+    Ranks come from the ``rank`` label of the wait histograms; ranks with
+    no wait observations are absent.
+    """
+    out: dict[int, dict] = {}
+    for _, h in sorted(registry.histograms.items()):
+        if h.name not in WAIT_METRICS or "rank" not in h.labels:
+            continue
+        rank = int(h.labels["rank"])
+        out.setdefault(rank, {})[h.name] = {
+            "seconds": h.sum,
+            "count": h.count,
+        }
+    return out
+
+
+def straggler_summary(registry: MetricsRegistry) -> dict | None:
+    """The ``max/median`` rank-wait ratio over all wait histograms.
+
+    Returns ``None`` when no per-rank wait observations exist (a
+    non-SPMD solve).  A large ratio means a minority of ranks absorb the
+    waiting — the straggler signature; ~1 means waits are uniform
+    (bandwidth/latency-bound, not imbalance-bound).
+    """
+    per_rank = rank_wait_stats(registry)
+    if not per_rank:
+        return None
+    totals = {
+        rank: sum(m["seconds"] for m in metrics.values())
+        for rank, metrics in sorted(per_rank.items())
+    }
+    values = list(totals.values())
+    med = median(values)
+    mx = max(values)
+    return {
+        "rank_wait_seconds": {str(r): s for r, s in totals.items()},
+        "max_wait_seconds": mx,
+        "median_wait_seconds": med,
+        "max_over_median": (mx / med) if med > 0 else None,
+    }

@@ -39,6 +39,10 @@ class SolverResult:
         Restart cycles used (GCR / reliable-update solvers).
     extras:
         Solver-specific diagnostics (e.g. per-shift residuals).
+    report:
+        The :class:`~repro.metrics.SolveReport` flight-recorder artifact,
+        attached by :func:`repro.core.api.solve` (``None`` when the solver
+        was invoked directly).
     """
 
     x: object
@@ -49,6 +53,7 @@ class SolverResult:
     matvecs: int = 0
     restarts: int = 0
     extras: dict = field(default_factory=dict)
+    report: object = None
 
 
 class PrecisionWrappedOperator:

@@ -187,6 +187,14 @@ def gcr(
             break  # breakdown with no progress: bail out
 
     residual = math.sqrt(r0_norm2 / b_norm2)
+    # The Krylov steps iterate in the inner precision; each restart does
+    # one true-residual recomputation (and solution update) in the outer.
+    inner_name = (inner_precision or outer_precision).name
+    iterations_by_precision = {inner_name: total_iters}
+    if restarts:
+        iterations_by_precision[outer_precision.name] = (
+            iterations_by_precision.get(outer_precision.name, 0) + restarts
+        )
     return SolverResult(
         x,
         converged=converged,
@@ -195,4 +203,5 @@ def gcr(
         residual_history=history,
         matvecs=matvecs,
         restarts=restarts,
+        extras={"iterations_by_precision": iterations_by_precision},
     )

@@ -98,6 +98,13 @@ def defect_correction(
         if result.iterations == 0 and not result.converged:
             break  # inner solver made no progress; avoid spinning
 
+    # The work-horse iterations run in the inner precision; each cycle
+    # does one true-residual correction in double.
+    iterations_by_precision = {inner_precision.name: total_inner_iters}
+    if cycles:
+        iterations_by_precision["double"] = (
+            iterations_by_precision.get("double", 0) + cycles
+        )
     return SolverResult(
         x,
         converged=converged,
@@ -106,7 +113,10 @@ def defect_correction(
         residual_history=history,
         matvecs=matvecs,
         restarts=cycles,
-        extras={"cycles": cycles},
+        extras={
+            "cycles": cycles,
+            "iterations_by_precision": iterations_by_precision,
+        },
     )
 
 

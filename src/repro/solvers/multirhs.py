@@ -51,6 +51,7 @@ class BatchedSolverResult:
     matvecs: int = 0
     restarts: int = 0
     extras: dict = field(default_factory=dict)
+    report: object = None
 
     @property
     def batch(self) -> int:

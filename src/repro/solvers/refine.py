@@ -34,6 +34,7 @@ class MultishiftRefineResult:
     shifts: list[float]
     multishift: SolverResult
     refinements: list[SolverResult]
+    report: object = None
 
     @property
     def converged(self) -> bool:

@@ -29,6 +29,10 @@ class SpanStat:
     name: str
     count: int = 0
     total: float = 0.0
+    #: Spans emitted by a ``timed()`` region nested inside another one —
+    #: their seconds are double-counted in ``Tally.kernel_seconds``
+    #: (run with ``REPRO_DEBUG_TIMING=1`` to make the nesting raise).
+    nested: int = 0
 
     @property
     def mean(self) -> float:
@@ -47,6 +51,8 @@ def summarize(events: list[TraceEvent]) -> list[SpanStat]:
         st = stats.setdefault((ev.kind, ev.name), SpanStat(ev.kind, ev.name))
         st.count += 1
         st.total += ev.duration
+        if ev.args.get("nested"):
+            st.nested += 1
     return sorted(stats.values(), key=lambda s: -s.total)
 
 
@@ -122,8 +128,15 @@ def format_table(events: list[TraceEvent], top: int = 0) -> str:
         f"{'total [ms]':>10}  {'mean [us]':>10}"
     ]
     for s in stats:
+        flag = f"  NESTED x{s.nested}" if s.nested else ""
         lines.append(
             f"{s.kind:<{kind_w}}  {s.name:<{name_w}}  {s.count:>7d}  "
-            f"{s.total * 1e3:>10.3f}  {s.mean * 1e6:>10.1f}"
+            f"{s.total * 1e3:>10.3f}  {s.mean * 1e6:>10.1f}{flag}"
+        )
+    if any(s.nested for s in stats):
+        lines.append(
+            "NESTED: timed() regions ran inside another timed() region — "
+            "their seconds double-count in Tally.kernel_seconds "
+            "(REPRO_DEBUG_TIMING=1 raises at the nesting site)"
         )
     return "\n".join(lines)

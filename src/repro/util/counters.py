@@ -27,6 +27,7 @@ installed, :func:`record`/:func:`timed` cost one attribute check.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -109,6 +110,41 @@ class Tally:
             self.kernel_seconds.get(name, 0.0) + float(seconds)
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot; :meth:`from_dict` round-trips it exactly
+        (the ``tally`` block of a :class:`~repro.metrics.SolveReport`)."""
+        return {
+            "flops": self.flops,
+            "bytes_moved": self.bytes_moved,
+            "comm_bytes": self.comm_bytes,
+            "messages": self.messages,
+            "reductions": self.reductions,
+            "local_reductions": self.local_reductions,
+            "operator_applications": dict(self.operator_applications),
+            "seconds": self.seconds,
+            "kernel_seconds": dict(self.kernel_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Tally":
+        return cls(
+            flops=int(data.get("flops", 0)),
+            bytes_moved=int(data.get("bytes_moved", 0)),
+            comm_bytes=int(data.get("comm_bytes", 0)),
+            messages=int(data.get("messages", 0)),
+            reductions=int(data.get("reductions", 0)),
+            local_reductions=int(data.get("local_reductions", 0)),
+            operator_applications={
+                str(k): int(v)
+                for k, v in data.get("operator_applications", {}).items()
+            },
+            seconds=float(data.get("seconds", 0.0)),
+            kernel_seconds={
+                str(k): float(v)
+                for k, v in data.get("kernel_seconds", {}).items()
+            },
+        )
+
     def merge(self, other: "Tally") -> None:
         self.flops += other.flops
         self.bytes_moved += other.bytes_moved
@@ -129,6 +165,7 @@ class _TallyStack(threading.local):
     def __init__(self) -> None:
         self.stack: list[Tally] = []
         self.local_scope_depth: int = 0
+        self.timed_depth: int = 0
 
 
 _STACK = _TallyStack()
@@ -184,23 +221,39 @@ def timed(name: str, kind: str = "kernel", rank: int | None = None,
     :func:`repro.trace.tracing` scope is active — so trace totals and
     tally totals cannot disagree.  A no-op-cost passthrough when neither a
     tally nor a tracer is active.  Do not nest timed regions: totals
-    would double-count.
+    would double-count.  With ``REPRO_DEBUG_TIMING=1`` in the environment
+    a nested region raises immediately; otherwise it is tolerated but its
+    trace span carries ``nested: true`` so the summary can flag it.
     """
     has_tally = current_tally() is not None
     if not has_tally and active_tracer() is None:
         yield
         return
+    nested = _STACK.timed_depth > 0
+    if nested and os.environ.get("REPRO_DEBUG_TIMING") == "1":
+        raise RuntimeError(
+            f"nested timed() region {name!r}: kernel-seconds totals would "
+            "double-count (REPRO_DEBUG_TIMING=1)"
+        )
+    _STACK.timed_depth += 1
     start = time.perf_counter()
     try:
         yield
     finally:
+        _STACK.timed_depth -= 1
         elapsed = time.perf_counter() - start
         if has_tally:
             record_seconds(name, elapsed)
-        emit_complete(
-            name, kind, start, elapsed, rank=rank, stream=stream,
-            source="timed",
-        )
+        if nested:
+            emit_complete(
+                name, kind, start, elapsed, rank=rank, stream=stream,
+                source="timed", nested=True,
+            )
+        else:
+            emit_complete(
+                name, kind, start, elapsed, rank=rank, stream=stream,
+                source="timed",
+            )
 
 
 @contextmanager

@@ -1,0 +1,92 @@
+"""The unified BENCH_*.json schema: wrap, validate, CLI, and the
+committed reference files."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.metrics.bench_schema import (
+    BENCH_SCHEMA_VERSION,
+    host_info,
+    main,
+    validate_bench,
+    validate_bench_file,
+    wrap_bench,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestWrap:
+    def test_wrap_produces_valid_document(self):
+        doc = wrap_bench(
+            "spmd", config={"ranks": 4}, metrics={"speedup": 1.5},
+            results=[{"backend": "threads"}],
+        )
+        assert validate_bench(doc) == []
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["bench"] == "spmd"
+        assert doc["config"]["ranks"] == 4
+        assert doc["metrics"]["speedup"] == 1.5
+
+    def test_wrap_fills_host_block(self):
+        doc = wrap_bench("x", config={}, metrics={})
+        for key in ("cpu_count", "platform", "python"):
+            assert key in doc["host"]
+
+    def test_wrap_rejects_non_scalar_metrics(self):
+        with pytest.raises(ValueError):
+            wrap_bench("x", config={}, metrics={"bad": [1, 2]})
+
+    def test_host_info_reports_this_machine(self):
+        host = host_info()
+        assert host["cpu_count"] >= 1
+        assert host["python"]
+
+
+class TestValidate:
+    def test_flags_every_problem(self):
+        problems = validate_bench({"schema_version": 99})
+        joined = "\n".join(problems)
+        assert "schema_version" in joined
+        assert "bench" in joined
+        assert "host" in joined
+        assert "metrics" in joined
+
+    def test_non_object_rejected(self):
+        assert validate_bench([]) != []
+
+    def test_file_validator(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(wrap_bench("x", config={}, metrics={})))
+        assert validate_bench_file(str(good)) == []
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert validate_bench_file(str(bad)) != []
+
+
+class TestCLI:
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps(wrap_bench("x", config={}, metrics={})))
+        assert main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main([str(path)]) == 1
+
+    def test_no_args_exit_two(self, capsys):
+        assert main([]) == 2
+
+
+class TestCommittedReferences:
+    @pytest.mark.parametrize(
+        "name", ["BENCH_spmd.json", "BENCH_multirhs.json", "BENCH_hotpath.json"]
+    )
+    def test_committed_bench_files_valid(self, name):
+        path = REPO_ROOT / name
+        doc = json.loads(path.read_text())
+        assert validate_bench(doc) == [], name

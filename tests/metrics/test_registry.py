@@ -1,0 +1,281 @@
+"""The metrics registry: thread-local scoping, zero cost when disabled,
+deterministic buckets, exact merging, and the export formats."""
+
+import json
+import threading
+
+import pytest
+
+from repro.metrics.export import to_jsonl, to_prometheus
+from repro.metrics.registry import (
+    DEFAULT_BUCKET_SPEC,
+    MetricsRegistry,
+    current_registry,
+    inc,
+    log_buckets,
+    metrics_scope,
+    observe,
+    set_gauge,
+)
+
+
+class TestLogBuckets:
+    def test_deterministic_pure_function_of_spec(self):
+        assert log_buckets(1e-7, 100.0, 3) == log_buckets(1e-7, 100.0, 3)
+
+    def test_edges_span_the_range(self):
+        edges = log_buckets(1e-3, 10.0, 2)
+        assert edges[0] == 1e-3
+        assert edges[-1] >= 10.0
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 0.5)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 2.0, per_decade=0)
+
+
+class TestScope:
+    def test_no_registry_by_default(self):
+        assert current_registry() is None
+
+    def test_helpers_record_inside_scope(self):
+        with metrics_scope() as reg:
+            inc("solves_total")
+            inc("solves_total")
+            set_gauge("queue_depth", 3.0)
+            observe("wait_seconds", 0.01)
+        key = ("solves_total", ())
+        assert reg.counters[key].value == 2.0
+        assert reg.gauges[("queue_depth", ())].value == 3.0
+        assert reg.histograms[("wait_seconds", ())].count == 1
+
+    def test_scope_restored_after_exit(self):
+        with metrics_scope():
+            pass
+        assert current_registry() is None
+
+    def test_nested_scopes_innermost_wins(self):
+        with metrics_scope() as outer:
+            with metrics_scope() as inner:
+                inc("x")
+            inc("x")
+        assert inner.counters[("x", ())].value == 1.0
+        assert outer.counters[("x", ())].value == 1.0
+
+    def test_registry_not_visible_in_other_thread(self):
+        seen = {}
+
+        def worker():
+            seen["registry"] = current_registry()
+            inc("leaked")  # must vanish
+
+        with metrics_scope() as reg:
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        assert seen["registry"] is None
+        assert not reg.counters
+
+
+class TestZeroCostWhenDisabled:
+    def test_disabled_helpers_do_exactly_one_attribute_check(self):
+        """The contract from the module docstring, asserted literally:
+        with no registry installed, each helper touches thread-local
+        state exactly once (``_STATE.stack``) and returns — no registry
+        lookup, no metric construction."""
+        from repro.metrics import registry as mod
+
+        class CountingState:
+            def __init__(self):
+                self.reads = 0
+                self._stack = []
+
+            @property
+            def stack(self):
+                self.reads += 1
+                return self._stack
+
+        counting = CountingState()
+        original = mod._STATE
+        mod._STATE = counting
+        try:
+            inc("c", 5.0, rank=0)
+            assert counting.reads == 1
+            set_gauge("g", 1.0)
+            assert counting.reads == 2
+            observe("h", 0.5)
+            assert counting.reads == 3
+        finally:
+            mod._STATE = original
+
+    def test_disabled_helpers_never_construct_metrics(self, monkeypatch):
+        def boom(*a, **kw):
+            raise AssertionError("registry touched while disabled")
+
+        monkeypatch.setattr(MetricsRegistry, "counter", boom)
+        monkeypatch.setattr(MetricsRegistry, "gauge", boom)
+        monkeypatch.setattr(MetricsRegistry, "histogram", boom)
+        inc("c")
+        set_gauge("g", 1.0)
+        observe("h", 0.1)
+
+
+class TestCountersAndGauges:
+    def test_counters_only_go_up(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("n").inc(-1.0)
+
+    def test_labels_distinguish_instances(self):
+        reg = MetricsRegistry()
+        reg.counter("n", rank=0).inc()
+        reg.counter("n", rank=1).inc(2.0)
+        assert reg.counter("n", rank=0).value == 1.0
+        assert reg.counter("n", rank=1).value == 2.0
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("n", a=1, b=2).inc()
+        reg.counter("n", b=2, a=1).inc()
+        assert len(reg.counters) == 1
+        assert reg.counter("n", a=1, b=2).value == 2.0
+
+
+class TestHistogram:
+    def test_observe_fills_the_right_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)   # <= 1.0
+        h.observe(5.0)   # <= 10.0
+        h.observe(50.0)  # overflow
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == 55.5
+
+    def test_default_buckets_come_from_the_spec(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        assert h.edges == log_buckets(*DEFAULT_BUCKET_SPEC)
+
+    def test_bucket_layout_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0), rank=0)
+        with pytest.raises(ValueError, match="bucket layout"):
+            reg.histogram("h", buckets=(1.0, 3.0), rank=0)
+
+
+class TestMerge:
+    def test_merge_is_exact_addition(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n", rank=0).inc(3.0)
+        b.counter("n", rank=0).inc(4.0)
+        b.counter("n", rank=1).inc(1.0)
+        for value in (0.5, 5.0):
+            a.histogram("h", buckets=(1.0, 10.0)).observe(value)
+            b.histogram("h", buckets=(1.0, 10.0)).observe(value)
+        a.merge(b)
+        assert a.counter("n", rank=0).value == 7.0
+        assert a.counter("n", rank=1).value == 1.0
+        h = a.histogram("h", buckets=(1.0, 10.0))
+        assert h.bucket_counts == [2, 2, 0]
+        assert h.count == 4
+        assert h.sum == 11.0
+
+    def test_merge_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        a.merge(b)
+        assert a.gauge("g").value == 2.0
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,))
+        b.histogram("h", buckets=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_rank_order_fold_equals_any_order_for_counts(self):
+        """Counter/histogram merging is commutative exact addition —
+        the SPMD join can fold per-rank registries in rank order and
+        get the same totals as any other order."""
+        regs = []
+        for rank in range(3):
+            r = MetricsRegistry()
+            r.counter("n").inc(rank + 1)
+            r.histogram("h", buckets=(1.0,)).observe(0.5)
+            regs.append(r)
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for r in regs:
+            forward.merge(r)
+        for r in reversed(regs):
+            backward.merge(r)
+        assert forward.to_dict() == backward.to_dict()
+
+
+class TestSerialization:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("n", rank=0).inc(2.0)
+        reg.gauge("g").set(-1.5)
+        reg.histogram("h", buckets=(1.0, 10.0), rank=0).observe(0.5)
+        return reg
+
+    def test_round_trip_exact(self):
+        reg = self._populated()
+        clone = MetricsRegistry.from_dict(reg.to_dict())
+        assert clone.to_dict() == reg.to_dict()
+
+    def test_round_trip_survives_json(self):
+        reg = self._populated()
+        doc = json.loads(json.dumps(reg.to_dict()))
+        assert MetricsRegistry.from_dict(doc).to_dict() == reg.to_dict()
+
+    def test_bool_reflects_content(self):
+        assert not MetricsRegistry()
+        assert self._populated()
+
+
+class TestExport:
+    def test_prometheus_counter_and_type_line(self):
+        reg = MetricsRegistry()
+        reg.counter("solves_total", rank=0).inc(3.0)
+        page = to_prometheus(reg)
+        assert "# TYPE solves_total counter" in page
+        assert 'solves_total{rank="0"} 3' in page
+
+    def test_prometheus_histogram_series_is_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wait_seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        page = to_prometheus(reg)
+        assert 'wait_seconds_bucket{le="1.0"} 1' in page
+        assert 'wait_seconds_bucket{le="10.0"} 2' in page
+        assert 'wait_seconds_bucket{le="+Inf"} 3' in page
+        assert "wait_seconds_count 3" in page
+        assert "wait_seconds_sum 55.5" in page
+
+    def test_type_line_emitted_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("n", rank=0).inc()
+        reg.counter("n", rank=1).inc()
+        page = to_prometheus(reg)
+        assert page.count("# TYPE n counter") == 1
+
+    def test_jsonl_one_object_per_instance(self):
+        reg = MetricsRegistry()
+        reg.counter("n", rank=0).inc()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        lines = to_jsonl(reg).strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert [d["type"] for d in docs] == ["counter", "histogram"]
+        assert docs[0]["labels"] == {"rank": 0}
+
+    def test_empty_registry_exports_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert to_jsonl(MetricsRegistry()) == ""

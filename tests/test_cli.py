@@ -100,8 +100,12 @@ class TestBenchSPMD:
         import json
 
         report = json.loads(out_path.read_text())
-        assert report["ranks"] == 4
-        assert report["cpu_count"] is not None
+        from repro.metrics.bench_schema import validate_bench
+
+        assert validate_bench(report) == []
+        assert report["config"]["ranks"] == 4
+        assert report["host"]["cpu_count"] is not None
+        assert report["metrics"]["threads_speedup_vs_sequential"] > 0
         backends = [e["backend"] for e in report["results"]]
         assert backends == ["sequential", "threads"]
         assert all(e["bitwise_equal_to_first_backend"]

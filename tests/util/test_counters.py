@@ -3,6 +3,8 @@ and the timed() bridge into the trace subsystem."""
 
 import threading
 
+import pytest
+
 from repro import trace
 from repro.util.counters import (
     Tally,
@@ -90,6 +92,59 @@ class TestDomainLocal:
             with domain_local():
                 record(flops=42, reductions=1)
         assert t.flops == 42
+
+
+class TestSerialization:
+    def _populated(self):
+        t = Tally(
+            flops=12, bytes_moved=34, comm_bytes=56, messages=7,
+            reductions=8, local_reductions=9, seconds=1.25,
+        )
+        t.add_operator("wilson", 3)
+        t.add_seconds("wilson_dslash", 0.75)
+        t.add_seconds("halo_exchange", 0.5)
+        return t
+
+    def test_round_trip_exact(self):
+        t = self._populated()
+        clone = Tally.from_dict(t.to_dict())
+        assert clone == t
+        assert clone.to_dict() == t.to_dict()
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        t = self._populated()
+        assert Tally.from_dict(json.loads(json.dumps(t.to_dict()))) == t
+
+    def test_to_dict_snapshots_are_independent(self):
+        t = self._populated()
+        doc = t.to_dict()
+        doc["kernel_seconds"]["wilson_dslash"] = 99.0
+        doc["operator_applications"]["wilson"] = 99
+        assert t.kernel_seconds["wilson_dslash"] == 0.75
+        assert t.operator_applications["wilson"] == 3
+
+    def test_missing_keys_default_to_zero(self):
+        t = Tally.from_dict({})
+        assert t == Tally()
+
+
+class TestDomainLocalSeconds:
+    def test_record_forwards_seconds_inside_domain_local(self):
+        """Regression guard: the domain-local branch of record() passes
+        ``seconds`` positionally through add() — dropping it there would
+        silently zero kernel time measured inside Schwarz block solves."""
+        with tally() as t:
+            with domain_local():
+                record(reductions=2, seconds=0.5)
+        assert t.local_reductions == 2
+        assert t.seconds == 0.5
+
+    def test_seconds_recorded_identically_outside(self):
+        with tally() as t:
+            record(seconds=0.25)
+        assert t.seconds == 0.25
 
 
 class TestMerge:
@@ -204,6 +259,68 @@ class TestTimedTraceBridge:
         dslash = next(ev for ev in tr.events if ev.name == "wilson_dslash")
         assert dslash.rank == 5
         assert dslash.stream == "compute"
+
+
+class TestNestedTimedGuard:
+    def test_nesting_raises_under_debug_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_TIMING", "1")
+        with tally():
+            with timed("outer"):
+                with pytest.raises(RuntimeError, match="nested timed"):
+                    with timed("inner"):
+                        pass
+
+    def test_nesting_tolerated_without_debug_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG_TIMING", raising=False)
+        with tally() as t:
+            with timed("outer"):
+                with timed("inner"):
+                    pass
+        assert set(t.kernel_seconds) == {"outer", "inner"}
+
+    def test_nested_span_flagged_in_trace(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG_TIMING", raising=False)
+        with trace.tracing() as tr, tally():
+            with timed("outer"):
+                with timed("inner"):
+                    pass
+        by_name = {ev.name: ev for ev in tr.events}
+        assert by_name["inner"].args.get("nested") is True
+        assert "nested" not in by_name["outer"].args
+
+    def test_nested_flag_surfaces_in_summary_table(self, monkeypatch):
+        from repro.trace.summary import format_table, summarize
+
+        monkeypatch.delenv("REPRO_DEBUG_TIMING", raising=False)
+        with trace.tracing() as tr, tally():
+            with timed("outer"):
+                with timed("inner"):
+                    pass
+        stats = {s.name: s for s in summarize(tr.events)}
+        assert stats["inner"].nested == 1
+        assert stats["outer"].nested == 0
+        table = format_table(tr.events)
+        assert "NESTED x1" in table
+        assert "double-count" in table
+
+    def test_depth_resets_after_exception(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_TIMING", "1")
+        with tally():
+            with pytest.raises(ValueError):
+                with timed("outer"):
+                    raise ValueError("kernel blew up")
+            # The guard must not think we are still inside "outer".
+            with timed("again"):
+                pass
+
+    def test_sibling_regions_are_not_nested(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_TIMING", "1")
+        with tally() as t:
+            with timed("first"):
+                pass
+            with timed("second"):
+                pass
+        assert set(t.kernel_seconds) == {"first", "second"}
 
 
 class TestAllreduceAccounting:
