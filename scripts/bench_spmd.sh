@@ -1,24 +1,27 @@
 #!/usr/bin/env bash
 # SPMD backend benchmark (docs/architecture.md, "Execution model").
 #
-# 1. Runs `python -m repro bench`: one 4-rank Wilson GCR-DD solve per
-#    execution backend (sequential baton / threads / fork+shared-memory
-#    processes), best-of-N timing, and writes the JSON report to
-#    BENCH_spmd.json at the repo root.
-# 2. Verifies the invariants: every backend converges and is bit-identical
-#    to the sequential reference (solution, residual history, comm
-#    tallies).  The processes-backend speedup target (>= 1.5x over
-#    sequential) is asserted only when the host actually has at least as
-#    many cores as ranks — on fewer cores the fork/IPC overhead can only
-#    lose, and the report records cpu_count so the numbers stay honest.
-# 3. Runs the backend-parity test suite in deterministic order.
+# 1. Runs `python -m repro bench --overlap`: one 4-rank Wilson GCR-DD
+#    solve per (execution backend, halo schedule) — sequential baton /
+#    threads / fork+shared-memory processes, each with the blocking and
+#    the overlapped interior/exterior exchange — best-of-N timing, and
+#    writes the JSON report to BENCH_spmd.json at the repo root.
+# 2. Verifies the invariants: every backend and schedule converges and is
+#    bit-identical to the sequential blocking reference (solution,
+#    residual history).  The processes-backend speedup target (>= 1.5x
+#    over sequential) is asserted only when the host actually has at
+#    least as many cores as ranks — on fewer cores the fork/IPC overhead
+#    can only lose, and the report records cpu_count so the numbers stay
+#    honest.
+# 3. Runs the backend-parity and overlap test suites in deterministic
+#    order.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m repro bench \
     --dims 8 8 8 16 --ranks 4 --mass 0.1 --csw 1.0 --tol 1e-6 \
-    --mr-steps 10 --repeats 3 \
+    --mr-steps 10 --repeats 3 --overlap \
     --output BENCH_spmd.json
 
 python -m repro.metrics.bench_schema BENCH_spmd.json
@@ -28,12 +31,21 @@ import json
 
 with open("BENCH_spmd.json") as fh:
     report = json.load(fh)
-results = {e["backend"]: e for e in report["results"]}
-assert all(e["converged"] for e in results.values())
-assert all(e["bitwise_equal_to_first_backend"] for e in results.values())
+results = report["results"]
+assert all(e["converged"] for e in results)
+assert all(e["bitwise_equal_to_first_backend"] for e in results)
+backends = {e["backend"] for e in results}
+# Every benchmarked backend must have run both halo schedules, and the
+# overlapped schedule must be bit-identical to the blocking reference.
+for backend in backends:
+    schedules = {e["overlap"] for e in results if e["backend"] == backend}
+    assert schedules == {False, True}, (backend, schedules)
 cores = report["host"]["cpu_count"]
 ranks = report["config"]["ranks"]
-proc = results.get("processes")
+proc = next(
+    (e for e in results
+     if e["backend"] == "processes" and not e["overlap"]), None,
+)
 if proc and cores is not None and cores >= ranks:
     speedup = proc["speedup_vs_sequential"]
     assert speedup >= 1.5, (
@@ -51,5 +63,6 @@ PY
 
 python -m pytest -p no:randomly -q \
     tests/core/test_spmd_parity.py \
+    tests/core/test_spmd_overlap.py \
     tests/comm/test_backends.py \
     tests/multigpu/test_rank_halo.py

@@ -108,11 +108,16 @@ def _cmd_solve(args) -> int:
         request.config = GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps)
         request.tol = None  # the config carries the tolerance
         request.backend = args.backend
+        request.overlap = args.overlap
         extra = f" grid={grid.label} blocks={grid.size}"
         if args.backend:
             extra += f" backend={args.backend}"
-    elif args.backend:
-        print("--backend requires --method gcr-dd", file=sys.stderr)
+        if args.overlap and not args.backend:
+            print("--overlap needs --backend (the overlapped halo schedule "
+                  "is an SPMD execution path)", file=sys.stderr)
+            return 2
+    elif args.backend or args.overlap:
+        print("--backend/--overlap require --method gcr-dd", file=sys.stderr)
         return 2
     res = solve(request)
     status = "converged" if res.converged else "FAILED"
@@ -120,6 +125,13 @@ def _cmd_solve(args) -> int:
         f"{args.method} on {geometry!r}: {status} in {res.iterations} "
         f"iterations, residual {res.residual:.2e}{extra}"
     )
+    overlap = (res.report.ranks or {}).get("overlap") if args.overlap else None
+    if overlap and overlap.get("fraction") is not None:
+        print(
+            f"  halo overlap: {overlap['exchanges']} overlapped exchanges, "
+            f"{overlap['fraction']:.1%} of the comm window hidden behind "
+            "the interior kernel"
+        )
     if args.report:
         res.report.write(args.report)
         print(f"wrote solve report to {args.report}")
@@ -244,10 +256,15 @@ def _cmd_bench_spmd(args) -> int:
     grid = choose_grid(args.ranks, (3, 2, 1, 0), geometry.dims)
     gauge = GaugeField.weak(geometry, epsilon=args.epsilon, rng=args.seed)
     b = SpinorField.random(geometry, rng=args.seed + 1).data
+    # With --overlap every schedule runs the split interior/exterior
+    # path: the overlapped exchange is bit-identical to *split* blocking
+    # (same summation order), while the fused stencil sums hops in a
+    # different order — one shared bit-reference needs one kernel path.
     solver = SPMDGCRDDSolver(
         gauge, args.mass, args.csw, grid,
         config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
         timeout=args.timeout,
+        use_split=bool(args.overlap),
     )
 
     backends = list(args.backends or ("sequential", "threads", "processes"))
@@ -271,45 +288,57 @@ def _cmd_bench_spmd(args) -> int:
         "epsilon": args.epsilon,
         "seed": args.seed,
         "repeats": args.repeats,
+        "use_split": bool(args.overlap),
     }
     results = []
 
+    schedules = [False] + ([True] if args.overlap else [])
     reference = None
     for backend in backends:
-        solver.solve(b, backend=backend)  # warm caches/forks untimed
-        best = None
-        for _ in range(max(args.repeats, 1)):
-            with tally() as t:
-                t0 = time.perf_counter()
-                res = solver.solve(b, backend=backend)
-                dt = time.perf_counter() - t0
-            if best is None or dt < best[0]:
-                best = (dt, res, t)
-        seconds, res, t = best
-        history = [float(r) for r in res.residual_history]
-        if reference is None:
-            reference = (res.x, history)
-        bitwise = bool(
-            np.array_equal(res.x, reference[0]) and history == reference[1]
-        )
-        entry = {
-            "backend": backend,
-            "seconds": seconds,
-            "converged": bool(res.converged),
-            "iterations": int(res.iterations),
-            "residual": float(res.residual),
-            "comm_bytes": t.comm_bytes,
-            "messages": t.messages,
-            "reductions": t.reductions,
-            "bitwise_equal_to_first_backend": bitwise,
-        }
-        results.append(entry)
-        print(
-            f"{backend:>10}: {seconds:7.2f}s, {res.iterations} iterations, "
-            f"residual {res.residual:.2e}, bitwise match: {bitwise}"
-        )
+        for overlap in schedules:
+            # warm caches/forks (and the persistent rank pool) untimed
+            solver.solve(b, backend=backend, overlap=overlap)
+            best = None
+            for _ in range(max(args.repeats, 1)):
+                with tally() as t:
+                    t0 = time.perf_counter()
+                    res = solver.solve(b, backend=backend, overlap=overlap)
+                    dt = time.perf_counter() - t0
+                if best is None or dt < best[0]:
+                    best = (dt, res, t)
+            seconds, res, t = best
+            history = [float(r) for r in res.residual_history]
+            if reference is None:
+                reference = (res.x, history)
+            bitwise = bool(
+                np.array_equal(res.x, reference[0])
+                and history == reference[1]
+            )
+            label = f"{backend}{'+overlap' if overlap else ''}"
+            entry = {
+                "backend": backend,
+                "overlap": overlap,
+                "seconds": seconds,
+                "converged": bool(res.converged),
+                "iterations": int(res.iterations),
+                "residual": float(res.residual),
+                "comm_bytes": t.comm_bytes,
+                "messages": t.messages,
+                "reductions": t.reductions,
+                "bitwise_equal_to_first_backend": bitwise,
+            }
+            results.append(entry)
+            print(
+                f"{label:>18}: {seconds:7.2f}s, {res.iterations} "
+                f"iterations, residual {res.residual:.2e}, "
+                f"bitwise match: {bitwise}"
+            )
 
-    seq = next((e for e in results if e["backend"] == "sequential"), None)
+    seq = next(
+        (e for e in results
+         if e["backend"] == "sequential" and not e["overlap"]),
+        None,
+    )
     if seq:
         for e in results:
             e["speedup_vs_sequential"] = (
@@ -317,9 +346,10 @@ def _cmd_bench_spmd(args) -> int:
             )
     metrics = {}
     for e in results:
-        metrics[f"{e['backend']}_seconds"] = e["seconds"]
+        key = f"{e['backend']}{'_overlap' if e['overlap'] else ''}"
+        metrics[f"{key}_seconds"] = e["seconds"]
         if "speedup_vs_sequential" in e:
-            metrics[f"{e['backend']}_speedup_vs_sequential"] = (
+            metrics[f"{key}_speedup_vs_sequential"] = (
                 e["speedup_vs_sequential"]
             )
     report = wrap_bench("spmd", config, metrics, results=results)
@@ -482,22 +512,42 @@ def _cmd_trace(args) -> int:
     gauge = GaugeField.weak(geometry, epsilon=args.epsilon, rng=args.seed)
     b = SpinorField.random(geometry, rng=args.seed + 1).data
 
+    if args.overlap and not args.backend:
+        print("--overlap needs --backend (the overlapped halo schedule "
+              "is an SPMD execution path)", file=sys.stderr)
+        return 2
+
     # The split (interior/exterior) execution path is what the paper's
-    # Fig. 4 schedules, so a trace always uses it.
+    # Fig. 4 schedules, so a trace always uses it; --backend traces the
+    # SPMD rank programs instead of the global-view driver, and --overlap
+    # the live overlapped schedule.
     tracer = tracelib.Tracer()
     with tracelib.tracing(tracer), tally() as t:
-        solver = DistributedGCRDDSolver(
-            gauge, args.mass, args.csw, grid,
-            config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
-            use_split=True,
-        )
-        res = solver.solve(b)
+        if args.backend:
+            from repro.core.spmd import SPMDGCRDDSolver
+
+            solver = SPMDGCRDDSolver(
+                gauge, args.mass, args.csw, grid,
+                config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
+                backend=args.backend, use_split=True,
+                overlap=args.overlap,
+            )
+            res = solver.solve(b)
+        else:
+            solver = DistributedGCRDDSolver(
+                gauge, args.mass, args.csw, grid,
+                config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
+                use_split=True,
+            )
+            res = solver.solve(b)
     events = list(tracer.events)
     status = "converged" if res.converged else "FAILED"
+    mode = f" backend={args.backend}" if args.backend else ""
+    mode += " overlap" if args.overlap else ""
     print(
         f"gcr-dd on {geometry!r}, grid={grid.label} ranks={grid.size}: "
         f"{status} in {res.iterations} iterations, "
-        f"residual {res.residual:.2e}"
+        f"residual {res.residual:.2e}{mode}"
     )
 
     if not args.no_model:
@@ -597,6 +647,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="run gcr-dd as SPMD rank programs under this "
                         "execution backend (default: global-view driver)")
+    p.add_argument("--overlap", action="store_true",
+                   help="overlapped halo schedule (gcr-dd + --backend): "
+                        "interior kernel runs while faces are in flight")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--report", type=str, default="",
                    help="write the SolveReport JSON artifact here")
@@ -619,6 +672,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", dest="backends", action="append",
                    choices=["sequential", "threads", "processes"],
                    help="backend to benchmark; repeatable (default: all)")
+    p.add_argument("--overlap", action="store_true",
+                   help="also benchmark the overlapped halo schedule on "
+                        "each backend (asserted bitwise against blocking)")
     p.add_argument("--repeats", type=int, default=3,
                    help="timing repeats per backend; best is kept")
     p.add_argument("--timeout", type=float, default=120.0,
@@ -675,6 +731,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mr-steps", type=int, default=4)
     p.add_argument("--epsilon", type=float, default=0.25,
                    help="gauge disorder of the synthetic configuration")
+    p.add_argument("--backend",
+                   choices=["sequential", "threads", "processes"],
+                   default=None,
+                   help="trace the SPMD rank programs under this backend "
+                        "(default: global-view driver)")
+    p.add_argument("--overlap", action="store_true",
+                   help="overlapped halo schedule (needs --backend)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", type=str, default="trace.json",
                    help="trace_event JSON output path")

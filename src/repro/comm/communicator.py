@@ -7,10 +7,11 @@ reproduction's equivalent of an ``MPI_Comm`` handle: a *per-rank
 endpoint* exposing
 
 * ``rank`` / ``size`` — who am I, how many of us are there,
-* ``isend`` / ``irecv`` / ``wait`` — non-blocking point-to-point
-  messages (sends are eager and buffered, so posting every send before
-  any receive can never deadlock — the discipline the halo engine
-  follows),
+* ``isend`` / ``irecv`` / ``wait`` / ``wait_any`` — non-blocking
+  point-to-point messages (sends are eager and buffered, so posting
+  every send before any receive can never deadlock — the discipline the
+  halo engine follows; receives are genuinely posted at ``irecv`` time
+  and completed by ``wait``/``test``/``wait_any``),
 * ``allreduce_sum`` — the global reduction Krylov inner products need,
   summed in a *fixed rank order* so every backend produces bit-identical
   scalars,
@@ -25,8 +26,12 @@ Cost accounting convention (kept consistent with the global-view
 :meth:`repro.comm.mailbox.Mailbox.allreduce_sum` so that merged per-rank
 tallies reproduce the global-view numbers exactly):
 
-* every point-to-point send charges ``messages=1`` and its payload bytes
-  to the *sender's* tally;
+* every point-to-point send charges ``messages=1`` and its *wire* bytes
+  to the sender's tally — the logical ``CommEvent.nbytes`` when an event
+  is attached (reduced-precision halos carry fewer bytes on the wire
+  than their physical numpy carrier holds), the physical payload bytes
+  otherwise; the ``comm_bytes_total`` metric counter uses the same rule,
+  so metric and tally always agree;
 * an allreduce charges each participant its own wire share
   (``comm_bytes = nbytes``, ``messages = 1``) while the single collective
   ``reductions=1`` is charged to rank 0 — summing the per-rank tallies
@@ -65,6 +70,15 @@ def reduce_in_rank_order(parts: list):
     return sum(parts[1:], start=parts[0])
 
 
+def wire_nbytes(payload, event: CommEvent | None) -> int:
+    """Bytes a send puts on the wire: the event's logical byte count when
+    one is attached (reduced-precision halos travel smaller than their
+    physical numpy carrier), the physical payload bytes otherwise."""
+    if event is not None:
+        return int(event.nbytes)
+    return int(np.asarray(payload).nbytes)
+
+
 def record_collective(rank: int, value) -> None:
     """Charge one rank's share of an allreduce to the active tally (see
     the accounting convention in the module docstring)."""
@@ -90,7 +104,13 @@ class SendHandle:
 
 @dataclass
 class RecvHandle:
-    """Handle of a posted receive; ``wait`` blocks until the message is in."""
+    """Handle of a posted receive.
+
+    The receive is *posted* at :meth:`Communicator.irecv` time; arrival
+    is checked without blocking by :meth:`test`, and :meth:`wait` blocks
+    only for the remaining in-flight time (through
+    :meth:`Communicator.wait_any`, so the recv-wait histogram measures
+    the true completion wait, not the whole transfer)."""
 
     comm: "Communicator"
     src: int
@@ -98,10 +118,20 @@ class RecvHandle:
     _data: np.ndarray | None = field(default=None, repr=False)
     _done: bool = False
 
+    @property
+    def complete(self) -> bool:
+        return self._done
+
+    def test(self) -> bool:
+        """Whether the message has arrived (pulls it in if so; never
+        blocks)."""
+        if not self._done:
+            self.comm._try_complete(self)
+        return self._done
+
     def wait(self) -> np.ndarray:
         if not self._done:
-            self._data = self.comm.recv(self.src, self.tag)
-            self._done = True
+            self.comm.wait_any([self])
         return self._data
 
 
@@ -120,13 +150,42 @@ class Communicator(abc.ABC):
         """Post an eager (buffered) send; never blocks."""
 
     def irecv(self, src: int, tag=0) -> RecvHandle:
-        """Post a receive; the message is pulled in at :meth:`wait`."""
+        """Post a receive; complete it with ``wait``/``test``/``wait_any``
+        (an already-arrived message is claimed without blocking)."""
         return RecvHandle(self, src, tag)
 
     def wait(self, handle):
         """Complete a send or receive handle (returns the payload for
         receives, ``None`` for sends)."""
         return handle.wait()
+
+    def wait_any(self, handles: list) -> int:
+        """Block until one incomplete receive handle completes; returns
+        its index into ``handles``.
+
+        Completes exactly one handle per call (the lowest-index ready one
+        — deterministic whenever arrival state is), and observes exactly
+        one recv-wait histogram sample covering only the time this call
+        actually blocked.  Completing N handles therefore costs N
+        observations whichever path claimed them — blocking ``recv``,
+        ``wait`` or ``wait_any`` — which keeps wait-observation counts
+        backend-invariant.
+        """
+        reg = current_registry()
+        if reg is None:
+            return self._wait_any(handles)
+        start = time.perf_counter()
+        index = self._wait_any(handles)
+        reg.histogram(RECV_WAIT, rank=self.rank).observe(
+            time.perf_counter() - start
+        )
+        return index
+
+    def _wait_any(self, handles: list) -> int:
+        raise NotImplementedError  # pragma: no cover - endpoint-specific
+
+    def _try_complete(self, handle: RecvHandle) -> bool:
+        raise NotImplementedError  # pragma: no cover - endpoint-specific
 
     @abc.abstractmethod
     def recv(self, src: int, tag=0) -> np.ndarray:
@@ -191,7 +250,7 @@ class MailboxCommunicator(Communicator):
         if reg is not None:
             reg.counter("comm_messages_total", rank=self.rank).inc()
             reg.counter("comm_bytes_total", rank=self.rank).inc(
-                np.asarray(payload).nbytes
+                wire_nbytes(payload, event)
             )
         self.mailbox.send(self.rank, dst, payload, tag=tag, event=event)
         if self.scheduler is not None:
@@ -224,6 +283,55 @@ class MailboxCommunicator(Communicator):
         return self.mailbox.recv(
             self.rank, src, tag, block=self.blocking, timeout=self.timeout
         )
+
+    def _try_complete(self, handle) -> bool:
+        """Claim a posted receive's message if it has arrived (no block)."""
+        if handle._done:
+            return True
+        if self.mailbox.probe(self.rank, handle.src, handle.tag):
+            handle._data = self.mailbox.recv(self.rank, handle.src, handle.tag)
+            handle._done = True
+            return True
+        return False
+
+    def _wait_any(self, handles: list) -> int:
+        pending = [(i, h) for i, h in enumerate(handles) if not h._done]
+        if not pending:
+            raise ValueError("wait_any: every handle is already complete")
+
+        def ready() -> bool:
+            # Side-effect free: the baton scheduler evaluates waiting
+            # ranks' predicates from *other* ranks' threads, so the pop
+            # must happen on the owning thread, after the wake-up.
+            return any(
+                self.mailbox.probe(self.rank, h.src, h.tag)
+                for _, h in pending
+            )
+
+        def describe() -> str:
+            faces = ", ".join(f"{h.src}->{self.rank} tag={h.tag!r}"
+                              for _, h in pending)
+            return (
+                f"wait_any blocked on {len(pending)} posted receive(s) "
+                f"[{faces}]; pending queues:\n"
+                f"{self.mailbox.pending_summary()}"
+            )
+
+        if self.scheduler is not None:
+            # Sequential backend: yield the baton until a message is in.
+            self.scheduler.wait_for(self.rank, ready, describe=describe)
+        elif self.blocking:
+            self.mailbox.wait_any(
+                self.rank,
+                [(h.src, h.tag) for _, h in pending],
+                timeout=self.timeout,
+            )
+        for i, h in pending:
+            if self._try_complete(h):
+                return i
+        # Driver mode reaches here when no posted message exists — the
+        # single-threaded driver can never make one appear.
+        raise RuntimeError(f"recv deadlock: {describe()}")
 
     # -- collectives -----------------------------------------------------
     def _require_reducer(self):

@@ -78,7 +78,14 @@ class Mailbox:
                     or CommEvent(src=src, dst=dst, mu=-1, sign=0, nbytes=data.nbytes)
                 )
             self._cond.notify_all()
-        record(comm_bytes=data.nbytes, messages=1)
+        # Charge the *wire* bytes: the event's logical count when one is
+        # attached (reduced-precision halos travel smaller than their
+        # physical carrier array), the physical bytes otherwise — the
+        # same rule the comm_bytes_total metric counter applies.
+        record(
+            comm_bytes=data.nbytes if event is None else int(event.nbytes),
+            messages=1,
+        )
 
     def recv(
         self,
@@ -127,6 +134,39 @@ class Mailbox:
             if not queue:
                 raise RuntimeError(self._deadlock_message(src, dst, tag))
             return queue.popleft()
+
+    def wait_any(
+        self,
+        dst: int,
+        sources: list[tuple[int, object]],
+        timeout: float | None = None,
+    ) -> None:
+        """Block on the condition variable until a message is pending from
+        any ``(src, tag)`` in ``sources`` (the threads-backend half of
+        :meth:`~repro.comm.communicator.Communicator.wait_any`).  The
+        caller pops the message afterwards; like :meth:`recv`, a timeout
+        raises the pending-queue diagnostic instead of hanging."""
+        self._check_rank(dst)
+        for src, _ in sources:
+            self._check_rank(src)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not any(
+                self._queues.get((src, dst, tag)) for src, tag in sources
+            ):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    awaited = ", ".join(
+                        f"{src}->{dst} tag={tag!r}" for src, tag in sources
+                    )
+                    raise RuntimeError(
+                        f"wait_any timed out after {timeout:g}s awaiting "
+                        f"[{awaited}]; pending queues:\n"
+                        f"{self.pending_summary()}"
+                    )
+                self._cond.wait(remaining)
 
     def probe(self, dst: int, src: int, tag=0) -> bool:
         """Whether a matching message is pending (no side effects)."""

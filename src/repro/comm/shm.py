@@ -19,9 +19,16 @@ attaches (which registers it), copies the data out, closes, and unlinks
 its segment until the machine reclaims ``/dev/shm`` — rank-program
 failures are surfaced loudly for exactly this reason.
 
-Requires the POSIX ``fork`` start method (rank programs are closures over
-live numpy arrays; fork inherits them without pickling).  Availability is
-reported by :func:`repro.comm.backends.process_backend_available`.
+Workers come from a *persistent rank pool*: the first processes-backend
+call forks one long-lived worker per rank, and later calls dispatch
+pickled ``(program, payload)`` jobs to the same workers — repeated solves
+pay the fork + warm-up cost once.  A job that cannot be pickled (rank
+programs that are closures over live numpy arrays) falls back to the
+original fork-per-call path, which inherits the closure through ``fork``;
+a job that errors or times out retires its pool, since a failed rank
+program may leave undelivered messages behind.  Requires the POSIX
+``fork`` start method; availability is reported by
+:func:`repro.comm.backends.process_backend_available`.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from repro.comm.communicator import (
     SendHandle,
     record_collective,
     reduce_in_rank_order,
+    wire_nbytes,
 )
 from repro.metrics.registry import current_registry
 from repro.metrics.straggler import ALLREDUCE_WAIT, BARRIER_WAIT, RECV_WAIT
@@ -115,21 +123,23 @@ class ShmCommunicator(Communicator):
         self._collective_gen = 0
 
     # -- point to point --------------------------------------------------
-    def _post(self, dst: int, payload, tag, record_cost: bool) -> int:
+    def _post(self, dst: int, payload, tag, record_cost: bool,
+              event=None) -> int:
         arr = np.asarray(payload)
         self.inboxes[dst].put((self.rank, tag, _pack(arr)))
+        nbytes = wire_nbytes(arr, event)
         if record_cost:
-            record(comm_bytes=arr.nbytes, messages=1)
-        return arr.nbytes
+            record(comm_bytes=nbytes, messages=1)
+        return nbytes
 
     def isend(self, dst, payload, tag=0, event=None) -> SendHandle:
         reg = current_registry()
         if reg is not None:
             reg.counter("comm_messages_total", rank=self.rank).inc()
             reg.counter("comm_bytes_total", rank=self.rank).inc(
-                np.asarray(payload).nbytes
+                wire_nbytes(payload, event)
             )
-        self._post(dst, payload, tag, record_cost=True)
+        self._post(dst, payload, tag, record_cost=True, event=event)
         return SendHandle(dst, tag)
 
     def recv(self, src, tag=0) -> np.ndarray:
@@ -172,7 +182,72 @@ class ShmCommunicator(Communicator):
                 descriptor
             )
 
-    def _timeout_message(self, src, tag) -> str:
+    def _drain_inbox_nowait(self) -> bool:
+        """Park every already-delivered envelope into the unexpected-message
+        buffers without blocking; returns whether anything was drained."""
+        inbox = self.inboxes[self.rank]
+        drained = False
+        while True:
+            try:
+                got_src, got_tag, descriptor = inbox.get_nowait()
+            except Empty:
+                return drained
+            self._unexpected.setdefault((got_src, got_tag), deque()).append(
+                descriptor
+            )
+            drained = True
+
+    def _try_complete(self, handle) -> bool:
+        """Claim a posted receive's message if it has arrived (no block)."""
+        if handle._done:
+            return True
+        self._drain_inbox_nowait()
+        buffered = self._unexpected.get((handle.src, handle.tag))
+        if buffered:
+            handle._data = _unpack(buffered.popleft())
+            handle._done = True
+            return True
+        return False
+
+    def _wait_any(self, handles: list) -> int:
+        pending = [(i, h) for i, h in enumerate(handles) if not h._done]
+        if not pending:
+            raise ValueError("wait_any: every handle is already complete")
+        # Lowest-index-first over the local buffers, then the inbox in
+        # delivery order: arrivals that match none of the pending handles
+        # are parked exactly like in _recv.
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        inbox = self.inboxes[self.rank]
+        while True:
+            for i, h in pending:
+                buffered = self._unexpected.get((h.src, h.tag))
+                if buffered:
+                    h._data = _unpack(buffered.popleft())
+                    h._done = True
+                    return i
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                awaited = ", ".join(
+                    f"{h.src}->{self.rank} tag={h.tag!r}" for _, h in pending
+                )
+                raise RuntimeError(
+                    f"wait_any timed out after {self.timeout:g}s awaiting "
+                    f"[{awaited}]; locally buffered messages:\n"
+                    f"{self._buffered_summary()}"
+                )
+            try:
+                got_src, got_tag, descriptor = inbox.get(
+                    timeout=None if remaining is None else min(remaining, 0.5)
+                )
+            except Empty:
+                continue
+            self._unexpected.setdefault((got_src, got_tag), deque()).append(
+                descriptor
+            )
+
+    def _buffered_summary(self) -> str:
         lines = [
             f"  {s} -> {self.rank}  tag={t!r}  ({len(q)} message"
             f"{'s' if len(q) != 1 else ''})"
@@ -181,11 +256,13 @@ class ShmCommunicator(Communicator):
             )
             if q
         ]
-        pending = "\n".join(lines) if lines else "  (none)"
+        return "\n".join(lines) if lines else "  (none)"
+
+    def _timeout_message(self, src, tag) -> str:
         return (
             f"recv timed out after {self.timeout:g}s: no message from {src} "
             f"to {self.rank} with tag {tag!r}; locally buffered messages:\n"
-            f"{pending}"
+            f"{self._buffered_summary()}"
         )
 
     # -- collectives -----------------------------------------------------
@@ -232,17 +309,14 @@ class ShmCommunicator(Communicator):
 # ----------------------------------------------------------------------
 # the process runner
 # ----------------------------------------------------------------------
-def _child_main(program, rank, size, inboxes, payload, epoch, timeout,
-                metrics_on, results):
-    """Worker-process entry: run the rank program, ship back (value,
-    tally, trace events, error, metrics snapshot) through the results
-    queue."""
+def _run_rank_job(comm, program, rank, payload, epoch, metrics_on):
+    """Run one rank program against an existing communicator; returns
+    ``(value, tally, trace events, error, metrics snapshot)``."""
     from contextlib import nullcontext
 
     from repro.metrics.registry import MetricsRegistry, metrics_scope
     from repro.trace import Tracer, span, tracing
 
-    comm = ShmCommunicator(rank, size, inboxes, timeout=timeout)
     value, events, error, t = None, [], None, None
     registry = MetricsRegistry() if metrics_on else None
     scope = metrics_scope(registry) if registry is not None else nullcontext()
@@ -266,24 +340,187 @@ def _child_main(program, rank, size, inboxes, payload, epoch, timeout,
             traceback.format_exception_only(type(exc), exc)
         ).strip()
     metrics_doc = registry.to_dict() if registry is not None else None
+    return value, t, events, error, metrics_doc
+
+
+def _child_main(program, rank, size, inboxes, payload, epoch, timeout,
+                metrics_on, results):
+    """Fork-per-call worker entry (the legacy path, kept for rank
+    programs that cannot be pickled into the persistent pool)."""
+    comm = ShmCommunicator(rank, size, inboxes, timeout=timeout)
+    value, t, events, error, metrics_doc = _run_rank_job(
+        comm, program, rank, payload, epoch, metrics_on
+    )
     results.put((rank, value, t, events, error, metrics_doc))
+
+
+def _pool_worker(rank, size, inboxes, jobs, results):
+    """Persistent pool worker: one long-lived communicator serving a
+    stream of pickled jobs until the ``None`` shutdown sentinel.
+
+    The communicator (its unexpected-message buffers and collective
+    generation counter) deliberately persists across jobs: an eager rank
+    may start job N+1 and send while a peer is still finishing job N, and
+    that early arrival must be parked, not dropped with a fresh endpoint.
+    """
+    import pickle
+
+    comm = ShmCommunicator(rank, size, inboxes)
+    while True:
+        blob = jobs.get()
+        if blob is None:
+            return
+        job_id, program, payload, epoch, timeout, metrics_on = (
+            pickle.loads(blob)
+        )
+        comm.timeout = timeout
+        value, t, events, error, metrics_doc = _run_rank_job(
+            comm, program, rank, payload, epoch, metrics_on
+        )
+        results.put((job_id, rank, value, t, events, error, metrics_doc))
+
+
+class _RankPool:
+    """A persistent set of forked rank workers (one per rank) reused
+    across solves, so repeated SPMD runs pay the fork + interpreter
+    warm-up once instead of per call."""
+
+    def __init__(self, size: int):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        self.size = size
+        self.inboxes = [ctx.Queue() for _ in range(size)]
+        self.jobs = [ctx.Queue() for _ in range(size)]
+        self.results = ctx.Queue()
+        self.next_job = 0
+        self.procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(r, size, self.inboxes, self.jobs[r], self.results),
+                name=f"spmd-pool-{r}",
+                daemon=True,
+            )
+            for r in range(size)
+        ]
+        for p in self.procs:
+            p.start()
+
+    def alive(self) -> bool:
+        return all(p.is_alive() for p in self.procs)
+
+    def shutdown(self) -> None:
+        for q in self.jobs:
+            try:
+                q.put_nowait(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for p in self.procs:
+            p.join(timeout=2.0)
+            if p.is_alive():  # pragma: no cover - defensive
+                p.terminate()
+
+
+#: Live pools keyed by rank count.  A pool is discarded (and rebuilt on
+#: next use) whenever a job errors or times out: a failed rank program may
+#: leave undelivered messages or skewed collective generations behind, and
+#: a fresh fork is the only state known to be clean.
+_pools: dict[int, _RankPool] = {}
+_atexit_registered = False
+
+
+def _get_pool(size: int) -> _RankPool:
+    global _atexit_registered
+    pool = _pools.get(size)
+    if pool is not None and not pool.alive():
+        _discard_pool(size)
+        pool = None
+    if pool is None:
+        pool = _RankPool(size)
+        _pools[size] = pool
+        if not _atexit_registered:
+            import atexit
+
+            atexit.register(shutdown_pools)
+            _atexit_registered = True
+    return pool
+
+
+def _discard_pool(size: int) -> None:
+    pool = _pools.pop(size, None)
+    if pool is not None:
+        pool.shutdown()
+
+
+def shutdown_pools() -> None:
+    """Tear down every persistent rank pool (also runs at interpreter
+    exit)."""
+    for size in list(_pools):
+        _discard_pool(size)
+
+
+def pool_worker_pids(size: int) -> list[int] | None:
+    """PIDs of the live pool for ``size`` ranks (``None`` if no pool) —
+    lets tests assert worker reuse across solves."""
+    pool = _pools.get(size)
+    if pool is None or not pool.alive():
+        return None
+    return [p.pid for p in pool.procs]
 
 
 def run_in_processes(program, size, payloads, timeout: float | None,
                      metrics_on: bool = False):
-    """Fork ``size`` workers, run ``program(comm, payloads[rank])`` in
-    each, and return the per-rank outcomes (rank order)."""
-    import multiprocessing
+    """Run ``program(comm, payloads[rank])`` in ``size`` worker processes
+    and return the per-rank outcomes (rank order).
 
-    from repro.comm.backends import RankOutcome, SPMDError
-    from repro.metrics.registry import MetricsRegistry
+    Dispatches to a persistent rank pool when the jobs pickle (the normal
+    case: module-level rank programs with array payloads); falls back to
+    the legacy fork-per-call path for closure programs, which fork can
+    inherit but a queue cannot carry.
+    """
+    import pickle
+
     from repro.trace import active_tracer
+
+    tracer = active_tracer()
+    epoch = tracer.epoch if tracer is not None else None
+    try:
+        pool = _get_pool(size)
+        job_id = pool.next_job
+        pool.next_job += 1
+        blobs = [
+            pickle.dumps(
+                (job_id, program, payloads[r], epoch, timeout, metrics_on)
+            )
+            for r in range(size)
+        ]
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return _run_forked(program, size, payloads, timeout, metrics_on,
+                           epoch)
+    for r in range(size):
+        pool.jobs[r].put(blobs[r])
+
+    outcomes = _drain_results(
+        size, timeout,
+        lambda remaining: pool.results.get(timeout=remaining),
+        pool.procs,
+        expect_job=job_id,
+        on_timeout=lambda: _discard_pool(size),
+    )
+    if any(o.error for o in outcomes):
+        # A failed rank program may have left messages in flight or
+        # collective generations skewed — retire the pool.
+        _discard_pool(size)
+    return outcomes
+
+
+def _run_forked(program, size, payloads, timeout, metrics_on, epoch):
+    """The original fork-per-call path."""
+    import multiprocessing
 
     ctx = multiprocessing.get_context("fork")
     inboxes = [ctx.Queue() for _ in range(size)]
     results = ctx.Queue()
-    tracer = active_tracer()
-    epoch = tracer.epoch if tracer is not None else None
 
     procs = [
         ctx.Process(
@@ -298,15 +535,33 @@ def run_in_processes(program, size, payloads, timeout: float | None,
     for p in procs:
         p.start()
 
-    outcomes = {r: None for r in range(size)}
-    deadline = None if timeout is None else time.monotonic() + 4 * timeout
     # Drain results BEFORE joining: a child blocks in its queue feeder
     # until the parent reads its (potentially large) result.
+    outcomes = _drain_results(
+        size, timeout,
+        lambda remaining: results.get(timeout=remaining),
+        procs,
+    )
+    for p in procs:
+        p.join(timeout=5.0)
+        if p.is_alive():  # pragma: no cover - defensive
+            p.terminate()
+    return outcomes
+
+
+def _drain_results(size, timeout, get, procs, expect_job=None,
+                   on_timeout=None):
+    """Collect one result per rank from a results queue, surfacing dead
+    workers and enforcing the 4x-timeout deadline."""
+    from repro.comm.backends import RankOutcome, SPMDError
+    from repro.metrics.registry import MetricsRegistry
+    from repro.util.counters import Tally
+
+    outcomes = {r: None for r in range(size)}
+    deadline = None if timeout is None else time.monotonic() + 4 * timeout
     while any(o is None for o in outcomes.values()):
         try:
-            rank, value, t, events, error, metrics_doc = results.get(
-                timeout=0.5
-            )
+            item = get(0.5)
         except Empty:
             missing = [r for r, o in outcomes.items() if o is None]
             dead = [
@@ -320,20 +575,30 @@ def run_in_processes(program, size, payloads, timeout: float | None,
                         f"worker process died with exit code "
                         f"{procs[r].exitcode} before reporting a result"
                     ),
+                    tally=Tally(),
                 )
             missing = [r for r, o in outcomes.items() if o is None]
             if missing and deadline is not None and time.monotonic() > deadline:
-                for p in procs:
-                    if p.is_alive():
-                        p.terminate()
+                if on_timeout is not None:
+                    on_timeout()
+                else:
+                    for p in procs:
+                        if p.is_alive():
+                            p.terminate()
                 raise SPMDError(
                     f"process backend timed out waiting for ranks {missing}"
                 )
             continue
+        if expect_job is not None:
+            job_id, rank, value, t, events, error, metrics_doc = item
+            if job_id != expect_job:  # pragma: no cover - stale straggler
+                continue
+        else:
+            rank, value, t, events, error, metrics_doc = item
         outcomes[rank] = RankOutcome(
             rank=rank,
             value=value,
-            tally=t if t is not None else None,
+            tally=t if t is not None else Tally(),
             events=events,
             error=error,
             metrics=(
@@ -342,15 +607,13 @@ def run_in_processes(program, size, payloads, timeout: float | None,
                 else None
             ),
         )
-        if outcomes[rank].tally is None:
-            from repro.util.counters import Tally
-
-            outcomes[rank].tally = Tally()
-    for p in procs:
-        p.join(timeout=5.0)
-        if p.is_alive():  # pragma: no cover - defensive
-            p.terminate()
     return [outcomes[r] for r in range(size)]
 
 
-__all__ = ["INLINE_LIMIT", "ShmCommunicator", "run_in_processes"]
+__all__ = [
+    "INLINE_LIMIT",
+    "ShmCommunicator",
+    "pool_worker_pids",
+    "run_in_processes",
+    "shutdown_pools",
+]

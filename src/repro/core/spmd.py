@@ -67,6 +67,7 @@ class _RankTask:
     b_local: np.ndarray
     x0_local: np.ndarray | None
     batched: bool
+    overlap: bool = False
 
 
 def _gcrdd_rank_program(comm, task: _RankTask) -> dict:
@@ -87,12 +88,12 @@ def _gcrdd_rank_program(comm, task: _RankTask) -> dict:
         rank_op = rank_wilson_clover(
             engine, task.gauge_block, task.mass, task.csw,
             boundary=task.boundary, clover_block=task.clover_block,
-            use_split=task.use_split,
+            use_split=task.use_split, overlap=task.overlap,
         )
     else:
         rank_op = rank_naive_staggered(
             engine, task.gauge_block, task.mass, boundary=task.boundary,
-            use_split=task.use_split,
+            use_split=task.use_split, overlap=task.overlap,
         )
 
     batched = task.batched
@@ -191,6 +192,7 @@ class SPMDGCRDDSolver:
         backend: str = "sequential",
         operator: str = "wilson_clover",
         use_split: bool = False,
+        overlap: bool = False,
         timeout: float | None = 60.0,
     ):
         from repro.dirac.clover import build_clover_field
@@ -206,6 +208,7 @@ class SPMDGCRDDSolver:
         self.backend = backend
         self.operator = operator
         self.use_split = bool(use_split)
+        self.overlap = bool(overlap)
         self.timeout = timeout
         self.boundary = boundary or PERIODIC
         self.mass = float(mass)
@@ -241,12 +244,15 @@ class SPMDGCRDDSolver:
 
     # ------------------------------------------------------------------
     def solve(
-        self, b, x0=None, backend: str | None = None
+        self, b, x0=None, backend: str | None = None,
+        overlap: bool | None = None,
     ) -> SolverResult | BatchedSolverResult:
         """Solve M x = b; accepts/returns *global* arrays (scattered to
         the ranks and gathered back here).  A leading multi-RHS axis on
-        ``b`` selects the batched rank program."""
+        ``b`` selects the batched rank program.  ``overlap`` overrides the
+        constructor's overlapped-halo-exchange setting for this call."""
         backend = backend or self.backend
+        overlap = self.overlap if overlap is None else bool(overlap)
         b = np.asarray(b)
         expected = 4 + self.site_axes
         lead = b.ndim - expected
@@ -278,6 +284,7 @@ class SPMDGCRDDSolver:
                 b_local=bs[rank],
                 x0_local=x0s[rank],
                 batched=batched,
+                overlap=overlap,
             )
             for rank in range(self.partition.n_ranks)
         ]
@@ -306,7 +313,11 @@ class SPMDGCRDDSolver:
         # forwarding one rank's copy loses nothing.
         extras = dict(v0.get("extras") or {})
         extras.update(
-            {"backend": backend, "spmd_ranks": self.partition.n_ranks}
+            {
+                "backend": backend,
+                "spmd_ranks": self.partition.n_ranks,
+                "overlap": overlap,
+            }
         )
         if batched:
             return BatchedSolverResult(

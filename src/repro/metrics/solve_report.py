@@ -88,6 +88,7 @@ def config_fingerprint(request) -> dict:
         "u0": request.u0,
         "shifts": list(request.shifts) if request.shifts is not None else None,
         "backend": request.backend,
+        "overlap": bool(getattr(request, "overlap", False)),
         "gcrdd": (
             {
                 "tol": cfg.tol,
@@ -227,6 +228,32 @@ class SolveReport:
             return cls.from_dict(json.load(fh))
 
 
+def overlap_summary(registry: MetricsRegistry) -> dict | None:
+    """The measured comm/compute overlap of an overlapped-schedule solve,
+    summed over ranks: the *window* is post-return to last-face-in (time
+    communication had to hide under the interior kernel), the *wait* is
+    the part that actually blocked in ``wait_any``; ``fraction`` is the
+    hidden share ``(window - wait) / window`` — compare it against the
+    Fig. 4 model track (``python -m repro trace``, see
+    docs/observability.md).  ``None`` when no overlapped exchange ran."""
+    window = wait = exchanges = 0.0
+    for _, c in registry.counters.items():
+        if c.name == "halo_overlap_window_seconds_total":
+            window += c.value
+        elif c.name == "halo_overlap_wait_seconds_total":
+            wait += c.value
+        elif c.name == "halo_overlapped_exchanges_total":
+            exchanges += c.value
+    if not exchanges:
+        return None
+    return {
+        "exchanges": int(exchanges),
+        "window_seconds": window,
+        "wait_seconds": wait,
+        "fraction": ((window - wait) / window) if window > 0 else None,
+    }
+
+
 def build_solve_report(
     request,
     result,
@@ -246,6 +273,11 @@ def build_solve_report(
                 "wait": {str(r): m for r, m in sorted(per_rank.items())},
                 "straggler": straggler_summary(registry),
             }
+        overlap = overlap_summary(registry)
+        if overlap is not None:
+            if ranks is None:  # pragma: no cover - overlap implies waits
+                ranks = {"count": 0, "wait": {}, "straggler": None}
+            ranks["overlap"] = overlap
     return SolveReport(
         fingerprint=config_fingerprint(request),
         host=host_info(),
@@ -467,6 +499,20 @@ def render_report(doc: dict, width: int = 60) -> str:
             lines.append(
                 f"  straggler ratio (max/median rank wait): {ratio:.2f} — "
                 "read like the Sec. 9 scaling knee (docs/observability.md)"
+            )
+        overlap = ranks.get("overlap")
+        if overlap:
+            frac = overlap.get("fraction")
+            lines.append(
+                f"  halo overlap: {overlap['exchanges']} overlapped "
+                f"exchanges, window {overlap['window_seconds'] * 1e3:.2f}ms, "
+                f"blocked {overlap['wait_seconds'] * 1e3:.2f}ms"
+                + (
+                    f", fraction hidden {frac:.1%} — compare the Fig. 4 "
+                    "model track"
+                    if frac is not None
+                    else ""
+                )
             )
     return "\n".join(lines)
 

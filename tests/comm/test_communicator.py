@@ -1,5 +1,7 @@
 """The rank-local Communicator protocol and its mailbox endpoint."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -8,7 +10,11 @@ from repro.comm.communicator import (
     BACKENDS,
     record_collective,
     reduce_in_rank_order,
+    wire_nbytes,
 )
+from repro.comm.traffic import CommEvent
+from repro.metrics.registry import metrics_scope
+from repro.metrics.straggler import RECV_WAIT
 from repro.util.counters import tally
 
 
@@ -113,6 +119,130 @@ class TestMailboxCommunicator:
             MailboxCommunicator(box, 0).send(1, payload)
         assert t.comm_bytes == payload.nbytes
         assert t.messages == 1
+
+
+def _event(src, dst, nbytes):
+    return CommEvent(src=src, dst=dst, mu=0, sign=1, nbytes=nbytes,
+                     kind="spinor", wrapped=False)
+
+
+class TestWireBytes:
+    def test_physical_bytes_without_event(self):
+        assert wire_nbytes(np.zeros(16), None) == 128
+
+    def test_event_overrides_physical_bytes(self):
+        # Reduced-precision halos travel smaller than the numpy carrier.
+        assert wire_nbytes(np.zeros(16), _event(0, 1, 40)) == 40
+
+    def test_metric_equals_tally_for_logical_sends(self):
+        """Satellite fix: comm_bytes_total must count the same *wire*
+        bytes the tally counts, not the physical payload bytes."""
+        box = Mailbox(2)
+        tx = MailboxCommunicator(box, 0)
+        payload = np.zeros(16)  # 128 physical bytes, 40 on the wire
+        with metrics_scope() as reg, tally() as t:
+            tx.send(1, payload, event=_event(0, 1, 40))
+        metric = sum(
+            c.value for _, c in reg.counters.items()
+            if c.name == "comm_bytes_total"
+        )
+        assert t.comm_bytes == metric == 40
+
+
+class TestWaitAny:
+    def test_irecv_is_posted_not_received(self):
+        """The original bug: irecv must return an incomplete handle that
+        never pulls the message eagerly."""
+        box = Mailbox(2)
+        rx = MailboxCommunicator(box, 1)
+        handle = rx.irecv(0, tag="face")
+        assert not handle.complete
+        assert handle.test() is False  # nothing sent yet; never blocks
+
+    def test_test_claims_an_arrived_message(self, rng):
+        box = Mailbox(2)
+        tx, rx = MailboxCommunicator(box, 0), MailboxCommunicator(box, 1)
+        handle = rx.irecv(0, tag="face")
+        payload = rng.standard_normal(4)
+        tx.send(1, payload, tag="face")
+        assert handle.test() is True
+        assert handle.complete
+        assert np.array_equal(handle.wait(), payload)  # no further wait
+
+    def test_returns_lowest_index_ready_handle(self, rng):
+        box = Mailbox(3)
+        rx = MailboxCommunicator(box, 2)
+        handles = [rx.irecv(0, tag="a"), rx.irecv(1, tag="b")]
+        MailboxCommunicator(box, 1).send(2, rng.standard_normal(2), tag="b")
+        MailboxCommunicator(box, 0).send(2, rng.standard_normal(2), tag="a")
+        # Both are ready; determinism requires the lowest index wins.
+        assert rx.wait_any(handles) == 0
+        assert rx.wait_any(handles) == 1
+
+    def test_completes_exactly_one_handle_per_call(self, rng):
+        box = Mailbox(2)
+        tx, rx = MailboxCommunicator(box, 0), MailboxCommunicator(box, 1)
+        handles = [rx.irecv(0, tag=i) for i in range(3)]
+        for i in range(3):
+            tx.send(1, rng.standard_normal(2), tag=i)
+        assert rx.wait_any(handles) == 0
+        assert [h.complete for h in handles] == [True, False, False]
+
+    def test_all_complete_raises(self, rng):
+        box = Mailbox(2)
+        tx, rx = MailboxCommunicator(box, 0), MailboxCommunicator(box, 1)
+        handle = rx.irecv(0)
+        tx.send(1, rng.standard_normal(2))
+        handle.wait()
+        with pytest.raises(ValueError, match="already complete"):
+            rx.wait_any([handle])
+
+    def test_driver_mode_deadlock_raises(self):
+        rx = MailboxCommunicator(Mailbox(2), 1)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            rx.wait_any([rx.irecv(0, tag="never")])
+
+    def test_threaded_wait_blocks_until_arrival(self, rng):
+        box = Mailbox(2)
+        tx = MailboxCommunicator(box, 0)
+        rx = MailboxCommunicator(box, 1, blocking=True, timeout=10.0)
+        payload = rng.standard_normal(4)
+        handle = rx.irecv(0, tag="late")
+        timer = threading.Timer(
+            0.05, lambda: tx.send(1, payload, tag="late")
+        )
+        timer.start()
+        try:
+            assert rx.wait_any([handle]) == 0
+        finally:
+            timer.cancel()
+        assert np.array_equal(handle._data, payload)
+
+    def test_threaded_wait_any_times_out_with_diagnostic(self):
+        box = Mailbox(2)
+        rx = MailboxCommunicator(box, 1, blocking=True, timeout=0.05)
+        with pytest.raises(RuntimeError, match="timed out"):
+            rx.wait_any([rx.irecv(0, tag="never")])
+
+    def test_one_wait_observation_per_completion(self, rng):
+        """Count invariance: draining N handles through wait_any costs
+        exactly N recv-wait observations — the same as N blocking recvs,
+        whatever the arrival order."""
+        box = Mailbox(2)
+        tx, rx = MailboxCommunicator(box, 0), MailboxCommunicator(box, 1)
+        with metrics_scope() as reg:
+            handles = [rx.irecv(0, tag=i) for i in range(4)]
+            for i in range(4):
+                tx.send(1, rng.standard_normal(2), tag=i)
+            remaining = list(handles)
+            while remaining:
+                index = rx.wait_any(remaining)
+                remaining.pop(index)
+        observations = sum(
+            h.count for _, h in reg.histograms.items()
+            if h.name == RECV_WAIT
+        )
+        assert observations == 4
 
 
 class TestBackendsConstant:

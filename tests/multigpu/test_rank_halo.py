@@ -151,19 +151,107 @@ class TestRankEnginesMatchGlobalExchanger:
         assert len(outcomes) == partition.n_ranks
 
 
-class TestPadReuse:
-    def test_spinor_pad_is_reused_gauge_is_not(self, geom448):
-        from repro.comm import Mailbox, MailboxCommunicator
+def _driver_engines(partition, **kwargs):
+    """All ranks' engines over one mailbox, driven from a single thread
+    (driver mode) so the sends/receives pair up without a backend."""
+    from repro.comm import Mailbox, MailboxCommunicator
+
+    layout = HaloLayout(partition, depth=1)
+    mailbox = Mailbox(partition.n_ranks)
+    return layout, [
+        RankHaloEngine(layout, MailboxCommunicator(mailbox, r), **kwargs)
+        for r in range(partition.n_ranks)
+    ]
+
+
+def _driver_exchange(engines, blocks):
+    """Full spinor exchange in the global-view phase order: all stages,
+    then per-face all sends before all receives."""
+    pads = [e.stage(b) for e, b in zip(engines, blocks)]
+    for mu in engines[0].partitioned_dims:
+        for sign in (+1, -1):
+            for e, b in zip(engines, blocks):
+                e.send_faces(b, mu, sign)
+            for e, pad in zip(engines, pads):
+                e.recv_face(pad, mu, sign)
+    return pads
+
+
+class TestGatherAccounting:
+    """Satellite fix: ``bytes_moved`` of the gather kernel is recorded
+    *after* boundary and precision handling — a zero-boundary fill never
+    reads the field, a quantized face is written at wire size."""
+
+    def test_interior_face_charges_read_plus_write(self, geom448):
+        partition = _partition(geom448)
+        layout, engines = _driver_engines(partition)
+        block = partition.split(SpinorField.random(geom448, rng=41).data)[0]
+        face = np.ascontiguousarray(block[layout.face_slices(3, +1)])
+        # Rank 0's forward-t neighbor is rank 1: an interior face.
+        with tally() as t:
+            engines[0].send_faces(block, 3, +1)
+        assert t.bytes_moved == 2 * face.nbytes
+        assert t.comm_bytes == face.nbytes
+        assert t.messages == 1
+
+    def test_zero_boundary_face_is_write_only(self, geom448):
+        from repro.dirac.base import BoundarySpec
 
         partition = _partition(geom448)
-        layout = HaloLayout(partition, depth=1)
-        # Drive all four engines from one thread (driver mode) so the
-        # sends/receives pair up without a backend.
-        mailbox = Mailbox(partition.n_ranks)
-        engines = [
-            RankHaloEngine(layout, MailboxCommunicator(mailbox, r))
-            for r in range(partition.n_ranks)
-        ]
+        boundary = BoundarySpec(("periodic",) * 3 + ("zero",))
+        layout, engines = _driver_engines(partition, boundary=boundary)
+        block = partition.split(SpinorField.random(geom448, rng=41).data)[0]
+        face = np.ascontiguousarray(block[layout.face_slices(3, -1)])
+        # Rank 0's backward-t face wraps the global boundary: with a zero
+        # (Dirichlet) condition the gather is a fill, not a copy.
+        with tally() as t:
+            engines[0].send_faces(block, 3, -1)
+        assert t.bytes_moved == face.nbytes
+        assert t.comm_bytes == face.nbytes
+
+    def test_quantized_face_charges_wire_bytes(self, geom448):
+        from repro.multigpu.layout import halo_logical_nbytes
+        from repro.precision import HALF
+
+        partition = _partition(geom448)
+        layout, engines = _driver_engines(partition, precision=HALF)
+        block = partition.split(SpinorField.random(geom448, rng=41).data)[0]
+        face = np.ascontiguousarray(block[layout.face_slices(3, +1)])
+        wire = halo_logical_nbytes(
+            HALF.convert(face, site_axes=2), HALF, site_axes=2
+        )
+        assert wire < face.nbytes
+        with tally() as t:
+            engines[0].send_faces(block, 3, +1)
+        # Read at storage precision, written at wire precision.
+        assert t.bytes_moved == face.nbytes + wire
+        assert t.comm_bytes == wire
+
+    def test_metric_equals_tally_for_quantized_halos(self, geom448):
+        """Satellite fix: ``comm_bytes_total`` counts the same wire bytes
+        the tally counts, even when the numpy carrier is bigger."""
+        from repro.metrics.registry import metrics_scope
+        from repro.precision import HALF
+
+        partition = _partition(geom448)
+        _, engines = _driver_engines(partition, precision=HALF)
+        blocks = partition.split(SpinorField.random(geom448, rng=43).data)
+        with metrics_scope() as reg, tally() as t:
+            for mu in engines[0].partitioned_dims:
+                for sign in (+1, -1):
+                    for e, b in zip(engines, blocks):
+                        e.send_faces(b, mu, sign)
+        metric = sum(
+            c.value for _, c in reg.counters.items()
+            if c.name == "comm_bytes_total"
+        )
+        assert t.comm_bytes == metric > 0
+
+
+class TestPadReuse:
+    def test_spinor_pad_is_reused_gauge_is_not(self, geom448):
+        partition = _partition(geom448)
+        _, engines = _driver_engines(partition)
         blocks = partition.split(SpinorField.random(geom448, rng=9).data)
         first = [e.stage(b) for e, b in zip(engines, blocks)]
         second = [e.stage(b) for e, b in zip(engines, blocks)]
@@ -172,3 +260,42 @@ class TestPadReuse:
         fresh = [e.stage(b, reuse=False) for e, b in zip(engines, blocks)]
         for a, b in zip(first, fresh):
             assert a is not b
+
+    def test_distinct_shapes_do_not_alias(self, geom448):
+        """One pooled buffer per (lead, shape, dtype): a batched exchange
+        must never scribble over the single-field staging buffer."""
+        partition = _partition(geom448)
+        _, engines = _driver_engines(partition)
+        engine = engines[0]
+        block = partition.split(SpinorField.random(geom448, rng=9).data)[0]
+        batch = np.stack([block, block])
+        single = engine.stage(block)
+        batched = engine.stage(batch, lead=1)
+        assert single is not batched
+        assert not np.shares_memory(single, batched)
+        assert engine.stage(block) is single  # pool key survived
+        assert engine.stage(batch, lead=1) is batched
+
+    def test_reused_pad_matches_fresh_exchange_and_corners_stay_zero(
+        self, geom448
+    ):
+        """The GPU-ghost-buffer contract, end to end: a second exchange
+        through the *same* pooled buffer produces bit-identical ghosts,
+        and the corner sites (which no exchange ever writes) are still
+        zero."""
+        partition = _partition(geom448)
+        layout, engines = _driver_engines(partition)
+        exch = HaloExchanger(partition, depth=1)
+        for rng_seed in (9, 10):  # second iteration reuses the pads
+            field = SpinorField.random(geom448, rng=rng_seed).data
+            blocks = partition.split(field)
+            reference = exch.exchange_spinor(blocks)
+            pads = _driver_exchange(engines, blocks)
+            written = np.zeros(pads[0].shape, dtype=bool)
+            written[layout.interior_slices()] = True
+            for mu in layout.partitioned_dims:
+                for sign in (+1, -1):
+                    written[layout.ghost_slices(mu, sign)] = True
+            for rank, pad in enumerate(pads):
+                assert np.array_equal(pad, reference[rank]), rank
+                assert not pad[~written].any(), rank
