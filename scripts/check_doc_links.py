@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown documentation.
+
+Scans ``README.md`` and every ``*.md`` under ``docs/`` (plus any extra
+paths given on the command line) for inline markdown links and image
+references, and verifies that every *relative* target resolves to an
+existing file.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped; a ``path#fragment`` target
+is checked for the file part only.  Fenced code blocks are ignored so
+example snippets cannot produce false positives.
+
+Usage::
+
+    python scripts/check_doc_links.py [file.md ...]
+
+Exits 0 when every link resolves, 1 with a ``file:line`` listing
+otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Inline links/images: [text](target) / ![alt](target).  Reference-style
+# definitions are rare here; inline is what the docs use.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_links(path: Path):
+    """Yield ``(lineno, target)`` for every inline link outside code fences.
+
+    Args:
+        path: Markdown file to scan.
+
+    Yields:
+        Tuples of 1-based line number and the raw link target.
+    """
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return a list of broken-link messages for one markdown file."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        if target.startswith("<") or "://" in target:
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            rel = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+            problems.append(f"{rel}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns the process exit code."""
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+    problems: list[str] = []
+    checked = 0
+    for f in files:
+        if not f.exists():
+            problems.append(f"{f}: file not found")
+            continue
+        checked += 1
+        problems.extend(check_file(f))
+
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\n{len(problems)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"doc links OK ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

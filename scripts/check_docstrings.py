@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Docstring-presence lint for the public serving and solve-API surface.
+
+Walks the checked packages with ``ast`` (no imports, so it runs without
+numpy installed) and fails if any public module, class, function, or
+method is missing a docstring.  Public means: name does not start with
+an underscore, and the definition is not nested inside a function.
+``__init__`` is checked when the owning class is public and it takes
+arguments beyond ``self``; other dunders are exempt.
+
+Usage::
+
+    python scripts/check_docstrings.py [path ...]
+
+With no arguments, checks the default surface: ``src/repro/serve`` and
+``src/repro/core/api.py``.  Exits 0 when clean, 1 with a
+``file:line: name`` listing otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_TARGETS = ("src/repro/serve", "src/repro/core/api.py")
+
+FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _wants_init_doc(fn: ast.FunctionDef) -> bool:
+    args = fn.args
+    n_named = len(args.posonlyargs) + len(args.args) + len(args.kwonlyargs)
+    return n_named > 1 or args.vararg is not None or args.kwarg is not None
+
+
+def _missing_in(tree: ast.Module, path: Path) -> list[tuple[int, str]]:
+    missing: list[tuple[int, str]] = []
+    if ast.get_docstring(tree) is None:
+        missing.append((1, "module"))
+
+    def visit(node: ast.AST, prefix: str, class_public: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                public = _is_public(child.name)
+                if public and ast.get_docstring(child) is None:
+                    missing.append((child.lineno, f"class {prefix}{child.name}"))
+                visit(child, f"{prefix}{child.name}.", public)
+            elif isinstance(child, FuncDef):
+                name = child.name
+                if name == "__init__":
+                    check = class_public and _wants_init_doc(child)
+                elif name.startswith("__") and name.endswith("__"):
+                    check = False
+                else:
+                    check = class_public and _is_public(name)
+                if check and ast.get_docstring(child) is None:
+                    missing.append((child.lineno, f"def {prefix}{name}"))
+                # Nested defs are implementation detail: do not descend.
+
+    visit(tree, "", class_public=True)
+    return missing
+
+
+def check(paths: list[str]) -> int:
+    """Lint every ``.py`` file under the given paths; return #problems."""
+    files: list[Path] = []
+    for raw in paths:
+        p = (REPO / raw) if not Path(raw).is_absolute() else Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+
+    problems = 0
+    for f in files:
+        tree = ast.parse(f.read_text(encoding="utf-8"), filename=str(f))
+        for lineno, what in _missing_in(tree, f):
+            rel = f.relative_to(REPO) if f.is_relative_to(REPO) else f
+            print(f"{rel}:{lineno}: missing docstring: {what}")
+            problems += 1
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns the process exit code."""
+    targets = argv or list(DEFAULT_TARGETS)
+    n = check(targets)
+    if n:
+        print(f"\n{n} public definition(s) missing docstrings")
+        return 1
+    print(f"docstring check OK ({', '.join(targets)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

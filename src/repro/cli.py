@@ -8,9 +8,9 @@ The families: ``figN`` regenerate the paper's figure tables from the
 performance model, ``solve``/``generate`` run real numerics on synthetic
 configurations, ``bench``/``bench-multirhs`` time the SPMD execution
 backends and the batched multi-RHS path, ``trace`` captures a Perfetto
-timeline of a distributed solve (docs/observability.md), ``report``
-draws ASCII charts, and ``info`` prints the hardware/calibration
-summary.
+timeline of a distributed solve (docs/observability.md), ``serve`` runs
+the coalescing solve daemon (docs/serving.md), ``report`` draws ASCII
+charts, and ``info`` prints the hardware/calibration summary.
 """
 
 from __future__ import annotations
@@ -595,6 +595,61 @@ def _cmd_trace(args) -> int:
     return 0 if res.converged else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the coalescing solve daemon (docs/serving.md).
+
+    Boots a :class:`~repro.serve.service.SolveService` with the given
+    coalescing knobs, fronts it with the HTTP/JSONL server, and serves
+    until SIGINT/SIGTERM — on which it stops accepting (503), drains the
+    queued and in-flight solves, and exits cleanly.
+    """
+    import signal
+    import threading
+
+    from repro.serve import ServeServer, SolveService
+
+    service = SolveService(
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        capacity=args.queue_limit,
+        pad_to=args.pad_to,
+        default_timeout=args.default_timeout or None,
+    ).start()
+    server = ServeServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(
+        f"repro serve on {server.url} — max_batch={args.max_batch} "
+        f"max_wait={args.max_wait}s queue_limit={args.queue_limit} "
+        f"pad_to={service.pad_to}"
+    )
+    print("routes: POST /v1/solve, POST /v1/solve/jsonl, GET /metrics, "
+          "GET /v1/stats, GET /healthz")
+
+    stop = threading.Event()
+
+    def _signal(signum, frame):
+        print(f"\nsignal {signal.Signals(signum).name}: draining...")
+        stop.set()
+        # shutdown() joins the dispatcher; run it off the signal frame.
+        threading.Thread(target=server.stop, daemon=True).start()
+
+    signal.signal(signal.SIGINT, _signal)
+    signal.signal(signal.SIGTERM, _signal)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - belt and braces
+        server.stop()
+    stats = service.stats()
+    ratio = stats["coalesce_ratio"]
+    print(
+        f"drained: {stats['batches_total']} batches, "
+        f"{stats['batched_requests_total']} requests"
+        + (f", coalesce ratio {ratio:.2f}" if ratio else "")
+    )
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro import __version__
     from repro.perfmodel.machines import CPU_MACHINES, EDGE
@@ -770,6 +825,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed relative increase for deterministic "
                         "counters (default 0: any growth fails)")
     p.set_defaults(func=_cmd_report)
+
+    p = add_command(
+        "serve",
+        "run the coalescing solve daemon (HTTP/JSONL front)",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1",
+                   help="interface to bind (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 picks a free port; default 8787)")
+    p.add_argument("--max-batch", type=int, default=4,
+                   help="lanes per batched solve (default 4)")
+    p.add_argument("--max-wait", type=float, default=0.05,
+                   help="coalescing window in seconds (default 0.05)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="bounded queue capacity; submits beyond it are "
+                        "rejected with 429 (default 64)")
+    p.add_argument("--pad-to", type=int, default=None,
+                   help="canonical padded batch size for bit-reproducible "
+                        "results (default: max-batch; 0 disables padding)")
+    p.add_argument("--default-timeout", type=float, default=0.0,
+                   help="queue deadline in seconds for requests without "
+                        "their own timeout_seconds (0 = none)")
+    p.add_argument("--verbose", action="store_true",
+                   help="per-request access logs on stderr")
+    p.set_defaults(func=_cmd_serve)
 
     p = add_command("info", "print version and model summary")
     p.set_defaults(func=_cmd_info)

@@ -55,6 +55,12 @@ _MULTISHIFT_TOL = 1e-10
 _DEFAULT_MAXITER = 2000
 
 _OPERATORS = ("wilson_clover", "asqtad", "asqtad_multishift")
+_METHODS = {
+    "wilson_clover": ("auto", "bicgstab", "gcr-dd"),
+    "asqtad": ("auto", "cg"),
+    "asqtad_multishift": ("auto",),
+}
+_BACKENDS = ("sequential", "threads", "processes")
 
 
 @dataclass
@@ -124,6 +130,85 @@ class SolveRequest:
     shifts: Sequence[float] | None = None
     backend: str | None = None
     overlap: bool = False
+
+
+def _invalid(field_: str, message: str, choices=None) -> ValueError:
+    """A validation error whose message names the offending
+    ``SolveRequest`` field and, for closed sets, the valid choices."""
+    text = f"SolveRequest.{field_}: {message}"
+    if choices:
+        text += f"; valid choices: {', '.join(choices)}"
+    return ValueError(text)
+
+
+def validate_request(request: SolveRequest) -> None:
+    """Check a :class:`SolveRequest` for schema-level mistakes up front.
+
+    Runs automatically at the top of :func:`solve`; callers composing
+    requests programmatically (the serving layer, notebooks) may also
+    call it directly to fail fast without building operators.
+
+    Args:
+        request: The request to check.  Only the declarative knobs are
+            examined (operator/method names, flag combinations, numeric
+            ranges) — gauge/rhs *contents* are validated by the
+            operators themselves.
+
+    Raises:
+        ValueError: Any invalid field.  The message names the field
+            (``SolveRequest.<field>: ...``) and, where the value comes
+            from a closed set, lists the valid choices.
+    """
+    if request.operator not in _OPERATORS:
+        raise _invalid(
+            "operator",
+            f"unknown operator {request.operator!r}",
+            _OPERATORS,
+        )
+    methods = _METHODS[request.operator]
+    if request.method not in methods:
+        raise _invalid(
+            "method",
+            f"unknown method {request.method!r} for {request.operator}",
+            methods,
+        )
+    if request.backend is not None:
+        if request.backend not in _BACKENDS:
+            raise _invalid(
+                "backend",
+                f"unknown backend {request.backend!r}",
+                _BACKENDS,
+            )
+        if request.method != "gcr-dd":
+            raise _invalid(
+                "backend", "backend= is only meaningful for method='gcr-dd'"
+            )
+    if request.overlap:
+        if request.method != "gcr-dd":
+            raise _invalid(
+                "overlap", "overlap= is only meaningful for method='gcr-dd'"
+            )
+        if request.backend is None:
+            raise _invalid(
+                "overlap",
+                "overlap=True needs an SPMD backend "
+                "(backend='sequential'/'threads'/'processes'); the "
+                "global-view driver has no overlapped schedule",
+            )
+    if request.method == "gcr-dd" and request.grid is None:
+        raise _invalid(
+            "grid", "gcr-dd needs a process grid (the Schwarz blocks)"
+        )
+    if request.operator == "asqtad_multishift" and request.shifts is None:
+        raise _invalid("shifts", "asqtad_multishift needs shifts")
+    if request.even_odd and request.operator != "wilson_clover":
+        raise _invalid(
+            "even_odd", "is only meaningful for operator='wilson_clover'"
+        )
+    if request.tol is not None and request.tol <= 0:
+        raise _invalid("tol", f"must be > 0, got {request.tol!r}")
+    if request.maxiter is not None and request.maxiter <= 0:
+        raise _invalid("maxiter", f"must be > 0, got {request.maxiter!r}")
 
 
 def _resolved(value, default):
@@ -315,13 +400,6 @@ def solve(
 ) -> "SolverResult | BatchedSolverResult | MultishiftRefineResult":
     """Solve the system described by ``request``.
 
-    Returns a :class:`~repro.solvers.base.SolverResult` for a single
-    right-hand side, a
-    :class:`~repro.solvers.multirhs.BatchedSolverResult` when ``rhs``
-    carries a leading batch axis, and a
-    :class:`~repro.solvers.refine.MultishiftRefineResult` for
-    ``asqtad_multishift``.
-
     Every result carries the flight-recorder artifact on ``.report``: a
     :class:`~repro.metrics.SolveReport` assembled from the solve's own
     tally, metrics registry (per-rank wait histograms under the SPMD
@@ -329,9 +407,28 @@ def solve(
     under a nested tally/registry, so a caller's enclosing
     :func:`~repro.util.counters.tally` or
     :func:`~repro.metrics.metrics_scope` still observes everything.
+
+    Args:
+        request: The fully-described system (see :class:`SolveRequest`
+            for the field semantics).  Validated by
+            :func:`validate_request` before any operator is built.
+
+    Returns:
+        A :class:`~repro.solvers.base.SolverResult` for a single
+        right-hand side, a
+        :class:`~repro.solvers.multirhs.BatchedSolverResult` when
+        ``rhs`` carries a leading batch axis, and a
+        :class:`~repro.solvers.refine.MultishiftRefineResult` for
+        ``asqtad_multishift``.
+
+    Raises:
+        ValueError: An invalid request; the message names the offending
+            field (``SolveRequest.<field>: ...``) and, for closed sets
+            (operator, method, backend), the valid choices.
     """
     from repro.util.counters import tally
 
+    validate_request(request)
     start = time.perf_counter()
     with tally() as t, metrics_scope() as registry:
         result = _dispatch(request)
@@ -372,6 +469,15 @@ def solve_wilson_clover(
     Note: when ``config`` is provided, ``tol``/``maxiter`` arguments left
     at their defaults no longer clobber the config's values (and the
     caller's config object is never mutated).
+
+    Args:
+        gauge: Thin-link gauge configuration.
+        b: Right-hand side spinor array (single or leading-batch).
+        mass: Bare quark mass; remaining arguments mirror the
+            :class:`SolveRequest` fields of the same name.
+
+    Returns:
+        The :func:`solve` result for the equivalent request.
     """
     _deprecated("solve_wilson_clover")
     if config is not None:
@@ -408,7 +514,18 @@ def solve_asqtad(
     inner_precision=SINGLE,
 ) -> SolverResult:
     """Deprecated shim: solve ``M_IS x = b`` (normal equations) via
-    :func:`solve`."""
+    :func:`solve`.
+
+    Args:
+        source: Thin-link gauge field or prebuilt
+            :class:`~repro.gauge.asqtad.AsqtadLinks`.
+        b: Right-hand side staggered array (single or leading-batch).
+        mass: Bare quark mass; remaining arguments mirror the
+            :class:`SolveRequest` fields of the same name.
+
+    Returns:
+        The :func:`solve` result for the equivalent request.
+    """
     _deprecated("solve_asqtad")
     return solve(
         SolveRequest(
@@ -436,7 +553,19 @@ def solve_asqtad_multishift(
     boundary: BoundarySpec = PERIODIC,
     u0: float = 1.0,
 ) -> MultishiftRefineResult:
-    """Deprecated shim: multi-shift solve + refinement via :func:`solve`."""
+    """Deprecated shim: multi-shift solve + refinement via :func:`solve`.
+
+    Args:
+        source: Thin-link gauge field or prebuilt
+            :class:`~repro.gauge.asqtad.AsqtadLinks`.
+        b: Right-hand side staggered array (unbatched).
+        mass: Bare quark mass.
+        shifts: The shifted-mass offsets (Eq. 4); remaining arguments
+            mirror the :class:`SolveRequest` fields of the same name.
+
+    Returns:
+        The :class:`~repro.solvers.refine.MultishiftRefineResult`.
+    """
     _deprecated("solve_asqtad_multishift")
     return solve(
         SolveRequest(

@@ -1,0 +1,62 @@
+"""repro.serve — the coalescing solve service (docs/serving.md).
+
+A long-running daemon (``python -m repro serve``) that accepts
+:class:`SolveRequest`-shaped wire requests over HTTP/JSONL, groups
+compatible ones by operator fingerprint, and serves each group with one
+batched multi-RHS solve — reusing cached operator setup and exporting
+queue/batch/latency metrics through the Prometheus text format.
+
+Layering (each module documents its own contract):
+
+- :mod:`repro.serve.errors` — the typed 4xx/5xx error vocabulary;
+- :mod:`repro.serve.request` — wire schema, validation, fingerprint;
+- :mod:`repro.serve.queue` — bounded priority queue with deadlines;
+- :mod:`repro.serve.coalescer` — the batching window policy;
+- :mod:`repro.serve.service` — dispatcher thread + batched execution;
+- :mod:`repro.serve.http` — the stdlib HTTP/JSONL front;
+- :mod:`repro.serve.client` — the stdlib HTTP client.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.coalescer import CoalesceOutcome, Coalescer
+from repro.serve.errors import (
+    DeadlineExpiredError,
+    QueueFullError,
+    RequestValidationError,
+    ServeError,
+    ServiceClosedError,
+    SolveFailedError,
+    error_from_dict,
+)
+from repro.serve.http import ServeServer
+from repro.serve.queue import QueuedRequest, SolveQueue, Ticket
+from repro.serve.request import (
+    SERVABLE_OPERATORS,
+    ServiceRequest,
+    decode_array,
+    encode_array,
+)
+from repro.serve.service import ServedResult, SolveService
+
+__all__ = [
+    "SERVABLE_OPERATORS",
+    "CoalesceOutcome",
+    "Coalescer",
+    "DeadlineExpiredError",
+    "QueueFullError",
+    "QueuedRequest",
+    "RequestValidationError",
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "ServedResult",
+    "ServiceClosedError",
+    "ServiceRequest",
+    "SolveFailedError",
+    "SolveQueue",
+    "SolveService",
+    "Ticket",
+    "decode_array",
+    "encode_array",
+    "error_from_dict",
+]

@@ -1,0 +1,139 @@
+"""Typed service errors — the 4xx/5xx vocabulary of :mod:`repro.serve`.
+
+Every failure a client can observe is one of these classes, each
+carrying a stable machine-readable ``code`` and the HTTP status the
+front maps it to.  Validation errors additionally name the offending
+``field`` and, where the value comes from a closed set, the valid
+``choices`` — a client never has to parse prose to learn what to fix.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class for all typed service errors.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable error code (e.g. ``"queue_full"``),
+        serialized in wire responses.
+    http_status:
+        The HTTP status the JSON front returns for this error.
+    field:
+        Dotted path of the offending request field (validation errors),
+        or ``None``.
+    choices:
+        Valid values for ``field`` when it comes from a closed set, or
+        ``None``.
+    """
+
+    code = "serve_error"
+    http_status = 500
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: str | None = None,
+        choices=None,
+    ) -> None:
+        """Store the message plus the optional field/choices context.
+
+        Args:
+            message: Human-readable description of the failure.
+            field: Dotted path of the offending request field, if any.
+            choices: Iterable of valid values for ``field``, if the
+                field takes values from a closed set.
+        """
+        super().__init__(message)
+        self.field = field
+        self.choices = [str(c) for c in choices] if choices else None
+
+    def to_dict(self) -> dict:
+        """The wire form of the error: ``code``, ``message`` and — for
+        validation errors — ``field``/``choices``.
+
+        Returns:
+            A JSON-ready dict; keys with ``None`` values are omitted.
+        """
+        doc = {"code": self.code, "message": str(self)}
+        if self.field is not None:
+            doc["field"] = self.field
+        if self.choices is not None:
+            doc["choices"] = self.choices
+        return doc
+
+
+class RequestValidationError(ServeError):
+    """The request payload is malformed: names the field and choices
+    (HTTP 400)."""
+
+    code = "invalid_request"
+    http_status = 400
+
+
+class QueueFullError(ServeError):
+    """Backpressure: the bounded request queue is at capacity and the
+    submit was *rejected*, not blocked (HTTP 429)."""
+
+    code = "queue_full"
+    http_status = 429
+
+
+class DeadlineExpiredError(ServeError):
+    """The request's deadline passed before a batch picked it up; it was
+    evicted without being solved (HTTP 504)."""
+
+    code = "deadline_expired"
+    http_status = 504
+
+
+class ServiceClosedError(ServeError):
+    """The service is draining or stopped and no longer accepts new
+    requests (HTTP 503)."""
+
+    code = "shutting_down"
+    http_status = 503
+
+
+class SolveFailedError(ServeError):
+    """The batched solve raised; every request in the batch fails with
+    this error (HTTP 500)."""
+
+    code = "solve_failed"
+    http_status = 500
+
+
+def error_from_dict(doc: dict) -> ServeError:
+    """Reconstruct a typed error from its wire form (client side).
+
+    Args:
+        doc: The ``error`` object of a wire response, as produced by
+            :meth:`ServeError.to_dict`.
+
+    Returns:
+        An instance of the matching :class:`ServeError` subclass (the
+        base class when the code is unknown).
+    """
+    code = doc.get("code", "serve_error")
+    cls = _BY_CODE.get(code, ServeError)
+    err = cls(
+        doc.get("message", code),
+        field=doc.get("field"),
+        choices=doc.get("choices"),
+    )
+    return err
+
+
+_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        ServeError,
+        RequestValidationError,
+        QueueFullError,
+        DeadlineExpiredError,
+        ServiceClosedError,
+        SolveFailedError,
+    )
+}

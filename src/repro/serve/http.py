@@ -1,0 +1,257 @@
+"""The HTTP/JSONL front of the solve service.
+
+A deliberately small, stdlib-only JSON-over-HTTP surface (one
+``ThreadingHTTPServer``, no web framework) in front of
+:class:`~repro.serve.service.SolveService`:
+
+``POST /v1/solve``
+    One JSON request -> one JSON response.  The handler thread parks on
+    the ticket while the dispatcher coalesces and solves; concurrent
+    clients with compatible requests therefore land in one batch.
+``POST /v1/solve/jsonl``
+    One request per line, **all submitted before any is awaited** — the
+    natural way for a single client to get its own requests coalesced.
+    Responses come back as JSONL in request order; a bad line yields an
+    error object on that line without failing the rest.
+``GET /metrics``
+    The service registry in Prometheus text exposition format.
+``GET /v1/stats``
+    Operational snapshot (queue depth, coalesce ratio, outcome counts).
+``GET /healthz``
+    Liveness: 200 while accepting, 503 while draining.
+
+Every typed :class:`~repro.serve.errors.ServeError` maps to its own
+HTTP status (400 validation, 429 queue full, 503 draining, 504 deadline,
+500 solve failure) with a JSON body carrying the machine-readable
+``code``/``field``/``choices``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.errors import ServeError
+from repro.serve.service import SolveService
+
+#: Upper bound on how long one HTTP handler waits for its ticket; a
+#: request that is admitted but unresolved past this (dispatcher wedged)
+#: fails with 500 rather than holding the socket forever.
+RESULT_TIMEOUT = 600.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's :class:`SolveService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Route access logs through the server's ``verbose`` switch."""
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> SolveService:
+        """The solve service this server fronts."""
+        return self.server.service
+
+    def _send_json(self, status: int, doc, content_type="application/json"):
+        body = (
+            doc.encode()
+            if isinstance(doc, str)
+            else (json.dumps(doc) + "\n").encode()
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0))
+        return self.rfile.read(length) if length else b""
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        """Serve the read-only routes: metrics, stats, health."""
+        if self.path == "/metrics":
+            self._send_json(
+                200, self.service.prometheus(),
+                content_type="text/plain; version=0.0.4",
+            )
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.service.stats())
+        elif self.path == "/healthz":
+            if self.service.queue.closed:
+                self._send_json(503, {"status": "draining"})
+            else:
+                self._send_json(200, {"status": "ok"})
+        else:
+            self._send_json(
+                404, {"error": {"code": "not_found",
+                                "message": f"no route {self.path!r}"}}
+            )
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        """Serve the solve routes (single JSON and JSONL batch)."""
+        if self.path == "/v1/solve":
+            self._solve_one()
+        elif self.path == "/v1/solve/jsonl":
+            self._solve_jsonl()
+        else:
+            self._send_json(
+                404, {"error": {"code": "not_found",
+                                "message": f"no route {self.path!r}"}}
+            )
+
+    # -- solve routes --------------------------------------------------
+    def _solve_one(self):
+        raw = self._read_body()
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._send_json(
+                400,
+                {"status": "error",
+                 "error": {"code": "invalid_request",
+                           "message": f"body is not valid JSON: {exc}"}},
+            )
+            return
+        rid = payload.get("id") if isinstance(payload, dict) else None
+        try:
+            result = self.service.submit(payload).result(RESULT_TIMEOUT)
+        except ServeError as exc:
+            self._send_json(
+                exc.http_status,
+                {"id": rid, "status": "error", "error": exc.to_dict()},
+            )
+            return
+        except TimeoutError as exc:
+            self._send_json(
+                500,
+                {"id": rid, "status": "error",
+                 "error": {"code": "serve_error", "message": str(exc)}},
+            )
+            return
+        self._send_json(200, result.to_wire())
+
+    def _solve_jsonl(self):
+        lines = [
+            ln for ln in self._read_body().decode().splitlines() if ln.strip()
+        ]
+        # Submit everything before awaiting anything: requests from one
+        # client coalesce with each other (and with other clients').
+        pending = []
+        for ln in lines:
+            try:
+                payload = json.loads(ln)
+            except json.JSONDecodeError as exc:
+                pending.append(
+                    (None,
+                     {"status": "error",
+                      "error": {"code": "invalid_request",
+                                "message": f"line is not valid JSON: {exc}"}})
+                )
+                continue
+            rid = payload.get("id") if isinstance(payload, dict) else None
+            try:
+                pending.append((self.service.submit(payload), rid))
+            except ServeError as exc:
+                pending.append(
+                    (None,
+                     {"id": rid, "status": "error", "error": exc.to_dict()})
+                )
+        out = []
+        for first, second in pending:
+            if first is None:
+                out.append(second)
+                continue
+            try:
+                out.append(first.result(RESULT_TIMEOUT).to_wire())
+            except ServeError as exc:
+                out.append(
+                    {"id": second, "status": "error", "error": exc.to_dict()}
+                )
+            except TimeoutError as exc:
+                out.append(
+                    {"id": second, "status": "error",
+                     "error": {"code": "serve_error", "message": str(exc)}}
+                )
+        body = "".join(json.dumps(doc) + "\n" for doc in out)
+        self._send_json(200, body, content_type="application/jsonl")
+
+
+class ServeServer:
+    """The HTTP server + its background thread, owning a service.
+
+    >>> server = ServeServer(SolveService(max_batch=4).start(),
+    ...                      host="127.0.0.1", port=0)
+    >>> server.start()
+    >>> server.url
+    'http://127.0.0.1:54321'
+    >>> server.stop()          # drains the service, closes the socket
+    """
+
+    def __init__(
+        self,
+        service: SolveService,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        verbose: bool = False,
+    ) -> None:
+        """Bind the socket (``port=0`` picks a free port).
+
+        Args:
+            service: The (started) :class:`SolveService` to front.
+            host: Interface to bind.
+            port: TCP port; ``0`` lets the OS choose (tests).
+            verbose: Emit per-request access logs to stderr.
+        """
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.service = service
+        self.httpd.verbose = verbose
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (with the actually-bound port)."""
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServeServer":
+        """Serve in a background thread (idempotent).
+
+        Returns:
+            This server, for chaining.
+        """
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever, name="serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Graceful shutdown: drain the service, then close the socket.
+
+        Args:
+            drain: Finish queued solves before stopping (see
+                :meth:`SolveService.shutdown`).
+            timeout: Seconds to wait for the service dispatcher.
+        """
+        self.service.shutdown(drain=drain, timeout=timeout)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (the daemon
+        entry point used by ``python -m repro serve``)."""
+        self.httpd.serve_forever()

@@ -1,0 +1,466 @@
+"""Wire-level solve requests: schema, validation, operator fingerprint.
+
+A :class:`ServiceRequest` is the serializable twin of
+:class:`repro.core.api.SolveRequest`: instead of holding live
+``GaugeField``/``ndarray`` objects it holds *specs* — a gauge spec
+(synthetic parameters or a file path) and an rhs spec (seeded random,
+point source, or inline data) — so a request can travel over HTTP and
+still reconstruct the exact same linear system on the server.
+
+The **operator fingerprint** (:meth:`ServiceRequest.fingerprint`) is the
+coalescing key: the sha256 of every solve-defining knob *except* the
+right-hand side — the same canonical-JSON discipline as PR 5's
+:func:`repro.metrics.config_fingerprint`, extended with the gauge spec
+(the in-library fingerprint can assume the caller holds the gauge field;
+the wire one cannot).  Two requests with equal fingerprints describe the
+same operator, method, tolerances and precisions over the same gauge
+configuration, and may therefore ride in one batched multi-RHS solve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.precision import DOUBLE, HALF, SINGLE, Precision
+from repro.serve.errors import RequestValidationError
+
+#: Operators the service can coalesce: the two with a batched multi-RHS
+#: execution path.  ``asqtad_multishift`` (no batched rhs) and
+#: ``gcr-dd`` (needs a live ProcessGrid) stay library-only.
+SERVABLE_OPERATORS = ("wilson_clover", "asqtad")
+
+_METHODS = {
+    "wilson_clover": ("auto", "bicgstab"),
+    "asqtad": ("auto", "cg"),
+}
+_DEFAULT_METHOD = {"wilson_clover": "bicgstab", "asqtad": "cg"}
+
+GAUGE_KINDS = ("weak", "hot", "unit", "file")
+RHS_KINDS = ("random", "point", "data")
+_BOUNDARY = ("periodic", "antiperiodic", "zero")
+_PRECISIONS: dict[str, Precision] = {
+    "double": DOUBLE,
+    "single": SINGLE,
+    "half": HALF,
+}
+
+
+def _invalid(field_: str, message: str, choices=None) -> RequestValidationError:
+    """A validation error whose message names the field (and choices)."""
+    text = f"{field_}: {message}"
+    if choices:
+        text += f"; valid choices: {', '.join(str(c) for c in choices)}"
+    return RequestValidationError(text, field=field_, choices=choices)
+
+
+def _get_number(payload: dict, field_: str, *, required=False, default=None,
+                positive=False, integer=False):
+    """Fetch and type-check one numeric field of a wire payload.
+
+    Args:
+        payload: The decoded JSON object.
+        field_: Key to fetch (used verbatim in error messages).
+        required: Raise when the key is absent.
+        default: Value when absent (and not required).
+        positive: Require the value to be ``> 0``.
+        integer: Require an integral value; the return is ``int``.
+
+    Returns:
+        The validated number (``int`` or ``float``), or ``default``.
+
+    Raises:
+        RequestValidationError: Missing required field, wrong type, or
+            non-positive value where ``positive`` is set.
+    """
+    if field_ not in payload or payload[field_] is None:
+        if required:
+            raise _invalid(field_, "is required")
+        return default
+    value = payload[field_]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        kind = "an integer" if integer else "a number"
+        raise _invalid(field_, f"must be {kind}, got {value!r}")
+    if integer:
+        if float(value) != int(value):
+            raise _invalid(field_, f"must be an integer, got {value!r}")
+        value = int(value)
+    if positive and value <= 0:
+        raise _invalid(field_, f"must be > 0, got {value!r}")
+    return value
+
+
+def _get_choice(payload: dict, field_: str, choices, *, default=None,
+                required=False):
+    """Fetch a string field constrained to a closed set of choices.
+
+    Raises:
+        RequestValidationError: Missing required field or a value
+            outside ``choices`` (the error lists them).
+    """
+    if field_ not in payload or payload[field_] is None:
+        if required:
+            raise _invalid(field_, "is required", choices)
+        return default
+    value = payload[field_]
+    if value not in choices:
+        raise _invalid(field_, f"unknown value {value!r}", choices)
+    return value
+
+
+def _validate_gauge(spec) -> dict:
+    """Normalize and validate the ``gauge`` spec of a wire payload.
+
+    Returns:
+        The canonical gauge spec (only the keys its ``kind`` uses).
+
+    Raises:
+        RequestValidationError: Unknown kind, missing dims/path, or odd
+            lattice extents.
+    """
+    if not isinstance(spec, dict):
+        raise _invalid("gauge", f"must be an object, got {type(spec).__name__}")
+    kind = _get_choice(spec, "kind", GAUGE_KINDS, required=True)
+    # argparse-style scoped field names for the nested keys
+    if kind == "file":
+        path = spec.get("path")
+        if not isinstance(path, str) or not path:
+            raise _invalid("gauge.path", "is required for kind='file'")
+        return {"kind": "file", "path": path}
+    dims = spec.get("dims")
+    if (
+        not isinstance(dims, (list, tuple))
+        or len(dims) != 4
+        or not all(isinstance(d, int) and not isinstance(d, bool) for d in dims)
+    ):
+        raise _invalid(
+            "gauge.dims", f"must be 4 integers (nx, ny, nz, nt), got {dims!r}"
+        )
+    if any(d < 2 or d % 2 for d in dims):
+        raise _invalid(
+            "gauge.dims",
+            f"extents must be even and >= 2 (even-odd checkerboarding), "
+            f"got {dims!r}",
+        )
+    out = {"kind": kind, "dims": [int(d) for d in dims]}
+    if kind == "weak":
+        out["epsilon"] = float(
+            _get_number(spec, "epsilon", default=0.25, positive=True)
+        )
+    if kind in ("weak", "hot"):
+        out["seed"] = _get_number(spec, "seed", default=0, integer=True)
+    return out
+
+
+def _validate_rhs(spec) -> dict:
+    """Normalize and validate the ``rhs`` spec of a wire payload.
+
+    Returns:
+        The canonical rhs spec.
+
+    Raises:
+        RequestValidationError: Unknown kind or malformed inline data.
+    """
+    if spec is None:
+        return {"kind": "random", "seed": 1}
+    if not isinstance(spec, dict):
+        raise _invalid("rhs", f"must be an object, got {type(spec).__name__}")
+    kind = _get_choice(spec, "kind", RHS_KINDS, required=True)
+    if kind == "random":
+        return {"kind": "random",
+                "seed": _get_number(spec, "seed", default=1, integer=True)}
+    if kind == "point":
+        out = {"kind": "point"}
+        out["spin"] = _get_number(spec, "spin", default=0, integer=True)
+        out["color"] = _get_number(spec, "color", default=0, integer=True)
+        site = spec.get("site", [0, 0, 0, 0])
+        if (
+            not isinstance(site, (list, tuple))
+            or len(site) != 4
+            or not all(isinstance(s, int) and not isinstance(s, bool)
+                       for s in site)
+        ):
+            raise _invalid(
+                "rhs.site", f"must be 4 integers (x, y, z, t), got {site!r}"
+            )
+        out["site"] = [int(s) for s in site]
+        return out
+    real = spec.get("real")
+    if real is None:
+        raise _invalid("rhs.real", "is required for kind='data'")
+    out = {"kind": "data", "real": real}
+    if spec.get("imag") is not None:
+        out["imag"] = spec["imag"]
+    return out
+
+
+def _validate_boundary(value) -> list[str]:
+    """Validate the per-direction boundary list of a wire payload.
+
+    Raises:
+        RequestValidationError: Not a list of 4 valid condition names.
+    """
+    if value is None:
+        return ["periodic"] * 4
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 4
+        or not all(b in _BOUNDARY for b in value)
+    ):
+        raise _invalid(
+            "boundary",
+            f"must be 4 per-direction conditions, got {value!r}",
+            _BOUNDARY,
+        )
+    return [str(b) for b in value]
+
+
+@dataclass
+class ServiceRequest:
+    """One validated, normalized wire request (see the module docstring).
+
+    Everything is canonical by construction: ``method`` is resolved
+    (never ``"auto"``), specs carry only the keys their kind uses, and
+    numeric knobs are plain Python numbers — so canonical JSON, and
+    therefore the fingerprint, is well defined.
+
+    Attributes
+    ----------
+    id:
+        Client-chosen identifier echoed back in the response (the
+        service assigns ``req-N`` when absent).
+    operator, mass, csw, method, tol, maxiter, even_odd,
+    inner_precision, u0, boundary:
+        The solve-defining knobs, mirroring
+        :class:`repro.core.api.SolveRequest`.
+    gauge:
+        Canonical gauge spec (``kind`` = weak/hot/unit/file).
+    rhs:
+        Canonical rhs spec (``kind`` = random/point/data).
+    priority:
+        Higher runs sooner; ties are FIFO.
+    timeout_seconds:
+        Queue deadline; the request is evicted with
+        :class:`~repro.serve.errors.DeadlineExpiredError` if no batch
+        picks it up in time.  ``None`` means no deadline.
+    return_solution:
+        Include the solution field (``real``/``imag`` nested lists) in
+        the wire response.
+    """
+
+    id: str | None
+    operator: str
+    gauge: dict
+    rhs: dict
+    mass: float
+    csw: float = 1.0
+    method: str = ""
+    tol: float | None = None
+    maxiter: int | None = None
+    even_odd: bool = False
+    inner_precision: str | None = None
+    u0: float = 1.0
+    boundary: list[str] = field(default_factory=lambda: ["periodic"] * 4)
+    priority: int = 0
+    timeout_seconds: float | None = None
+    return_solution: bool = False
+
+    @classmethod
+    def from_wire(cls, payload) -> "ServiceRequest":
+        """Validate a decoded JSON payload into a :class:`ServiceRequest`.
+
+        Args:
+            payload: The decoded request object (``dict``).
+
+        Returns:
+            The normalized request.
+
+        Raises:
+            RequestValidationError: Any malformed field; the error names
+                the field and, for closed sets, the valid choices.
+        """
+        if not isinstance(payload, dict):
+            raise _invalid(
+                "request", f"must be an object, got {type(payload).__name__}"
+            )
+        operator = _get_choice(
+            payload, "operator", SERVABLE_OPERATORS, required=True
+        )
+        method = _get_choice(
+            payload, "method", _METHODS[operator], default="auto"
+        )
+        if method == "auto":
+            method = _DEFAULT_METHOD[operator]
+        rid = payload.get("id")
+        if rid is not None and not isinstance(rid, str):
+            raise _invalid("id", f"must be a string, got {rid!r}")
+        even_odd = payload.get("even_odd", False)
+        if not isinstance(even_odd, bool):
+            raise _invalid("even_odd", f"must be a boolean, got {even_odd!r}")
+        if even_odd and operator != "wilson_clover":
+            raise _invalid(
+                "even_odd", "is only meaningful for operator='wilson_clover'"
+            )
+        return_solution = payload.get("return_solution", False)
+        if not isinstance(return_solution, bool):
+            raise _invalid(
+                "return_solution",
+                f"must be a boolean, got {return_solution!r}",
+            )
+        return cls(
+            id=rid,
+            operator=operator,
+            gauge=_validate_gauge(payload.get("gauge")),
+            rhs=_validate_rhs(payload.get("rhs")),
+            mass=float(_get_number(payload, "mass", required=True)),
+            csw=float(_get_number(payload, "csw", default=1.0)),
+            method=method,
+            tol=_get_number(payload, "tol", positive=True),
+            maxiter=_get_number(payload, "maxiter", positive=True,
+                                integer=True),
+            even_odd=even_odd,
+            inner_precision=_get_choice(
+                payload, "inner_precision", tuple(_PRECISIONS)
+            ),
+            u0=float(_get_number(payload, "u0", default=1.0, positive=True)),
+            boundary=_validate_boundary(payload.get("boundary")),
+            priority=_get_number(payload, "priority", default=0, integer=True),
+            timeout_seconds=_get_number(
+                payload, "timeout_seconds", positive=True
+            ),
+            return_solution=return_solution,
+        )
+
+    @property
+    def nspin(self) -> int:
+        """Spin components per site: 4 (Wilson) or 1 (staggered)."""
+        return 4 if self.operator == "wilson_clover" else 1
+
+    def precision_object(self) -> Precision | None:
+        """The live :class:`~repro.precision.Precision` for
+        ``inner_precision``, or ``None``."""
+        if self.inner_precision is None:
+            return None
+        return _PRECISIONS[self.inner_precision]
+
+    def operator_spec(self) -> dict:
+        """The solve-defining knobs — everything except the rhs and the
+        delivery metadata (id, priority, deadline, return_solution).
+
+        Returns:
+            A canonical JSON-ready dict; equal dicts <=> coalescible
+            requests.
+        """
+        return {
+            "operator": self.operator,
+            "gauge": self.gauge,
+            "mass": self.mass,
+            "csw": self.csw if self.operator == "wilson_clover" else None,
+            "method": self.method,
+            "tol": self.tol,
+            "maxiter": self.maxiter,
+            "even_odd": self.even_odd,
+            "inner_precision": self.inner_precision,
+            "u0": self.u0 if self.operator == "asqtad" else None,
+            "boundary": self.boundary,
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """sha256 of :meth:`operator_spec` canonical JSON — the
+        coalescing key (see the module docstring)."""
+        return hashlib.sha256(
+            json.dumps(self.operator_spec(), sort_keys=True).encode()
+        ).hexdigest()
+
+    def materialize_rhs(self, geometry) -> np.ndarray:
+        """Build the right-hand side array this request's ``rhs`` spec
+        describes, on the given lattice.
+
+        Args:
+            geometry: The :class:`~repro.lattice.Geometry` of the
+                request's gauge configuration.
+
+        Returns:
+            A single (unbatched) spinor array of the operator's site
+            shape.
+
+        Raises:
+            RequestValidationError: Inline data whose shape does not
+                match the lattice, or a point-source site/spin/color out
+                of range.
+        """
+        from repro.lattice import SpinorField
+
+        spec = self.rhs
+        expected = geometry.shape + SpinorField.site_shape(self.nspin)
+        if spec["kind"] == "random":
+            return SpinorField.random(
+                geometry, nspin=self.nspin, rng=spec["seed"]
+            ).data
+        if spec["kind"] == "point":
+            try:
+                return SpinorField.point_source(
+                    geometry,
+                    tuple(spec["site"]),
+                    spin=spec["spin"],
+                    color=spec["color"],
+                    nspin=self.nspin,
+                ).data
+            except (IndexError, ValueError) as exc:
+                raise _invalid("rhs", f"point source out of range: {exc}")
+        try:
+            real = np.asarray(spec["real"], dtype=np.float64)
+            data = real.astype(np.complex128)
+            if "imag" in spec:
+                data = data + 1j * np.asarray(spec["imag"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _invalid("rhs.real", f"not a numeric array: {exc}")
+        if data.shape != expected:
+            raise _invalid(
+                "rhs.real",
+                f"shape {list(data.shape)} does not match the lattice; "
+                f"expected {list(expected)}",
+            )
+        return data
+
+
+def encode_array(x: np.ndarray) -> dict:
+    """Encode a complex array for the wire as nested ``real``/``imag``
+    lists.
+
+    JSON floats round-trip ``float64`` exactly (``repr`` encoding), so
+    decode → re-encode is bitwise lossless — the service's
+    bit-reproducibility contract survives the wire.
+
+    Args:
+        x: Any complex (or real) numpy array.
+
+    Returns:
+        ``{"real": ..., "imag": ..., "shape": [...]}`` with nested
+        lists.
+    """
+    x = np.asarray(x)
+    return {
+        "real": np.real(x).tolist(),
+        "imag": np.imag(x).tolist(),
+        "shape": list(x.shape),
+    }
+
+
+def decode_array(doc: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`.
+
+    Args:
+        doc: A dict with ``real`` and optional ``imag`` nested lists.
+
+    Returns:
+        The complex128 array.
+    """
+    data = np.asarray(doc["real"], dtype=np.float64).astype(np.complex128)
+    if doc.get("imag") is not None:
+        data = data + 1j * np.asarray(doc["imag"], dtype=np.float64)
+    return data

@@ -1,0 +1,544 @@
+"""The solve service: queue -> coalescer -> one batched solve per group.
+
+``SolveService`` is the long-running daemon behind ``python -m repro
+serve``: a bounded admission queue (:mod:`repro.serve.queue`), a
+coalescing scheduler (:mod:`repro.serve.coalescer`) and a single
+dispatcher thread that turns each same-fingerprint group into **one**
+batched multi-RHS :func:`repro.core.api.solve` call — the serving layer
+the paper's economics ask for: many small solves become one big,
+well-scheduled computation, with operator setup (gauge construction,
+asqtad link fattening) cached across requests.
+
+**Bit-reproducibility contract.**  Every batch is zero-padded to a
+canonical lane count (``pad_to``, default ``max_batch``) before the
+solve.  The batched kernels are bitwise insensitive to the *content* and
+*position* of other lanes at a fixed batch shape (asserted in
+``tests/serve/test_service.py``), so the result a request receives is
+bitwise identical whether it was coalesced with neighbors or served
+alone — and equal to a solo ``solve(SolveRequest)`` call on the same
+padded batch.  Set ``pad_to=0`` to disable padding (slightly less work
+per sparse batch, but results then vary at the ~1e-15 level with batch
+occupancy).
+
+Every served request carries the full flight-recorder
+:class:`~repro.metrics.SolveReport` of its batch, and the service
+maintains a long-lived :class:`~repro.metrics.MetricsRegistry` (queue
+depth, coalesce ratio, batch occupancy, end-to-end latency histograms,
+merged per-solve wait metrics) exported through the existing Prometheus
+text format (``GET /metrics`` on the HTTP front).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.export import to_prometheus
+from repro.serve.coalescer import Coalescer
+from repro.serve.errors import (
+    DeadlineExpiredError,
+    RequestValidationError,
+    ServeError,
+    ServiceClosedError,
+    SolveFailedError,
+)
+from repro.serve.queue import QueuedRequest, SolveQueue, Ticket
+from repro.serve.request import ServiceRequest, encode_array
+
+#: Batch-occupancy histogram buckets (lanes per executed batch).
+OCCUPANCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass
+class ServedResult:
+    """One request's slice of a completed batched solve.
+
+    Attributes
+    ----------
+    request:
+        The originating :class:`~repro.serve.request.ServiceRequest`.
+    x:
+        The solution lane (numpy array).
+    converged, iterations, residual:
+        This lane's outcome (scalars).
+    lane:
+        Which lane of the padded batch carried this request.
+    occupancy:
+        Real (non-padding) requests in the batch.
+    lanes:
+        Total lanes solved (occupancy + zero padding).
+    report:
+        The batch's shared :class:`~repro.metrics.SolveReport`.
+    queue_seconds, coalesce_wait_seconds, solve_seconds,
+    latency_seconds:
+        The request's life stages: admission->scheduling,
+        window-open time, the batched solve, and submit->result
+        end-to-end.
+    """
+
+    request: ServiceRequest
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+    lane: int
+    occupancy: int
+    lanes: int
+    report: object
+    queue_seconds: float
+    coalesce_wait_seconds: float
+    solve_seconds: float
+    latency_seconds: float
+
+    def to_wire(self) -> dict:
+        """The JSON-ready response object for this result.
+
+        Returns:
+            A dict with ``status="ok"``, the per-lane outcome, batch
+            placement (``lane``/``occupancy``/``lanes``/``coalesced``),
+            timings, the operator fingerprint, the full solve report —
+            and, when the request asked for it, the solution array.
+        """
+        doc = {
+            "id": self.request.id,
+            "status": "ok",
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "residual": float(self.residual),
+            "batch": {
+                "lane": self.lane,
+                "occupancy": self.occupancy,
+                "lanes": self.lanes,
+                "coalesced": self.occupancy > 1,
+            },
+            "timing": {
+                "queue_seconds": self.queue_seconds,
+                "coalesce_wait_seconds": self.coalesce_wait_seconds,
+                "solve_seconds": self.solve_seconds,
+                "latency_seconds": self.latency_seconds,
+            },
+            "fingerprint": self.request.fingerprint,
+            "report": self.report.to_dict() if self.report else None,
+        }
+        if self.request.return_solution:
+            doc["solution"] = encode_array(self.x)
+        return doc
+
+
+class SolveService:
+    """The coalescing solve daemon (see the module docstring)."""
+
+    def __init__(
+        self,
+        max_batch: int = 4,
+        max_wait: float = 0.05,
+        capacity: int = 64,
+        pad_to: int | None = None,
+        default_timeout: float | None = None,
+    ) -> None:
+        """Configure the service (call :meth:`start` to run it).
+
+        Args:
+            max_batch: Lanes per batched solve; a group closes when it
+                holds this many requests.
+            max_wait: Coalescing window seconds — how long a batch stays
+                open for compatible requests after its leader arrives.
+            capacity: Bounded queue size; submits beyond it are rejected
+                with :class:`~repro.serve.errors.QueueFullError`.
+            pad_to: Canonical padded lane count for bit-reproducibility
+                (``None`` -> ``max_batch``; ``0`` disables padding).
+            default_timeout: Deadline applied to requests that carry no
+                ``timeout_seconds`` of their own (``None`` = none).
+
+        Raises:
+            ValueError: ``pad_to`` smaller than ``max_batch`` (a batch
+                would not fit its own padding target).
+        """
+        if pad_to is None:
+            pad_to = max_batch
+        if pad_to and pad_to < max_batch:
+            raise ValueError(
+                f"pad_to ({pad_to}) must be 0 or >= max_batch ({max_batch})"
+            )
+        self.queue = SolveQueue(capacity=capacity)
+        self.coalescer = Coalescer(
+            self.queue, max_batch=max_batch, max_wait=max_wait
+        )
+        self.pad_to = int(pad_to)
+        self.default_timeout = default_timeout
+        self._gauges: dict[str, tuple] = {}
+        self._asqtad_links: dict[str, object] = {}
+        self._registry = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SolveService":
+        """Start the dispatcher thread (idempotent).
+
+        Returns:
+            This service, for chaining
+            (``service = SolveService(...).start()``).
+        """
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="serve-dispatcher",
+                daemon=True,
+            )
+            self._started_at = time.monotonic()
+            self._thread.start()
+        return self
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service.
+
+        New submissions are rejected immediately with
+        :class:`~repro.serve.errors.ServiceClosedError`.  With
+        ``drain=True`` (graceful), everything already admitted — queued
+        *and* in-flight — is still solved before the dispatcher exits;
+        with ``drain=False``, queued requests fail with the typed
+        shutdown error and only the in-flight batch completes.
+
+        Args:
+            drain: Finish queued work before stopping.
+            timeout: Seconds to wait for the dispatcher to exit.
+        """
+        self.queue.close()
+        if not drain:
+            for entry in self.queue.drain_all():
+                entry.ticket.set_error(
+                    ServiceClosedError("service shut down before solving")
+                )
+                self._count_request("rejected_closed")
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        """Whether the dispatcher thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, request) -> Ticket:
+        """Admit one request and return the ticket to wait on.
+
+        Args:
+            request: A decoded wire payload (``dict``) or an
+                already-validated
+                :class:`~repro.serve.request.ServiceRequest`.
+
+        Returns:
+            A :class:`~repro.serve.queue.Ticket`; ``ticket.result()``
+            yields a :class:`ServedResult`.
+
+        Raises:
+            RequestValidationError: Malformed payload (names the field).
+            QueueFullError: The bounded queue is at capacity.
+            ServiceClosedError: The service is draining or stopped.
+        """
+        if not isinstance(request, ServiceRequest):
+            try:
+                request = ServiceRequest.from_wire(request)
+            except RequestValidationError:
+                self._count_request("invalid")
+                raise
+        if request.id is None:
+            with self._id_lock:
+                request.id = f"req-{self._next_id}"
+                self._next_id += 1
+        ticket = Ticket()
+        timeout = request.timeout_seconds
+        if timeout is None:
+            timeout = self.default_timeout
+        entry = QueuedRequest(
+            request=request,
+            ticket=ticket,
+            deadline=(
+                None if timeout is None else time.monotonic() + timeout
+            ),
+        )
+        try:
+            self.queue.put(entry)
+        except ServeError as exc:
+            self._count_request(
+                "rejected_full"
+                if exc.code == "queue_full"
+                else "rejected_closed"
+            )
+            raise
+        self._count_request("accepted")
+        with self._metrics_lock:
+            self._registry.gauge("serve_queue_depth").set(self.queue.depth)
+        return ticket
+
+    def solve_sync(self, payload, timeout: float | None = None) -> ServedResult:
+        """Submit and wait: the one-call in-process client.
+
+        Args:
+            payload: Wire payload dict or
+                :class:`~repro.serve.request.ServiceRequest`.
+            timeout: Seconds to wait for the result.
+
+        Returns:
+            The :class:`ServedResult`.
+
+        Raises:
+            ServeError: Any typed admission or solve failure.
+            TimeoutError: No result within ``timeout``.
+        """
+        return self.submit(payload).result(timeout)
+
+    # ------------------------------------------------------------------
+    # the dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        """Scheduler body: coalesce, execute, account — until drained."""
+        while True:
+            outcome = self.coalescer.next_group(poll_timeout=0.05)
+            for entry in outcome.expired:
+                entry.ticket.set_error(
+                    DeadlineExpiredError(
+                        f"request {entry.request.id} expired after "
+                        f"{time.monotonic() - entry.enqueued_at:.3f}s in "
+                        "queue (deadline passed before a batch picked it up)"
+                    )
+                )
+                self._count_request("expired")
+            if outcome.group:
+                try:
+                    self._execute(outcome.group, outcome.waited_seconds)
+                except Exception as exc:  # noqa: BLE001 - fail the batch
+                    for entry in outcome.group:
+                        if not entry.ticket.done:
+                            entry.ticket.set_error(
+                                SolveFailedError(
+                                    f"batched solve failed: {exc!r}"
+                                )
+                            )
+                    self._count_request("failed", len(outcome.group))
+            with self._metrics_lock:
+                self._registry.gauge("serve_queue_depth").set(
+                    self.queue.depth
+                )
+            if not outcome.group and self.queue.closed \
+                    and self.queue.depth == 0:
+                return
+
+    def _execute(self, group: list[QueuedRequest], waited: float) -> None:
+        """Serve one coalesced group with a single batched solve."""
+        from repro.core.api import SolveRequest, solve
+        from repro.dirac.base import BoundarySpec
+
+        spec_request: ServiceRequest = group[0].request
+        gauge, geometry = self._gauge_for(spec_request)
+        sched_time = time.monotonic()
+
+        lanes: list[np.ndarray] = []
+        good: list[QueuedRequest] = []
+        for entry in group:
+            try:
+                lanes.append(entry.request.materialize_rhs(geometry))
+            except ServeError as exc:
+                entry.ticket.set_error(exc)
+                self._count_request("invalid")
+                continue
+            good.append(entry)
+        if not good:
+            return
+
+        n_real = len(lanes)
+        n_lanes = max(n_real, self.pad_to) if self.pad_to else n_real
+        for _ in range(n_lanes - n_real):
+            lanes.append(np.zeros_like(lanes[0]))
+        rhs = np.stack(lanes)
+
+        solve_gauge = gauge
+        if spec_request.operator == "asqtad":
+            solve_gauge = self._links_for(spec_request, gauge)
+        request = SolveRequest(
+            operator=spec_request.operator,
+            gauge=solve_gauge,
+            rhs=rhs,
+            mass=spec_request.mass,
+            csw=spec_request.csw,
+            method=spec_request.method,
+            tol=spec_request.tol,
+            maxiter=spec_request.maxiter,
+            boundary=BoundarySpec(tuple(spec_request.boundary)),
+            even_odd=spec_request.even_odd,
+            inner_precision=spec_request.precision_object(),
+            u0=spec_request.u0,
+        )
+        t0 = time.perf_counter()
+        result = solve(request)
+        solve_seconds = time.perf_counter() - t0
+
+        now = time.monotonic()
+        for lane, entry in enumerate(good):
+            entry.ticket.set_result(
+                ServedResult(
+                    request=entry.request,
+                    x=np.array(result.x[lane]),
+                    converged=bool(result.converged[lane]),
+                    iterations=int(result.iterations[lane]),
+                    residual=float(result.residuals[lane]),
+                    lane=lane,
+                    occupancy=n_real,
+                    lanes=n_lanes,
+                    report=result.report,
+                    queue_seconds=sched_time - entry.enqueued_at,
+                    coalesce_wait_seconds=waited,
+                    solve_seconds=solve_seconds,
+                    latency_seconds=now - entry.enqueued_at,
+                )
+            )
+        self._record_batch(good, n_real, solve_seconds, waited, now, result)
+
+    # ------------------------------------------------------------------
+    # cached operator setup
+    # ------------------------------------------------------------------
+    def _gauge_for(self, request: ServiceRequest) -> tuple:
+        """The (cached) gauge configuration a request's spec describes.
+
+        Returns:
+            ``(GaugeField, Geometry)``; repeated requests against the
+            same spec reuse the constructed field.
+        """
+        import json as _json
+
+        from repro.lattice import GaugeField, Geometry
+
+        key = _json.dumps(request.gauge, sort_keys=True)
+        cached = self._gauges.get(key)
+        if cached is not None:
+            return cached
+        spec = request.gauge
+        if spec["kind"] == "file":
+            from repro import io as repro_io
+
+            gauge, _ = repro_io.load_gauge(spec["path"])
+            geometry = gauge.geometry
+        else:
+            geometry = Geometry(tuple(spec["dims"]))
+            if spec["kind"] == "weak":
+                gauge = GaugeField.weak(
+                    geometry, epsilon=spec["epsilon"], rng=spec["seed"]
+                )
+            elif spec["kind"] == "hot":
+                gauge = GaugeField.hot(geometry, rng=spec["seed"])
+            else:
+                gauge = GaugeField.unit(geometry)
+        self._gauges[key] = (gauge, geometry)
+        return gauge, geometry
+
+    def _links_for(self, request: ServiceRequest, gauge):
+        """Cached asqtad fat/long links for (gauge spec, u0) — the
+        expensive per-operator setup reused across requests."""
+        import json as _json
+
+        from repro.gauge.asqtad import build_asqtad_links
+
+        key = _json.dumps(
+            {"gauge": request.gauge, "u0": request.u0}, sort_keys=True
+        )
+        links = self._asqtad_links.get(key)
+        if links is None:
+            links = build_asqtad_links(gauge, u0=request.u0)
+            self._asqtad_links[key] = links
+        return links
+
+    # ------------------------------------------------------------------
+    # metrics / stats
+    # ------------------------------------------------------------------
+    def _count_request(self, outcome: str, n: int = 1) -> None:
+        """Bump ``serve_requests_total{outcome=...}`` by ``n``."""
+        with self._metrics_lock:
+            self._registry.counter(
+                "serve_requests_total", outcome=outcome
+            ).inc(n)
+
+    def _record_batch(
+        self, good, n_real, solve_seconds, waited, now, result
+    ) -> None:
+        """Account one executed batch into the service registry."""
+        with self._metrics_lock:
+            reg = self._registry
+            reg.counter("serve_batches_total").inc()
+            reg.counter("serve_batched_requests_total").inc(n_real)
+            reg.histogram(
+                "serve_batch_occupancy", buckets=OCCUPANCY_BUCKETS
+            ).observe(n_real)
+            reg.histogram("serve_batch_solve_seconds").observe(solve_seconds)
+            reg.histogram("serve_coalesce_wait_seconds").observe(waited)
+            for entry in good:
+                reg.histogram("serve_request_latency_seconds").observe(
+                    now - entry.enqueued_at
+                )
+                reg.counter("serve_requests_total", outcome="completed").inc()
+            report = getattr(result, "report", None)
+            if report is not None and report.metrics:
+                reg.merge(MetricsRegistry.from_dict(report.metrics))
+
+    def prometheus(self) -> str:
+        """The service registry in Prometheus text exposition format
+        (what ``GET /metrics`` serves)."""
+        with self._metrics_lock:
+            self._registry.gauge("serve_queue_depth").set(self.queue.depth)
+            return to_prometheus(self._registry)
+
+    def stats(self) -> dict:
+        """A JSON-ready operational snapshot (``GET /v1/stats``).
+
+        Returns:
+            Queue depth/capacity, the coalescing knobs, per-outcome
+            request counts, batch counts, and the **coalesce ratio**
+            (requests served per batched solve; > 1 means coalescing is
+            happening).
+        """
+        with self._metrics_lock:
+            outcomes = {
+                c.labels.get("outcome", "?"): int(c.value)
+                for _, c in sorted(self._registry.counters.items())
+                if c.name == "serve_requests_total"
+            }
+            batches = sum(
+                c.value
+                for _, c in self._registry.counters.items()
+                if c.name == "serve_batches_total"
+            )
+            batched_requests = sum(
+                c.value
+                for _, c in self._registry.counters.items()
+                if c.name == "serve_batched_requests_total"
+            )
+        return {
+            "queue_depth": self.queue.depth,
+            "capacity": self.queue.capacity,
+            "max_batch": self.coalescer.max_batch,
+            "max_wait_seconds": self.coalescer.max_wait,
+            "pad_to": self.pad_to,
+            "requests": outcomes,
+            "batches_total": int(batches),
+            "batched_requests_total": int(batched_requests),
+            "coalesce_ratio": (
+                batched_requests / batches if batches else None
+            ),
+            "draining": self.queue.closed,
+            "running": self.running,
+            "uptime_seconds": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+        }

@@ -1,0 +1,163 @@
+"""The HTTP/JSONL front + client, over a real socket on a free port."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    QueueFullError,
+    RequestValidationError,
+    ServeClient,
+    ServeServer,
+    SolveService,
+)
+
+DIMS = [4, 4, 4, 4]
+
+
+def payload(seed=1, **overrides):
+    doc = {
+        "operator": "asqtad",
+        "mass": 0.05,
+        "gauge": {"kind": "unit", "dims": DIMS},
+        "rhs": {"kind": "random", "seed": seed},
+        "tol": 1e-8,
+    }
+    doc.update(overrides)
+    return doc
+
+
+@pytest.fixture()
+def server():
+    svc = SolveService(max_batch=4, max_wait=0.2).start()
+    srv = ServeServer(svc, port=0).start()
+    yield srv
+    if srv.service.running:
+        srv.stop()
+
+
+class TestSolveRoute:
+    def test_solve_round_trip(self, server):
+        client = ServeClient(server.url)
+        doc = client.solve(payload(id="r1", return_solution=True))
+        assert doc["id"] == "r1"
+        assert doc["status"] == "ok"
+        assert doc["converged"] is True
+        assert doc["solution"]["shape"][-1] == 3
+        assert doc["report"]["fingerprint"]["config"]["operator"] == "asqtad"
+
+    def test_concurrent_clients_coalesce(self, server):
+        client = ServeClient(server.url)
+        results = [None] * 3
+
+        def go(i):
+            results[i] = client.solve(payload(seed=i + 1))
+
+        threads = [
+            threading.Thread(target=go, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        occupancies = {r["batch"]["occupancy"] for r in results}
+        assert max(occupancies) > 1  # at least some coalescing happened
+        assert client.stats()["batches_total"] < 3
+
+    def test_validation_error_maps_to_400_with_field(self, server):
+        client = ServeClient(server.url)
+        with pytest.raises(RequestValidationError) as exc:
+            client.solve(payload(operator="wilson"))
+        assert exc.value.field == "operator"
+        assert "asqtad" in exc.value.choices
+
+    def test_malformed_json_is_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/v1/solve", b"{not json",
+            {"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 400
+
+    def test_queue_full_maps_to_429(self):
+        svc = SolveService(max_batch=4, max_wait=0.05, capacity=1)
+        srv = ServeServer(svc, port=0).start()  # dispatcher not running
+        try:
+            client = ServeClient(srv.url)
+            svc.submit(payload())  # occupy the single slot
+            with pytest.raises(QueueFullError):
+                client.solve(payload(seed=2))
+        finally:
+            svc.start()  # let stop() drain the occupied slot
+            srv.stop()
+
+
+class TestJsonlRoute:
+    def test_batch_submits_before_awaiting(self, server):
+        client = ServeClient(server.url)
+        docs = client.solve_many(
+            [payload(seed=s, id=f"j{s}") for s in (1, 2, 3)]
+        )
+        assert [d["id"] for d in docs] == ["j1", "j2", "j3"]
+        assert all(d["status"] == "ok" for d in docs)
+        # One client, one POST, one batch: the JSONL route coalesces.
+        assert all(d["batch"]["occupancy"] == 3 for d in docs)
+
+    def test_bad_line_fails_alone(self, server):
+        client = ServeClient(server.url)
+        docs = client.solve_many(
+            [payload(seed=1, id="good"), payload(id="bad", mass="heavy")]
+        )
+        assert docs[0]["status"] == "ok"
+        assert docs[1]["status"] == "error"
+        assert docs[1]["error"]["field"] == "mass"
+
+
+class TestObservabilityRoutes:
+    def test_metrics_stats_health(self, server):
+        client = ServeClient(server.url)
+        client.solve(payload())
+        assert "serve_requests_total" in client.metrics_text()
+        stats = client.stats()
+        assert stats["requests"]["completed"] == 1
+        assert client.health() == {"status": "ok"}
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+        assert exc.value.code == 404
+
+    def test_health_reports_draining_after_stop(self, server):
+        client = ServeClient(server.url)
+        server.service.shutdown(drain=True, timeout=60)
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(server.url + "/healthz", timeout=10)
+        assert exc.value.code == 503
+        assert json.loads(exc.value.read()) == {"status": "draining"}
+        server.stop()
+
+
+class TestWireBitwise:
+    def test_solution_survives_the_wire_bitwise(self, server):
+        from repro.core.api import SolveRequest, solve
+        from repro.lattice import GaugeField, Geometry, SpinorField
+        from repro.serve.request import decode_array
+
+        client = ServeClient(server.url)
+        doc = client.solve(payload(return_solution=True))
+        geo = Geometry(tuple(DIMS))
+        lane = SpinorField.random(geo, nspin=1, rng=1).data
+        rhs = np.stack([lane] + [np.zeros_like(lane)] * 3)
+        solo = solve(SolveRequest(
+            operator="asqtad", gauge=GaugeField.unit(geo), rhs=rhs,
+            mass=0.05, method="cg", tol=1e-8,
+        ))
+        assert np.array_equal(
+            decode_array(doc["solution"]), np.asarray(solo.x)[0]
+        )

@@ -1,0 +1,141 @@
+"""SolveQueue: backpressure, priority order, deadlines, tickets."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.errors import QueueFullError, ServiceClosedError
+from repro.serve.queue import QueuedRequest, SolveQueue, Ticket
+
+
+class _Req:
+    """Stand-in request with just the fields the queue reads."""
+
+    def __init__(self, priority=0, fingerprint="fp"):
+        self.priority = priority
+        self.fingerprint = fingerprint
+        self.id = None
+
+
+def entry(priority=0, fingerprint="fp", deadline=None):
+    return QueuedRequest(
+        request=_Req(priority, fingerprint),
+        ticket=Ticket(),
+        deadline=deadline,
+    )
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_not_blocks(self):
+        q = SolveQueue(capacity=2)
+        q.put(entry())
+        q.put(entry())
+        t0 = time.monotonic()
+        with pytest.raises(QueueFullError) as exc:
+            q.put(entry())
+        # The rejection is immediate (no hidden blocking).
+        assert time.monotonic() - t0 < 0.5
+        assert exc.value.code == "queue_full"
+        assert exc.value.http_status == 429
+        assert q.depth == 2
+
+    def test_closed_queue_rejects_with_typed_error(self):
+        q = SolveQueue(capacity=2)
+        q.close()
+        with pytest.raises(ServiceClosedError) as exc:
+            q.put(entry())
+        assert exc.value.code == "shutting_down"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SolveQueue(capacity=0)
+
+
+class TestOrdering:
+    def test_higher_priority_dequeues_first(self):
+        q = SolveQueue()
+        low = entry(priority=0)
+        high = entry(priority=5)
+        q.put(low)
+        q.put(high)
+        assert q.pop_next(timeout=0) is high
+        assert q.pop_next(timeout=0) is low
+
+    def test_equal_priority_is_fifo(self):
+        q = SolveQueue()
+        first, second = entry(), entry()
+        q.put(first)
+        q.put(second)
+        assert q.pop_next(timeout=0) is first
+        assert q.pop_next(timeout=0) is second
+
+    def test_take_compatible_matches_fingerprint_only(self):
+        q = SolveQueue()
+        a = entry(fingerprint="A")
+        b = entry(fingerprint="B")
+        a2 = entry(fingerprint="A")
+        for e in (a, b, a2):
+            q.put(e)
+        taken = q.take_compatible("A", limit=10)
+        assert taken == [a, a2]
+        assert q.depth == 1  # B stays queued
+
+    def test_take_compatible_respects_limit(self):
+        q = SolveQueue()
+        entries = [entry(fingerprint="A") for _ in range(3)]
+        for e in entries:
+            q.put(e)
+        assert q.take_compatible("A", limit=2) == entries[:2]
+        assert q.depth == 1
+
+
+class TestDeadlines:
+    def test_expire_due_evicts_only_lapsed(self):
+        q = SolveQueue()
+        now = time.monotonic()
+        dead = entry(deadline=now - 0.01)
+        alive = entry(deadline=now + 60.0)
+        q.put(dead)
+        q.put(alive)
+        assert q.expire_due() == [dead]
+        assert q.depth == 1
+
+    def test_no_deadline_never_expires(self):
+        e = entry()
+        assert not e.expired()
+
+
+class TestBlockingAndTickets:
+    def test_pop_next_times_out_empty(self):
+        q = SolveQueue()
+        t0 = time.monotonic()
+        assert q.pop_next(timeout=0.05) is None
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_pop_next_woken_by_put(self):
+        q = SolveQueue()
+        e = entry()
+        threading.Timer(0.05, q.put, args=(e,)).start()
+        assert q.pop_next(timeout=5.0) is e
+
+    def test_ticket_result_raises_stored_error(self):
+        t = Ticket()
+        t.set_error(QueueFullError("full"))
+        with pytest.raises(QueueFullError):
+            t.result(timeout=0)
+
+    def test_ticket_times_out(self):
+        t = Ticket()
+        with pytest.raises(TimeoutError):
+            t.result(timeout=0.01)
+
+    def test_drain_all_empties(self):
+        q = SolveQueue()
+        entries = [entry() for _ in range(3)]
+        for e in entries:
+            q.put(e)
+        assert q.drain_all() == entries
+        assert q.depth == 0

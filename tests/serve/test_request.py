@@ -1,0 +1,171 @@
+"""ServiceRequest: validation errors, fingerprints, rhs materialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lattice import Geometry, SpinorField
+from repro.serve.errors import RequestValidationError
+from repro.serve.request import (
+    ServiceRequest,
+    decode_array,
+    encode_array,
+)
+
+
+def payload(**overrides):
+    doc = {
+        "operator": "wilson_clover",
+        "mass": -0.1,
+        "gauge": {"kind": "weak", "dims": [4, 4, 4, 4], "seed": 3},
+        "rhs": {"kind": "random", "seed": 1},
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestValidation:
+    def test_unknown_operator_names_field_and_choices(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(payload(operator="domain_wall"))
+        err = exc.value
+        assert err.field == "operator"
+        assert err.choices == ["wilson_clover", "asqtad"]
+        assert "operator" in str(err) and "wilson_clover" in str(err)
+
+    def test_unknown_method_lists_operator_methods(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(payload(method="gcr-dd"))
+        assert exc.value.field == "method"
+        assert "bicgstab" in exc.value.choices
+
+    def test_missing_mass_is_required(self):
+        doc = payload()
+        del doc["mass"]
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(doc)
+        assert exc.value.field == "mass"
+        assert "required" in str(exc.value)
+
+    def test_odd_dims_rejected(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(
+                payload(gauge={"kind": "unit", "dims": [3, 4, 4, 4]})
+            )
+        assert exc.value.field == "gauge.dims"
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(payload(tol=-1e-8))
+        assert exc.value.field == "tol"
+
+    def test_bad_boundary_lists_choices(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(payload(boundary=["open"] * 4))
+        assert exc.value.field == "boundary"
+        assert "antiperiodic" in exc.value.choices
+
+    def test_even_odd_only_for_wilson(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(
+                payload(operator="asqtad", even_odd=True)
+            )
+        assert exc.value.field == "even_odd"
+
+    def test_error_is_wire_round_trippable(self):
+        from repro.serve.errors import error_from_dict
+
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(payload(operator="nope"))
+        back = error_from_dict(exc.value.to_dict())
+        assert isinstance(back, RequestValidationError)
+        assert back.field == "operator"
+        assert back.choices == exc.value.choices
+
+
+class TestFingerprint:
+    def test_auto_method_coalesces_with_explicit(self):
+        auto = ServiceRequest.from_wire(payload())
+        explicit = ServiceRequest.from_wire(payload(method="bicgstab"))
+        assert auto.fingerprint == explicit.fingerprint
+
+    def test_rhs_does_not_change_fingerprint(self):
+        a = ServiceRequest.from_wire(payload())
+        b = ServiceRequest.from_wire(
+            payload(rhs={"kind": "random", "seed": 99})
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_gauge_spec_changes_fingerprint(self):
+        a = ServiceRequest.from_wire(payload())
+        b = ServiceRequest.from_wire(
+            payload(gauge={"kind": "weak", "dims": [4, 4, 4, 4], "seed": 4})
+        )
+        assert a.fingerprint != b.fingerprint
+
+    def test_solver_knobs_change_fingerprint(self):
+        a = ServiceRequest.from_wire(payload())
+        b = ServiceRequest.from_wire(payload(tol=1e-6))
+        assert a.fingerprint != b.fingerprint
+
+    def test_delivery_metadata_does_not_change_fingerprint(self):
+        a = ServiceRequest.from_wire(payload())
+        b = ServiceRequest.from_wire(
+            payload(id="x", priority=9, timeout_seconds=5.0,
+                    return_solution=True)
+        )
+        assert a.fingerprint == b.fingerprint
+
+
+class TestRhsMaterialization:
+    def test_random_rhs_is_deterministic(self):
+        geo = Geometry((4, 4, 4, 4))
+        req = ServiceRequest.from_wire(payload())
+        assert np.array_equal(
+            req.materialize_rhs(geo), req.materialize_rhs(geo)
+        )
+
+    def test_point_source(self):
+        geo = Geometry((4, 4, 4, 4))
+        req = ServiceRequest.from_wire(
+            payload(rhs={"kind": "point", "site": [1, 2, 3, 0],
+                         "spin": 1, "color": 2})
+        )
+        rhs = req.materialize_rhs(geo)
+        # Storage is [t, z, y, x, spin, color]; the site is (x, y, z, t).
+        assert rhs[0, 3, 2, 1, 1, 2] == 1.0
+        assert np.count_nonzero(rhs) == 1
+
+    def test_inline_data_round_trips_bitwise(self):
+        geo = Geometry((2, 2, 2, 2))
+        field = SpinorField.random(geo, nspin=1, rng=7).data
+        doc = encode_array(field)
+        req = ServiceRequest.from_wire(
+            payload(operator="asqtad",
+                    rhs={"kind": "data", "real": doc["real"],
+                         "imag": doc["imag"]},
+                    gauge={"kind": "unit", "dims": [2, 2, 2, 2]})
+        )
+        assert np.array_equal(req.materialize_rhs(geo), field)
+
+    def test_inline_data_wrong_shape_names_field(self):
+        geo = Geometry((4, 4, 4, 4))
+        req = ServiceRequest.from_wire(
+            payload(operator="asqtad",
+                    gauge={"kind": "unit", "dims": [4, 4, 4, 4]},
+                    rhs={"kind": "data", "real": [[1.0, 2.0]]})
+        )
+        with pytest.raises(RequestValidationError) as exc:
+            req.materialize_rhs(geo)
+        assert exc.value.field == "rhs.real"
+
+
+class TestArrayCodec:
+    def test_json_round_trip_is_bitwise(self):
+        import json
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 4)) + 1j * rng.standard_normal((3, 4))
+        wire = json.loads(json.dumps(encode_array(x)))
+        assert np.array_equal(decode_array(wire), x)

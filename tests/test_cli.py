@@ -30,7 +30,7 @@ class TestHelp:
     def test_epilog_lines_carry_descriptions(self):
         parser = build_parser()
         table = parser.epilog.splitlines()[1:]
-        assert len(table) == 13  # fig5..fig10 + 7 named commands
+        assert len(table) == 14  # fig5..fig10 + 8 named commands
         for line in table:
             name, _, help_ = line.strip().partition(" ")
             assert help_.strip(), f"command {name} has no help line"
