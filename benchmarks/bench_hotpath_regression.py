@@ -1,16 +1,20 @@
-"""Hot-path regression benchmark: spin-projected dslash vs the seed path.
+"""Hot-path regression benchmark across the kernel-backend tiers.
 
-Times the Wilson dslash with ``use_projection=True`` (project -> half-spinor
-SU(3) multiply -> reconstruct, cached daggered links) against the seed's
-full-spinor reference path on the same operator and vector, asserts the two
-agree to double-precision rounding, and writes the measurements to
+Times the Wilson dslash on each registered kernel backend — the
+``"numpy_ref"`` full-spinor seed path, the spin-projected ``"numpy"``
+tier (project -> half-spinor SU(3) multiply -> reconstruct, cached
+daggered links), and the compiled ``"numba"`` tier when that optional
+extra is installed — asserts every tier agrees with the reference to
+double-precision rounding, and writes the measurements to
 ``BENCH_hotpath.json`` at the repository root.  One command:
 
     PYTHONPATH=src python -m benchmarks.bench_hotpath_regression
 
-Options: ``--dims X Y Z T`` (default 32 32 32 32) and ``--reps N``.
-The committed JSON is the regression reference: the fast path must stay
-at >= 2x the reference at the default 32^4-class volume.
+Options: ``--dims X Y Z T`` (default 32 32 32 32), ``--reps N`` and
+``--output PATH``.  The committed JSON is the regression reference: the
+projected path must stay at >= 2x the reference at the default
+32^4-class volume.  Numba metrics are honestly ``null`` on hosts where
+the extra is not installed — the gate only reads them where present.
 """
 
 from __future__ import annotations
@@ -23,10 +27,19 @@ from pathlib import Path
 import numpy as np
 
 from repro.dirac import WilsonCloverOperator
+from repro.kernels import available_backends
 from repro.lattice import GaugeField, Geometry, SpinorField
 from repro.metrics.bench_schema import wrap_bench
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Tier label -> kernel backend name; tiers missing from the registry's
+#: available set report null metrics instead of being silently skipped.
+TIERS = (
+    ("reference", "numpy_ref"),
+    ("projected", "numpy"),
+    ("numba", "numba"),
+)
 
 
 def _time_block(op: WilsonCloverOperator, x: np.ndarray, reps: int) -> float:
@@ -41,43 +54,70 @@ def _time_block(op: WilsonCloverOperator, x: np.ndarray, reps: int) -> float:
 def run(dims: tuple[int, int, int, int], reps: int) -> dict:
     geom = Geometry(dims)
     gauge = GaugeField.weak(geom, epsilon=0.25, rng=2024)
-    fast = WilsonCloverOperator(gauge, mass=0.1, use_projection=True)
-    ref = WilsonCloverOperator(gauge, mass=0.1, use_projection=False)
     x = SpinorField.random(geom, rng=7).data
 
-    out_fast = fast._dslash(x)
-    out_ref = ref._dslash(x)
+    usable = available_backends(operator="wilson")
+    ops = {
+        tier: WilsonCloverOperator(gauge, mass=0.1, kernel=kernel)
+        for tier, kernel in TIERS
+        if kernel in usable
+    }
+    out_ref = ops["reference"]._dslash(x)
     scale = np.abs(out_ref).max()
-    max_rel_err = float(np.abs(out_fast - out_ref).max() / scale)
-    assert np.allclose(out_fast, out_ref, atol=1e-12 * scale), (
-        "fast path diverged from the reference"
-    )
 
-    # Warm up both paths (the fast warm-up builds the link caches), then
-    # time sustained same-path blocks — how a solver loop actually runs
-    # the kernel — alternating the blocks over two rounds so slow
-    # environmental drift (frequency scaling, a background process on a
-    # shared core) averages out across both paths.  Per-rep *means* are
-    # reported: allocator churn recurs on every application, so it
-    # belongs in the number.
-    ref._dslash(x)
-    fast._dslash(x)
+    # Cross-tier agreement, then warm-up (cache/JIT builds) and sustained
+    # same-path timing blocks, alternating the tiers over two rounds so
+    # slow environmental drift (frequency scaling, a background process
+    # on a shared core) averages out.  Per-rep *means* are reported:
+    # allocator churn recurs on every application, so it belongs in the
+    # number.
+    errors: dict[str, float | None] = {}
+    for tier, op in ops.items():
+        err = float(np.abs(op._dslash(x) - out_ref).max() / scale)
+        errors[tier] = err
+        assert err < 1e-12, (
+            f"{op.kernel} kernel diverged from the reference "
+            f"(max rel err {err:.3e})"
+        )
+
     rounds = 2
-    t_ref = t_fast = 0.0
+    seconds = {tier: 0.0 for tier in ops}
     for _ in range(rounds):
-        t_ref += _time_block(ref, x, reps) / (rounds * reps)
-        t_fast += _time_block(fast, x, reps) / (rounds * reps)
-    return {
+        for tier, op in ops.items():
+            seconds[tier] += _time_block(op, x, reps) / (rounds * reps)
+
+    t_ref = seconds["reference"]
+    result = {
         "benchmark": "wilson_dslash_hotpath",
         "dims": list(dims),
         "sites": geom.volume,
         "reps": reps,
         "rounds": rounds,
+        "kernels": {
+            tier: (kernel if kernel in usable else None)
+            for tier, kernel in TIERS
+        },
         "reference_seconds": t_ref,
-        "projected_seconds": t_fast,
-        "speedup": t_ref / t_fast,
-        "max_rel_err": max_rel_err,
+        "projected_seconds": seconds["projected"],
+        "speedup": t_ref / seconds["projected"],
+        "max_rel_err": errors["projected"],
+        "numba_seconds": seconds.get("numba"),
+        "numba_speedup": (
+            t_ref / seconds["numba"] if "numba" in seconds else None
+        ),
+        "numba_max_rel_err": errors.get("numba"),
     }
+    result["results"] = [
+        {
+            "tier": tier,
+            "kernel": op.kernel,
+            "seconds_per_apply": seconds[tier],
+            "speedup_vs_reference": t_ref / seconds[tier],
+            "max_rel_err": errors[tier],
+        }
+        for tier, op in ops.items()
+    ]
+    return result
 
 
 def test_fast_path_faster_and_exact():
@@ -86,6 +126,8 @@ def test_fast_path_faster_and_exact():
     result = run((16, 16, 16, 16), reps=2)
     assert result["max_rel_err"] < 1e-13
     assert result["speedup"] > 1.3
+    if result["numba_seconds"] is not None:
+        assert result["numba_max_rel_err"] < 1e-13
 
 
 def main() -> None:
@@ -95,6 +137,10 @@ def main() -> None:
         metavar=("X", "Y", "Z", "T"),
     )
     parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--output", type=str, default=str(REPO_ROOT / "BENCH_hotpath.json"),
+        help="bench-schema JSON output path",
+    )
     args = parser.parse_args()
     if args.reps < 1:
         parser.error("--reps must be >= 1")
@@ -109,16 +155,19 @@ def main() -> None:
             "sites": result["sites"],
             "reps": result["reps"],
             "rounds": result["rounds"],
+            "kernels": result["kernels"],
         },
         metrics={
             key: result[key]
             for key in (
                 "reference_seconds", "projected_seconds",
                 "speedup", "max_rel_err",
+                "numba_seconds", "numba_speedup", "numba_max_rel_err",
             )
         },
+        results=result["results"],
     )
-    out_path = REPO_ROOT / "BENCH_hotpath.json"
+    out_path = Path(args.output)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"wrote {out_path}")

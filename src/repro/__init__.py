@@ -95,6 +95,13 @@ from repro.core import (
     tune_precision_policy,
     tune_wilson_solver,
 )
+from repro.kernels import (
+    KernelBackend,
+    KernelUnavailableError,
+    capability_matrix,
+    kernel_choices,
+    resolve_kernel,
+)
 from repro.gauge.heatbath import HeatbathUpdater
 from repro.gauge.hmc import PureGaugeHMC
 from repro.gauge.dynamical import DynamicalHMC
@@ -154,6 +161,11 @@ __all__ = [
     "tune_dslash_partitioning",
     "tune_wilson_solver",
     "tune_precision_policy",
+    "KernelBackend",
+    "KernelUnavailableError",
+    "capability_matrix",
+    "kernel_choices",
+    "resolve_kernel",
     "HeatbathUpdater",
     "PureGaugeHMC",
     "DynamicalHMC",

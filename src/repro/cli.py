@@ -100,6 +100,7 @@ def _cmd_solve(args) -> int:
     request = SolveRequest(
         operator="wilson_clover", gauge=gauge, rhs=b,
         mass=args.mass, csw=args.csw, method=args.method, tol=args.tol,
+        kernel=args.kernel,
     )
     extra = ""
     if args.method == "gcr-dd":
@@ -264,7 +265,8 @@ def _cmd_bench_spmd(args) -> int:
         gauge, args.mass, args.csw, grid,
         config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
         timeout=args.timeout,
-        use_split=bool(args.overlap),
+        kernel=args.kernel,
+        schedule="split" if args.overlap else "auto",
     )
 
     backends = list(args.backends or ("sequential", "threads", "processes"))
@@ -288,7 +290,8 @@ def _cmd_bench_spmd(args) -> int:
         "epsilon": args.epsilon,
         "seed": args.seed,
         "repeats": args.repeats,
-        "use_split": bool(args.overlap),
+        "schedule": "split" if args.overlap else "fused",
+        "kernel": solver.kernel,
     }
     results = []
 
@@ -529,15 +532,15 @@ def _cmd_trace(args) -> int:
             solver = SPMDGCRDDSolver(
                 gauge, args.mass, args.csw, grid,
                 config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
-                backend=args.backend, use_split=True,
-                overlap=args.overlap,
+                backend=args.backend, schedule="split",
+                overlap=args.overlap, kernel=args.kernel,
             )
             res = solver.solve(b)
         else:
             solver = DistributedGCRDDSolver(
                 gauge, args.mass, args.csw, grid,
                 config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
-                use_split=True,
+                schedule="split", kernel=args.kernel,
             )
             res = solver.solve(b)
     events = list(tracer.events)
@@ -650,6 +653,37 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_kernels(args) -> int:
+    """Print the kernel-backend capability matrix (registry-derived)."""
+    from repro.kernels import availability_note, capability_matrix
+
+    rows = capability_matrix()
+    header = ("backend", "prio", "available", "operators", "batched",
+              "split", "dtypes")
+    table = [header]
+    for row in rows:
+        table.append((
+            row["name"],
+            str(row["priority"]),
+            "yes" if row["available"] else "no",
+            ",".join(row["operators"]),
+            "yes" if row["batched"] else "no",
+            "yes" if row["split"] else "no",
+            ",".join(d.replace("complex", "c") for d in row["dtypes"]),
+        ))
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    for i, r in enumerate(table):
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+    print()
+    print(availability_note())
+    unavailable = [r for r in rows if not r["available"]]
+    for row in unavailable:
+        print(f"  {row['name']}: {row['unavailable_reason']}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro import __version__
     from repro.perfmodel.machines import CPU_MACHINES, EDGE
@@ -705,6 +739,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overlap", action="store_true",
                    help="overlapped halo schedule (gcr-dd + --backend): "
                         "interior kernel runs while faces are in flight")
+    p.add_argument("--kernel", type=str, default="auto",
+                   help="dslash kernel backend (see 'repro kernels'; "
+                        "default auto)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--report", type=str, default="",
                    help="write the SolveReport JSON artifact here")
@@ -730,6 +767,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overlap", action="store_true",
                    help="also benchmark the overlapped halo schedule on "
                         "each backend (asserted bitwise against blocking)")
+    p.add_argument("--kernel", type=str, default="auto",
+                   help="dslash kernel backend (see 'repro kernels'; "
+                        "default auto)")
     p.add_argument("--repeats", type=int, default=3,
                    help="timing repeats per backend; best is kept")
     p.add_argument("--timeout", type=float, default=120.0,
@@ -793,6 +833,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: global-view driver)")
     p.add_argument("--overlap", action="store_true",
                    help="overlapped halo schedule (needs --backend)")
+    p.add_argument("--kernel", type=str, default="auto",
+                   help="dslash kernel backend (see 'repro kernels'; "
+                        "default auto)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", type=str, default="trace.json",
                    help="trace_event JSON output path")
@@ -851,13 +894,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request access logs on stderr")
     p.set_defaults(func=_cmd_serve)
 
+    p = add_command("kernels", "print the kernel-backend capability matrix")
+    p.set_defaults(func=_cmd_kernels)
+
     p = add_command("info", "print version and model summary")
     p.set_defaults(func=_cmd_info)
+
+    from repro.kernels import availability_note
 
     width = max(len(name) for name, _ in registered)
     parser.epilog = "commands:\n" + "\n".join(
         f"  {name:<{width}}  {help_}" for name, help_ in registered
-    )
+    ) + f"\n\n{availability_note()}"
     return parser
 
 

@@ -29,6 +29,7 @@ from repro.dirac.evenodd import EvenOddPreconditionedWilson
 from repro.dirac.staggered import AsqtadOperator, StaggeredNormalOperator
 from repro.dirac.wilson import WilsonCloverOperator
 from repro.gauge.asqtad import AsqtadLinks, build_asqtad_links
+from repro.kernels import KernelUnavailableError, resolve_kernel
 from repro.lattice.fields import GaugeField
 from repro.metrics.registry import metrics_scope
 from repro.metrics.solve_report import build_solve_report
@@ -61,6 +62,14 @@ _METHODS = {
     "asqtad_multishift": ("auto",),
 }
 _BACKENDS = ("sequential", "threads", "processes")
+_SCHEDULES = ("auto", "fused", "split")
+
+#: Kernel family each operator's stencil resolves against.
+_KERNEL_FAMILY = {
+    "wilson_clover": "wilson",
+    "asqtad": "staggered",
+    "asqtad_multishift": "staggered",
+}
 
 
 @dataclass
@@ -111,6 +120,19 @@ class SolveRequest:
         are in flight, per-dimension exterior completion (Fig. 4).
         Bit-identical to the blocking path; the measured overlap fraction
         lands in the solve report.
+    kernel:
+        Dslash kernel backend: ``"auto"`` (highest-priority available
+        tier — NumPy unless the compiled tier is installed), or a
+        concrete registered name (``"numpy"``, ``"numpy_ref"`` for
+        Wilson, ``"numba"`` where installed).  Resolved through
+        :func:`repro.kernels.resolve_kernel`; requesting an unavailable
+        tier fails validation with the available choices listed.
+    schedule:
+        Rank-program stencil schedule for SPMD ``"gcr-dd"`` solves:
+        ``"fused"`` applies the whole stencil after the halo exchange,
+        ``"split"`` applies interior/exterior kernels separately (the
+        overlap-capable decomposition; implied by ``overlap=True``).
+        ``"auto"`` picks ``"split"`` when overlapping, else ``"fused"``.
     """
 
     operator: str
@@ -130,6 +152,8 @@ class SolveRequest:
     shifts: Sequence[float] | None = None
     backend: str | None = None
     overlap: bool = False
+    kernel: str = "auto"
+    schedule: str = "auto"
 
 
 def _invalid(field_: str, message: str, choices=None) -> ValueError:
@@ -195,6 +219,32 @@ def validate_request(request: SolveRequest) -> None:
                 "(backend='sequential'/'threads'/'processes'); the "
                 "global-view driver has no overlapped schedule",
             )
+    try:
+        resolve_kernel(
+            request.kernel, operator=_KERNEL_FAMILY[request.operator]
+        )
+    except KernelUnavailableError as exc:
+        raise _invalid("kernel", str(exc), exc.choices) from None
+    if request.schedule not in _SCHEDULES:
+        raise _invalid(
+            "schedule",
+            f"unknown schedule {request.schedule!r}",
+            _SCHEDULES,
+        )
+    if request.schedule != "auto":
+        if request.method != "gcr-dd" or request.backend is None:
+            raise _invalid(
+                "schedule",
+                "an explicit schedule= is only meaningful for "
+                "method='gcr-dd' with an SPMD backend",
+                _SCHEDULES,
+            )
+        if request.overlap and request.schedule == "fused":
+            raise _invalid(
+                "schedule",
+                "overlap=True runs the interior/exterior split; "
+                "use schedule='auto' or 'split'",
+            )
     if request.method == "gcr-dd" and request.grid is None:
         raise _invalid(
             "grid", "gcr-dd needs a process grid (the Schwarz blocks)"
@@ -213,6 +263,13 @@ def validate_request(request: SolveRequest) -> None:
 
 def _resolved(value, default):
     return default if value is None else value
+
+
+def resolved_schedule(schedule: str, overlap: bool) -> str:
+    """Concrete rank-program schedule for a (schedule, overlap) pair."""
+    if schedule == "auto":
+        return "split" if overlap else "fused"
+    return schedule
 
 
 def _rel_residuals(op, x, b, lead: int):
@@ -246,7 +303,7 @@ def _gcrdd_config(request: SolveRequest) -> GCRDDConfig:
 def _solve_wilson(request: SolveRequest):
     op = WilsonCloverOperator(
         request.gauge, mass=request.mass, csw=request.csw,
-        boundary=request.boundary,
+        boundary=request.boundary, kernel=request.kernel,
     )
     b = np.asarray(request.rhs)
     lead = op.field_lead(b)
@@ -263,6 +320,8 @@ def _solve_wilson(request: SolveRequest):
                 request.gauge, request.mass, request.csw, request.grid,
                 boundary=request.boundary, config=cfg,
                 backend=request.backend, overlap=request.overlap,
+                kernel=request.kernel,
+                schedule=resolved_schedule(request.schedule, request.overlap),
             ).solve(b)
         if request.overlap:
             raise ValueError(
@@ -319,13 +378,14 @@ def _asqtad_operator(
     mass: float,
     boundary: BoundarySpec,
     u0: float,
+    kernel: str = "auto",
 ) -> AsqtadOperator:
     links = (
         build_asqtad_links(source, u0=u0)
         if isinstance(source, GaugeField)
         else source
     )
-    return AsqtadOperator(links, mass=mass, boundary=boundary)
+    return AsqtadOperator(links, mass=mass, boundary=boundary, kernel=kernel)
 
 
 def _solve_asqtad(request: SolveRequest):
@@ -333,7 +393,10 @@ def _solve_asqtad(request: SolveRequest):
         raise ValueError(
             f"unknown method {request.method!r} for asqtad; expected cg"
         )
-    op = _asqtad_operator(request.gauge, request.mass, request.boundary, request.u0)
+    op = _asqtad_operator(
+        request.gauge, request.mass, request.boundary, request.u0,
+        kernel=request.kernel,
+    )
     normal = StaggeredNormalOperator(op)
     b = np.asarray(request.rhs)
     lead = op.field_lead(b)
@@ -368,7 +431,10 @@ def _solve_asqtad_multishift(request: SolveRequest) -> MultishiftRefineResult:
     if request.shifts is None:
         raise ValueError("asqtad_multishift needs shifts")
     b = np.asarray(request.rhs)
-    op = _asqtad_operator(request.gauge, request.mass, request.boundary, request.u0)
+    op = _asqtad_operator(
+        request.gauge, request.mass, request.boundary, request.u0,
+        kernel=request.kernel,
+    )
     if op.field_lead(b):
         raise ValueError("asqtad_multishift does not support a batched rhs")
     tol = _resolved(request.tol, _MULTISHIFT_TOL)

@@ -147,11 +147,14 @@ class DistributedGCRDDSolver:
         boundary=None,
         config: GCRDDConfig | None = None,
         log=None,
-        use_split: bool = False,
+        kernel: str = "auto",
+        schedule: str = "auto",
+        use_split: bool | None = None,
     ):
         from repro.dirac.base import PERIODIC
         from repro.dirac.wilson import WilsonCloverOperator
         from repro.multigpu.ddop import DistributedOperator
+        from repro.multigpu.rank_op import _resolve_schedule
         from repro.multigpu.space import DistributedSpace
 
         boundary = boundary or PERIODIC
@@ -159,19 +162,24 @@ class DistributedGCRDDSolver:
         cfg = self.config
         self.grid = grid
         self.dist_op = DistributedOperator.wilson_clover(
-            gauge, mass, csw, grid, boundary=boundary, log=log
+            gauge, mass, csw, grid, boundary=boundary, log=log, kernel=kernel
         )
-        # ``use_split`` routes every outer matvec through the
+        # The resolved tier name (never "auto").
+        self.kernel = self.dist_op.local_ops[0].kernel
+        # ``schedule="split"`` routes every outer matvec through the
         # interior/exterior kernel decomposition of Sec. 6.2 — the
         # execution shape whose gather/comm/interior/exterior spans a
         # trace (docs/observability.md) is meant to exhibit.
-        self.dist_op.use_split = bool(use_split)
+        self.schedule = _resolve_schedule(
+            "DistributedGCRDDSolver", schedule, False, use_split
+        )
+        self.dist_op.schedule = self.schedule
         self.partition = self.dist_op.partition
         self.space = DistributedSpace(self.partition, site_axes=2)
         # Per-rank Schwarz blocks: the Dirichlet-cut serial operator
         # restricted to each rank's (unpadded) sub-domain.
         serial = WilsonCloverOperator(
-            gauge, mass=mass, csw=csw, boundary=boundary
+            gauge, mass=mass, csw=csw, boundary=boundary, kernel=kernel
         )
         self._blocks = [
             serial.restrict_to_block(self.partition, rank)

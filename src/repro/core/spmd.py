@@ -63,7 +63,8 @@ class _RankTask:
     csw: float
     boundary: BoundarySpec
     config: GCRDDConfig
-    use_split: bool
+    kernel: str
+    schedule: str
     b_local: np.ndarray
     x0_local: np.ndarray | None
     batched: bool
@@ -88,12 +89,12 @@ def _gcrdd_rank_program(comm, task: _RankTask) -> dict:
         rank_op = rank_wilson_clover(
             engine, task.gauge_block, task.mass, task.csw,
             boundary=task.boundary, clover_block=task.clover_block,
-            use_split=task.use_split, overlap=task.overlap,
+            kernel=task.kernel, schedule=task.schedule, overlap=task.overlap,
         )
     else:
         rank_op = rank_naive_staggered(
             engine, task.gauge_block, task.mass, boundary=task.boundary,
-            use_split=task.use_split, overlap=task.overlap,
+            kernel=task.kernel, schedule=task.schedule, overlap=task.overlap,
         )
 
     batched = task.batched
@@ -191,13 +192,16 @@ class SPMDGCRDDSolver:
         config: GCRDDConfig | None = None,
         backend: str = "sequential",
         operator: str = "wilson_clover",
-        use_split: bool = False,
+        kernel: str = "auto",
+        schedule: str = "auto",
         overlap: bool = False,
         timeout: float | None = 60.0,
+        use_split: bool | None = None,
     ):
         from repro.dirac.clover import build_clover_field
         from repro.dirac.staggered import NaiveStaggeredOperator
         from repro.dirac.wilson import WilsonCloverOperator
+        from repro.multigpu.rank_op import _resolve_schedule
 
         if operator not in OPERATORS:
             raise ValueError(
@@ -207,7 +211,9 @@ class SPMDGCRDDSolver:
         self.config = config or GCRDDConfig()
         self.backend = backend
         self.operator = operator
-        self.use_split = bool(use_split)
+        self.schedule = _resolve_schedule(
+            "SPMDGCRDDSolver", schedule, bool(overlap), use_split
+        )
         self.overlap = bool(overlap)
         self.timeout = timeout
         self.boundary = boundary or PERIODIC
@@ -223,7 +229,8 @@ class SPMDGCRDDSolver:
         self._gauge_blocks = self.partition.split(gauge.data, lead=1)
         if operator == "wilson_clover":
             serial = WilsonCloverOperator(
-                gauge, mass=mass, csw=csw, boundary=self.boundary
+                gauge, mass=mass, csw=csw, boundary=self.boundary,
+                kernel=kernel,
             )
             # The clover field is built globally (its leaves read corner
             # sites ghost exchange never fills) and scattered per rank.
@@ -234,9 +241,13 @@ class SPMDGCRDDSolver:
             )
         else:
             serial = NaiveStaggeredOperator(
-                gauge, mass=mass, boundary=self.boundary
+                gauge, mass=mass, boundary=self.boundary, kernel=kernel
             )
             self._clover_blocks = [None] * self.partition.n_ranks
+        # The *resolved* tier name (never "auto"): rank programs, the
+        # extras dict and bench config labels all report the backend
+        # that actually ran.
+        self.kernel = serial.kernel
         self._blocks = [
             serial.restrict_to_block(self.partition, rank)
             for rank in range(self.partition.n_ranks)
@@ -253,6 +264,9 @@ class SPMDGCRDDSolver:
         constructor's overlapped-halo-exchange setting for this call."""
         backend = backend or self.backend
         overlap = self.overlap if overlap is None else bool(overlap)
+        # A per-call overlap override forces the split schedule (overlap
+        # has no fused form); an explicit split schedule stays split.
+        schedule = "split" if (overlap or self.schedule == "split") else "fused"
         b = np.asarray(b)
         expected = 4 + self.site_axes
         lead = b.ndim - expected
@@ -280,7 +294,8 @@ class SPMDGCRDDSolver:
                 csw=self.csw,
                 boundary=self.boundary,
                 config=self.config,
-                use_split=self.use_split,
+                kernel=self.kernel,
+                schedule=schedule,
                 b_local=bs[rank],
                 x0_local=x0s[rank],
                 batched=batched,
@@ -317,6 +332,8 @@ class SPMDGCRDDSolver:
                 "backend": backend,
                 "spmd_ranks": self.partition.n_ranks,
                 "overlap": overlap,
+                "kernel": self.kernel,
+                "schedule": schedule,
             }
         )
         if batched:

@@ -57,9 +57,10 @@ class EvenOddPreconditionedWilson(LatticeOperator):
     convert between the full system and the preconditioned one.
 
     Every dslash here delegates to ``wilson._dslash``, so the Schur
-    complement inherits the underlying operator's execution path — the
-    spin-projected fast path and its cached daggered links by default,
-    the reference path when built from ``use_projection=False``.
+    complement inherits the underlying operator's kernel backend — the
+    spin-projected ``"numpy"`` tier and its cached daggered links by
+    default, the ``"numpy_ref"`` bit-reference (or compiled ``"numba"``
+    tier) when built from the matching ``kernel=`` value.
     """
 
     nspin = 4

@@ -25,6 +25,7 @@ from repro.dirac.base import (
     link_apply_cols,
 )
 from repro.gauge.asqtad import AsqtadLinks, build_asqtad_links
+from repro.kernels import resolve_kernel
 from repro.lattice.fields import GaugeField
 from repro.lattice.geometry import Geometry
 from repro.util.counters import record, record_operator, timed
@@ -65,6 +66,7 @@ class _StaggeredBase(LatticeOperator):
         mass: float,
         boundary: BoundarySpec,
         origin: tuple[int, int, int, int] = (0, 0, 0, 0),
+        kernel: str = "auto",
     ):
         super().__init__(geometry)
         self.fat = fat
@@ -72,6 +74,8 @@ class _StaggeredBase(LatticeOperator):
         self.mass = float(mass)
         self.boundary = boundary
         self.origin = tuple(origin)
+        self._backend = resolve_kernel(kernel, operator="staggered")
+        self.kernel = self._backend.name
         self.eta = staggered_phases(geometry, origin=self.origin)
         # Column-layout link caches (lazy): the daggered links are
         # precomputed once per operator instead of per dslash call.
@@ -113,9 +117,10 @@ class _StaggeredBase(LatticeOperator):
 
     def _dslash(self, x: np.ndarray) -> np.ndarray:
         with timed(f"{self.name}_dslash", kind="dslash"):
-            return self._dslash_impl(x)
+            return self._backend.staggered_dslash(self, x)
 
-    def _dslash_impl(self, x: np.ndarray) -> np.ndarray:
+    def _dslash_numpy(self, x: np.ndarray) -> np.ndarray:
+        """The vectorized NumPy stencil (the ``"numpy"`` backend body)."""
         geom = self.geometry
         lead = self.field_lead(x)
         batched = bool(lead)
@@ -190,6 +195,7 @@ class _StaggeredBase(LatticeOperator):
             self.mass,
             local_bc,
             origin=partition.origin(rank),
+            kernel=self.kernel,
         )
         return out
 
@@ -207,14 +213,18 @@ class NaiveStaggeredOperator(_StaggeredBase):
         mass: float,
         boundary: BoundarySpec = PERIODIC,
         origin: tuple[int, int, int, int] = (0, 0, 0, 0),
+        kernel: str = "auto",
     ):
         self.gauge = gauge
         super().__init__(
-            gauge.geometry, gauge.data, None, mass, boundary, origin=origin
+            gauge.geometry, gauge.data, None, mass, boundary, origin=origin,
+            kernel=kernel,
         )
 
     def with_boundary(self, boundary: BoundarySpec) -> "NaiveStaggeredOperator":
-        return NaiveStaggeredOperator(self.gauge, self.mass, boundary, self.origin)
+        return NaiveStaggeredOperator(
+            self.gauge, self.mass, boundary, self.origin, kernel=self.kernel
+        )
 
 
 class AsqtadOperator(_StaggeredBase):
@@ -229,10 +239,12 @@ class AsqtadOperator(_StaggeredBase):
         mass: float,
         boundary: BoundarySpec = PERIODIC,
         origin: tuple[int, int, int, int] = (0, 0, 0, 0),
+        kernel: str = "auto",
     ):
         self.links = links
         super().__init__(
-            links.geometry, links.fat, links.long, mass, boundary, origin=origin
+            links.geometry, links.fat, links.long, mass, boundary, origin=origin,
+            kernel=kernel,
         )
 
     @classmethod
@@ -242,13 +254,16 @@ class AsqtadOperator(_StaggeredBase):
         mass: float,
         u0: float = 1.0,
         boundary: BoundarySpec = PERIODIC,
+        kernel: str = "auto",
     ) -> "AsqtadOperator":
         """Build fat/long links from a thin-link configuration, then the
         operator (the "precalculated before the application" step)."""
-        return cls(build_asqtad_links(gauge, u0=u0), mass, boundary)
+        return cls(build_asqtad_links(gauge, u0=u0), mass, boundary, kernel=kernel)
 
     def with_boundary(self, boundary: BoundarySpec) -> "AsqtadOperator":
-        return AsqtadOperator(self.links, self.mass, boundary, self.origin)
+        return AsqtadOperator(
+            self.links, self.mass, boundary, self.origin, kernel=self.kernel
+        )
 
 
 class StaggeredNormalOperator(LatticeOperator):

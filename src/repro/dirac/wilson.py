@@ -9,23 +9,29 @@ with the nearest-neighbor stencil
 acting on 4-spin x 3-color fields.  ``M`` is non-Hermitian but
 gamma5-Hermitian (``M^+ = g5 M g5``), which supplies the dagger.
 
-Two dslash execution paths are provided:
+Dslash execution is delegated to a pluggable kernel backend
+(:mod:`repro.kernels`), selected by the ``kernel=`` parameter:
 
-* the **spin-projected fast path** (default): each ``P^{+-}_mu = 1 +-
-  gamma_mu`` is rank 2, so the hop is computed as project -> SU(3) multiply
-  on a *half-spinor* (2 spin components) -> reconstruct, exactly the
-  structure QUDA's kernels exploit (Sec. 4; arXiv:1011.0024).  This halves
-  the SU(3) matvec work and the data shifted between neighbor sites.
-  Daggered links are precomputed once per operator, not per application.
-* the **reference path** (``use_projection=False``): the seed's full
-  4-spin formulation, kept verbatim as the numerical baseline the
-  equivalence tests and the hot-path regression benchmark compare against.
+* ``"numpy"`` — the **spin-projected fast path** (the default ``"auto"``
+  resolution when no compiled tier is installed): each ``P^{+-}_mu = 1
+  +- gamma_mu`` is rank 2, so the hop is computed as project -> SU(3)
+  multiply on a *half-spinor* (2 spin components) -> reconstruct,
+  exactly the structure QUDA's kernels exploit (Sec. 4;
+  arXiv:1011.0024).  This halves the SU(3) matvec work and the data
+  shifted between neighbor sites.  Daggered links are precomputed once
+  per operator, not per application.
+* ``"numpy_ref"`` — the seed's full 4-spin formulation, kept verbatim as
+  the numerical baseline the equivalence tests and the hot-path
+  regression benchmark compare against (the old ``use_projection=False``).
+* ``"numba"`` — opt-in compiled site loops, when numba is installed.
 
-Both paths agree to machine precision (they evaluate the same exact
-contraction in a different association order).
+All tiers agree to rounding (they evaluate the same exact contraction
+in a different association order).
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -38,6 +44,7 @@ from repro.dirac.base import (
     link_apply_cols,
 )
 from repro.dirac.clover import apply_clover, build_clover_field
+from repro.kernels import resolve_kernel
 from repro.lattice.fields import GaugeField
 from repro.lattice.geometry import axis_of_mu
 from repro.linalg import su3
@@ -93,9 +100,12 @@ class WilsonCloverOperator(LatticeOperator):
     clover:
         Optional precomputed clover field (reused by ``with_boundary``;
         the clover term is site-diagonal so it is unaffected by cuts).
+    kernel:
+        Kernel backend name for the dslash (``"auto"`` resolves through
+        :func:`repro.kernels.resolve_kernel`; see :mod:`repro.kernels`).
     use_projection:
-        Select the spin-projected fast dslash path (default) or the
-        reference full-spinor path.
+        Deprecated — use ``kernel="numpy"`` (True) / ``kernel="numpy_ref"``
+        (False).
     """
 
     nspin = 4
@@ -107,7 +117,8 @@ class WilsonCloverOperator(LatticeOperator):
         csw: float = 0.0,
         boundary: BoundarySpec = PERIODIC,
         clover: np.ndarray | None = None,
-        use_projection: bool = True,
+        kernel: str = "auto",
+        use_projection: bool | None = None,
         _link_cache: "tuple[np.ndarray, np.ndarray] | None" = None,
     ):
         super().__init__(gauge.geometry)
@@ -115,7 +126,18 @@ class WilsonCloverOperator(LatticeOperator):
         self.mass = float(mass)
         self.csw = float(csw)
         self.boundary = boundary
-        self.use_projection = bool(use_projection)
+        if use_projection is not None:
+            warnings.warn(
+                "WilsonCloverOperator(use_projection=...) is deprecated. "
+                "use kernel='numpy' (use_projection=True) or "
+                "kernel='numpy_ref' (use_projection=False)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if kernel == "auto":
+                kernel = "numpy" if use_projection else "numpy_ref"
+        self._backend = resolve_kernel(kernel, operator="wilson")
+        self.kernel = self._backend.name
         if csw != 0.0 and clover is None:
             clover = build_clover_field(gauge, csw)
         self.clover = clover if csw != 0.0 else None
@@ -256,9 +278,18 @@ class WilsonCloverOperator(LatticeOperator):
 
     def _dslash(self, x: np.ndarray) -> np.ndarray:
         with timed("wilson_dslash", kind="dslash"):
-            if self.use_projection:
-                return self._dslash_projected(x)
-            return self._dslash_reference(x)
+            return self._backend.wilson_dslash(self, x)
+
+    @property
+    def use_projection(self) -> bool:
+        """Deprecated alias for ``kernel != "numpy_ref"``."""
+        warnings.warn(
+            "WilsonCloverOperator.use_projection is deprecated. "
+            "use kernel= (the .kernel attribute holds the resolved name)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.kernel != "numpy_ref"
 
     def _dslash_projected(self, x: np.ndarray) -> np.ndarray:
         """Spin-projected dslash: 8 half-spinor hops.
@@ -435,7 +466,7 @@ class WilsonCloverOperator(LatticeOperator):
         return out
 
     def _apply(self, x: np.ndarray) -> np.ndarray:
-        if self.use_projection and self.field_lead(x):
+        if self._backend.fuses_batched_wilson_apply and self.field_lead(x):
             return self._apply_batched(x)
         out = self.diagonal_coefficient * x - 0.5 * self._dslash(x)
         if self.clover is not None:
@@ -474,7 +505,7 @@ class WilsonCloverOperator(LatticeOperator):
             csw=self.csw,
             boundary=boundary,
             clover=self.clover,
-            use_projection=self.use_projection,
+            kernel=self.kernel,
             _link_cache=link_cache,
         )
 
@@ -503,5 +534,5 @@ class WilsonCloverOperator(LatticeOperator):
             csw=self.csw,
             boundary=local_bc,
             clover=local_clover,
-            use_projection=self.use_projection,
+            kernel=self.kernel,
         )

@@ -1,0 +1,55 @@
+"""Pluggable dslash kernel backends (the solver/kernel seam of PR 8).
+
+Importing this package registers the built-in tiers:
+
+* ``"numpy"`` — the vectorized bit-reference (always available),
+* ``"numpy_ref"`` — the seed's full-spinor Wilson formulation,
+* ``"numba"`` — opt-in compiled site loops; registers as unavailable
+  (and ``"auto"`` falls back to NumPy) when numba is not installed.
+
+``SolveRequest(kernel=...)``, the operators' ``kernel=`` parameter, and
+the CLI ``--kernel`` flag all resolve through :func:`resolve_kernel`.
+"""
+
+from repro.kernels.base import (
+    KernelBackend,
+    KernelCapabilities,
+    KernelUnavailableError,
+    OPERATOR_FAMILIES,
+)
+from repro.kernels.numba_backend import NumbaBackend
+from repro.kernels.numpy_backend import NumpyBackend, NumpyReferenceBackend
+from repro.kernels.registry import (
+    AUTO,
+    availability_note,
+    available_backends,
+    backend_names,
+    capability_matrix,
+    get_backend,
+    kernel_choices,
+    register_backend,
+    resolve_kernel,
+)
+
+register_backend(NumpyBackend())
+register_backend(NumpyReferenceBackend())
+register_backend(NumbaBackend())
+
+__all__ = [
+    "AUTO",
+    "KernelBackend",
+    "KernelCapabilities",
+    "KernelUnavailableError",
+    "NumbaBackend",
+    "NumpyBackend",
+    "NumpyReferenceBackend",
+    "OPERATOR_FAMILIES",
+    "availability_note",
+    "available_backends",
+    "backend_names",
+    "capability_matrix",
+    "get_backend",
+    "kernel_choices",
+    "register_backend",
+    "resolve_kernel",
+]

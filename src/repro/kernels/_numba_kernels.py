@@ -1,0 +1,150 @@
+"""Numba-jitted dslash stencils (imported only when numba is present).
+
+The kernels are deliberately written as flat site loops over
+precomputed neighbor/phase tables — the shape a compiled device kernel
+takes (one thread per site, gather from neighbor indices, boundary
+factors folded into per-site phases) rather than the whole-array rolls
+of the NumPy tier.  ``prange`` parallelizes over sites; ``cache=True``
+persists the compiled machine code across processes, which is why these
+live at module level in their own module.
+
+Index conventions (built by :mod:`repro.kernels.numba_backend`):
+
+* fields are flattened to ``(B, V, ...site)`` with ``V`` the lattice
+  volume in ``(T, Z, Y, X)`` C order;
+* ``nfwd[mu, s]`` / ``nbwd[mu, s]`` are the flat indices of ``s +
+  mu-hat`` / ``s - mu-hat`` (periodically wrapped);
+* ``phf[mu, s]`` / ``phb[mu, s]`` are the fermion boundary factors of
+  that hop at destination site ``s`` (1 interior, -1 antiperiodic wrap,
+  0 Dirichlet cut) — multiplying the whole hop contribution reproduces
+  :meth:`repro.lattice.geometry.Geometry.shift` exactly.
+
+Each kernel evaluates the bare derivative term (``D x`` / ``D_IS x``);
+the operator applies the ``-1/2`` hop scale and diagonal terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+
+@njit(parallel=True, cache=True)
+def wilson_dslash(u, udag, x, nfwd, nbwd, phf, phb, pf, pb, out):
+    """Wilson hopping term ``D x`` on flattened fields.
+
+    ``u``/``udag``: ``(4, V, 3, 3)`` links and site-indexed daggered
+    links; ``x``/``out``: ``(B, V, 4, 3)``; ``pf``/``pb``: the ``(4, 4,
+    4)`` spin matrices ``1 -+ gamma_mu``.
+    """
+    nb = x.shape[0]
+    nv = x.shape[1]
+    for s in prange(nv):
+        t = np.empty((4, 3), x.dtype)
+        for b in range(nb):
+            for sp in range(4):
+                for c in range(3):
+                    out[b, s, sp, c] = 0.0
+            for mu in range(4):
+                j = nfwd[mu, s]
+                ph = phf[mu, s]
+                if ph != 0.0:
+                    # t = U_mu(s) @ x(s + mu)  (color contraction)
+                    for sp in range(4):
+                        for c in range(3):
+                            t[sp, c] = (
+                                u[mu, s, c, 0] * x[b, j, sp, 0]
+                                + u[mu, s, c, 1] * x[b, j, sp, 1]
+                                + u[mu, s, c, 2] * x[b, j, sp, 2]
+                            )
+                    # out += ph * (1 - gamma_mu) @ t  (spin contraction)
+                    for sp in range(4):
+                        for c in range(3):
+                            acc = pf[mu, sp, 0] * t[0, c]
+                            acc += pf[mu, sp, 1] * t[1, c]
+                            acc += pf[mu, sp, 2] * t[2, c]
+                            acc += pf[mu, sp, 3] * t[3, c]
+                            out[b, s, sp, c] += ph * acc
+                j = nbwd[mu, s]
+                ph = phb[mu, s]
+                if ph != 0.0:
+                    # t = U_mu(s - mu)^+ @ x(s - mu)
+                    for sp in range(4):
+                        for c in range(3):
+                            t[sp, c] = (
+                                udag[mu, j, c, 0] * x[b, j, sp, 0]
+                                + udag[mu, j, c, 1] * x[b, j, sp, 1]
+                                + udag[mu, j, c, 2] * x[b, j, sp, 2]
+                            )
+                    # out += ph * (1 + gamma_mu) @ t
+                    for sp in range(4):
+                        for c in range(3):
+                            acc = pb[mu, sp, 0] * t[0, c]
+                            acc += pb[mu, sp, 1] * t[1, c]
+                            acc += pb[mu, sp, 2] * t[2, c]
+                            acc += pb[mu, sp, 3] * t[3, c]
+                            out[b, s, sp, c] += ph * acc
+    return out
+
+
+@njit(parallel=True, cache=True)
+def staggered_hops(lk, lkdag, x, nfwd, nbwd, phf, phb, eta, out):
+    """Accumulate one staggered hop family into ``out``:
+
+    ``out(s) += sum_mu eta_mu(s) [ ph_f L_mu(s) x(s+k mu)
+                                 - ph_b L_mu(s-k mu)^+ x(s-k mu) ]``
+
+    Called once with the fat links and 1-hop tables, and (for asqtad)
+    again with the long links and 3-hop tables — the caller zeroes
+    ``out`` before the first call.  ``x``/``out``: ``(B, V, 3)``;
+    ``eta``: ``(4, V)`` Kogut-Susskind phases.
+    """
+    nb = x.shape[0]
+    nv = x.shape[1]
+    for s in prange(nv):
+        for b in range(nb):
+            a0 = out[b, s, 0]
+            a1 = out[b, s, 1]
+            a2 = out[b, s, 2]
+            for mu in range(4):
+                e = eta[mu, s]
+                j = nfwd[mu, s]
+                ph = e * phf[mu, s]
+                if ph != 0.0:
+                    a0 += ph * (
+                        lk[mu, s, 0, 0] * x[b, j, 0]
+                        + lk[mu, s, 0, 1] * x[b, j, 1]
+                        + lk[mu, s, 0, 2] * x[b, j, 2]
+                    )
+                    a1 += ph * (
+                        lk[mu, s, 1, 0] * x[b, j, 0]
+                        + lk[mu, s, 1, 1] * x[b, j, 1]
+                        + lk[mu, s, 1, 2] * x[b, j, 2]
+                    )
+                    a2 += ph * (
+                        lk[mu, s, 2, 0] * x[b, j, 0]
+                        + lk[mu, s, 2, 1] * x[b, j, 1]
+                        + lk[mu, s, 2, 2] * x[b, j, 2]
+                    )
+                j = nbwd[mu, s]
+                ph = e * phb[mu, s]
+                if ph != 0.0:
+                    a0 -= ph * (
+                        lkdag[mu, j, 0, 0] * x[b, j, 0]
+                        + lkdag[mu, j, 0, 1] * x[b, j, 1]
+                        + lkdag[mu, j, 0, 2] * x[b, j, 2]
+                    )
+                    a1 -= ph * (
+                        lkdag[mu, j, 1, 0] * x[b, j, 0]
+                        + lkdag[mu, j, 1, 1] * x[b, j, 1]
+                        + lkdag[mu, j, 1, 2] * x[b, j, 2]
+                    )
+                    a2 -= ph * (
+                        lkdag[mu, j, 2, 0] * x[b, j, 0]
+                        + lkdag[mu, j, 2, 1] * x[b, j, 1]
+                        + lkdag[mu, j, 2, 2] * x[b, j, 2]
+                    )
+            out[b, s, 0] = a0
+            out[b, s, 1] = a1
+            out[b, s, 2] = a2
+    return out

@@ -1,0 +1,59 @@
+"""The NumPy backends: the bit-reference tier every other tier is
+equivalence-tested against.
+
+Two backends wrap the two in-tree NumPy dslash paths:
+
+* ``"numpy"`` — the spin-projected Wilson fast path of PR 1 (cached
+  daggered links, half-spinor hops, stacked-GEMM batching) plus the
+  vectorized staggered stencil.  This is the default resolution target
+  and the numerical baseline: with no compiled tier installed,
+  ``kernel="auto"`` solves are bitwise identical to this path.
+* ``"numpy_ref"`` — the seed's full-4-spin Wilson formulation, kept as
+  the slow cross-check the fast path itself is equivalence-tested
+  against (it subsumes the old ``use_projection=False`` knob).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend, KernelCapabilities
+
+
+class NumpyBackend(KernelBackend):
+    """Vectorized NumPy stencils (the PR 1 fast path) — always available."""
+
+    name = "numpy"
+    priority = 0
+    capabilities = KernelCapabilities(
+        operators=("wilson", "staggered"),
+        batched=True,
+        split=True,
+        dtypes=("complex128", "complex64"),
+    )
+    fuses_batched_wilson_apply = True
+
+    def wilson_dslash(self, op, x: np.ndarray) -> np.ndarray:
+        return op._dslash_projected(x)
+
+    def staggered_dslash(self, op, x: np.ndarray) -> np.ndarray:
+        return op._dslash_numpy(x)
+
+
+class NumpyReferenceBackend(KernelBackend):
+    """The seed's full-spinor Wilson path: slow, maximally transparent."""
+
+    name = "numpy_ref"
+    priority = -10
+    capabilities = KernelCapabilities(
+        operators=("wilson",),
+        batched=True,
+        split=True,
+        dtypes=("complex128", "complex64"),
+    )
+
+    def wilson_dslash(self, op, x: np.ndarray) -> np.ndarray:
+        return op._dslash_reference(x)
+
+
+__all__ = ["NumpyBackend", "NumpyReferenceBackend"]

@@ -26,6 +26,8 @@ beginning of a solve".
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.comm.grid import ProcessGrid
@@ -40,7 +42,7 @@ from repro.lattice.fields import GaugeField
 from repro.multigpu.halo import HaloExchanger
 from repro.multigpu.layout import local_boundary as _local_boundary
 from repro.multigpu.partition import BlockPartition
-from repro.multigpu.rank_op import fused_apply, split_apply
+from repro.multigpu.rank_op import _warn_use_split, fused_apply, split_apply
 from repro.util.counters import record, record_operator
 
 
@@ -64,11 +66,22 @@ class DistributedOperator:
         self.name = name
         self.flops_per_site = flops_per_site
         self.nspin = nspin
-        # When set, ``apply`` routes through the interior/exterior kernel
-        # decomposition (the execution shape the paper actually schedules,
-        # and the one whose spans a trace should show) instead of the
-        # fused single-stencil path.  Both paths agree to rounding.
-        self.use_split = False
+        # ``"split"`` routes ``apply`` through the interior/exterior
+        # kernel decomposition (the execution shape the paper actually
+        # schedules, and the one whose spans a trace should show) instead
+        # of the fused single-stencil path.  Both agree to rounding.
+        self.schedule = "fused"
+
+    @property
+    def use_split(self) -> bool:
+        """Deprecated alias for ``schedule == "split"``."""
+        _warn_use_split("DistributedOperator")
+        return self.schedule == "split"
+
+    @use_split.setter
+    def use_split(self, value: bool) -> None:
+        _warn_use_split("DistributedOperator")
+        self.schedule = "split" if value else "fused"
 
     # ------------------------------------------------------------------
     # constructors for each discretization
@@ -84,8 +97,19 @@ class DistributedOperator:
         mailbox: Mailbox | None = None,
         log: CommLog | None = None,
         halo_precision=None,
-        use_projection: bool = True,
+        kernel: str = "auto",
+        use_projection: bool | None = None,
     ) -> "DistributedOperator":
+        if use_projection is not None:
+            warnings.warn(
+                "DistributedOperator.wilson_clover(use_projection=...) is "
+                "deprecated. use kernel='numpy' (use_projection=True) or "
+                "kernel='numpy_ref' (use_projection=False)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if kernel == "auto":
+                kernel = "numpy" if use_projection else "numpy_ref"
         partition = BlockPartition(gauge.geometry, grid)
         exchanger = HaloExchanger(
             partition, depth=1, boundary=boundary, mailbox=mailbox, log=log,
@@ -120,7 +144,7 @@ class DistributedOperator:
                     csw=csw,
                     boundary=local_bc,
                     clover=None if padded_clover is None else padded_clover[rank],
-                    use_projection=use_projection,
+                    kernel=kernel,
                 )
             )
         proto = local_ops[0]
@@ -139,6 +163,7 @@ class DistributedOperator:
         mailbox: Mailbox | None = None,
         log: CommLog | None = None,
         halo_precision=None,
+        kernel: str = "auto",
     ) -> "DistributedOperator":
         links = (
             build_asqtad_links(source, u0=u0)
@@ -168,6 +193,7 @@ class DistributedOperator:
                     mass=mass,
                     boundary=local_bc,
                     origin=exchanger.padded_origin(rank),
+                    kernel=kernel,
                 )
             )
         proto = local_ops[0]
@@ -184,6 +210,7 @@ class DistributedOperator:
         boundary: BoundarySpec = PERIODIC,
         mailbox: Mailbox | None = None,
         log: CommLog | None = None,
+        kernel: str = "auto",
     ) -> "DistributedOperator":
         partition = BlockPartition(gauge.geometry, grid)
         exchanger = HaloExchanger(
@@ -200,6 +227,7 @@ class DistributedOperator:
                     mass=mass,
                     boundary=local_bc,
                     origin=exchanger.padded_origin(rank),
+                    kernel=kernel,
                 )
             )
         proto = local_ops[0]
@@ -228,8 +256,8 @@ class DistributedOperator:
 
     def apply(self, xs: list[np.ndarray]) -> list[np.ndarray]:
         """Fused path: exchange ghosts, one local stencil per rank
-        (or the split path when ``use_split`` is set)."""
-        if self.use_split:
+        (or the split path under ``schedule = "split"``)."""
+        if self.schedule == "split":
             return self.apply_split(xs)
         lead = self._field_lead(xs)
         self._record(batch=xs[0].shape[0] if lead else 1)

@@ -30,6 +30,8 @@ parent builds it globally and passes each rank its (unpadded) block.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.dirac.base import BoundarySpec, LatticeOperator, PERIODIC
@@ -122,6 +124,41 @@ def split_apply_overlapped(
 # ----------------------------------------------------------------------
 # the SPMD rank operator
 # ----------------------------------------------------------------------
+def _warn_use_split(owner: str) -> None:
+    warnings.warn(
+        f"{owner}(use_split=...) is deprecated. use schedule='split' "
+        "(use_split=True) or schedule='fused' (use_split=False)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _resolve_schedule(
+    owner: str, schedule: str, overlap: bool, use_split: bool | None
+) -> str:
+    """Fold the deprecated ``use_split`` flag and ``overlap`` into a
+    concrete ``"fused"``/``"split"`` schedule."""
+    if use_split is not None:
+        _warn_use_split(owner)
+        if schedule == "auto":
+            schedule = "split" if use_split else "auto"
+    if schedule == "auto":
+        # Overlapping halo comm with the interior kernel requires the
+        # split interior/exterior path.
+        return "split" if overlap else "fused"
+    if schedule not in ("fused", "split"):
+        raise ValueError(
+            f"unknown schedule {schedule!r}; choose 'auto', 'fused' or "
+            "'split'"
+        )
+    if overlap and schedule == "fused":
+        raise ValueError(
+            "overlap=True runs the interior/exterior split; use "
+            "schedule='auto' or 'split'"
+        )
+    return schedule
+
+
 class RankOperator:
     """One rank's endpoint of a distributed Dirac operator."""
 
@@ -132,20 +169,27 @@ class RankOperator:
         name: str,
         flops_per_site: int,
         nspin: int,
-        use_split: bool = False,
+        schedule: str = "auto",
         overlap: bool = False,
+        use_split: bool | None = None,
     ):
         self.engine = engine
         self.local_op = local_op
         self.name = name
         self.flops_per_site = flops_per_site
         self.nspin = nspin
-        # Overlapping halo comm with the interior kernel requires the
-        # split interior/exterior path.
-        self.use_split = use_split or overlap
+        self.schedule = _resolve_schedule(
+            "RankOperator", schedule, overlap, use_split
+        )
         self.overlap = overlap
         self.rank = engine.rank
         self.local_volume = engine.layout.partition.local_volume
+
+    @property
+    def use_split(self) -> bool:
+        """Deprecated alias for ``schedule == "split"``."""
+        _warn_use_split("RankOperator")
+        return self.schedule == "split"
 
     def _field_lead(self, x: np.ndarray) -> int:
         expected = 4 + (2 if self.nspin == 4 else 1)
@@ -166,7 +210,7 @@ class RankOperator:
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Exchange ghosts, apply this rank's stencil, return the interior
-        (or the split interior/exterior path when ``use_split`` is set)."""
+        (or the interior/exterior path under ``schedule="split"``)."""
         lead = self._field_lead(x)
         self._record(batch=x.shape[0] if lead else 1)
         if self.overlap:
@@ -174,7 +218,7 @@ class RankOperator:
                 self.local_op, self.engine, x, lead, self.rank
             )
         pad = self.engine.exchange_spinor(x, lead=lead)
-        if self.use_split:
+        if self.schedule == "split":
             return split_apply(self.local_op, self.engine, pad, lead, self.rank)
         return fused_apply(self.local_op, self.engine, pad, lead, self.rank)
 
@@ -200,9 +244,10 @@ def rank_wilson_clover(
     csw: float,
     boundary: BoundarySpec = PERIODIC,
     clover_block: np.ndarray | None = None,
-    use_projection: bool = True,
-    use_split: bool = False,
+    kernel: str = "auto",
+    schedule: str = "auto",
     overlap: bool = False,
+    use_split: bool | None = None,
 ) -> RankOperator:
     """Build this rank's Wilson-clover endpoint from its (unpadded) local
     gauge block; ``clover_block`` is the rank's slice of the *globally
@@ -227,11 +272,11 @@ def rank_wilson_clover(
         csw=csw,
         boundary=local_bc,
         clover=padded_clover,
-        use_projection=use_projection,
+        kernel=kernel,
     )
     return RankOperator(
         engine, local_op, local_op.name, local_op.flops_per_site, 4,
-        use_split=use_split, overlap=overlap,
+        schedule=schedule, overlap=overlap, use_split=use_split,
     )
 
 
@@ -240,8 +285,10 @@ def rank_naive_staggered(
     gauge_block: np.ndarray,
     mass: float,
     boundary: BoundarySpec = PERIODIC,
-    use_split: bool = False,
+    kernel: str = "auto",
+    schedule: str = "auto",
     overlap: bool = False,
+    use_split: bool | None = None,
 ) -> RankOperator:
     """Build this rank's naive-staggered endpoint from its (unpadded)
     local gauge block; the padded origin keeps the Kogut-Susskind phases
@@ -254,10 +301,11 @@ def rank_naive_staggered(
         mass=mass,
         boundary=local_bc,
         origin=layout.padded_origin(engine.rank),
+        kernel=kernel,
     )
     return RankOperator(
         engine, local_op, local_op.name, local_op.flops_per_site, 1,
-        use_split=use_split, overlap=overlap,
+        schedule=schedule, overlap=overlap, use_split=use_split,
     )
 
 

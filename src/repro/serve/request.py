@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels import KernelUnavailableError, kernel_choices, resolve_kernel
 from repro.precision import DOUBLE, HALF, SINGLE, Precision
 from repro.serve.errors import RequestValidationError
 
@@ -38,6 +39,7 @@ _METHODS = {
     "asqtad": ("auto", "cg"),
 }
 _DEFAULT_METHOD = {"wilson_clover": "bicgstab", "asqtad": "cg"}
+_KERNEL_FAMILY = {"wilson_clover": "wilson", "asqtad": "staggered"}
 
 GAUGE_KINDS = ("weak", "hot", "unit", "file")
 RHS_KINDS = ("random", "point", "data")
@@ -236,6 +238,11 @@ class ServiceRequest:
     inner_precision, u0, boundary:
         The solve-defining knobs, mirroring
         :class:`repro.core.api.SolveRequest`.
+    kernel:
+        The *resolved* kernel tier (never ``"auto"``): ``"auto"`` on the
+        wire resolves at validation time so the fingerprint pins the
+        tier that will actually run — requests resolving to different
+        tiers never coalesce into one batched solve.
     gauge:
         Canonical gauge spec (``kind`` = weak/hot/unit/file).
     rhs:
@@ -263,6 +270,7 @@ class ServiceRequest:
     even_odd: bool = False
     inner_precision: str | None = None
     u0: float = 1.0
+    kernel: str = "numpy"
     boundary: list[str] = field(default_factory=lambda: ["periodic"] * 4)
     priority: int = 0
     timeout_seconds: float | None = None
@@ -294,6 +302,15 @@ class ServiceRequest:
         )
         if method == "auto":
             method = _DEFAULT_METHOD[operator]
+        # Like method, the kernel tier is resolved here (never stored as
+        # "auto") so the operator fingerprint pins the tier that runs.
+        kernel = _get_choice(
+            payload, "kernel", kernel_choices(), default="auto"
+        )
+        try:
+            kernel = resolve_kernel(kernel, _KERNEL_FAMILY[operator]).name
+        except KernelUnavailableError as exc:
+            raise _invalid("kernel", str(exc), exc.choices)
         rid = payload.get("id")
         if rid is not None and not isinstance(rid, str):
             raise _invalid("id", f"must be a string, got {rid!r}")
@@ -326,6 +343,7 @@ class ServiceRequest:
                 payload, "inner_precision", tuple(_PRECISIONS)
             ),
             u0=float(_get_number(payload, "u0", default=1.0, positive=True)),
+            kernel=kernel,
             boundary=_validate_boundary(payload.get("boundary")),
             priority=_get_number(payload, "priority", default=0, integer=True),
             timeout_seconds=_get_number(
@@ -365,6 +383,7 @@ class ServiceRequest:
             "even_odd": self.even_odd,
             "inner_precision": self.inner_precision,
             "u0": self.u0 if self.operator == "asqtad" else None,
+            "kernel": self.kernel,
             "boundary": self.boundary,
         }
 

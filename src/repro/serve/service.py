@@ -379,6 +379,7 @@ class SolveService:
             even_odd=spec_request.even_odd,
             inner_precision=spec_request.precision_object(),
             u0=spec_request.u0,
+            kernel=spec_request.kernel,
         )
         t0 = time.perf_counter()
         result = solve(request)

@@ -61,6 +61,55 @@ class TestFieldNamedErrors:
             )
         assert str(exc.value).startswith("SolveRequest.overlap:")
 
+    def test_unknown_kernel_names_field_and_choices(self, base):
+        with pytest.raises(ValueError, match="unknown kernel") as exc:
+            validate_request(request(base, kernel="cuda"))
+        msg = str(exc.value)
+        assert msg.startswith("SolveRequest.kernel:")
+        assert "valid choices" in msg and "auto" in msg and "numpy" in msg
+
+    def test_unavailable_kernel_reports_reason_and_choices(self, base):
+        from repro.kernels import get_backend
+
+        if get_backend("numba").available:
+            pytest.skip("numba installed: the tier is selectable here")
+        with pytest.raises(ValueError, match="not available") as exc:
+            validate_request(request(base, kernel="numba"))
+        msg = str(exc.value)
+        assert msg.startswith("SolveRequest.kernel:")
+        assert "valid choices" in msg and "numpy" in msg
+
+    def test_wilson_only_kernel_rejected_for_staggered(self, base):
+        gauge, _ = base
+        rhs1 = SpinorField.random(gauge.geometry, nspin=1, rng=1).data
+        with pytest.raises(ValueError, match="does not support") as exc:
+            validate_request(request(
+                base, operator="asqtad", rhs=rhs1, kernel="numpy_ref"
+            ))
+        assert str(exc.value).startswith("SolveRequest.kernel:")
+
+    def test_unknown_schedule_names_field_and_choices(self, base):
+        with pytest.raises(ValueError, match="unknown schedule") as exc:
+            validate_request(request(base, schedule="pipelined"))
+        msg = str(exc.value)
+        assert msg.startswith("SolveRequest.schedule:")
+        assert "fused" in msg and "split" in msg
+
+    def test_explicit_schedule_needs_spmd_gcrdd(self, base):
+        with pytest.raises(ValueError, match="gcr-dd") as exc:
+            validate_request(request(base, schedule="split"))
+        assert str(exc.value).startswith("SolveRequest.schedule:")
+
+    def test_overlap_with_fused_schedule_rejected(self, base):
+        from repro.comm.grid import ProcessGrid
+
+        with pytest.raises(ValueError, match="split") as exc:
+            validate_request(request(
+                base, method="gcr-dd", grid=ProcessGrid((2, 1, 1, 1)),
+                backend="sequential", overlap=True, schedule="fused",
+            ))
+        assert str(exc.value).startswith("SolveRequest.schedule:")
+
     def test_gcrdd_without_grid(self, base):
         with pytest.raises(ValueError, match="process grid") as exc:
             validate_request(request(base, method="gcr-dd"))

@@ -161,7 +161,7 @@ class TestDistributedBatched:
         geom, gauge, batch = wilson_setup
         solver = DistributedGCRDDSolver(
             gauge, 0.2, 1.0, ProcessGrid((1, 1, 2, 2)),
-            config=GCRDDConfig(tol=1e-6, mr_steps=6), use_split=True,
+            config=GCRDDConfig(tol=1e-6, mr_steps=6), schedule="split",
         )
         res = solver.solve(batch)
         assert res.all_converged

@@ -40,7 +40,7 @@ class TestOverlapBackendParity:
     def results(self, setup):
         _, gauge, grid, cfg, b = setup
         solver = SPMDGCRDDSolver(
-            gauge, 0.2, 1.0, grid, config=cfg, use_split=True
+            gauge, 0.2, 1.0, grid, config=cfg, schedule="split"
         )
         out = {}
         with tally() as t:

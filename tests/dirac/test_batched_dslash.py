@@ -50,7 +50,7 @@ class TestWilsonBatched:
 
     def test_reference_path(self, weak_gauge, wilson_batch):
         op = WilsonCloverOperator(
-            weak_gauge, mass=0.1, csw=1.0, use_projection=False
+            weak_gauge, mass=0.1, csw=1.0, kernel="numpy_ref"
         )
         assert np.array_equal(op.apply(wilson_batch), stacked(op.apply, wilson_batch))
 

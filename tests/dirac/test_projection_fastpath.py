@@ -34,10 +34,10 @@ MIXED = BoundarySpec(("zero", "antiperiodic", "periodic", "antiperiodic"))
 
 def make_pair(gauge, mass=0.1, csw=0.0, boundary=PERIODIC):
     fast = WilsonCloverOperator(
-        gauge, mass=mass, csw=csw, boundary=boundary, use_projection=True
+        gauge, mass=mass, csw=csw, boundary=boundary, kernel="numpy"
     )
     ref = WilsonCloverOperator(
-        gauge, mass=mass, csw=csw, boundary=boundary, use_projection=False
+        gauge, mass=mass, csw=csw, boundary=boundary, kernel="numpy_ref"
     )
     return fast, ref
 
@@ -122,10 +122,10 @@ class TestDistributedEquivalence:
         gauge = GaugeField.weak(geom, epsilon=0.3, rng=23)
         grid = ProcessGrid((1, 1, 2, 2))
         fast = DistributedOperator.wilson_clover(
-            gauge, 0.1, 1.0, grid, boundary=PHYSICAL, use_projection=True
+            gauge, 0.1, 1.0, grid, boundary=PHYSICAL, kernel="numpy"
         )
         ref = DistributedOperator.wilson_clover(
-            gauge, 0.1, 1.0, grid, boundary=PHYSICAL, use_projection=False
+            gauge, 0.1, 1.0, grid, boundary=PHYSICAL, kernel="numpy_ref"
         )
         x = SpinorField.random(geom, rng=rng).data
         run = (lambda op: op.apply_split(op.scatter(x))) if split else (

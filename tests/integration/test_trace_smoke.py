@@ -28,7 +28,7 @@ def traced_solve():
     with trace.tracing() as tr, tally() as t:
         solver = DistributedGCRDDSolver(
             gauge, mass=0.1, csw=1.0, grid=ProcessGrid((2, 1, 1, 1)),
-            config=GCRDDConfig(tol=1e-5, mr_steps=4), use_split=True,
+            config=GCRDDConfig(tol=1e-5, mr_steps=4), schedule="split",
         )
         result = solver.solve(b)
     return tr.events, t, result, solver

@@ -73,6 +73,23 @@ class TestValidation:
             )
         assert exc.value.field == "even_odd"
 
+    def test_unknown_kernel_names_field_and_choices(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(payload(kernel="cuda"))
+        assert exc.value.field == "kernel"
+        assert "auto" in exc.value.choices
+
+    def test_unavailable_kernel_reports_reason(self):
+        from repro.kernels import get_backend
+
+        if get_backend("numba").available:
+            pytest.skip("numba installed: the tier is selectable here")
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(payload(kernel="numba"))
+        assert exc.value.field == "kernel"
+        assert "not available" in str(exc.value)
+        assert "numpy" in exc.value.choices
+
     def test_error_is_wire_round_trippable(self):
         from repro.serve.errors import error_from_dict
 
@@ -107,6 +124,27 @@ class TestFingerprint:
     def test_solver_knobs_change_fingerprint(self):
         a = ServiceRequest.from_wire(payload())
         b = ServiceRequest.from_wire(payload(tol=1e-6))
+        assert a.fingerprint != b.fingerprint
+
+    def test_kernel_is_resolved_never_auto(self):
+        from repro.kernels import resolve_kernel
+
+        req = ServiceRequest.from_wire(payload())
+        assert req.kernel != "auto"
+        assert req.kernel == resolve_kernel("auto", "wilson").name
+        assert req.operator_spec()["kernel"] == req.kernel
+
+    def test_auto_kernel_coalesces_with_explicit_resolved_tier(self):
+        from repro.kernels import resolve_kernel
+
+        resolved = resolve_kernel("auto", "wilson").name
+        auto = ServiceRequest.from_wire(payload())
+        explicit = ServiceRequest.from_wire(payload(kernel=resolved))
+        assert auto.fingerprint == explicit.fingerprint
+
+    def test_mixed_kernel_tiers_never_coalesce(self):
+        a = ServiceRequest.from_wire(payload(kernel="numpy"))
+        b = ServiceRequest.from_wire(payload(kernel="numpy_ref"))
         assert a.fingerprint != b.fingerprint
 
     def test_delivery_metadata_does_not_change_fingerprint(self):

@@ -29,8 +29,9 @@ class TestHelp:
 
     def test_epilog_lines_carry_descriptions(self):
         parser = build_parser()
-        table = parser.epilog.splitlines()[1:]
-        assert len(table) == 14  # fig5..fig10 + 8 named commands
+        lines = parser.epilog.splitlines()[1:]
+        table = lines[: lines.index("")]  # the availability note follows
+        assert len(table) == 15  # fig5..fig10 + 9 named commands
         for line in table:
             name, _, help_ = line.strip().partition(" ")
             assert help_.strip(), f"command {name} has no help line"
@@ -111,6 +112,37 @@ class TestBenchSPMD:
         assert all(e["bitwise_equal_to_first_backend"]
                    for e in report["results"])
         assert report["results"][1]["speedup_vs_sequential"] > 0
+
+
+class TestKernels:
+    def test_capability_matrix_printed(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        from repro.kernels import backend_names
+
+        for name in backend_names():
+            assert name in out
+        assert "kernel backends:" in out
+
+    def test_help_epilog_carries_availability_note(self):
+        from repro.kernels import availability_note
+
+        assert availability_note() in build_parser().epilog
+
+    def test_solve_accepts_explicit_kernel(self, capsys):
+        rc = main([
+            "solve", "--dims", "4", "4", "4", "8", "--tol", "1e-6",
+            "--kernel", "numpy",
+        ])
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_solve_rejects_unknown_kernel(self, capsys):
+        with pytest.raises(ValueError, match="SolveRequest.kernel"):
+            main([
+                "solve", "--dims", "4", "4", "4", "8",
+                "--kernel", "cuda",
+            ])
 
 
 class TestGenerate:
