@@ -25,7 +25,7 @@ def system(small_gauge):
 
 
 def solve(op, b, kmax=16, delta=0.1):
-    cfg = GCRDDConfig(tol=1e-5, mr_steps=6, kmax=kmax, delta=delta, maxiter=400)
+    cfg = GCRDDConfig(tol=1e-5, precond_steps=6, kmax=kmax, delta=delta, maxiter=400)
     return GCRDDSolver(op, ProcessGrid((1, 1, 1, 2)), cfg).solve(b)
 
 

@@ -31,7 +31,7 @@ def system(small_gauge):
 
 def run_real(op, b, steps: int):
     solver = GCRDDSolver(
-        op, ProcessGrid((1, 1, 2, 2)), GCRDDConfig(tol=1e-5, mr_steps=steps)
+        op, ProcessGrid((1, 1, 2, 2)), GCRDDConfig(tol=1e-5, precond_steps=steps)
     )
     t0 = time.perf_counter()
     res = solver.solve(b)

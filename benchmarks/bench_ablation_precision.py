@@ -34,7 +34,7 @@ def test_policy_accuracy_and_iterations(small_gauge):
     rows = []
     results = {}
     for name, policy in POLICIES.items():
-        cfg = GCRDDConfig(tol=1e-12, mr_steps=6, policy=policy, maxiter=300)
+        cfg = GCRDDConfig(tol=1e-12, precond_steps=6, policy=policy, maxiter=300)
         t0 = time.perf_counter()
         res = GCRDDSolver(op, ProcessGrid((1, 1, 1, 2)), cfg).solve(b)
         seconds = time.perf_counter() - t0
@@ -78,7 +78,7 @@ def test_policy_kernel_speed_model():
 def test_bench_policy_solve(benchmark, small_gauge, name):
     op = WilsonCloverOperator(small_gauge, mass=0.25, csw=1.0)
     b = SpinorField.random(small_gauge.geometry, rng=22).data
-    cfg = GCRDDConfig(tol=1e-4, mr_steps=4, policy=POLICIES[name], maxiter=200)
+    cfg = GCRDDConfig(tol=1e-4, precond_steps=4, policy=POLICIES[name], maxiter=200)
     solver = GCRDDSolver(op, ProcessGrid((1, 1, 1, 2)), cfg)
     result = benchmark(solver.solve, b)
     assert result.converged

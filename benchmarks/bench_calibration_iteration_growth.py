@@ -42,7 +42,7 @@ def test_iteration_growth_measurement(system):
     rows = []
     iters = {}
     for grid in GRIDS:
-        cfg = GCRDDConfig(tol=1e-5, mr_steps=8)
+        cfg = GCRDDConfig(tol=1e-5, precond_steps=8)
         res = GCRDDSolver(op, grid, cfg).solve(b)
         assert res.converged, grid.label
         iters[grid.size] = res.iterations
@@ -76,7 +76,7 @@ def test_bench_gcrdd_16_blocks(benchmark, small_gauge):
     op = WilsonCloverOperator(small_gauge, mass=0.25, csw=1.0)
     b = SpinorField.random(small_gauge.geometry, rng=42).data
     solver = GCRDDSolver(
-        op, ProcessGrid((2, 2, 2, 2)), GCRDDConfig(tol=1e-4, mr_steps=4)
+        op, ProcessGrid((2, 2, 2, 2)), GCRDDConfig(tol=1e-4, precond_steps=4)
     )
     result = benchmark(solver.solve, b)
     assert result.converged

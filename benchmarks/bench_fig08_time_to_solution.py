@@ -95,7 +95,7 @@ def test_bench_real_time_to_solution_gcrdd(benchmark, small_gauge):
     op = WilsonCloverOperator(small_gauge, mass=0.25, csw=1.0)
     b = SpinorField.random(small_gauge.geometry, rng=8).data
     solver = GCRDDSolver(
-        op, ProcessGrid((1, 1, 2, 2)), GCRDDConfig(tol=1e-5, mr_steps=4)
+        op, ProcessGrid((1, 1, 2, 2)), GCRDDConfig(tol=1e-5, precond_steps=4)
     )
     result = benchmark(solver.solve, b)
     assert result.converged

@@ -106,8 +106,11 @@ def _cmd_solve(args) -> int:
     if args.method == "gcr-dd":
         grid = choose_grid(args.blocks, (3, 2, 1, 0), geometry.dims)
         request.grid = grid
-        request.config = GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps)
+        request.config = GCRDDConfig(tol=args.tol)
         request.tol = None  # the config carries the tolerance
+        request.precond = args.precond
+        request.precond_steps = args.mr_steps
+        request.precond_overlap = args.precond_overlap
         request.backend = args.backend
         request.overlap = args.overlap
         extra = f" grid={grid.label} blocks={grid.size}"
@@ -120,8 +123,18 @@ def _cmd_solve(args) -> int:
     elif args.backend or args.overlap:
         print("--backend/--overlap require --method gcr-dd", file=sys.stderr)
         return 2
-    res = solve(request)
+    elif args.precond != "auto":
+        print("--precond requires --method gcr-dd", file=sys.stderr)
+        return 2
+    try:
+        res = solve(request)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     status = "converged" if res.converged else "FAILED"
+    resolved = (res.extras or {}).get("precond")
+    if resolved:
+        extra += f" precond={resolved}"
     print(
         f"{args.method} on {geometry!r}: {status} in {res.iterations} "
         f"iterations, residual {res.residual:.2e}{extra}"
@@ -238,8 +251,95 @@ def _cmd_bench_multirhs(args) -> int:
     return 0 if all(e["all_converged"] for e in results) else 1
 
 
+def _bench_precond(args) -> int:
+    """Benchmark GCR-DD under each requested preconditioner (one grid,
+    one gauge field, one rhs) and emit a bench-schema JSON report."""
+    import json
+    import time
+
+    from repro.comm.grid import choose_grid
+    from repro.core.gcrdd import GCRDDConfig, GCRDDSolver
+    from repro.dirac.wilson import WilsonCloverOperator
+    from repro.lattice import GaugeField, Geometry, SpinorField
+    from repro.metrics.bench_schema import wrap_bench
+    from repro.precond import resolve_precond
+    from repro.util.counters import tally
+
+    geometry = Geometry(tuple(args.dims))
+    grid = choose_grid(args.ranks, (3, 2, 1, 0), geometry.dims)
+    gauge = GaugeField.weak(geometry, epsilon=args.epsilon, rng=args.seed)
+    b = SpinorField.random(geometry, rng=args.seed + 1).data
+    op = WilsonCloverOperator(
+        gauge, mass=args.mass, csw=args.csw, kernel=args.kernel
+    )
+
+    names = []
+    for name in args.preconds:
+        resolved = resolve_precond(name, operator="wilson").name
+        if resolved not in names:
+            names.append(resolved)
+
+    config = {
+        "operator": "wilson_clover",
+        "method": "gcr-dd",
+        "dims": list(geometry.shape),
+        "grid": list(grid.dims),
+        "ranks": grid.size,
+        "mass": args.mass,
+        "csw": args.csw,
+        "tol": args.tol,
+        "precond_steps": args.mr_steps,
+        "precond_overlap": args.precond_overlap,
+        "preconds": names,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+        "repeats": args.repeats,
+    }
+    results = []
+    metrics = {}
+    for name in names:
+        solver = GCRDDSolver(op, grid, GCRDDConfig(
+            tol=args.tol, precond=name,
+            precond_steps=args.mr_steps,
+            precond_overlap=args.precond_overlap,
+        ))
+        solver.solve(b)  # warm caches untimed
+        best = None
+        for _ in range(max(args.repeats, 1)):
+            with tally() as t:
+                t0 = time.perf_counter()
+                res = solver.solve(b)
+                dt = time.perf_counter() - t0
+            if best is None or dt < best[0]:
+                best = (dt, res, t)
+        seconds, res, t = best
+        entry = {
+            "precond": name,
+            "seconds": seconds,
+            "converged": bool(res.converged),
+            "iterations": int(res.iterations),
+            "residual": float(res.residual),
+            "matvecs": int(res.matvecs),
+            "reductions": t.reductions,
+        }
+        results.append(entry)
+        metrics[f"{name}_seconds"] = seconds
+        metrics[f"{name}_iterations"] = float(res.iterations)
+        print(
+            f"{name:>11}: {seconds:7.2f}s, {res.iterations:4d} iterations, "
+            f"residual {res.residual:.2e}"
+        )
+    report = wrap_bench("precond", config, metrics, results=results)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0 if all(e["converged"] for e in results) else 1
+
+
 def _cmd_bench_spmd(args) -> int:
-    """Benchmark the SPMD execution backends on one GCR-DD solve."""
+    """Benchmark the SPMD execution backends on one GCR-DD solve — or,
+    with --precond, sweep GCR-DD preconditioners instead."""
     import json
     import time
 
@@ -253,6 +353,9 @@ def _cmd_bench_spmd(args) -> int:
     from repro.metrics.bench_schema import wrap_bench
     from repro.util.counters import tally
 
+    if args.preconds:
+        return _bench_precond(args)
+
     geometry = Geometry(tuple(args.dims))
     grid = choose_grid(args.ranks, (3, 2, 1, 0), geometry.dims)
     gauge = GaugeField.weak(geometry, epsilon=args.epsilon, rng=args.seed)
@@ -263,7 +366,7 @@ def _cmd_bench_spmd(args) -> int:
     # different order — one shared bit-reference needs one kernel path.
     solver = SPMDGCRDDSolver(
         gauge, args.mass, args.csw, grid,
-        config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
+        config=GCRDDConfig(tol=args.tol, precond_steps=args.mr_steps),
         timeout=args.timeout,
         kernel=args.kernel,
         schedule="split" if args.overlap else "auto",
@@ -531,7 +634,8 @@ def _cmd_trace(args) -> int:
 
             solver = SPMDGCRDDSolver(
                 gauge, args.mass, args.csw, grid,
-                config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
+                config=GCRDDConfig(tol=args.tol, precond=args.precond,
+                                   precond_steps=args.mr_steps),
                 backend=args.backend, schedule="split",
                 overlap=args.overlap, kernel=args.kernel,
             )
@@ -539,7 +643,8 @@ def _cmd_trace(args) -> int:
         else:
             solver = DistributedGCRDDSolver(
                 gauge, args.mass, args.csw, grid,
-                config=GCRDDConfig(tol=args.tol, mr_steps=args.mr_steps),
+                config=GCRDDConfig(tol=args.tol, precond=args.precond,
+                                   precond_steps=args.mr_steps),
                 schedule="split", kernel=args.kernel,
             )
             res = solver.solve(b)
@@ -653,6 +758,38 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_precond(args) -> int:
+    """Print the preconditioner capability matrix (registry-derived)."""
+    from repro.precond import availability_note, capability_matrix
+
+    rows = capability_matrix()
+    header = ("precond", "prio", "available", "operators", "batched",
+              "spmd", "overlapping", "dtypes")
+    table = [header]
+    for row in rows:
+        table.append((
+            row["name"],
+            str(row["priority"]),
+            "yes" if row["available"] else "no",
+            ",".join(row["operators"]),
+            "yes" if row["batched"] else "no",
+            "yes" if row["spmd"] else "no",
+            "yes" if row["overlapping"] else "no",
+            ",".join(row["dtypes"]),
+        ))
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    for i, r in enumerate(table):
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+    print()
+    print(availability_note())
+    for row in rows:
+        if not row["available"]:
+            print(f"  {row['name']}: {row['unavailable_reason']}")
+    return 0
+
+
 def _cmd_kernels(args) -> int:
     """Print the kernel-backend capability matrix (registry-derived)."""
     from repro.kernels import availability_note, capability_matrix
@@ -730,7 +867,14 @@ def build_parser() -> argparse.ArgumentParser:
                    default="bicgstab")
     p.add_argument("--blocks", type=int, default=4,
                    help="Schwarz blocks (gcr-dd)")
-    p.add_argument("--mr-steps", type=int, default=10)
+    p.add_argument("--mr-steps", type=int, default=10,
+                   help="preconditioner block-solve MR steps (gcr-dd)")
+    p.add_argument("--precond", type=str, default="auto",
+                   help="gcr-dd preconditioner (see 'repro precond'; "
+                        "default auto)")
+    p.add_argument("--precond-overlap", type=int, default=1,
+                   help="domain overlap depth for the overlapping "
+                        "preconditioners (ras/multisplit; default 1)")
     p.add_argument("--backend",
                    choices=["sequential", "threads", "processes"],
                    default=None,
@@ -758,7 +902,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mass", type=float, default=0.1)
     p.add_argument("--csw", type=float, default=1.0)
     p.add_argument("--tol", type=float, default=1e-6)
-    p.add_argument("--mr-steps", type=int, default=10)
+    p.add_argument("--mr-steps", type=int, default=10,
+                   help="preconditioner block-solve MR steps")
+    p.add_argument("--precond", dest="preconds", action="append",
+                   default=None,
+                   help="sweep GCR-DD preconditioners instead of "
+                        "backends; repeatable (see 'repro precond')")
+    p.add_argument("--precond-overlap", type=int, default=1,
+                   help="domain overlap depth for the overlapping "
+                        "preconditioners (ras/multisplit; default 1)")
     p.add_argument("--epsilon", type=float, default=0.25,
                    help="gauge disorder of the synthetic configuration")
     p.add_argument("--backend", dest="backends", action="append",
@@ -823,7 +975,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mass", type=float, default=0.1)
     p.add_argument("--csw", type=float, default=1.0)
     p.add_argument("--tol", type=float, default=1e-5)
-    p.add_argument("--mr-steps", type=int, default=4)
+    p.add_argument("--mr-steps", type=int, default=4,
+                   help="preconditioner block-solve MR steps")
+    p.add_argument("--precond", type=str, default="auto",
+                   help="rank-local preconditioner for the traced solve "
+                        "(schwarz/none; default auto)")
     p.add_argument("--epsilon", type=float, default=0.25,
                    help="gauge disorder of the synthetic configuration")
     p.add_argument("--backend",
@@ -894,6 +1050,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request access logs on stderr")
     p.set_defaults(func=_cmd_serve)
 
+    p = add_command("precond", "print the preconditioner capability matrix")
+    p.set_defaults(func=_cmd_precond)
+
     p = add_command("kernels", "print the kernel-backend capability matrix")
     p.set_defaults(func=_cmd_kernels)
 
@@ -901,11 +1060,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_info)
 
     from repro.kernels import availability_note
+    from repro.precond import availability_note as precond_note
 
     width = max(len(name) for name, _ in registered)
     parser.epilog = "commands:\n" + "\n".join(
         f"  {name:<{width}}  {help_}" for name, help_ in registered
-    ) + f"\n\n{availability_note()}"
+    ) + f"\n\n{availability_note()}\n{precond_note()}"
     return parser
 
 

@@ -34,15 +34,21 @@ from repro.lattice.fields import GaugeField
 from repro.metrics.registry import metrics_scope
 from repro.metrics.solve_report import build_solve_report
 from repro.precision import Precision, SINGLE
+from repro.precond import (
+    PrecondSettings,
+    PrecondUnavailableError,
+    resolve_precond,
+)
 from repro.solvers.base import SolverResult
 from repro.solvers.bicgstab import bicgstab
-from repro.solvers.cg import cg
+from repro.solvers.cg import cg, pcg
 from repro.solvers.mixed import mixed_precision_bicgstab, mixed_precision_cg
 from repro.solvers.multirhs import (
     BatchedSolverResult,
     batched_bicgstab,
     batched_cg,
     batched_defect_correction,
+    batched_pcg,
 )
 from repro.solvers.refine import MultishiftRefineResult, multishift_with_refinement
 from repro.solvers.space import (
@@ -133,6 +139,26 @@ class SolveRequest:
         ``"split"`` applies interior/exterior kernels separately (the
         overlap-capable decomposition; implied by ``overlap=True``).
         ``"auto"`` picks ``"split"`` when overlapping, else ``"fused"``.
+    precond:
+        Preconditioner, resolved through the
+        :mod:`repro.precond` registry: ``"auto"`` (the registry's
+        highest-priority entry for the operator family — Schwarz for
+        ``"gcr-dd"``, none for plain asqtad CG, preserving those paths
+        bit-for-bit), or a concrete name — ``"schwarz"``, ``"ras"``,
+        ``"twolevel"``, ``"multisplit"``, ``"none"``.  Only meaningful
+        for ``"gcr-dd"`` (Wilson-clover) and ``"cg"`` (asqtad, requires
+        ``grid`` for the block partition); other methods accept only
+        ``"auto"``/``"none"``.  Requesting an entry that is unavailable
+        or does not support the execution mode (e.g. overlapping
+        entries under an SPMD backend) fails validation with the
+        usable choices listed.
+    precond_steps:
+        Block-solve iteration count for the preconditioner (MR steps
+        per domain).  ``None`` defers to the config/registry default.
+    precond_overlap:
+        Domain overlap depth in sites for the overlapping entries
+        (``"ras"``, ``"multisplit"``); ignored by the rest.  ``None``
+        defers to the default (1).
     """
 
     operator: str
@@ -154,6 +180,9 @@ class SolveRequest:
     overlap: bool = False
     kernel: str = "auto"
     schedule: str = "auto"
+    precond: str = "auto"
+    precond_steps: int | None = None
+    precond_overlap: int | None = None
 
 
 def _invalid(field_: str, message: str, choices=None) -> ValueError:
@@ -245,6 +274,54 @@ def validate_request(request: SolveRequest) -> None:
                 "overlap=True runs the interior/exterior split; "
                 "use schedule='auto' or 'split'",
             )
+    preconditioned = (
+        request.operator == "wilson_clover" and request.method == "gcr-dd"
+    ) or (request.operator == "asqtad" and request.method in ("auto", "cg"))
+    if request.precond not in ("auto", "none") and not preconditioned:
+        raise _invalid(
+            "precond",
+            f"precond={request.precond!r} is only meaningful for "
+            "method='gcr-dd' (wilson_clover) or method='cg' (asqtad)",
+            ("auto", "none"),
+        )
+    try:
+        resolve_precond(
+            request.precond,
+            operator=_KERNEL_FAMILY[request.operator],
+            spmd=request.backend is not None,
+        )
+    except PrecondUnavailableError as exc:
+        raise _invalid("precond", str(exc), exc.choices) from None
+    if (
+        request.operator == "asqtad"
+        and request.precond not in ("auto", "none")
+        and request.grid is None
+    ):
+        raise _invalid(
+            "grid",
+            "a preconditioned asqtad cg solve needs a process grid "
+            "(the preconditioner's block partition)",
+        )
+    if request.precond_steps is not None and request.precond_steps <= 0:
+        raise _invalid(
+            "precond_steps", f"must be > 0, got {request.precond_steps!r}"
+        )
+    if request.precond_overlap is not None and request.precond_overlap < 0:
+        raise _invalid(
+            "precond_overlap",
+            f"must be >= 0, got {request.precond_overlap!r}",
+        )
+    if (
+        request.operator == "asqtad"
+        and request.precond not in ("auto", "none")
+        and request.inner_precision is not None
+    ):
+        raise _invalid(
+            "inner_precision",
+            "cannot combine reliable-update inner_precision= with a "
+            "preconditioned asqtad cg solve; the preconditioner already "
+            "carries the low-precision work",
+        )
     if request.method == "gcr-dd" and request.grid is None:
         raise _invalid(
             "grid", "gcr-dd needs a process grid (the Schwarz blocks)"
@@ -297,6 +374,12 @@ def _gcrdd_config(request: SolveRequest) -> GCRDDConfig:
         overrides["tol"] = float(request.tol)
     if request.maxiter is not None:
         overrides["maxiter"] = int(request.maxiter)
+    if request.precond != "auto":
+        overrides["precond"] = request.precond
+    if request.precond_steps is not None:
+        overrides["precond_steps"] = int(request.precond_steps)
+    if request.precond_overlap is not None:
+        overrides["precond_overlap"] = int(request.precond_overlap)
     return replace(base, **overrides) if overrides else base
 
 
@@ -405,8 +488,41 @@ def _solve_asqtad(request: SolveRequest):
     rhs = op.apply_dagger(b)
     space = batched_space_for_nspin(1) if lead else STAGGERED_SPACE
     prec = request.inner_precision
+    # "auto" keeps the historical plain-CG path bit-for-bit; a concrete
+    # entry routes through the flexible multi-splitting-capable PCG.
+    precond = "none" if request.precond == "auto" else request.precond
 
-    if prec is None:
+    if precond != "none":
+        from repro.multigpu.partition import BlockPartition
+
+        entry = resolve_precond(precond, operator="staggered")
+        if lead and not entry.capabilities.batched:
+            raise ValueError(
+                f"preconditioner {entry.name!r} does not support batched "
+                "multi-RHS solves; solve the right-hand sides one at a time"
+            )
+        settings = PrecondSettings(
+            steps=(
+                10
+                if request.precond_steps is None
+                else int(request.precond_steps)
+            ),
+            overlap=(
+                1
+                if request.precond_overlap is None
+                else int(request.precond_overlap)
+            ),
+        )
+        preconditioner = entry.build(
+            normal, BlockPartition(op.geometry, request.grid), settings
+        )
+        solver = batched_pcg if lead else pcg
+        res = solver(
+            normal.apply, rhs, preconditioner=preconditioner,
+            tol=tol, maxiter=maxiter, space=space,
+        )
+        res.extras["precond"] = entry.name
+    elif prec is None:
         solver = batched_cg if lead else cg
         res = solver(normal.apply, rhs, tol=tol, maxiter=maxiter, space=space)
     elif lead:

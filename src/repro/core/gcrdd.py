@@ -13,39 +13,109 @@ Assembles the pieces the paper combines:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.comm.grid import ProcessGrid
-from repro.dd.schwarz import AdditiveSchwarzPreconditioner
 from repro.dirac.base import LatticeOperator
 from repro.multigpu.partition import BlockPartition
 from repro.precision import PrecisionPolicy, SINGLE_HALF_HALF
+from repro.precond import PrecondSettings, resolve_precond
 from repro.solvers.base import PrecisionWrappedOperator, SolverResult
 from repro.solvers.gcr import gcr
-from repro.solvers.multirhs import BatchedSolverResult, batched_gcr, batched_mr
+from repro.solvers.multirhs import BatchedSolverResult, batched_gcr
 from repro.solvers.space import ArraySpace, BatchedArraySpace
+
+
+def operator_family(op: LatticeOperator) -> str:
+    """The :mod:`repro.precond` operator-family tag of an operator."""
+    return "wilson" if op.nspin == 4 else "staggered"
 
 
 @dataclass
 class GCRDDConfig:
     """Tunable parameters of the GCR-DD solver.
 
-    Defaults follow the paper's production setup: 10 MR steps for the
-    preconditioner, single-half-half precisions.  ``kmax`` bounds the
+    Defaults follow the paper's production setup: the additive Schwarz
+    preconditioner (``precond="auto"`` resolves to ``"schwarz"``) with 10
+    MR steps per block, single-half-half precisions.  ``kmax`` bounds the
     Krylov space ("limited by the computational and memory costs of
     orthogonalization"); ``delta`` is the early-restart tolerance keeping
     the half-precision iterated residual honest.
+
+    The preconditioner knobs are the ``precond_*`` fields, resolved
+    through the :mod:`repro.precond` registry; ``precond_overlap`` only
+    affects the overlapping entries (``"ras"``, ``"multisplit"``).  The
+    pre-registry spellings ``mr_steps=`` / ``omega=`` are accepted as
+    deprecated constructor aliases of ``precond_steps=`` /
+    ``precond_omega=``.
     """
 
-    mr_steps: int = 10
-    omega: float = 1.0
+    precond: str = "auto"
+    precond_steps: int = 10
+    precond_omega: float = 1.0
+    precond_overlap: int = 1
     kmax: int = 16
     delta: float = 0.1
     policy: PrecisionPolicy = field(default_factory=lambda: SINGLE_HALF_HALF)
     tol: float = 1e-8
     maxiter: int = 2000
+
+    def precond_settings(self) -> PrecondSettings:
+        """The registry-entry build settings this config describes."""
+        return PrecondSettings(
+            steps=self.precond_steps,
+            omega=self.precond_omega,
+            overlap=self.precond_overlap,
+            precision=self.policy.preconditioner,
+        )
+
+
+# --- deprecation shims -------------------------------------------------
+# The pre-registry constructor kwargs (and attribute reads) map centrally
+# onto the precond_* fields with a DeprecationWarning.  The shims are
+# attached after class creation so the dataclass machinery neither
+# captures the properties as field defaults nor copies the legacy
+# spellings through dataclasses.replace().
+
+_LEGACY_CONFIG_FIELDS = {"mr_steps": "precond_steps", "omega": "precond_omega"}
+
+_dataclass_init = GCRDDConfig.__init__
+
+
+def _config_init(self, *args, **kwargs):
+    for old, new in _LEGACY_CONFIG_FIELDS.items():
+        if old in kwargs:
+            warnings.warn(
+                f"GCRDDConfig({old}=...) is deprecated. use {new}=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if new in kwargs:
+                raise TypeError(
+                    f"GCRDDConfig() got both {old}= and its replacement {new}="
+                )
+            kwargs[new] = kwargs.pop(old)
+    _dataclass_init(self, *args, **kwargs)
+
+
+def _deprecated_alias(old: str, new: str) -> property:
+    def get(self):
+        warnings.warn(
+            f"GCRDDConfig.{old} is deprecated. use {new}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, new)
+
+    return property(get)
+
+
+GCRDDConfig.__init__ = _config_init
+GCRDDConfig.mr_steps = _deprecated_alias("mr_steps", "precond_steps")
+GCRDDConfig.omega = _deprecated_alias("omega", "precond_omega")
 
 
 class GCRDDSolver:
@@ -73,12 +143,15 @@ class GCRDDSolver:
         self.partition = BlockPartition(op.geometry, grid)
         cfg = self.config
         self.space = ArraySpace(site_axes=2 if op.nspin == 4 else 1)
-        self.preconditioner = AdditiveSchwarzPreconditioner(
-            op,
-            self.partition,
-            mr_steps=cfg.mr_steps,
-            omega=cfg.omega,
-            precision=cfg.policy.preconditioner,
+        # One resolution point: the precond registry picks the entry
+        # ("auto" -> additive Schwarz, the paper's preconditioner) and
+        # builds the live callable from this config's settings.
+        self.precond_entry = resolve_precond(
+            cfg.precond, operator=operator_family(op)
+        )
+        self.precond = self.precond_entry.name
+        self.preconditioner = self.precond_entry.build(
+            op, self.partition, cfg.precond_settings()
         )
         self.inner_op = PrecisionWrappedOperator(
             op.apply, cfg.policy.inner, space=self.space
@@ -99,8 +172,13 @@ class GCRDDSolver:
         set) and a :class:`BatchedSolverResult` is returned."""
         cfg = self.config
         batched = self.op.field_lead(np.asarray(b)) == 1
+        if batched and not self.precond_entry.capabilities.batched:
+            raise ValueError(
+                f"preconditioner {self.precond!r} does not support batched "
+                "multi-RHS solves; solve the right-hand sides one at a time"
+            )
         solver = batched_gcr if batched else gcr
-        return solver(
+        result = solver(
             self.op.apply,
             b,
             x0=x0,
@@ -114,6 +192,8 @@ class GCRDDSolver:
             inner_op=self._batched_inner_op if batched else self.inner_op,
             space=self.batched_space if batched else self.space,
         )
+        result.extras["precond"] = self.precond
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -160,6 +240,13 @@ class DistributedGCRDDSolver:
         boundary = boundary or PERIODIC
         self.config = config or GCRDDConfig()
         cfg = self.config
+        # The distributed driver applies the preconditioner rank-locally
+        # (zero inter-rank data movement), so only rank-local entries
+        # resolve here — same constraint as the SPMD rank programs.
+        self.precond_entry = resolve_precond(
+            cfg.precond, operator="wilson", spmd=True
+        )
+        self.precond = self.precond_entry.name
         self.grid = grid
         self.dist_op = DistributedOperator.wilson_clover(
             gauge, mass, csw, grid, boundary=boundary, log=log, kernel=kernel
@@ -190,41 +277,28 @@ class DistributedGCRDDSolver:
 
     # ------------------------------------------------------------------
     def _precondition(self, xs: list, batched: bool = False) -> list:
-        from repro.solvers.mr import mr
-        from repro.trace import span
-        from repro.util.counters import domain_local, record_operator
+        from repro.precond import schwarz_block_solve
+        from repro.util.counters import record_operator
 
-        record_operator("schwarz_precond")
+        record_operator(self.precond_entry.record_name)
         cfg = self.config
-        prec = cfg.policy.preconditioner
         block_space = self._batched_block_space if batched else self._block_space
-        block_solver = batched_mr if batched else mr
-        out = []
-        for rank, (block_op, r_loc) in enumerate(zip(self._blocks, xs)):
-            if prec is not None:
-                r_loc = block_space.convert(r_loc, prec)
-
-            def apply(v, _op=block_op):
-                if prec is None:
-                    return _op.apply(v)
-                return block_space.convert(
-                    _op.apply(block_space.convert(v, prec)), prec
-                )
-
-            # The block solve is the work the paper keeps entirely on one
-            # GPU (Sec. 8.1): its spans sit on the rank's compute stream
-            # with zero comm spans inside.  In the batched path one MR
-            # sweep relaxes every RHS's block system simultaneously.
-            with span("schwarz_block_solve", kind="precond", rank=rank,
-                      stream="compute", mr_steps=cfg.mr_steps,
-                      batch=(xs[0].shape[0] if batched else 1)):
-                with domain_local():
-                    result = block_solver(
-                        apply, r_loc, steps=cfg.mr_steps, omega=cfg.omega,
-                        space=block_space,
-                    )
-            out.append(result.x)
-        return out
+        # The block solve is the work the paper keeps entirely on one
+        # GPU (Sec. 8.1).  In the batched path one MR sweep relaxes
+        # every RHS's block system simultaneously.
+        return [
+            schwarz_block_solve(
+                block_op,
+                r_loc,
+                steps=cfg.precond_steps,
+                omega=cfg.precond_omega,
+                precision=cfg.policy.preconditioner,
+                space=block_space,
+                batched=batched,
+                rank=rank,
+            )
+            for rank, (block_op, r_loc) in enumerate(zip(self._blocks, xs))
+        ]
 
     def solve(self, b, x0=None) -> SolverResult | BatchedSolverResult:
         """Solve M x = b; accepts/returns *global* arrays for convenience
@@ -253,8 +327,11 @@ class DistributedGCRDDSolver:
             out = self.dist_op.apply(space.convert(xs, cfg.policy.inner))
             return space.convert(out, cfg.policy.inner)
 
-        def preconditioner(xs):
-            return self._precondition(xs, batched=batched)
+        if self.precond == "none":
+            preconditioner = None
+        else:
+            def preconditioner(xs):
+                return self._precondition(xs, batched=batched)
 
         solver = batched_gcr if batched else gcr
         result = solver(
@@ -272,4 +349,5 @@ class DistributedGCRDDSolver:
             space=space,
         )
         result.x = space.asarray(result.x)
+        result.extras["precond"] = self.precond
         return result

@@ -42,7 +42,8 @@ from repro.multigpu.rank_op import rank_naive_staggered, rank_wilson_clover
 from repro.multigpu.rank_space import BatchedRankSpace, RankSpace
 from repro.solvers.base import SolverResult
 from repro.solvers.gcr import gcr
-from repro.solvers.multirhs import BatchedSolverResult, batched_gcr, batched_mr
+from repro.precond import resolve_precond
+from repro.solvers.multirhs import BatchedSolverResult, batched_gcr
 from repro.solvers.space import ArraySpace, BatchedArraySpace
 
 #: Operators the SPMD solver can run.
@@ -69,15 +70,16 @@ class _RankTask:
     x0_local: np.ndarray | None
     batched: bool
     overlap: bool = False
+    precond: str = "schwarz"      # resolved registry entry name
+    precond_record: str = "schwarz_precond"
 
 
 def _gcrdd_rank_program(comm, task: _RankTask) -> dict:
     """One rank's entire GCR-DD solve (mirrors
     :meth:`repro.core.gcrdd.DistributedGCRDDSolver.solve` step for step —
     the bit-parity tests depend on the exact operation sequence)."""
-    from repro.solvers.mr import mr
-    from repro.trace import span
-    from repro.util.counters import domain_local, record_operator
+    from repro.precond import schwarz_block_solve
+    from repro.util.counters import record_operator
 
     cfg = task.config
     site_axes = 2 if task.operator == "wilson_clover" else 1
@@ -108,37 +110,29 @@ def _gcrdd_rank_program(comm, task: _RankTask) -> dict:
         if batched
         else ArraySpace(site_axes=site_axes)
     )
-    block_solver = batched_mr if batched else mr
     block_op = task.block_op
-    prec = cfg.policy.preconditioner
 
-    def preconditioner(r_loc):
-        # The single collective "schwarz_precond" event is charged to
-        # rank 0 (merged tallies then match the global-view count).
-        if comm.rank == 0:
-            record_operator("schwarz_precond")
-        if prec is not None:
-            r_loc = block_space.convert(r_loc, prec)
-
-        def apply(v):
-            if prec is None:
-                return block_op.apply(v)
-            return block_space.convert(
-                block_op.apply(block_space.convert(v, prec)), prec
+    if task.precond == "none":
+        preconditioner = None
+    else:
+        def preconditioner(r_loc):
+            # The single collective preconditioner event is charged to
+            # rank 0 (merged tallies then match the global-view count).
+            if comm.rank == 0:
+                record_operator(task.precond_record)
+            # The block solve is the work the paper keeps entirely on one
+            # GPU (Sec. 8.1): its spans sit on the rank's compute stream
+            # with zero comm spans inside.
+            return schwarz_block_solve(
+                block_op,
+                r_loc,
+                steps=cfg.precond_steps,
+                omega=cfg.precond_omega,
+                precision=cfg.policy.preconditioner,
+                space=block_space,
+                batched=batched,
+                rank=comm.rank,
             )
-
-        # The block solve is the work the paper keeps entirely on one GPU
-        # (Sec. 8.1): its spans sit on the rank's compute stream with zero
-        # comm spans inside.
-        with span("schwarz_block_solve", kind="precond", rank=comm.rank,
-                  stream="compute", mr_steps=cfg.mr_steps,
-                  batch=(r_loc.shape[0] if batched else 1)):
-            with domain_local():
-                result = block_solver(
-                    apply, r_loc, steps=cfg.mr_steps, omega=cfg.omega,
-                    space=block_space,
-                )
-        return result.x
 
     def inner_op(x):
         out = rank_op.apply(space.convert(x, cfg.policy.inner))
@@ -211,6 +205,15 @@ class SPMDGCRDDSolver:
         self.config = config or GCRDDConfig()
         self.backend = backend
         self.operator = operator
+        # Rank programs apply the preconditioner on their own block with
+        # zero inter-rank data movement, so only rank-local (spmd)
+        # registry entries resolve here; "auto" -> additive Schwarz.
+        self.precond_entry = resolve_precond(
+            self.config.precond,
+            operator="wilson" if operator == "wilson_clover" else "staggered",
+            spmd=True,
+        )
+        self.precond = self.precond_entry.name
         self.schedule = _resolve_schedule(
             "SPMDGCRDDSolver", schedule, bool(overlap), use_split
         )
@@ -300,6 +303,8 @@ class SPMDGCRDDSolver:
                 x0_local=x0s[rank],
                 batched=batched,
                 overlap=overlap,
+                precond=self.precond,
+                precond_record=self.precond_entry.record_name,
             )
             for rank in range(self.partition.n_ranks)
         ]
@@ -334,6 +339,7 @@ class SPMDGCRDDSolver:
                 "overlap": overlap,
                 "kernel": self.kernel,
                 "schedule": schedule,
+                "precond": self.precond,
             }
         )
         if batched:

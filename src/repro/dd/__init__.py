@@ -1,16 +1,22 @@
 """Domain decomposition: the non-overlapping additive Schwarz (block
 Jacobi) preconditioner of Secs. 3.2 and 8.1, plus the extensions the
 paper's conclusions anticipate — overlapping (restricted additive)
-Schwarz, the multiplicative Schwarz Alternating Procedure, and two-level
-blocking."""
+Schwarz, weighted multi-splittings, the multiplicative Schwarz
+Alternating Procedure, and two-level blocking.
+
+Construction normally goes through the :mod:`repro.precond` registry
+(``resolve_precond(...).build(...)``) rather than these classes
+directly."""
 
 from repro.dd.schwarz import AdditiveSchwarzPreconditioner
+from repro.dd.multisplit import MultiSplittingPreconditioner
 from repro.dd.overlapping import OverlappingSchwarzPreconditioner
 from repro.dd.sap import SAPPreconditioner
 from repro.dd.twolevel import TwoLevelSchwarzPreconditioner
 
 __all__ = [
     "AdditiveSchwarzPreconditioner",
+    "MultiSplittingPreconditioner",
     "OverlappingSchwarzPreconditioner",
     "SAPPreconditioner",
     "TwoLevelSchwarzPreconditioner",

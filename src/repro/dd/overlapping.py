@@ -49,6 +49,75 @@ def extract_region(
     return np.ascontiguousarray(out)
 
 
+def restrict_operator_to_region(
+    op: LatticeOperator,
+    origin: tuple[int, int, int, int],
+    ext_dims: tuple[int, int, int, int],
+    partitioned: tuple[int, ...],
+) -> LatticeOperator:
+    """Build the Dirichlet-cut operator on one (possibly overlapping,
+    periodically wrapped) rectangular region of the global lattice.
+
+    The region generalization of ``restrict_to_block``: links (and the
+    clover field) are region-extracted rather than sliced, the
+    ``partitioned`` directions get zero boundaries, and the resolved
+    kernel tier is inherited from the global operator so the block
+    stencils are evaluated by the same backend.  Shared by the RAS and
+    multi-splitting preconditioners.
+    """
+    geom = Geometry(ext_dims)
+    # Dispatch on the operator families that support block restriction.
+    from repro.dirac.staggered import _StaggeredBase, StaggeredNormalOperator
+    from repro.dirac.wilson import WilsonCloverOperator
+
+    boundary_owner = op.base if isinstance(op, StaggeredNormalOperator) else op
+    local_bc = boundary_owner.boundary.with_dirichlet(partitioned)
+
+    if isinstance(op, WilsonCloverOperator):
+        from repro.lattice.fields import GaugeField
+
+        links = extract_region(
+            op.gauge.data, op.geometry, origin, ext_dims, lead=1
+        )
+        clover = None
+        if op.clover is not None:
+            clover = extract_region(op.clover, op.geometry, origin, ext_dims)
+        return WilsonCloverOperator(
+            GaugeField(geom, links),
+            mass=op.mass,
+            csw=op.csw,
+            boundary=local_bc,
+            clover=clover,
+            kernel=op.kernel,
+        )
+    if isinstance(op, StaggeredNormalOperator):
+        base = _restrict_staggered_to_region(op.base, origin, ext_dims, local_bc)
+        return StaggeredNormalOperator(base, op.sigma)
+    if isinstance(op, _StaggeredBase):
+        return _restrict_staggered_to_region(op, origin, ext_dims, local_bc)
+    raise TypeError(
+        f"{type(op).__name__} does not support overlapping restriction"
+    )
+
+
+def _restrict_staggered_to_region(op, origin, ext_dims, local_bc):
+    from repro.dirac.staggered import _StaggeredBase
+
+    geom = Geometry(ext_dims)
+    fat = extract_region(op.fat, op.geometry, origin, ext_dims, lead=1)
+    long_links = (
+        extract_region(op.long, op.geometry, origin, ext_dims, lead=1)
+        if op.long is not None
+        else None
+    )
+    out = _StaggeredBase.__new__(type(op))
+    _StaggeredBase.__init__(
+        out, geom, fat, long_links, op.mass, local_bc, origin=origin,
+        kernel=op.kernel,
+    )
+    return out
+
+
 class OverlappingSchwarzPreconditioner:
     """Restricted additive Schwarz with tunable overlap.
 
@@ -113,76 +182,17 @@ class OverlappingSchwarzPreconditioner:
         return tuple(site)
 
     def _build_blocks(self) -> None:
-        """Construct the Dirichlet-cut operator on each extended region.
-
-        Reuses ``restrict_to_block`` through a synthetic partition of an
-        auxiliary geometry: we instead build the extended operators
-        directly from region-extracted fields via each operator type's
-        block constructor, going through a one-block BlockPartition of the
-        extended region.
-        """
-        from repro.comm.grid import ProcessGrid
-
+        """Construct the Dirichlet-cut operator on each extended region
+        via the shared region-restriction helper."""
         ext_dims = self._extended_dims()
         self._ext_geometry = Geometry(ext_dims)
         partitioned = self.partition.grid.partitioned_dims
-        self.block_ops: list[LatticeOperator] = []
-        for rank in range(self.partition.n_ranks):
-            origin = self._extended_origin(rank)
-            block = self._restrict_operator(origin, ext_dims, partitioned)
-            self.block_ops.append(block)
-
-    def _restrict_operator(self, origin, ext_dims, partitioned) -> LatticeOperator:
-        """Build the Dirichlet-cut operator on one extended region."""
-        op = self.op
-        geom = Geometry(ext_dims)
-        # Dispatch on the operator families that support block restriction.
-        from repro.dirac.staggered import _StaggeredBase, StaggeredNormalOperator
-        from repro.dirac.wilson import WilsonCloverOperator
-
-        boundary_owner = op.base if isinstance(op, StaggeredNormalOperator) else op
-        local_bc = boundary_owner.boundary.with_dirichlet(partitioned)
-
-        if isinstance(op, WilsonCloverOperator):
-            from repro.lattice.fields import GaugeField
-
-            links = extract_region(
-                op.gauge.data, op.geometry, origin, ext_dims, lead=1
+        self.block_ops: list[LatticeOperator] = [
+            restrict_operator_to_region(
+                self.op, self._extended_origin(rank), ext_dims, partitioned
             )
-            clover = None
-            if op.clover is not None:
-                clover = extract_region(op.clover, op.geometry, origin, ext_dims)
-            return WilsonCloverOperator(
-                GaugeField(geom, links),
-                mass=op.mass,
-                csw=op.csw,
-                boundary=local_bc,
-                clover=clover,
-            )
-        if isinstance(op, StaggeredNormalOperator):
-            base = self._restrict_staggered(op.base, origin, ext_dims, local_bc)
-            return StaggeredNormalOperator(base, op.sigma)
-        if isinstance(op, _StaggeredBase):
-            return self._restrict_staggered(op, origin, ext_dims, local_bc)
-        raise TypeError(
-            f"{type(op).__name__} does not support overlapping restriction"
-        )
-
-    def _restrict_staggered(self, op, origin, ext_dims, local_bc):
-        from repro.dirac.staggered import _StaggeredBase
-
-        geom = Geometry(ext_dims)
-        fat = extract_region(op.fat, op.geometry, origin, ext_dims, lead=1)
-        long_links = (
-            extract_region(op.long, op.geometry, origin, ext_dims, lead=1)
-            if op.long is not None
-            else None
-        )
-        out = _StaggeredBase.__new__(type(op))
-        _StaggeredBase.__init__(
-            out, geom, fat, long_links, op.mass, local_bc, origin=origin
-        )
-        return out
+            for rank in range(self.partition.n_ranks)
+        ]
 
     # ------------------------------------------------------------------
     def __call__(self, r: np.ndarray) -> np.ndarray:

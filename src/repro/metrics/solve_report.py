@@ -89,13 +89,17 @@ def config_fingerprint(request) -> dict:
         "shifts": list(request.shifts) if request.shifts is not None else None,
         "backend": request.backend,
         "overlap": bool(getattr(request, "overlap", False)),
+        "precond": getattr(request, "precond", None),
+        "precond_overlap": getattr(request, "precond_overlap", None),
         "gcrdd": (
             {
                 "tol": cfg.tol,
                 "maxiter": cfg.maxiter,
                 "kmax": cfg.kmax,
                 "delta": cfg.delta,
-                "mr_steps": cfg.mr_steps,
+                "precond": cfg.precond,
+                "precond_steps": cfg.precond_steps,
+                "precond_overlap": cfg.precond_overlap,
                 "policy": cfg.policy.label(),
             }
             if cfg is not None
@@ -137,6 +141,7 @@ def _solve_block(result) -> dict:
             "matvecs": int(result.total_matvecs),
             "restarts": sum(int(r.restarts) for r in result.refinements),
             "batch": None,
+            "precond": None,
         }
     iterations = np.asarray(getattr(result, "iterations", 0))
     batched = iterations.ndim > 0
@@ -155,6 +160,9 @@ def _solve_block(result) -> dict:
         "matvecs": int(getattr(result, "matvecs", 0)),
         "restarts": int(getattr(result, "restarts", 0)),
         "batch": int(iterations.shape[0]) if batched else None,
+        # The *resolved* preconditioner entry (never "auto"), forwarded
+        # from the solver's extras; None for non-preconditioned methods.
+        "precond": (getattr(result, "extras", None) or {}).get("precond"),
     }
 
 

@@ -1,0 +1,73 @@
+"""Pluggable preconditioners (the solver/preconditioner seam of PR 9).
+
+Importing this package registers the built-in entries:
+
+* ``"schwarz"`` — the paper's non-overlapping additive Schwarz (block
+  Jacobi); the ``"auto"`` default and the only non-trivial entry that
+  applies rank-locally under the SPMD execution model,
+* ``"ras"`` — restricted additive Schwarz with tunable overlap
+  (``overlap=0`` reduces bitwise to block Jacobi),
+* ``"twolevel"`` — two-level Schwarz blocking,
+* ``"multisplit"`` — overlapping multi-splittings with partition-of-unity
+  weights, the natural partner of the flexible-PCG outer solver,
+* ``"none"`` — the identity.
+
+``SolveRequest(precond=...)``, ``GCRDDConfig(precond=...)``, and the CLI
+``--precond`` flag all resolve through :func:`resolve_precond`.
+"""
+
+from repro.precond.base import (
+    OPERATOR_FAMILIES,
+    PrecondCapabilities,
+    PrecondEntry,
+    PrecondSettings,
+    PrecondUnavailableError,
+)
+from repro.precond.entries import (
+    MultisplitEntry,
+    NoneEntry,
+    RASEntry,
+    SchwarzEntry,
+    TwoLevelEntry,
+)
+from repro.precond.rank_local import schwarz_block_solve
+from repro.precond.registry import (
+    AUTO,
+    availability_note,
+    available_preconds,
+    capability_matrix,
+    get_precond,
+    precond_choices,
+    precond_names,
+    register_precond,
+    resolve_precond,
+)
+
+register_precond(SchwarzEntry())
+register_precond(RASEntry())
+register_precond(TwoLevelEntry())
+register_precond(MultisplitEntry())
+register_precond(NoneEntry())
+
+__all__ = [
+    "AUTO",
+    "MultisplitEntry",
+    "NoneEntry",
+    "OPERATOR_FAMILIES",
+    "PrecondCapabilities",
+    "PrecondEntry",
+    "PrecondSettings",
+    "PrecondUnavailableError",
+    "RASEntry",
+    "SchwarzEntry",
+    "TwoLevelEntry",
+    "availability_note",
+    "available_preconds",
+    "capability_matrix",
+    "get_precond",
+    "precond_choices",
+    "precond_names",
+    "register_precond",
+    "resolve_precond",
+    "schwarz_block_solve",
+]

@@ -27,6 +27,11 @@ import numpy as np
 
 from repro.kernels import KernelUnavailableError, kernel_choices, resolve_kernel
 from repro.precision import DOUBLE, HALF, SINGLE, Precision
+from repro.precond import (
+    PrecondUnavailableError,
+    precond_choices,
+    resolve_precond,
+)
 from repro.serve.errors import RequestValidationError
 
 #: Operators the service can coalesce: the two with a batched multi-RHS
@@ -243,6 +248,17 @@ class ServiceRequest:
         wire resolves at validation time so the fingerprint pins the
         tier that will actually run — requests resolving to different
         tiers never coalesce into one batched solve.
+    precond, precond_steps, precond_overlap, precond_blocks:
+        Preconditioner for asqtad CG solves, resolved through the
+        :mod:`repro.precond` registry at validation time (never stored
+        as ``"auto"``; ``"auto"`` resolves to ``"none"``, preserving
+        the plain-CG path bit-for-bit).  All four land in the operator
+        fingerprint, so requests asking for different preconditioners
+        — or the same one at different steps/overlap/block counts —
+        never coalesce into one batched solve.  ``precond_blocks`` is
+        the Schwarz block count, factored over the lattice with the
+        same heuristic as the CLI.  Wilson-clover serving (BiCGstab)
+        accepts only ``"auto"``/``"none"``.
     gauge:
         Canonical gauge spec (``kind`` = weak/hot/unit/file).
     rhs:
@@ -271,6 +287,10 @@ class ServiceRequest:
     inner_precision: str | None = None
     u0: float = 1.0
     kernel: str = "numpy"
+    precond: str = "none"
+    precond_steps: int | None = None
+    precond_overlap: int | None = None
+    precond_blocks: int | None = None
     boundary: list[str] = field(default_factory=lambda: ["periodic"] * 4)
     priority: int = 0
     timeout_seconds: float | None = None
@@ -311,6 +331,52 @@ class ServiceRequest:
             kernel = resolve_kernel(kernel, _KERNEL_FAMILY[operator]).name
         except KernelUnavailableError as exc:
             raise _invalid("kernel", str(exc), exc.choices)
+        gauge = _validate_gauge(payload.get("gauge"))
+        # The preconditioner resolves here too (never stored as "auto"),
+        # so the fingerprint pins the entry that runs and mixed-precond
+        # requests never coalesce.
+        precond = _get_choice(
+            payload, "precond", precond_choices(), default="auto"
+        )
+        precond_steps = precond_overlap = precond_blocks = None
+        if operator != "asqtad" and precond not in ("auto", "none"):
+            raise _invalid(
+                "precond",
+                f"unsupported value {precond!r}: only asqtad cg solves "
+                "are served with a preconditioner",
+                ("auto", "none"),
+            )
+        if precond == "auto":
+            precond = "none"
+        if precond != "none":
+            try:
+                precond = resolve_precond(precond, operator="staggered").name
+            except PrecondUnavailableError as exc:
+                raise _invalid("precond", str(exc), exc.choices)
+            precond_steps = _get_number(
+                payload, "precond_steps", positive=True, integer=True
+            )
+            precond_overlap = _get_number(
+                payload, "precond_overlap", integer=True
+            )
+            if precond_overlap is not None and precond_overlap < 0:
+                raise _invalid(
+                    "precond_overlap",
+                    f"must be >= 0, got {precond_overlap!r}",
+                )
+            precond_blocks = _get_number(
+                payload, "precond_blocks", default=4, positive=True,
+                integer=True,
+            )
+            if gauge.get("dims"):
+                from repro.comm.grid import choose_grid
+
+                try:
+                    choose_grid(
+                        precond_blocks, (3, 2, 1, 0), tuple(gauge["dims"])
+                    )
+                except ValueError as exc:
+                    raise _invalid("precond_blocks", str(exc))
         rid = payload.get("id")
         if rid is not None and not isinstance(rid, str):
             raise _invalid("id", f"must be a string, got {rid!r}")
@@ -330,7 +396,7 @@ class ServiceRequest:
         return cls(
             id=rid,
             operator=operator,
-            gauge=_validate_gauge(payload.get("gauge")),
+            gauge=gauge,
             rhs=_validate_rhs(payload.get("rhs")),
             mass=float(_get_number(payload, "mass", required=True)),
             csw=float(_get_number(payload, "csw", default=1.0)),
@@ -344,6 +410,10 @@ class ServiceRequest:
             ),
             u0=float(_get_number(payload, "u0", default=1.0, positive=True)),
             kernel=kernel,
+            precond=precond,
+            precond_steps=precond_steps,
+            precond_overlap=precond_overlap,
+            precond_blocks=precond_blocks,
             boundary=_validate_boundary(payload.get("boundary")),
             priority=_get_number(payload, "priority", default=0, integer=True),
             timeout_seconds=_get_number(
@@ -384,6 +454,10 @@ class ServiceRequest:
             "inner_precision": self.inner_precision,
             "u0": self.u0 if self.operator == "asqtad" else None,
             "kernel": self.kernel,
+            "precond": self.precond,
+            "precond_steps": self.precond_steps,
+            "precond_overlap": self.precond_overlap,
+            "precond_blocks": self.precond_blocks,
             "boundary": self.boundary,
         }
 

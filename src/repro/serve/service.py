@@ -366,6 +366,13 @@ class SolveService:
         solve_gauge = gauge
         if spec_request.operator == "asqtad":
             solve_gauge = self._links_for(spec_request, gauge)
+        grid = None
+        if spec_request.precond != "none":
+            from repro.comm.grid import choose_grid
+
+            grid = choose_grid(
+                spec_request.precond_blocks, (3, 2, 1, 0), geometry.dims
+            )
         request = SolveRequest(
             operator=spec_request.operator,
             gauge=solve_gauge,
@@ -380,6 +387,10 @@ class SolveService:
             inner_precision=spec_request.precision_object(),
             u0=spec_request.u0,
             kernel=spec_request.kernel,
+            grid=grid,
+            precond=spec_request.precond,
+            precond_steps=spec_request.precond_steps,
+            precond_overlap=spec_request.precond_overlap,
         )
         t0 = time.perf_counter()
         result = solve(request)

@@ -4,7 +4,7 @@ multi-shift CG, and defect-correction ("reliable update") wrappers."""
 
 from repro.solvers.base import Operator, PrecisionWrappedOperator, SolverResult
 from repro.solvers.bicgstab import bicgstab
-from repro.solvers.cg import cg, cgnr
+from repro.solvers.cg import cg, cgnr, pcg
 from repro.solvers.eigen import SpectrumEstimate, estimate_condition_number, lanczos_spectrum
 from repro.solvers.gcr import gcr
 from repro.solvers.mixed import (
@@ -20,6 +20,7 @@ from repro.solvers.multirhs import (
     batched_defect_correction,
     batched_gcr,
     batched_mr,
+    batched_pcg,
 )
 from repro.solvers.multishift import multishift_cg
 from repro.solvers.refine import MultishiftRefineResult, multishift_with_refinement
@@ -50,6 +51,8 @@ __all__ = [
     "batched_gcr",
     "cg",
     "cgnr",
+    "pcg",
+    "batched_pcg",
     "lanczos_spectrum",
     "estimate_condition_number",
     "SpectrumEstimate",

@@ -152,6 +152,88 @@ def batched_cg(
     )
 
 
+def batched_pcg(
+    op: Operator,
+    b,
+    x0=None,
+    preconditioner=None,
+    tol: float = 1e-8,
+    maxiter: int = 1000,
+    space: BatchedArraySpace | None = None,
+) -> BatchedSolverResult:
+    """Vectorized flexible preconditioned CG over a leading batch axis.
+
+    The batched counterpart of :func:`repro.solvers.cg.pcg` (flexible
+    Polak-Ribiere direction update, safe for the nonlinear Schwarz /
+    multi-splitting preconditioners): each preconditioner application
+    sees the whole batch at once, every reduction carries B scalars, and
+    converged or broken-down systems are frozen with
+    ``alpha = beta = 0``.
+    """
+    if preconditioner is None:
+        return batched_cg(op, b, x0=x0, tol=tol, maxiter=maxiter, space=space)
+    space = space or BatchedArraySpace()
+    b_norm2 = space.norm2(b)
+    nb = len(b_norm2)
+    safe_b = _safe(b_norm2)
+    target = tol * tol * b_norm2
+
+    if x0 is None:
+        x = space.zeros_like(b)
+        r = space.copy(b)
+        matvecs = 0
+    else:
+        x = space.copy(x0)
+        r = compute_residual(op, x, b, space)
+        matvecs = 1
+    z = preconditioner(r)
+    p = space.copy(z)
+    rz = space.rdot(r, z)
+    r2 = space.norm2(r)
+    history = [np.sqrt(r2 / safe_b)]
+    iterations = np.zeros(nb, dtype=np.int64)
+    active = (r2 > target) & (b_norm2 > 0.0)
+
+    it = 0
+    while active.any() and it < maxiter:
+        ap = op(p)
+        matvecs += 1
+        pap = space.rdot(p, ap)
+        # Indefinite systems / non-definite preconditioner applications
+        # drop out (scalar pcg breaks).
+        active &= (pap > 0.0) & (rz > 0.0)
+        alpha = np.where(active, rz / _safe(pap), 0.0)
+        x = space.axpy(alpha, p, x)
+        r = space.axpy(-alpha, ap, r)
+        r2 = space.norm2(r)
+        iterations[active] += 1
+        it += 1
+        history.append(np.sqrt(r2 / safe_b))
+        active &= r2 > target
+        if not active.any():
+            break
+        z = preconditioner(r)
+        # Polak-Ribiere numerator via r_new - r_old = -alpha * ap.
+        beta = np.where(
+            active, -alpha * space.rdot(z, ap) / _safe(rz), 0.0
+        )
+        p = space.xpay(z, beta, p)
+        rz = space.rdot(r, z)
+
+    true_r = compute_residual(op, x, b, space)
+    matvecs += 1
+    residuals = np.sqrt(space.norm2(true_r) / safe_b)
+    converged = (r2 <= target) | (b_norm2 == 0.0)
+    return BatchedSolverResult(
+        x,
+        converged=converged,
+        iterations=iterations,
+        residuals=residuals,
+        residual_history=history,
+        matvecs=matvecs,
+    )
+
+
 def batched_bicgstab(
     op: Operator,
     b,

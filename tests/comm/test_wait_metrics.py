@@ -37,7 +37,7 @@ def registries():
     gauge = GaugeField.weak(geom, epsilon=0.25, rng=929)
     grid = ProcessGrid((1, 1, 2, 2))
     solver = SPMDGCRDDSolver(
-        gauge, 0.2, 1.0, grid, config=GCRDDConfig(tol=1e-6, mr_steps=8)
+        gauge, 0.2, 1.0, grid, config=GCRDDConfig(tol=1e-6, precond_steps=8)
     )
     b = SpinorField.random(geom, rng=30).data
     out = {}
@@ -158,7 +158,7 @@ class TestSolutionUnchangedByMetrics:
         gauge = GaugeField.weak(geom, epsilon=0.25, rng=929)
         grid = ProcessGrid((1, 1, 2, 2))
         solver = SPMDGCRDDSolver(
-            gauge, 0.2, 1.0, grid, config=GCRDDConfig(tol=1e-6, mr_steps=8)
+            gauge, 0.2, 1.0, grid, config=GCRDDConfig(tol=1e-6, precond_steps=8)
         )
         b = SpinorField.random(geom, rng=30).data
         bare = solver.solve(b)

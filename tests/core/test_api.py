@@ -129,7 +129,7 @@ class TestShimBehaviour:
         from repro.core import GCRDDConfig
 
         geom, gauge, b = wilson_setup
-        cfg = GCRDDConfig(tol=1e-4, maxiter=55, mr_steps=4)
+        cfg = GCRDDConfig(tol=1e-4, maxiter=55, precond_steps=4)
         res = solve_wilson_clover(
             gauge, b, mass=0.2, csw=1.0, method="gcr-dd",
             grid=ProcessGrid((1, 1, 2, 2)), config=cfg,

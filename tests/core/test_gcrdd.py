@@ -25,7 +25,7 @@ class TestGCRDD:
     def test_converges_to_bicgstab_solution(self, system):
         geom, op, b = system
         solver = GCRDDSolver(
-            op, ProcessGrid((1, 1, 2, 2)), GCRDDConfig(tol=1e-6, mr_steps=8)
+            op, ProcessGrid((1, 1, 2, 2)), GCRDDConfig(tol=1e-6, precond_steps=8)
         )
         res = solver.solve(b)
         assert res.converged
@@ -36,7 +36,7 @@ class TestGCRDD:
     def test_true_residual_reported(self, system):
         geom, op, b = system
         solver = GCRDDSolver(
-            op, ProcessGrid((1, 1, 1, 2)), GCRDDConfig(tol=1e-6, mr_steps=8)
+            op, ProcessGrid((1, 1, 1, 2)), GCRDDConfig(tol=1e-6, precond_steps=8)
         )
         res = solver.solve(b)
         r = b - op.apply(res.x)
@@ -49,7 +49,7 @@ class TestGCRDD:
         avoiding property the paper builds GCR-DD for."""
         geom, op, b = system
         solver = GCRDDSolver(
-            op, ProcessGrid((1, 1, 2, 2)), GCRDDConfig(tol=1e-5, mr_steps=10)
+            op, ProcessGrid((1, 1, 2, 2)), GCRDDConfig(tol=1e-5, precond_steps=10)
         )
         with tally() as t:
             res = solver.solve(b)
@@ -60,7 +60,7 @@ class TestGCRDD:
         geom, op, b = system
         cfg = GCRDDConfig(
             tol=1e-10,
-            mr_steps=8,
+            precond_steps=8,
             policy=PrecisionPolicy(DOUBLE, DOUBLE, DOUBLE),
         )
         res = GCRDDSolver(op, ProcessGrid((1, 1, 1, 2)), cfg).solve(b)
@@ -78,7 +78,7 @@ class TestGCRDD:
     def test_initial_guess(self, system):
         geom, op, b = system
         solver = GCRDDSolver(
-            op, ProcessGrid((1, 1, 1, 2)), GCRDDConfig(tol=1e-6, mr_steps=8)
+            op, ProcessGrid((1, 1, 1, 2)), GCRDDConfig(tol=1e-6, precond_steps=8)
         )
         first = solver.solve(b)
         warm = solver.solve(b, x0=first.x)
@@ -90,10 +90,10 @@ class TestGCRDD:
         iteration-growth input of the performance model."""
         geom, op, b = system
         few = GCRDDSolver(
-            op, ProcessGrid((1, 1, 1, 2)), GCRDDConfig(tol=1e-6, mr_steps=8)
+            op, ProcessGrid((1, 1, 1, 2)), GCRDDConfig(tol=1e-6, precond_steps=8)
         ).solve(b)
         many = GCRDDSolver(
-            op, ProcessGrid((2, 2, 2, 2)), GCRDDConfig(tol=1e-6, mr_steps=8)
+            op, ProcessGrid((2, 2, 2, 2)), GCRDDConfig(tol=1e-6, precond_steps=8)
         ).solve(b)
         assert few.converged and many.converged
         assert many.iterations >= few.iterations

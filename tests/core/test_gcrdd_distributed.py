@@ -23,7 +23,7 @@ class TestDistributedGCRDD:
     def test_matches_serial_gcrdd(self, system):
         geom, gauge, b = system
         grid = ProcessGrid((1, 1, 2, 2))
-        cfg = GCRDDConfig(tol=1e-6, mr_steps=8)
+        cfg = GCRDDConfig(tol=1e-6, precond_steps=8)
         serial = GCRDDSolver(
             WilsonCloverOperator(gauge, mass=0.2, csw=1.0), grid, cfg
         ).solve(b)
@@ -36,7 +36,7 @@ class TestDistributedGCRDD:
         geom, gauge, b = system
         solver = DistributedGCRDDSolver(
             gauge, 0.2, 1.0, ProcessGrid((1, 1, 1, 2)),
-            boundary=PHYSICAL, config=GCRDDConfig(tol=1e-6, mr_steps=8),
+            boundary=PHYSICAL, config=GCRDDConfig(tol=1e-6, precond_steps=8),
         )
         res = solver.solve(b)
         op = WilsonCloverOperator(gauge, mass=0.2, csw=1.0, boundary=PHYSICAL)
@@ -51,7 +51,7 @@ class TestDistributedGCRDD:
         log = CommLog()
         grid = ProcessGrid((1, 1, 2, 2))
         solver = DistributedGCRDDSolver(
-            gauge, 0.2, 1.0, grid, config=GCRDDConfig(tol=1e-5, mr_steps=10),
+            gauge, 0.2, 1.0, grid, config=GCRDDConfig(tol=1e-5, precond_steps=10),
             log=log,
         )
         with tally() as t:
@@ -71,7 +71,7 @@ class TestDistributedGCRDD:
         geom, gauge, b = system
         solver = DistributedGCRDDSolver(
             gauge, 0.2, 1.0, ProcessGrid((1, 1, 1, 2)),
-            config=GCRDDConfig(tol=1e-5, mr_steps=8),
+            config=GCRDDConfig(tol=1e-5, precond_steps=8),
         )
         first = solver.solve(b)
         warm = solver.solve(b, x0=first.x)

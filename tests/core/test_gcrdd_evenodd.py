@@ -56,7 +56,7 @@ class TestEvenOddGCRDD:
         rhs = eo.prepare_rhs(b)
         solver = GCRDDSolver(
             eo, ProcessGrid((1, 1, 2, 2)),
-            GCRDDConfig(tol=1e-6, mr_steps=8),
+            GCRDDConfig(tol=1e-6, precond_steps=8),
         )
         res = solver.solve(rhs)
         assert res.converged
@@ -69,7 +69,7 @@ class TestEvenOddGCRDD:
         more outer iterations than the full-system GCR-DD."""
         geom, op, eo, b = system
         cfg = GCRDDConfig(
-            tol=1e-8, mr_steps=8,
+            tol=1e-8, precond_steps=8,
             policy=PrecisionPolicy(DOUBLE, DOUBLE, DOUBLE),
         )
         full = GCRDDSolver(op, ProcessGrid((1, 1, 1, 2)), cfg).solve(b)
@@ -84,7 +84,7 @@ class TestEvenOddGCRDD:
         rhs = eo.prepare_rhs(b)
         ref = bicgstab(eo.apply, rhs, tol=1e-10, maxiter=500)
         res = GCRDDSolver(
-            eo, ProcessGrid((1, 1, 1, 2)), GCRDDConfig(tol=1e-6, mr_steps=8)
+            eo, ProcessGrid((1, 1, 1, 2)), GCRDDConfig(tol=1e-6, precond_steps=8)
         ).solve(rhs)
         rel = np.linalg.norm(res.x - ref.x) / np.linalg.norm(ref.x)
         assert rel < 1e-4

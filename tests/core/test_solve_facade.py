@@ -77,7 +77,7 @@ class TestWilsonFacade:
         res = solve(
             wilson_request(
                 gauge, batch, method="gcr-dd", grid=ProcessGrid((1, 1, 2, 2)),
-                config=GCRDDConfig(tol=1e-6, mr_steps=6), tol=None,
+                config=GCRDDConfig(tol=1e-6, precond_steps=6), tol=None,
             )
         )
         assert res.all_converged
@@ -146,7 +146,7 @@ class TestDistributedBatched:
         geom, gauge, batch = wilson_setup
         solver = DistributedGCRDDSolver(
             gauge, 0.2, 1.0, ProcessGrid((1, 1, 2, 2)),
-            config=GCRDDConfig(tol=1e-6, mr_steps=6),
+            config=GCRDDConfig(tol=1e-6, precond_steps=6),
         )
         res = solver.solve(batch)
         assert res.all_converged
@@ -161,7 +161,7 @@ class TestDistributedBatched:
         geom, gauge, batch = wilson_setup
         solver = DistributedGCRDDSolver(
             gauge, 0.2, 1.0, ProcessGrid((1, 1, 2, 2)),
-            config=GCRDDConfig(tol=1e-6, mr_steps=6), schedule="split",
+            config=GCRDDConfig(tol=1e-6, precond_steps=6), schedule="split",
         )
         res = solver.solve(batch)
         assert res.all_converged

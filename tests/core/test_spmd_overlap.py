@@ -27,7 +27,7 @@ def setup():
     geom = Geometry((4, 4, 4, 8))
     gauge = GaugeField.weak(geom, epsilon=0.25, rng=929)
     grid = ProcessGrid((1, 1, 2, 2))
-    cfg = GCRDDConfig(tol=1e-6, mr_steps=8)
+    cfg = GCRDDConfig(tol=1e-6, precond_steps=8)
     b = SpinorField.random(geom, rng=30).data
     return geom, gauge, grid, cfg, b
 

@@ -44,7 +44,7 @@ class TestDistributedGCRDDAgreement:
         geom, gauge, op, b = system
         grid = ProcessGrid((1, 1, 2, 2))
         # Serial-emulated GCR-DD.
-        res = GCRDDSolver(op, grid, GCRDDConfig(tol=1e-6, mr_steps=8)).solve(b)
+        res = GCRDDSolver(op, grid, GCRDDConfig(tol=1e-6, precond_steps=8)).solve(b)
         assert res.converged
         # Unpreconditioned GCR on the distributed operator.
         dist = DistributedOperator.wilson_clover(
@@ -74,7 +74,7 @@ class TestDistributedGCRDDAgreement:
 
         with tally() as t:
             res = GCRDDSolver(
-                op, grid, GCRDDConfig(tol=1e-6, mr_steps=8)
+                op, grid, GCRDDConfig(tol=1e-6, precond_steps=8)
             ).solve(b)
         # The Schwarz preconditioner performed the bulk of the operator
         # applications with zero communication.
@@ -126,7 +126,7 @@ class TestPrecisionLadder:
             ("sss", PrecisionPolicy(SINGLE, SINGLE, SINGLE), 1e-12),
             ("shh", PrecisionPolicy(SINGLE, HALF, HALF), 1e-12),
         ]:
-            cfg = GCRDDConfig(tol=tol, mr_steps=8, policy=policy, maxiter=400)
+            cfg = GCRDDConfig(tol=tol, precond_steps=8, policy=policy, maxiter=400)
             res = GCRDDSolver(op, grid, cfg).solve(b)
             residuals[name] = res.residual
         assert residuals["ddd"] < 1e-11

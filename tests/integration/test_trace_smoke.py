@@ -28,7 +28,7 @@ def traced_solve():
     with trace.tracing() as tr, tally() as t:
         solver = DistributedGCRDDSolver(
             gauge, mass=0.1, csw=1.0, grid=ProcessGrid((2, 1, 1, 1)),
-            config=GCRDDConfig(tol=1e-5, mr_steps=4), schedule="split",
+            config=GCRDDConfig(tol=1e-5, precond_steps=4), schedule="split",
         )
         result = solver.solve(b)
     return tr.events, t, result, solver
@@ -126,7 +126,7 @@ class TestTraceCLI:
         tr = trace.Tracer()
         solver = DistributedGCRDDSolver(
             gauge, mass=0.2, csw=0.0, grid=ProcessGrid((2, 1, 1, 1)),
-            config=GCRDDConfig(tol=1e-4, mr_steps=2),
+            config=GCRDDConfig(tol=1e-4, precond_steps=2),
         )
         solver.solve(b)
         assert tr.events == []

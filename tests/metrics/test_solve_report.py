@@ -204,7 +204,7 @@ class TestSPMDReport:
             operator="wilson_clover", gauge=gauge, rhs=b,
             mass=0.2, csw=1.0, method="gcr-dd",
             grid=ProcessGrid((1, 1, 2, 2)),
-            config=GCRDDConfig(tol=1e-6, mr_steps=8),
+            config=GCRDDConfig(tol=1e-6, precond_steps=8),
             backend="threads",
         )
         result = solve(request)

@@ -207,3 +207,70 @@ class TestArrayCodec:
         x = rng.standard_normal((3, 4)) + 1j * rng.standard_normal((3, 4))
         wire = json.loads(json.dumps(encode_array(x)))
         assert np.array_equal(decode_array(wire), x)
+
+
+def asqtad_payload(**overrides):
+    doc = {
+        "operator": "asqtad",
+        "mass": 0.2,
+        "gauge": {"kind": "weak", "dims": [4, 4, 4, 4], "seed": 3},
+        "rhs": {"kind": "random", "seed": 1},
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestPrecond:
+    def test_auto_canonicalizes_to_none(self):
+        """"auto" on asqtad stays the historical plain-CG path, so it
+        must coalesce with an explicit precond="none" request."""
+        auto = ServiceRequest.from_wire(asqtad_payload(precond="auto"))
+        none = ServiceRequest.from_wire(asqtad_payload(precond="none"))
+        default = ServiceRequest.from_wire(asqtad_payload())
+        assert auto.precond == "none"
+        assert auto.fingerprint == none.fingerprint == default.fingerprint
+
+    def test_mixed_preconds_never_coalesce(self):
+        prints = {
+            ServiceRequest.from_wire(
+                asqtad_payload(precond=name)
+            ).fingerprint
+            for name in ("none", "schwarz", "ras", "multisplit")
+        }
+        assert len(prints) == 4
+
+    def test_precond_knobs_change_fingerprint(self):
+        a = ServiceRequest.from_wire(asqtad_payload(precond="multisplit"))
+        b = ServiceRequest.from_wire(
+            asqtad_payload(precond="multisplit", precond_steps=6)
+        )
+        c = ServiceRequest.from_wire(
+            asqtad_payload(precond="multisplit", precond_overlap=0)
+        )
+        assert len({a.fingerprint, b.fingerprint, c.fingerprint}) == 3
+
+    def test_unknown_precond_names_field_and_choices(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(asqtad_payload(precond="ilu"))
+        assert exc.value.field == "precond"
+        assert "multisplit" in exc.value.choices
+
+    def test_precond_rejected_for_wilson(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(payload(precond="multisplit"))
+        assert exc.value.field == "precond"
+
+    def test_unfactorable_precond_blocks_rejected(self):
+        with pytest.raises(RequestValidationError) as exc:
+            ServiceRequest.from_wire(
+                asqtad_payload(precond="multisplit", precond_blocks=7)
+            )
+        assert exc.value.field == "precond_blocks"
+
+    def test_spec_carries_canonical_precond_fields(self):
+        req = ServiceRequest.from_wire(
+            asqtad_payload(precond="multisplit")
+        )
+        spec = req.operator_spec()
+        assert spec["precond"] == "multisplit"
+        assert spec["precond_blocks"] == 4

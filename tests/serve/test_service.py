@@ -203,3 +203,24 @@ class TestMetrics:
         svc.shutdown()
         assert len(svc._gauges) == 1
         assert len(svc._asqtad_links) == 1
+
+
+class TestPrecondServing:
+    def test_preconditioned_batch_converges_faster(self):
+        # A weak (non-unit) gauge: rough enough that the block solves
+        # actually pay for themselves.
+        gauge = {"kind": "weak", "dims": DIMS, "seed": 3}
+        svc = make_service()
+        plain = [svc.submit(payload(seed=s, gauge=gauge)) for s in (1, 2)]
+        pre = [
+            svc.submit(payload(seed=s, gauge=gauge, precond="multisplit"))
+            for s in (1, 2)
+        ]
+        svc.start()
+        plain_res = [t.result(timeout=120) for t in plain]
+        pre_res = [t.result(timeout=120) for t in pre]
+        svc.shutdown()
+        assert all(r.converged for r in plain_res + pre_res)
+        # Different fingerprints: two batches, never coalesced together.
+        assert all(r.occupancy == 2 for r in plain_res + pre_res)
+        assert pre_res[0].iterations < plain_res[0].iterations

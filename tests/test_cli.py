@@ -31,7 +31,7 @@ class TestHelp:
         parser = build_parser()
         lines = parser.epilog.splitlines()[1:]
         table = lines[: lines.index("")]  # the availability note follows
-        assert len(table) == 15  # fig5..fig10 + 9 named commands
+        assert len(table) == 16  # fig5..fig10 + 10 named commands
         for line in table:
             name, _, help_ = line.strip().partition(" ")
             assert help_.strip(), f"command {name} has no help line"
@@ -138,11 +138,74 @@ class TestKernels:
         assert "converged" in capsys.readouterr().out
 
     def test_solve_rejects_unknown_kernel(self, capsys):
-        with pytest.raises(ValueError, match="SolveRequest.kernel"):
-            main([
-                "solve", "--dims", "4", "4", "4", "8",
-                "--kernel", "cuda",
-            ])
+        rc = main([
+            "solve", "--dims", "4", "4", "4", "8",
+            "--kernel", "cuda",
+        ])
+        assert rc == 2
+        assert "SolveRequest.kernel" in capsys.readouterr().err
+
+
+class TestPrecond:
+    def test_capability_matrix_printed(self, capsys):
+        assert main(["precond"]) == 0
+        out = capsys.readouterr().out
+        from repro.precond import precond_names
+
+        for name in precond_names():
+            assert name in out
+        assert "preconditioners:" in out
+
+    def test_help_epilog_carries_availability_note(self):
+        from repro.precond import availability_note
+
+        assert availability_note() in build_parser().epilog
+
+    def test_solve_accepts_explicit_precond(self, capsys):
+        rc = main([
+            "solve", "--dims", "4", "4", "4", "8", "--method", "gcr-dd",
+            "--blocks", "4", "--tol", "1e-5", "--mr-steps", "4",
+            "--precond", "ras",
+        ])
+        assert rc == 0
+        assert "precond=ras" in capsys.readouterr().out
+
+    def test_solve_rejects_unknown_precond(self, capsys):
+        rc = main([
+            "solve", "--dims", "4", "4", "4", "8", "--method", "gcr-dd",
+            "--blocks", "4", "--precond", "ilu",
+        ])
+        assert rc == 2
+        assert "precond" in capsys.readouterr().err
+
+    def test_precond_requires_gcr_dd(self, capsys):
+        rc = main([
+            "solve", "--dims", "4", "4", "4", "8", "--precond", "ras",
+        ])
+        assert rc == 2
+        assert "gcr-dd" in capsys.readouterr().err
+
+    def test_bench_precond_sweep_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "bench_precond.json"
+        rc = main([
+            "bench", "--dims", "4", "4", "4", "8", "--ranks", "4",
+            "--repeats", "1", "--tol", "1e-5", "--mr-steps", "4",
+            "--precond", "none", "--precond", "schwarz",
+            "--output", str(out_path),
+        ])
+        assert rc == 0
+        import json
+
+        report = json.loads(out_path.read_text())
+        from repro.metrics.bench_schema import validate_bench
+
+        assert validate_bench(report) == []
+        assert [e["precond"] for e in report["results"]] == [
+            "none", "schwarz",
+        ]
+        assert all(e["converged"] for e in report["results"])
+        assert (report["metrics"]["schwarz_iterations"]
+                < report["metrics"]["none_iterations"])
 
 
 class TestGenerate:
