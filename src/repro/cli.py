@@ -9,8 +9,10 @@ performance model, ``solve``/``generate`` run real numerics on synthetic
 configurations, ``bench``/``bench-multirhs`` time the SPMD execution
 backends and the batched multi-RHS path, ``trace`` captures a Perfetto
 timeline of a distributed solve (docs/observability.md), ``serve`` runs
-the coalescing solve daemon (docs/serving.md), ``report`` draws ASCII
-charts, and ``info`` prints the hardware/calibration summary.
+the coalescing solve daemon (docs/serving.md), ``bench-serve`` load-tests
+that daemon, ``scaling-sweep`` runs the measured-vs-model strong-scaling
+sweep (docs/observability.md, "Scaling observatory"), ``report`` draws
+ASCII charts, and ``info`` prints the hardware/calibration summary.
 """
 
 from __future__ import annotations
@@ -758,6 +760,76 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_bench_serve(args) -> int:
+    """Load-bench the solve daemon: requests/sec and p50/p99 latency vs
+    ``max_batch``, against a real in-process daemon on a loopback port
+    (docs/serving.md, "Load benchmarking")."""
+    import json
+
+    from repro.serve.loadgen import run_load_bench
+
+    report = run_load_bench(
+        dims=tuple(args.dims),
+        max_batch_values=tuple(args.max_batch_values or (1, 2, 4, 8)),
+        concurrency=args.concurrency,
+        requests_per_client=args.requests_per_client,
+        max_wait=args.max_wait,
+        seed=args.seed,
+        progress=print,
+    )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    ok = all(e["errors"] == 0 and e["requests"] > 0
+             for e in report["results"])
+    return 0 if ok else 1
+
+
+def _cmd_scaling_sweep(args) -> int:
+    """Measured-vs-model strong-scaling sweep (docs/observability.md,
+    "Scaling observatory").
+
+    Runs live SPMD solves across the rank counts on one fixed lattice,
+    replays each configuration through the Edge performance model, and
+    emits the schema-valid BENCH_scaling artifact plus ASCII knee /
+    efficiency charts.
+    """
+    import json
+
+    from repro.analysis.scaling_sweep import knee_chart, run_scaling_sweep
+
+    report, points = run_scaling_sweep(
+        dims=tuple(args.dims),
+        ranks=tuple(args.ranks),
+        tol=args.tol,
+        mr_steps=args.mr_steps,
+        seed=args.seed,
+        backend=args.backend,
+        repeats=args.repeats,
+        timeout=args.timeout,
+        progress=print,
+    )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    chart = knee_chart(points)
+    print()
+    print(chart)
+    if args.plot_output:
+        with open(args.plot_output, "w") as fh:
+            fh.write(chart + "\n")
+        print(f"\nwrote {args.plot_output}")
+    print(f"wrote {args.output}")
+    if any(p.oversubscribed for p in points):
+        print(
+            "note: rank counts above host cpu_count "
+            f"({report['host']['cpu_count']}) are flagged oversubscribed — "
+            "measured speedups there reflect scheduling, not hardware"
+        )
+    return 0 if all(p.converged for p in points) else 1
+
+
 def _cmd_precond(args) -> int:
     """Print the preconditioner capability matrix (registry-derived)."""
     from repro.precond import availability_note, capability_matrix
@@ -1049,6 +1121,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="per-request access logs on stderr")
     p.set_defaults(func=_cmd_serve)
+
+    p = add_command(
+        "bench-serve",
+        "load-bench the daemon: req/s and latency vs max_batch",
+    )
+    p.add_argument("--dims", type=int, nargs=4, default=[4, 4, 4, 4],
+                   metavar=("X", "Y", "Z", "T"),
+                   help="lattice dims of the served problem "
+                        "(default 4 4 4 4)")
+    p.add_argument("--max-batch", type=int, action="append",
+                   dest="max_batch_values", metavar="N",
+                   help="a max_batch value to sweep (repeatable; "
+                        "default 1 2 4 8)")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="concurrent client threads per point (default 8)")
+    p.add_argument("--requests-per-client", type=int, default=4,
+                   help="solves each client issues per point (default 4)")
+    p.add_argument("--max-wait", type=float, default=0.02,
+                   help="coalescing window in seconds (default 0.02)")
+    p.add_argument("--seed", type=int, default=5,
+                   help="gauge/rhs seed of the served problem (default 5)")
+    p.add_argument("--output", type=str, default="BENCH_serve.json",
+                   help="bench artifact path (default BENCH_serve.json)")
+    p.set_defaults(func=_cmd_bench_serve)
+
+    p = add_command(
+        "scaling-sweep",
+        "measured-vs-model strong-scaling sweep across rank counts",
+    )
+    p.add_argument("--dims", type=int, nargs=4, default=[4, 4, 4, 8],
+                   metavar=("X", "Y", "Z", "T"),
+                   help="fixed lattice dims for every point "
+                        "(default 4 4 4 8)")
+    p.add_argument("--ranks", type=int, nargs="+", default=[1, 2, 4],
+                   metavar="N",
+                   help="rank counts to sweep (default 1 2 4)")
+    p.add_argument("--tol", type=float, default=1e-6,
+                   help="outer solver tolerance (default 1e-6)")
+    p.add_argument("--mr-steps", type=int, default=4,
+                   help="MR smoother steps in the domain preconditioner "
+                        "(default 4)")
+    p.add_argument("--seed", type=int, default=11,
+                   help="gauge seed (default 11)")
+    p.add_argument("--backend", type=str, default="threads",
+                   choices=("threads", "processes"),
+                   help="SPMD backend for the measured track "
+                        "(default threads)")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="timed repeats per point; best is kept (default 1)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-solve SPMD timeout in seconds (default 120)")
+    p.add_argument("--output", type=str, default="BENCH_scaling.json",
+                   help="bench artifact path (default BENCH_scaling.json)")
+    p.add_argument("--plot-output", type=str, default=None,
+                   help="also write the ASCII knee/efficiency chart to "
+                        "this file (CI uploads it as an artifact)")
+    p.set_defaults(func=_cmd_scaling_sweep)
 
     p = add_command("precond", "print the preconditioner capability matrix")
     p.set_defaults(func=_cmd_precond)

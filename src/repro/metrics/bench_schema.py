@@ -22,18 +22,110 @@ regression gate diffs and what a dashboard plots; anything structured
 belongs in ``results``.  Run ``python -m repro.metrics.bench_schema
 FILE...`` to validate artifacts from the command line (the CI
 trajectory gate does exactly this against the committed files).
+
+On top of the shared envelope, every ``bench`` string must name a
+**registered kind** (:data:`BENCH_KINDS`): each kind declares the
+config keys and per-result-entry keys its artifacts must carry, so a
+malformed ``BENCH_scaling.json`` is rejected exactly like a malformed
+``BENCH_spmd.json`` — an unknown kind is itself a violation that lists
+the known kinds.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+from dataclasses import dataclass
 
 BENCH_SCHEMA_VERSION = 1
 
 #: Keys every host block carries (values may be null for artifacts
 #: migrated from before host capture existed).
 HOST_KEYS = ("cpu_count", "platform", "python")
+
+
+@dataclass(frozen=True)
+class BenchKind:
+    """Per-kind schema requirements layered over the shared envelope.
+
+    Attributes
+    ----------
+    name:
+        The ``bench`` string of this kind.
+    required_config:
+        Config keys every artifact of this kind must carry.
+    required_result_keys:
+        Keys every ``results`` entry must carry (only checked when the
+        kind requires results or the artifact provides them).
+    results_required:
+        Whether a ``results`` list with at least one entry is mandatory.
+    """
+
+    name: str
+    required_config: tuple[str, ...] = ()
+    required_result_keys: tuple[str, ...] = ()
+    results_required: bool = False
+
+
+#: The registry of known bench kinds: an artifact with an unregistered
+#: ``bench`` string is a schema violation, exactly like a missing host
+#: block — ``bench-smoke`` and the report gate reject it.
+BENCH_KINDS: dict[str, BenchKind] = {}
+
+
+def register_bench_kind(kind: BenchKind) -> BenchKind:
+    """Add one kind to the registry (idempotent per name).
+
+    Returns:
+        The registered kind, for chaining.
+    """
+    BENCH_KINDS[kind.name] = kind
+    return kind
+
+
+register_bench_kind(BenchKind(
+    "spmd",
+    required_config=("dims", "ranks", "grid"),
+    required_result_keys=("backend", "seconds", "converged", "iterations"),
+    results_required=True,
+))
+register_bench_kind(BenchKind(
+    "multirhs",
+    required_config=("dims", "operator", "method"),
+    required_result_keys=("batch", "batched_seconds", "speedup"),
+    results_required=True,
+))
+register_bench_kind(BenchKind(
+    "precond",
+    required_config=("dims", "ranks", "preconds"),
+    required_result_keys=("precond", "seconds", "converged", "iterations"),
+    results_required=True,
+))
+register_bench_kind(BenchKind(
+    "wilson_dslash_hotpath",
+    required_config=("dims", "reps"),
+    required_result_keys=("kernel", "seconds_per_apply"),
+    results_required=True,
+))
+register_bench_kind(BenchKind(
+    "serve",
+    required_config=("dims", "max_batch_values", "concurrency"),
+    required_result_keys=(
+        "max_batch", "requests_per_second",
+        "p50_latency_seconds", "p99_latency_seconds",
+    ),
+    results_required=True,
+))
+register_bench_kind(BenchKind(
+    "scaling",
+    required_config=("dims", "ranks", "backend"),
+    required_result_keys=(
+        "ranks", "grid", "measured_seconds", "model_seconds",
+        "measured_efficiency", "model_efficiency",
+        "measured_comm_fraction", "model_comm_fraction",
+    ),
+    results_required=True,
+))
 
 
 def host_info() -> dict:
@@ -88,8 +180,14 @@ def validate_bench(doc: dict) -> list[str]:
             f"schema_version must be {BENCH_SCHEMA_VERSION}, "
             f"got {doc.get('schema_version')!r}"
         )
-    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
         problems.append("bench must be a non-empty string")
+    elif bench not in BENCH_KINDS:
+        problems.append(
+            f"unknown bench kind {bench!r}; known kinds: "
+            + ", ".join(sorted(BENCH_KINDS))
+        )
     host = doc.get("host")
     if not isinstance(host, dict):
         problems.append("host must be an object")
@@ -111,6 +209,31 @@ def validate_bench(doc: dict) -> list[str]:
                 )
     if "results" in doc and not isinstance(doc["results"], list):
         problems.append("results, when present, must be a list")
+
+    kind = BENCH_KINDS.get(bench) if isinstance(bench, str) else None
+    if kind is not None:
+        config = doc.get("config")
+        if isinstance(config, dict):
+            for key in kind.required_config:
+                if key not in config:
+                    problems.append(
+                        f"{bench} config is missing {key!r}"
+                    )
+        results = doc.get("results")
+        if kind.results_required and not (
+            isinstance(results, list) and results
+        ):
+            problems.append(f"{bench} requires a non-empty results list")
+        if isinstance(results, list):
+            for i, entry in enumerate(results):
+                if not isinstance(entry, dict):
+                    problems.append(f"results[{i}] must be an object")
+                    continue
+                for key in kind.required_result_keys:
+                    if key not in entry:
+                        problems.append(
+                            f"results[{i}] ({bench}) is missing {key!r}"
+                        )
     return problems
 
 

@@ -247,6 +247,40 @@ class MetricsRegistry:
         return bool(self.counters or self.gauges or self.histograms)
 
 
+def histogram_quantile(hist: Histogram, q: float) -> float:
+    """Estimate the ``q``-quantile of a :class:`Histogram` by linear
+    interpolation within its bucket (the Prometheus
+    ``histogram_quantile`` estimator on the fixed log-spaced buckets).
+
+    Args:
+        hist: A histogram with at least one observation.
+        q: Quantile in ``[0, 1]`` (e.g. ``0.5`` for the median).
+
+    Returns:
+        The interpolated quantile.  Observations in the overflow bucket
+        clamp to the last finite edge (as Prometheus does for ``+Inf``).
+
+    Raises:
+        ValueError: ``q`` outside ``[0, 1]`` or an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if hist.count == 0:
+        raise ValueError("cannot take a quantile of an empty histogram")
+    target = q * hist.count
+    cumulative = 0
+    for i, n in enumerate(hist.bucket_counts):
+        cumulative += n
+        if cumulative >= target and n > 0:
+            if i >= len(hist.edges):  # overflow bucket: clamp
+                return hist.edges[-1]
+            lo = hist.edges[i - 1] if i > 0 else 0.0
+            hi = hist.edges[i]
+            frac = (target - (cumulative - n)) / n
+            return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+    return hist.edges[-1]  # pragma: no cover - q=0 with empty head buckets
+
+
 # ----------------------------------------------------------------------
 # the thread-local scope + zero-cost instrument helpers
 # ----------------------------------------------------------------------

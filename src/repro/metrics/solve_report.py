@@ -187,10 +187,14 @@ class SolveReport:
     wall_seconds: float
     ranks: dict | None = None
     metrics: dict = field(default_factory=dict)
+    #: Serve-lifecycle breakdown when this solve was dispatched by the
+    #: solve service: request_id, queue/coalesce/solve/latency seconds,
+    #: lane and occupancy (None for direct solves).
+    serve: dict | None = None
     schema_version: int = REPORT_SCHEMA_VERSION
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "schema_version": self.schema_version,
             "kind": "solve_report",
             "fingerprint": self.fingerprint,
@@ -203,6 +207,9 @@ class SolveReport:
             "ranks": self.ranks,
             "metrics": self.metrics,
         }
+        if self.serve is not None:
+            doc["serve"] = self.serve
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "SolveReport":
@@ -221,6 +228,7 @@ class SolveReport:
             wall_seconds=doc["wall_seconds"],
             ranks=doc.get("ranks"),
             metrics=doc.get("metrics", {}),
+            serve=doc.get("serve"),
             schema_version=doc["schema_version"],
         )
 

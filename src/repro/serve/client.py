@@ -22,6 +22,7 @@ import urllib.error
 import urllib.request
 
 from repro.serve.errors import ServeError, error_from_dict
+from repro.serve.tracing import new_request_id
 
 
 def _error_from_response(doc: dict) -> ServeError:
@@ -50,14 +51,18 @@ class ServeClient:
 
     # -- plumbing ------------------------------------------------------
     def _request(self, path: str, body: bytes | None = None,
-                 content_type: str = "application/json") -> tuple[int, bytes]:
+                 content_type: str = "application/json",
+                 headers: dict | None = None) -> tuple[int, bytes]:
         """One HTTP round trip; returns ``(status, body)`` without
         raising on 4xx/5xx (the typed-error mapping happens above)."""
+        all_headers = {"Content-Type": content_type} if body else {}
+        if headers:
+            all_headers.update(headers)
         req = urllib.request.Request(
             self.base_url + path,
             data=body,
             method="POST" if body is not None else "GET",
-            headers={"Content-Type": content_type} if body else {},
+            headers=all_headers,
         )
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
@@ -68,6 +73,12 @@ class ServeClient:
     # -- solving -------------------------------------------------------
     def solve(self, payload: dict) -> dict:
         """Solve one request and return the response document.
+
+        A payload without an ``id`` is assigned a fresh unique request
+        id (:func:`~repro.serve.tracing.new_request_id`), sent both in
+        the body and as the ``X-Request-Id`` header; the server echoes
+        it back on the response and labels its trace spans with it, so
+        client logs correlate with server traces end to end.
 
         Args:
             payload: The wire request (see docs/serving.md for the
@@ -80,10 +91,15 @@ class ServeClient:
 
         Raises:
             ServeError: The typed failure the server reported
-                (validation, queue full, deadline, shutdown, solve).
+                (validation, queue full, deadline, shutdown, solve);
+                carries ``request_id`` when the server knew it.
         """
+        payload = dict(payload)
+        if payload.get("id") is None:
+            payload["id"] = new_request_id()
         status, body = self._request(
-            "/v1/solve", json.dumps(payload).encode()
+            "/v1/solve", json.dumps(payload).encode(),
+            headers={"X-Request-Id": str(payload["id"])},
         )
         doc = json.loads(body)
         if doc.get("status") == "error":
@@ -101,11 +117,17 @@ class ServeClient:
         object, so one bad request cannot mask the other results.
 
         Args:
-            payloads: Wire request dicts.
+            payloads: Wire request dicts (missing ``id`` fields are
+                filled with fresh unique request ids).
 
         Returns:
             One response document per request, in order.
         """
+        payloads = [
+            dict(p) if p.get("id") is not None
+            else {**p, "id": new_request_id()}
+            for p in payloads
+        ]
         body = "".join(json.dumps(p) + "\n" for p in payloads).encode()
         _, raw = self._request(
             "/v1/solve/jsonl", body, content_type="application/jsonl"

@@ -41,11 +41,17 @@ class CoalesceOutcome:
         these with :class:`~repro.serve.errors.DeadlineExpiredError`.
     waited_seconds:
         How long the coalescing window actually stayed open.
+    window_opened_pc, window_closed_pc:
+        ``time.perf_counter`` marks around the window (the
+        ``coalesce_window`` trace span); ``None`` when no leader was
+        popped this round.
     """
 
     group: list[QueuedRequest] = field(default_factory=list)
     expired: list[QueuedRequest] = field(default_factory=list)
     waited_seconds: float = 0.0
+    window_opened_pc: float | None = None
+    window_closed_pc: float | None = None
 
 
 class Coalescer:
@@ -100,6 +106,7 @@ class Coalescer:
 
         group = [leader]
         fingerprint = leader.fingerprint
+        window_opened_pc = time.perf_counter()
         window_start = time.monotonic()
         window_end = window_start + self.max_wait
         if leader.deadline is not None:
@@ -118,6 +125,7 @@ class Coalescer:
             # Re-check after every wake: either a compatible request
             # landed (taken on the next loop) or the window ran out.
         waited = time.monotonic() - window_start
+        window_closed_pc = time.perf_counter()
 
         # A deadline may have lapsed while the window was open; never
         # hand an expired request to the solver.
@@ -126,5 +134,7 @@ class Coalescer:
             (lapsed if entry.expired() else still_good).append(entry)
         expired += lapsed
         return CoalesceOutcome(
-            group=still_good, expired=expired, waited_seconds=waited
+            group=still_good, expired=expired, waited_seconds=waited,
+            window_opened_pc=window_opened_pc,
+            window_closed_pc=window_closed_pc,
         )

@@ -26,6 +26,10 @@ class ServeError(Exception):
     choices:
         Valid values for ``field`` when it comes from a closed set, or
         ``None``.
+    request_id:
+        The id of the request that failed, when known — the same value
+        the ``X-Request-Id`` response header and the server's trace
+        spans carry, so client logs correlate with server traces.
     """
 
     code = "serve_error"
@@ -37,6 +41,7 @@ class ServeError(Exception):
         *,
         field: str | None = None,
         choices=None,
+        request_id: str | None = None,
     ) -> None:
         """Store the message plus the optional field/choices context.
 
@@ -45,14 +50,17 @@ class ServeError(Exception):
             field: Dotted path of the offending request field, if any.
             choices: Iterable of valid values for ``field``, if the
                 field takes values from a closed set.
+            request_id: Id of the failing request, when known.
         """
         super().__init__(message)
         self.field = field
         self.choices = [str(c) for c in choices] if choices else None
+        self.request_id = request_id
 
     def to_dict(self) -> dict:
         """The wire form of the error: ``code``, ``message`` and — for
-        validation errors — ``field``/``choices``.
+        validation errors — ``field``/``choices``; ``request_id`` when
+        the failing request is known.
 
         Returns:
             A JSON-ready dict; keys with ``None`` values are omitted.
@@ -62,6 +70,8 @@ class ServeError(Exception):
             doc["field"] = self.field
         if self.choices is not None:
             doc["choices"] = self.choices
+        if self.request_id is not None:
+            doc["request_id"] = self.request_id
         return doc
 
 
@@ -122,6 +132,7 @@ def error_from_dict(doc: dict) -> ServeError:
         doc.get("message", code),
         field=doc.get("field"),
         choices=doc.get("choices"),
+        request_id=doc.get("request_id"),
     )
     return err
 

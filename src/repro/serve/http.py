@@ -24,6 +24,14 @@ Every typed :class:`~repro.serve.errors.ServeError` maps to its own
 HTTP status (400 validation, 429 queue full, 503 draining, 504 deadline,
 500 solve failure) with a JSON body carrying the machine-readable
 ``code``/``field``/``choices``.
+
+**Request correlation.**  ``POST /v1/solve`` accepts an
+``X-Request-Id`` header as an id fallback when the body carries no
+``id``, and every solve response — success or typed error — echoes the
+request's id back as ``X-Request-Id``; error payloads additionally carry
+``request_id``.  The same id labels the server's ``queue_wait`` /
+``coalesce_window`` / ``batched_solve`` trace spans (docs/serving.md,
+"Request lifecycle"), so client logs correlate with server traces.
 """
 
 from __future__ import annotations
@@ -58,7 +66,8 @@ class _Handler(BaseHTTPRequestHandler):
         """The solve service this server fronts."""
         return self.server.service
 
-    def _send_json(self, status: int, doc, content_type="application/json"):
+    def _send_json(self, status: int, doc, content_type="application/json",
+                   request_id: str | None = None):
         body = (
             doc.encode()
             if isinstance(doc, str)
@@ -67,6 +76,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", str(request_id))
         self.end_headers()
         self.wfile.write(body)
 
@@ -110,6 +121,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- solve routes --------------------------------------------------
     def _solve_one(self):
         raw = self._read_body()
+        header_id = self.headers.get("X-Request-Id")
         try:
             payload = json.loads(raw)
         except json.JSONDecodeError as exc:
@@ -118,25 +130,37 @@ class _Handler(BaseHTTPRequestHandler):
                 {"status": "error",
                  "error": {"code": "invalid_request",
                            "message": f"body is not valid JSON: {exc}"}},
+                request_id=header_id,
             )
             return
-        rid = payload.get("id") if isinstance(payload, dict) else None
+        # The X-Request-Id header is an id fallback for payloads that do
+        # not carry one in the body; the body's ``id`` wins on conflict.
+        if isinstance(payload, dict) and header_id \
+                and payload.get("id") is None:
+            payload["id"] = header_id
+        rid = payload.get("id") if isinstance(payload, dict) else header_id
         try:
             result = self.service.submit(payload).result(RESULT_TIMEOUT)
         except ServeError as exc:
+            if exc.request_id is None:
+                exc.request_id = rid
             self._send_json(
                 exc.http_status,
                 {"id": rid, "status": "error", "error": exc.to_dict()},
+                request_id=exc.request_id,
             )
             return
         except TimeoutError as exc:
             self._send_json(
                 500,
                 {"id": rid, "status": "error",
-                 "error": {"code": "serve_error", "message": str(exc)}},
+                 "error": {"code": "serve_error", "message": str(exc),
+                           **({"request_id": rid} if rid else {})}},
+                request_id=rid,
             )
             return
-        self._send_json(200, result.to_wire())
+        self._send_json(200, result.to_wire(),
+                        request_id=result.request.id)
 
     def _solve_jsonl(self):
         lines = [
@@ -160,6 +184,8 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 pending.append((self.service.submit(payload), rid))
             except ServeError as exc:
+                if exc.request_id is None:
+                    exc.request_id = rid
                 pending.append(
                     (None,
                      {"id": rid, "status": "error", "error": exc.to_dict()})
@@ -172,6 +198,8 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 out.append(first.result(RESULT_TIMEOUT).to_wire())
             except ServeError as exc:
+                if exc.request_id is None:
+                    exc.request_id = second
                 out.append(
                     {"id": second, "status": "error", "error": exc.to_dict()}
                 )

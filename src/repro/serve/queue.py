@@ -100,6 +100,10 @@ class QueuedRequest:
         ``time.monotonic()`` at admission (latency accounting).
     deadline:
         Absolute ``monotonic`` eviction time, or ``None``.
+    trace:
+        The request's :class:`~repro.serve.tracing.RequestTrace`
+        lifecycle marks (perf_counter clock), or ``None`` when the
+        entry was built outside :meth:`SolveService.submit`.
     """
 
     request: object
@@ -107,6 +111,7 @@ class QueuedRequest:
     seq: int = 0
     enqueued_at: float = field(default_factory=time.monotonic)
     deadline: float | None = None
+    trace: object | None = None
 
     @property
     def priority(self) -> int:

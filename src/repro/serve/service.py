@@ -32,13 +32,14 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, replace as dc_replace
 
 import numpy as np
 
-from repro.metrics.registry import MetricsRegistry
+from repro.metrics.registry import MetricsRegistry, histogram_quantile
 from repro.metrics.export import to_prometheus
-from repro.serve.coalescer import Coalescer
+from repro.serve.coalescer import Coalescer, CoalesceOutcome
 from repro.serve.errors import (
     DeadlineExpiredError,
     RequestValidationError,
@@ -48,6 +49,13 @@ from repro.serve.errors import (
 )
 from repro.serve.queue import QueuedRequest, SolveQueue, Ticket
 from repro.serve.request import ServiceRequest, encode_array
+from repro.serve.tracing import (
+    RequestTrace,
+    emit_batched_solve,
+    emit_coalesce_window,
+    emit_queue_wait,
+)
+from repro.trace.core import tracing
 
 #: Batch-occupancy histogram buckets (lanes per executed batch).
 OCCUPANCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
@@ -139,6 +147,7 @@ class SolveService:
         capacity: int = 64,
         pad_to: int | None = None,
         default_timeout: float | None = None,
+        tracer=None,
     ) -> None:
         """Configure the service (call :meth:`start` to run it).
 
@@ -153,6 +162,12 @@ class SolveService:
                 (``None`` -> ``max_batch``; ``0`` disables padding).
             default_timeout: Deadline applied to requests that carry no
                 ``timeout_seconds`` of their own (``None`` = none).
+            tracer: Optional :class:`~repro.trace.core.Tracer`; when
+                set, the dispatcher emits ``queue_wait`` /
+                ``coalesce_window`` / ``batched_solve`` lifecycle spans
+                and runs every batched solve under this tracer, so the
+                solver's kernel spans land in the same Perfetto export
+                (docs/serving.md, "Request lifecycle").
 
         Raises:
             ValueError: ``pad_to`` smaller than ``max_batch`` (a batch
@@ -170,6 +185,7 @@ class SolveService:
         )
         self.pad_to = int(pad_to)
         self.default_timeout = default_timeout
+        self.tracer = tracer
         self._gauges: dict[str, tuple] = {}
         self._asqtad_links: dict[str, object] = {}
         self._registry = MetricsRegistry()
@@ -267,6 +283,7 @@ class SolveService:
             deadline=(
                 None if timeout is None else time.monotonic() + timeout
             ),
+            trace=RequestTrace(request_id=request.id),
         )
         try:
             self.queue.put(entry)
@@ -311,19 +328,27 @@ class SolveService:
                     DeadlineExpiredError(
                         f"request {entry.request.id} expired after "
                         f"{time.monotonic() - entry.enqueued_at:.3f}s in "
-                        "queue (deadline passed before a batch picked it up)"
+                        "queue (deadline passed before a batch picked it up)",
+                        request_id=entry.request.id,
                     )
                 )
                 self._count_request("expired")
             if outcome.group:
+                scope = (
+                    tracing(self.tracer)
+                    if self.tracer is not None
+                    else nullcontext()
+                )
                 try:
-                    self._execute(outcome.group, outcome.waited_seconds)
+                    with scope:
+                        self._execute(outcome)
                 except Exception as exc:  # noqa: BLE001 - fail the batch
                     for entry in outcome.group:
                         if not entry.ticket.done:
                             entry.ticket.set_error(
                                 SolveFailedError(
-                                    f"batched solve failed: {exc!r}"
+                                    f"batched solve failed: {exc!r}",
+                                    request_id=entry.request.id,
                                 )
                             )
                     self._count_request("failed", len(outcome.group))
@@ -335,10 +360,23 @@ class SolveService:
                     and self.queue.depth == 0:
                 return
 
-    def _execute(self, group: list[QueuedRequest], waited: float) -> None:
+    def _execute(self, outcome: CoalesceOutcome) -> None:
         """Serve one coalesced group with a single batched solve."""
         from repro.core.api import SolveRequest, solve
         from repro.dirac.base import BoundarySpec
+
+        group, waited = outcome.group, outcome.waited_seconds
+        sched_pc = time.perf_counter()
+        for entry in group:
+            if entry.trace is not None:
+                entry.trace.scheduled_pc = sched_pc
+                emit_queue_wait(entry.trace)
+        if outcome.window_opened_pc is not None:
+            emit_coalesce_window(
+                [e.request.id for e in group],
+                outcome.window_opened_pc,
+                outcome.window_closed_pc,
+            )
 
         spec_request: ServiceRequest = group[0].request
         gauge, geometry = self._gauge_for(spec_request)
@@ -350,6 +388,7 @@ class SolveService:
             try:
                 lanes.append(entry.request.materialize_rhs(geometry))
             except ServeError as exc:
+                exc.request_id = entry.request.id
                 entry.ticket.set_error(exc)
                 self._count_request("invalid")
                 continue
@@ -394,10 +433,37 @@ class SolveService:
         )
         t0 = time.perf_counter()
         result = solve(request)
-        solve_seconds = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        solve_seconds = t1 - t0
+        emit_batched_solve(
+            [e.request.id for e in good], t0, t1,
+            lanes=n_lanes, occupancy=n_real,
+        )
 
         now = time.monotonic()
         for lane, entry in enumerate(good):
+            if entry.trace is not None:
+                entry.trace.solve_start_pc = t0
+                entry.trace.solve_end_pc = t1
+            queue_seconds = sched_time - entry.enqueued_at
+            latency_seconds = now - entry.enqueued_at
+            report = result.report
+            if report is not None:
+                # Each request gets its own copy of the batch report
+                # carrying its lifecycle breakdown (the same numbers as
+                # the wire ``timing`` block and the trace spans).
+                report = dc_replace(
+                    report,
+                    serve={
+                        "request_id": entry.request.id,
+                        "queue_seconds": queue_seconds,
+                        "coalesce_window_seconds": waited,
+                        "solve_seconds": solve_seconds,
+                        "latency_seconds": latency_seconds,
+                        "lane": lane,
+                        "occupancy": n_real,
+                    },
+                )
             entry.ticket.set_result(
                 ServedResult(
                     request=entry.request,
@@ -408,14 +474,16 @@ class SolveService:
                     lane=lane,
                     occupancy=n_real,
                     lanes=n_lanes,
-                    report=result.report,
-                    queue_seconds=sched_time - entry.enqueued_at,
+                    report=report,
+                    queue_seconds=queue_seconds,
                     coalesce_wait_seconds=waited,
                     solve_seconds=solve_seconds,
-                    latency_seconds=now - entry.enqueued_at,
+                    latency_seconds=latency_seconds,
                 )
             )
-        self._record_batch(good, n_real, solve_seconds, waited, now, result)
+        self._record_batch(
+            good, n_real, solve_seconds, waited, now, sched_time, result
+        )
 
     # ------------------------------------------------------------------
     # cached operator setup
@@ -481,7 +549,7 @@ class SolveService:
             ).inc(n)
 
     def _record_batch(
-        self, good, n_real, solve_seconds, waited, now, result
+        self, good, n_real, solve_seconds, waited, now, sched_time, result
     ) -> None:
         """Account one executed batch into the service registry."""
         with self._metrics_lock:
@@ -494,6 +562,9 @@ class SolveService:
             reg.histogram("serve_batch_solve_seconds").observe(solve_seconds)
             reg.histogram("serve_coalesce_wait_seconds").observe(waited)
             for entry in good:
+                reg.histogram("serve_queue_wait_seconds").observe(
+                    max(0.0, sched_time - entry.enqueued_at)
+                )
                 reg.histogram("serve_request_latency_seconds").observe(
                     now - entry.enqueued_at
                 )
@@ -501,6 +572,21 @@ class SolveService:
             report = getattr(result, "report", None)
             if report is not None and report.metrics:
                 reg.merge(MetricsRegistry.from_dict(report.metrics))
+
+    def _percentiles(self, name: str) -> dict | None:
+        """p50/p90/p99 of one serve histogram, or ``None`` before any
+        observation landed (caller holds the metrics lock)."""
+        hist = None
+        for _, h in self._registry.histograms.items():
+            if h.name == name:
+                hist = h
+                break
+        if hist is None or hist.count == 0:
+            return None
+        return {
+            f"p{int(q * 100)}": histogram_quantile(hist, q)
+            for q in (0.5, 0.9, 0.99)
+        }
 
     def prometheus(self) -> str:
         """The service registry in Prometheus text exposition format
@@ -514,9 +600,11 @@ class SolveService:
 
         Returns:
             Queue depth/capacity, the coalescing knobs, per-outcome
-            request counts, batch counts, and the **coalesce ratio**
+            request counts, batch counts, the **coalesce ratio**
             (requests served per batched solve; > 1 means coalescing is
-            happening).
+            happening), and a ``latency`` block with p50/p90/p99 for
+            queue wait, solve time and end-to-end latency, derived from
+            the serve histograms by bucket interpolation.
         """
         with self._metrics_lock:
             outcomes = {
@@ -534,6 +622,14 @@ class SolveService:
                 for _, c in self._registry.counters.items()
                 if c.name == "serve_batched_requests_total"
             )
+            latency = {
+                label: self._percentiles(name)
+                for label, name in (
+                    ("queue_wait_seconds", "serve_queue_wait_seconds"),
+                    ("solve_seconds", "serve_batch_solve_seconds"),
+                    ("latency_seconds", "serve_request_latency_seconds"),
+                )
+            }
         return {
             "queue_depth": self.queue.depth,
             "capacity": self.queue.capacity,
@@ -546,6 +642,7 @@ class SolveService:
             "coalesce_ratio": (
                 batched_requests / batches if batches else None
             ),
+            "latency": latency,
             "draining": self.queue.closed,
             "running": self.running,
             "uptime_seconds": (

@@ -105,6 +105,10 @@ def events_to_chrome(events: list[TraceEvent]) -> dict:
 def _jsonable(value):
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if isinstance(value, (list, tuple)):
+        # Scalar lists (e.g. a serve batch's request_ids) survive the
+        # export verbatim so correlation keys round-trip intact.
+        return [_jsonable(v) for v in value]
     return repr(value)
 
 

@@ -11,6 +11,7 @@ from repro.metrics.registry import (
     DEFAULT_BUCKET_SPEC,
     MetricsRegistry,
     current_registry,
+    histogram_quantile,
     inc,
     log_buckets,
     metrics_scope,
@@ -279,3 +280,39 @@ class TestExport:
     def test_empty_registry_exports_empty(self):
         assert to_prometheus(MetricsRegistry()) == ""
         assert to_jsonl(MetricsRegistry()) == ""
+
+
+class TestHistogramQuantile:
+    """The bucket-interpolation estimator behind /v1/stats percentiles."""
+
+    def _hist(self, samples, buckets=(1.0, 2.0, 4.0)):
+        h = MetricsRegistry().histogram("h", buckets=buckets)
+        for s in samples:
+            h.observe(s)
+        return h
+
+    def test_interpolates_within_a_bucket(self):
+        # Four samples in (1, 2]: the median sits mid-bucket.
+        h = self._hist([1.1, 1.4, 1.6, 1.9])
+        assert histogram_quantile(h, 0.5) == pytest.approx(1.5)
+
+    def test_spans_buckets_by_cumulative_count(self):
+        h = self._hist([0.5, 0.5, 3.0, 3.0])
+        assert histogram_quantile(h, 0.25) == pytest.approx(0.5)
+        assert histogram_quantile(h, 1.0) == pytest.approx(4.0)
+
+    def test_overflow_clamps_to_last_edge(self):
+        h = self._hist([100.0])
+        assert histogram_quantile(h, 0.5) == 4.0
+
+    def test_monotone_in_q(self):
+        h = self._hist([0.3, 1.5, 1.7, 3.0, 9.0])
+        qs = [histogram_quantile(h, q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_rejects_empty_and_out_of_range(self):
+        h = self._hist([])
+        with pytest.raises(ValueError):
+            histogram_quantile(h, 0.5)
+        with pytest.raises(ValueError):
+            histogram_quantile(self._hist([1.0]), -0.1)

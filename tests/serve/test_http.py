@@ -98,6 +98,57 @@ class TestSolveRoute:
             srv.stop()
 
 
+class TestRequestCorrelation:
+    """X-Request-Id echo + request_id in typed error payloads."""
+
+    def _post(self, server, body, headers=None):
+        req = urllib.request.Request(
+            f"{server.url}/v1/solve",
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json", **(headers or {})},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req) as resp:
+                return resp.status, dict(resp.headers), json.load(resp)
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), json.load(exc)
+
+    def test_response_echoes_the_payload_id(self, server):
+        status, headers, doc = self._post(server, payload(id="corr-1"))
+        assert status == 200
+        assert headers["X-Request-Id"] == "corr-1"
+        assert doc["id"] == "corr-1"
+
+    def test_header_id_is_a_fallback_for_anonymous_payloads(self, server):
+        status, headers, doc = self._post(
+            server, payload(), headers={"X-Request-Id": "hdr-7"}
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] == "hdr-7"
+        assert doc["id"] == "hdr-7"
+
+    def test_body_id_wins_over_header(self, server):
+        status, headers, doc = self._post(
+            server, payload(id="body-1"), headers={"X-Request-Id": "hdr-1"}
+        )
+        assert headers["X-Request-Id"] == "body-1"
+        assert doc["id"] == "body-1"
+
+    def test_error_payload_carries_request_id(self, server):
+        bad = payload(id="bad-1")
+        bad["mass"] = "not-a-number"
+        status, headers, doc = self._post(server, bad)
+        assert status == 400
+        assert headers["X-Request-Id"] == "bad-1"
+        assert doc["error"]["request_id"] == "bad-1"
+
+    def test_client_autogenerates_request_ids(self, server):
+        client = ServeClient(server.url)
+        doc = client.solve(payload())
+        assert doc["id"].startswith("req-")
+
+
 class TestJsonlRoute:
     def test_batch_submits_before_awaiting(self, server):
         client = ServeClient(server.url)

@@ -1,0 +1,67 @@
+"""The serve load harness: quantiles, one real load point, the wrapped
+``"serve"`` bench document."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.loadgen import (
+    _default_payload,
+    quantile,
+    run_load_bench,
+    run_load_point,
+)
+
+
+class TestQuantile:
+    def test_median_of_odd_samples(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolates_between_samples(self):
+        assert quantile([0.0, 1.0], 0.5) == pytest.approx(0.5)
+        assert quantile([0.0, 1.0, 2.0, 3.0], 0.25) == pytest.approx(0.75)
+
+    def test_extremes_are_min_and_max(self):
+        vals = [5.0, 1.0, 9.0]
+        assert quantile(vals, 0.0) == 1.0
+        assert quantile(vals, 1.0) == 9.0
+
+    def test_single_sample(self):
+        assert quantile([7.0], 0.99) == 7.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+@pytest.mark.slow
+class TestLoadPoint:
+    def test_point_serves_all_requests_and_coalesces(self):
+        payload = _default_payload((4, 4, 4, 4), -0.1, 0.25, 5)
+        entry = run_load_point(
+            max_batch=4, concurrency=3, requests_per_client=2,
+            payload=payload, max_wait=0.05,
+        )
+        assert entry["errors"] == 0
+        assert entry["requests"] == 6
+        assert entry["requests_per_second"] > 0.0
+        assert entry["p50_latency_seconds"] <= entry["p99_latency_seconds"]
+        assert entry["coalesce_ratio"] > 1.0
+
+    def test_bench_document_is_schema_valid(self):
+        from repro.metrics.bench_schema import validate_bench
+
+        doc = run_load_bench(
+            dims=(4, 4, 4, 4), max_batch_values=(1, 2),
+            concurrency=2, requests_per_client=2,
+        )
+        assert validate_bench(doc) == []
+        assert doc["bench"] == "serve"
+        assert [e["max_batch"] for e in doc["results"]] == [1, 2]
+        assert "rps_max_batch_2" in doc["metrics"]
+        # cpu_count is the honest host count, never a fabricated value.
+        import os
+
+        assert doc["host"]["cpu_count"] == os.cpu_count()

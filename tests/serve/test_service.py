@@ -193,6 +193,31 @@ class TestMetrics:
         # Occupancy histogram recorded one 2-lane batch.
         assert 'serve_batch_occupancy_bucket{le="2.0"} 1' in text
 
+    def test_stats_reports_latency_percentiles(self):
+        svc = make_service()
+        tickets = [svc.submit(payload(seed=s)) for s in (1, 2, 3)]
+        svc.start()
+        for t in tickets:
+            t.result(timeout=60)
+        svc.shutdown()
+        latency = svc.stats()["latency"]
+        for label in ("queue_wait_seconds", "solve_seconds",
+                      "latency_seconds"):
+            block = latency[label]
+            assert set(block) == {"p50", "p90", "p99"}, label
+            assert 0.0 <= block["p50"] <= block["p90"] <= block["p99"]
+        # End-to-end latency includes queue wait and the solve.
+        assert latency["latency_seconds"]["p50"] >= (
+            latency["solve_seconds"]["p50"] * 0.5
+        )
+
+    def test_stats_latency_blocks_null_before_any_request(self):
+        svc = make_service()
+        latency = svc.stats()["latency"]
+        assert latency["queue_wait_seconds"] is None
+        assert latency["solve_seconds"] is None
+        assert latency["latency_seconds"] is None
+
     def test_setup_cache_reuses_gauge_and_links(self):
         svc = make_service(max_wait=0.0)
         a = svc.submit(payload(seed=1))

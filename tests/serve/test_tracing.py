@@ -1,0 +1,248 @@
+"""Request-lifecycle tracing: spans through the daemon, the SolveReport
+latency breakdown, the Perfetto export, and trace-context propagation
+across the processes SPMD backend (the shm merge at join)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import SolveService
+from repro.serve.tracing import (
+    RequestTrace,
+    emit_batched_solve,
+    emit_queue_wait,
+    new_request_id,
+)
+from repro.trace import (
+    Tracer,
+    events_to_chrome,
+    load_chrome_trace,
+    tracing,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+DIMS = [4, 4, 4, 4]
+
+
+def payload(seed=1, **overrides):
+    doc = {
+        "operator": "asqtad",
+        "mass": 0.05,
+        "gauge": {"kind": "unit", "dims": DIMS},
+        "rhs": {"kind": "random", "seed": seed},
+        "tol": 1e-8,
+    }
+    doc.update(overrides)
+    return doc
+
+
+def run_traced_batch(n=3, **service_kw):
+    """Serve ``n`` coalescable requests through a traced service."""
+    tracer = Tracer()
+    service_kw.setdefault("max_batch", 4)
+    service_kw.setdefault("max_wait", 0.05)
+    svc = SolveService(tracer=tracer, **service_kw)
+    tickets = [
+        svc.submit(payload(seed=s, id=f"req-{s}")) for s in range(1, n + 1)
+    ]
+    svc.start()
+    results = [t.result(timeout=60) for t in tickets]
+    svc.shutdown()
+    return tracer, results
+
+
+def spans_named(tracer, name):
+    return [ev for ev in tracer.events if ev.name == name]
+
+
+class TestRequestId:
+    def test_ids_are_unique_and_prefixed(self):
+        ids = {new_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(i.startswith("req-") for i in ids)
+
+    def test_emitters_are_noops_without_a_tracer(self):
+        # No active tracer: the daemon must run exactly as before.
+        trace = RequestTrace(request_id="r1")
+        trace.scheduled_pc = trace.submitted_pc + 0.5
+        emit_queue_wait(trace)
+        emit_batched_solve(["r1"], 0.0, 1.0, lanes=4, occupancy=1)
+
+
+class TestLifecycleSpans:
+    def test_one_queue_wait_span_per_request(self):
+        tracer, results = run_traced_batch(3)
+        waits = spans_named(tracer, "queue_wait")
+        assert {ev.args["request_id"] for ev in waits} == {
+            "req-1", "req-2", "req-3",
+        }
+        for ev in waits:
+            assert ev.kind == "serve"
+            assert ev.rank is None
+            assert ev.stream == "serve"
+            assert ev.duration >= 0.0
+
+    def test_batch_spans_list_every_member(self):
+        tracer, results = run_traced_batch(3)
+        (window,) = spans_named(tracer, "coalesce_window")
+        (solve,) = spans_named(tracer, "batched_solve")
+        ids = {"req-1", "req-2", "req-3"}
+        assert set(window.args["request_ids"]) == ids
+        assert set(solve.args["request_ids"]) == ids
+        assert solve.args["occupancy"] == 3
+        assert solve.args["lanes"] >= 3
+
+    def test_lifecycle_ordering_on_one_clock(self):
+        tracer, _ = run_traced_batch(2)
+        waits = spans_named(tracer, "queue_wait")
+        (solve,) = spans_named(tracer, "batched_solve")
+        # Admission precedes scheduling precedes the batched solve, and
+        # everything is rebased onto the tracer's epoch (no negative or
+        # wall-clock-sized timestamps from clock mixing).
+        for ev in waits:
+            assert 0.0 <= ev.start <= solve.start + 1e-9
+            assert ev.start + ev.duration <= solve.start + 1e-6
+        assert solve.duration > 0.0
+
+    def test_solver_spans_share_the_trace(self):
+        # The dispatcher installs the service tracer around the batched
+        # solve, so kernel/solver spans land in the same event stream.
+        tracer, _ = run_traced_batch(2)
+        kinds = {ev.kind for ev in tracer.events}
+        assert "serve" in kinds
+        assert kinds - {"serve"}, "expected solver spans beside serve spans"
+
+    def test_report_carries_the_same_breakdown(self):
+        tracer, results = run_traced_batch(3)
+        for res in results:
+            serve = res.report.serve
+            assert serve["request_id"] == res.request.id
+            assert serve["queue_seconds"] >= 0.0
+            assert serve["solve_seconds"] > 0.0
+            assert serve["latency_seconds"] >= serve["solve_seconds"]
+            assert serve["occupancy"] == 3
+        assert sorted(r.report.serve["lane"] for r in results) == [0, 1, 2]
+
+    def test_breakdown_present_without_tracer_too(self):
+        svc = SolveService(max_batch=4, max_wait=0.05)
+        ticket = svc.submit(payload(seed=1, id="solo"))
+        svc.start()
+        res = ticket.result(timeout=60)
+        svc.shutdown()
+        assert res.report.serve["request_id"] == "solo"
+        assert res.report.serve["latency_seconds"] > 0.0
+
+    def test_wire_report_includes_serve_block(self):
+        _, results = run_traced_batch(1)
+        doc = results[0].to_wire()
+        assert doc["report"]["serve"]["request_id"] == "req-1"
+
+
+class TestPerfettoExport:
+    def test_serve_spans_land_on_the_host_track(self):
+        tracer, _ = run_traced_batch(2)
+        doc = events_to_chrome(list(tracer.events))
+        complete = validate_chrome_trace(doc)
+        host_pids = {
+            ev["pid"] for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+            and ev["args"]["name"] == "host"
+        }
+        serve_rows = [
+            ev for ev in complete if ev.get("cat") == "serve"
+        ]
+        assert serve_rows
+        assert {ev["pid"] for ev in serve_rows} <= host_pids
+        threads = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert "serve" in threads
+
+    def test_round_trip_preserves_request_ids(self, tmp_path):
+        tracer, _ = run_traced_batch(2)
+        path = write_chrome_trace(tmp_path / "serve.json", tracer.events)
+        loaded = load_chrome_trace(path)
+        solves = [ev for ev in loaded if ev.name == "batched_solve"]
+        assert solves
+        assert set(solves[0].args["request_ids"]) == {"req-1", "req-2"}
+
+
+@pytest.mark.slow
+class TestProcessesBackendPropagation:
+    """Trace context must survive the fork: child ranks trace against
+    the parent's epoch, ship their events through shared memory, and
+    merge onto the caller's tracer at SPMD join (ISSUE 10 satellite)."""
+
+    def _traced_spmd_solve(self, backend):
+        from repro.comm.grid import ProcessGrid
+        from repro.core.gcrdd import GCRDDConfig
+        from repro.core.spmd import SPMDGCRDDSolver
+        from repro.lattice import GaugeField, Geometry, SpinorField
+
+        geometry = Geometry((4, 4, 4, 8))
+        gauge = GaugeField.weak(geometry, epsilon=0.25, rng=11)
+        b = SpinorField.random(geometry, rng=12).data
+        solver = SPMDGCRDDSolver(
+            gauge, -0.06, 1.0, ProcessGrid((1, 1, 1, 2)),
+            config=GCRDDConfig(tol=1e-5, precond_steps=4, kmax=8),
+            backend=backend, timeout=120.0,
+        )
+        import time
+
+        tracer = Tracer()
+        with tracing(tracer):
+            # A serve-style span on the same tracer: the correlation the
+            # scaling observatory renders (serve track beside ranks).
+            # emit_* take absolute perf_counter readings (they rebase).
+            pc = time.perf_counter()
+            emit_batched_solve(["req-x"], pc, pc, lanes=1, occupancy=1)
+            res = solver.solve(b)
+        assert res.converged
+        return tracer
+
+    def test_rank_attribution_survives_the_shm_merge(self):
+        tracer = self._traced_spmd_solve("processes")
+        programs = [ev for ev in tracer.events if ev.name == "rank_program"]
+        assert {ev.rank for ev in programs} == {0, 1}
+        horizon = tracer.now()
+        for ev in programs:
+            # Child epochs are rebased to the parent's, so merged spans
+            # sit inside this process's timeline, not at fork-local zero
+            # offsets or absolute perf_counter values.
+            assert 0.0 <= ev.start <= horizon
+            assert ev.start + ev.duration <= horizon + 1e-6
+
+    def test_span_parentage_contains_child_work(self):
+        tracer = self._traced_spmd_solve("processes")
+        programs = {
+            ev.rank: ev for ev in tracer.events if ev.name == "rank_program"
+        }
+        nested = [
+            ev for ev in tracer.events
+            if ev.rank in programs and ev.name != "rank_program"
+        ]
+        assert nested, "rank programs should emit nested spans"
+        slack = 1e-3
+        for ev in nested:
+            parent = programs[ev.rank]
+            assert ev.start >= parent.start - slack
+            assert ev.start + ev.duration <= (
+                parent.start + parent.duration + slack
+            )
+
+    def test_serve_and_rank_tracks_coexist_in_one_export(self):
+        tracer = self._traced_spmd_solve("processes")
+        doc = events_to_chrome(list(tracer.events))
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert {"host", "rank 0", "rank 1"} <= names
+        complete = validate_chrome_trace(doc)
+        assert any(ev.get("cat") == "serve" for ev in complete)
+        assert any(ev.get("cat") == "rank" for ev in complete)

@@ -31,7 +31,7 @@ class TestHelp:
         parser = build_parser()
         lines = parser.epilog.splitlines()[1:]
         table = lines[: lines.index("")]  # the availability note follows
-        assert len(table) == 16  # fig5..fig10 + 10 named commands
+        assert len(table) == 18  # fig5..fig10 + 12 named commands
         for line in table:
             name, _, help_ = line.strip().partition(" ")
             assert help_.strip(), f"command {name} has no help line"
